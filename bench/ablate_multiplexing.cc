@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation: transaction multiplexing (m) and Locking Buffer count.
+ *
+ * The paper's default is m=2 multiplexed transactions per core: while
+ * one context waits on a 2us network round trip, the other computes.
+ * This ablation sweeps m and the number of Locking Buffers per node.
+ * Expected: m=2 buys a large fraction of the network-hiding benefit
+ * over m=1; starving the Locking Buffer bank serializes commits and
+ * costs throughput.
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+const std::uint32_t kSlots[] = {1, 2, 4};
+// Note: capacities below the number of concurrently committing
+// contexts are not swept -- with a single buffer per node, two
+// committers on different nodes can each hold their local buffer while
+// their Intend-to-commit waits for the other's (a distributed
+// waits-for cycle). The bank must be sized for the commit concurrency;
+// the auto size (2x contexts) guarantees that.
+const std::uint32_t kBuffers[] = {4, 10, 0}; // 0 = auto (2x contexts)
+
+core::RunSpec
+specSlots(std::uint32_t m)
+{
+    core::RunSpec spec;
+    spec.engine = protocol::EngineKind::Hades;
+    spec.mix = {core::MixEntry{workload::AppKind::Tpcc,
+                               kvs::StoreKind::HashTable}};
+    spec.txnsPerContext = 100;
+    spec.scaleKeys = 150'000;
+    spec.cluster.slotsPerCore = m;
+    return spec;
+}
+
+core::RunSpec
+specBuffers(std::uint32_t buffers)
+{
+    core::RunSpec spec;
+    spec.engine = protocol::EngineKind::Hades;
+    spec.mix = {core::MixEntry{workload::AppKind::Smallbank,
+                               kvs::StoreKind::HashTable}};
+    spec.txnsPerContext = 120;
+    spec.scaleKeys = 150'000;
+    spec.cluster.lockingBuffersPerNode = buffers;
+    return spec;
+}
+
+void
+runSlots(benchmark::State &state)
+{
+    auto m = kSlots[state.range(0)];
+    reportRun(state, "ablate_m/" + std::to_string(m), specSlots(m));
+}
+
+void
+runBuffers(benchmark::State &state)
+{
+    auto b = kBuffers[state.range(0)];
+    reportRun(state, "ablate_lb/" + std::to_string(b),
+              specBuffers(b));
+}
+
+BENCHMARK(runSlots)
+    ->DenseRange(0, 2, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(runBuffers)
+    ->DenseRange(0, 2, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Ablation", "multiplexed transactions per core "
+                            "(HADES, TPC-C; paper default m=2)");
+    std::printf("%-6s %14s %14s  %14s\n", "m", "txn/s", "per-context",
+                "mean lat");
+    for (auto m : kSlots) {
+        const auto &res = RunCache::instance().get(
+            "ablate_m/" + std::to_string(m), specSlots(m));
+        std::printf("%-6u %14.0f %14.0f %12.1fus\n", m,
+                    res.throughputTps,
+                    res.throughputTps / (25.0 * m),
+                    res.meanLatencyUs);
+    }
+
+    printHeader("Ablation", "Locking Buffers per node "
+                            "(HADES, Smallbank; 0 = auto-size)");
+    std::printf("%-8s %14s %12s\n", "buffers", "txn/s", "squash/att");
+    for (auto b : kBuffers) {
+        const auto &res = RunCache::instance().get(
+            "ablate_lb/" + std::to_string(b), specBuffers(b));
+        std::printf("%-8u %14.0f %11.1f%%\n", b, res.throughputTps,
+                    100.0 * res.squashRate);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

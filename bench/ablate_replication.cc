@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: fault tolerance and durability (Section V-A extension).
+ *
+ * Sweeps the replication degree and the persistence medium, measuring
+ * the throughput cost of making commits durable. The replica updates
+ * ride the two-phase commit (staged on Intend-to-commit, promoted on
+ * Validation), so the expected cost is roughly one extra round trip
+ * plus the persist latency on the commit critical path.
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+struct Case
+{
+    std::uint32_t degree;
+    replica::Medium medium;
+    const char *label;
+};
+
+const Case kCases[] = {
+    {0, replica::Medium::Nvm, "off"},
+    {1, replica::Medium::Nvm, "1x NVM"},
+    {2, replica::Medium::Nvm, "2x NVM"},
+    {2, replica::Medium::Ssd, "2x SSD"},
+};
+
+core::RunSpec
+specFor(const Case &c)
+{
+    core::RunSpec spec;
+    spec.engine = protocol::EngineKind::Hades;
+    spec.mix = {core::MixEntry{workload::AppKind::Smallbank,
+                               kvs::StoreKind::HashTable}};
+    spec.txnsPerContext = 100;
+    spec.scaleKeys = 150'000;
+    spec.replication.degree = c.degree;
+    spec.replication.medium = c.medium;
+    return spec;
+}
+
+void
+runCase(benchmark::State &state)
+{
+    const auto &c = kCases[state.range(0)];
+    reportRun(state, std::string("ablate_repl/") + c.label,
+              specFor(c));
+}
+
+BENCHMARK(runCase)
+    ->DenseRange(0, 3, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Ablation",
+                "replication & durability (HADES, Smallbank; "
+                "Section V-A extension)");
+    std::printf("%-8s %14s %12s %16s\n", "config", "txn/s", "mean lat",
+                "replicated txns");
+    double base = 0;
+    for (const auto &c : kCases) {
+        const auto &res = RunCache::instance().get(
+            std::string("ablate_repl/") + c.label, specFor(c));
+        if (c.degree == 0)
+            base = res.throughputTps;
+        std::printf("%-8s %14.0f %10.1fus %16lu  (%.2fx of no-repl)\n",
+                    c.label, res.throughputTps, res.meanLatencyUs,
+                    (unsigned long)res.replicatedCommits,
+                    res.throughputTps / base);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

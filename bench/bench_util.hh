@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries.
+ *
+ * Every bench binary regenerates one table or figure of the paper: it
+ * sweeps the relevant configurations through core::runOne(), registers
+ * each simulation as a google-benchmark case (so the suite integrates
+ * with standard tooling), and prints the same rows/series the paper
+ * reports, normalized the same way.
+ */
+
+#ifndef HADES_BENCH_BENCH_UTIL_HH_
+#define HADES_BENCH_BENCH_UTIL_HH_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace hades::bench
+{
+
+/** The eleven Figure 9 workloads, in the paper's order. */
+inline std::vector<core::MixEntry>
+figure9Workloads()
+{
+    using workload::AppKind;
+    using kvs::StoreKind;
+    return {
+        {AppKind::Tpcc, StoreKind::HashTable},
+        {AppKind::Tatp, StoreKind::HashTable},
+        {AppKind::Smallbank, StoreKind::HashTable},
+        {AppKind::YcsbA, StoreKind::HashTable},
+        {AppKind::YcsbB, StoreKind::HashTable},
+        {AppKind::YcsbA, StoreKind::Map},
+        {AppKind::YcsbB, StoreKind::Map},
+        {AppKind::YcsbA, StoreKind::BTree},
+        {AppKind::YcsbB, StoreKind::BTree},
+        {AppKind::YcsbA, StoreKind::BPlusTree},
+        {AppKind::YcsbB, StoreKind::BPlusTree},
+    };
+}
+
+/** Human label of one mix entry ("HT-wA", "TPCC", ...). */
+inline std::string
+entryLabel(const core::MixEntry &e)
+{
+    using workload::AppKind;
+    switch (e.app) {
+      case AppKind::Tpcc:
+      case AppKind::Tatp:
+      case AppKind::Smallbank:
+        return workload::appKindName(e.app);
+      default:
+        return std::string(kvs::storeKindName(e.store)) + "-" +
+               workload::appKindName(e.app);
+    }
+}
+
+/** The three engine configurations, in reporting order. */
+inline std::vector<protocol::EngineKind>
+allEngines()
+{
+    return {protocol::EngineKind::Baseline,
+            protocol::EngineKind::HadesHybrid,
+            protocol::EngineKind::Hades};
+}
+
+/** Run one spec, caching by a key so google-benchmark re-runs and the
+ *  summary table share results. */
+class RunCache
+{
+  public:
+    const core::RunResult &
+    get(const std::string &key, const core::RunSpec &spec)
+    {
+        auto it = results_.find(key);
+        if (it == results_.end())
+            it = results_.emplace(key, core::runOne(spec)).first;
+        return it->second;
+    }
+
+    static RunCache &
+    instance()
+    {
+        static RunCache cache;
+        return cache;
+    }
+
+  private:
+    std::map<std::string, core::RunResult> results_;
+};
+
+/** Register a google-benchmark case that runs @p spec once. */
+inline void
+reportRun(benchmark::State &state, const std::string &key,
+          const core::RunSpec &spec)
+{
+    for (auto _ : state) {
+        const auto &res = RunCache::instance().get(key, spec);
+        benchmark::DoNotOptimize(res.stats.committed);
+    }
+    const auto &res = RunCache::instance().get(key, spec);
+    state.counters["txn_per_s"] = res.throughputTps;
+    state.counters["mean_us"] = res.meanLatencyUs;
+    state.counters["p95_us"] = res.p95LatencyUs;
+    state.counters["squash_rate"] = res.squashRate;
+}
+
+/** Print a header for the summary table the paper's figure shows. */
+inline void
+printHeader(const char *figure, const char *what)
+{
+    std::printf("\n==== %s: %s ====\n", figure, what);
+}
+
+} // namespace hades::bench
+
+#endif // HADES_BENCH_BENCH_UTIL_HH_

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 3: execution-time breakdown of the optimized software protocol
+ * (SW-Impl) into the Table I overhead categories, for YCSB 100%WR,
+ * 50%WR-50%RD, and 100%RD on a 4-node cluster (Section III's profiling
+ * setup).
+ *
+ * Paper shape: the categories together account for 59-71% of execution
+ * time; RD-before-WR and write-set management dominate 100%WR, while
+ * conflict detection (validation re-reads), read atomicity, and
+ * read-set management dominate 100%RD.
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+std::vector<workload::AppKind>
+fig3Workloads()
+{
+    return {workload::AppKind::YcsbWriteOnly, workload::AppKind::YcsbHalf,
+            workload::AppKind::YcsbReadOnly};
+}
+
+core::RunSpec
+specFor(workload::AppKind app)
+{
+    core::RunSpec spec;
+    spec.engine = protocol::EngineKind::Baseline;
+    spec.cluster.numNodes = 4; // Section III profiling cluster
+    spec.mix = {core::MixEntry{app, kvs::StoreKind::HashTable}};
+    spec.txnsPerContext = 150;
+    spec.scaleKeys = 200'000;
+    return spec;
+}
+
+std::string
+keyFor(workload::AppKind app)
+{
+    return std::string("fig3/") + workload::appKindName(app);
+}
+
+void
+runCase(benchmark::State &state)
+{
+    auto app = fig3Workloads()[std::size_t(state.range(0))];
+    reportRun(state, keyFor(app), specFor(app));
+}
+
+BENCHMARK(runCase)
+    ->DenseRange(0, 2, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Figure 3",
+                "SW-Impl execution time breakdown (4 nodes); "
+                "paper overhead totals: 59% / 65% / 71%");
+    std::printf("%-14s", "category");
+    for (auto app : fig3Workloads())
+        std::printf(" %14s", workload::appKindName(app));
+    std::printf("\n");
+    for (std::size_t c = 0;
+         c < std::size_t(txn::Overhead::NumCategories); ++c) {
+        std::printf("%-14s", txn::overheadName(txn::Overhead(c)));
+        for (auto app : fig3Workloads()) {
+            const auto &res = RunCache::instance().get(keyFor(app),
+                                                       specFor(app));
+            std::printf(" %13.1f%%", 100.0 * res.overheadShare[c]);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-14s", "OverheadTotal");
+    for (auto app : fig3Workloads()) {
+        const auto &res =
+            RunCache::instance().get(keyFor(app), specFor(app));
+        double total = 0;
+        for (double s : res.overheadShare)
+            total += s;
+        std::printf(" %13.1f%%", 100.0 * total);
+    }
+    std::printf("\n%-14s", "OtherTime");
+    for (auto app : fig3Workloads()) {
+        const auto &res =
+            RunCache::instance().get(keyFor(app), specFor(app));
+        std::printf(" %13.1f%%", 100.0 * res.otherShare);
+    }
+    std::printf("\n");
+    benchmark::Shutdown();
+    return 0;
+}

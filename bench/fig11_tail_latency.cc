@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 11: 95th-percentile tail latency normalized to Baseline for
+ * the eleven workloads on the default cluster.
+ *
+ * Paper shape: tail latency follows the same relative trends as the
+ * mean latency (HADES < HADES-H < Baseline).
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+core::RunSpec
+specFor(protocol::EngineKind engine, const core::MixEntry &entry)
+{
+    core::RunSpec spec;
+    spec.engine = engine;
+    spec.mix = {entry};
+    spec.txnsPerContext = 100;
+    spec.scaleKeys = 150'000;
+    return spec;
+}
+
+std::string
+keyFor(protocol::EngineKind engine, const core::MixEntry &entry)
+{
+    return "fig11/" + entryLabel(entry) + "/" +
+           protocol::engineKindName(engine);
+}
+
+void
+runCase(benchmark::State &state)
+{
+    auto entry = figure9Workloads()[std::size_t(state.range(0))];
+    auto engine = allEngines()[std::size_t(state.range(1))];
+    reportRun(state, keyFor(engine, entry), specFor(engine, entry));
+}
+
+BENCHMARK(runCase)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 10, 1),
+                   benchmark::CreateDenseRange(0, 2, 1)})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Figure 11",
+                "95th-percentile tail latency (us), normalized to "
+                "Baseline");
+    std::printf("%-12s %12s %12s %12s | %8s %8s\n", "workload",
+                "Baseline", "HADES-H", "HADES", "H-H/B", "HADES/B");
+    for (const auto &entry : figure9Workloads()) {
+        double p95[3] = {};
+        int i = 0;
+        for (auto engine : allEngines())
+            p95[i++] = RunCache::instance()
+                           .get(keyFor(engine, entry),
+                                specFor(engine, entry))
+                           .p95LatencyUs;
+        std::printf("%-12s %12.1f %12.1f %12.1f | %8.2f %8.2f\n",
+                    entryLabel(entry).c_str(), p95[0], p95[1], p95[2],
+                    p95[1] / p95[0], p95[2] / p95[0]);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 12a: average throughput for different NIC-to-NIC round-trip
+ * latencies (1us / 2us / 3us), normalized to Baseline at 2us.
+ *
+ * Paper shape: the relative speedup of HADES (and HADES-H) over
+ * Baseline grows as the network gets faster, because the software
+ * overheads that HADES eliminates become a larger fraction of the
+ * remaining execution time.
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+/** Representative application subset (sweeping all 11 x 3 x 3 would
+ *  dominate the suite's runtime without changing the trend). */
+std::vector<core::MixEntry>
+sweepApps()
+{
+    using workload::AppKind;
+    using kvs::StoreKind;
+    return {
+        {AppKind::Tpcc, StoreKind::HashTable},
+        {AppKind::Tatp, StoreKind::HashTable},
+        {AppKind::YcsbA, StoreKind::HashTable},
+        {AppKind::YcsbB, StoreKind::BTree},
+        {AppKind::Smallbank, StoreKind::HashTable},
+    };
+}
+
+const Tick kLatencies[] = {us(1), us(2), us(3)};
+
+core::RunSpec
+specFor(protocol::EngineKind engine, const core::MixEntry &entry,
+        Tick rt)
+{
+    core::RunSpec spec;
+    spec.engine = engine;
+    spec.mix = {entry};
+    spec.cluster.netRoundTrip = rt;
+    spec.txnsPerContext = 100;
+    spec.scaleKeys = 150'000;
+    return spec;
+}
+
+std::string
+keyFor(protocol::EngineKind engine, const core::MixEntry &entry,
+       Tick rt)
+{
+    return "fig12a/" + entryLabel(entry) + "/" +
+           protocol::engineKindName(engine) + "/" +
+           std::to_string(rt / kMicrosecond);
+}
+
+void
+runCase(benchmark::State &state)
+{
+    auto entry = sweepApps()[std::size_t(state.range(0))];
+    auto engine = allEngines()[std::size_t(state.range(1))];
+    Tick rt = kLatencies[state.range(2)];
+    reportRun(state, keyFor(engine, entry, rt),
+              specFor(engine, entry, rt));
+}
+
+BENCHMARK(runCase)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 4, 1),
+                   benchmark::CreateDenseRange(0, 2, 1),
+                   benchmark::CreateDenseRange(0, 2, 1)})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Figure 12a", "throughput vs network RT latency, "
+                              "normalized to Baseline @ 2us "
+                              "(geomean over apps)");
+    // Geomean throughput per (engine, latency), normalized per-app to
+    // Baseline at 2us.
+    std::printf("%-10s %10s %10s %10s\n", "engine", "1us", "2us",
+                "3us");
+    for (auto engine : allEngines()) {
+        std::printf("%-10s", protocol::engineKindName(engine));
+        for (Tick rt : kLatencies) {
+            double geo = 0;
+            int n = 0;
+            for (const auto &entry : sweepApps()) {
+                double tps =
+                    RunCache::instance()
+                        .get(keyFor(engine, entry, rt),
+                             specFor(engine, entry, rt))
+                        .throughputTps;
+                double base =
+                    RunCache::instance()
+                        .get(keyFor(protocol::EngineKind::Baseline,
+                                    entry, us(2)),
+                             specFor(protocol::EngineKind::Baseline,
+                                     entry, us(2)))
+                        .throughputTps;
+                geo += std::log(tps / base);
+                ++n;
+            }
+            std::printf(" %10.2f", std::exp(geo / n));
+        }
+        std::printf("\n");
+    }
+    std::printf("(paper: HADES's advantage grows as latency drops)\n");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 12b: average throughput for different fractions of requests
+ * that target the coordinator's local node (80% / 50% / 20%),
+ * normalized to Baseline with 20% local requests.
+ *
+ * Paper shape: as locality grows, HADES's relative speedup increases
+ * while HADES-H's shrinks rapidly -- its local operations run in
+ * software and become the bottleneck when most requests are local.
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+std::vector<core::MixEntry>
+sweepApps()
+{
+    using workload::AppKind;
+    using kvs::StoreKind;
+    return {
+        {AppKind::Tpcc, StoreKind::HashTable},
+        {AppKind::Tatp, StoreKind::HashTable},
+        {AppKind::YcsbA, StoreKind::HashTable},
+        {AppKind::YcsbB, StoreKind::BTree},
+        {AppKind::Smallbank, StoreKind::HashTable},
+    };
+}
+
+const double kFractions[] = {0.2, 0.5, 0.8};
+
+core::RunSpec
+specFor(protocol::EngineKind engine, const core::MixEntry &entry,
+        double frac)
+{
+    core::RunSpec spec;
+    spec.engine = engine;
+    spec.mix = {entry};
+    spec.cluster.forcedLocalFraction = frac;
+    spec.txnsPerContext = 100;
+    spec.scaleKeys = 150'000;
+    return spec;
+}
+
+std::string
+keyFor(protocol::EngineKind engine, const core::MixEntry &entry,
+       double frac)
+{
+    return "fig12b/" + entryLabel(entry) + "/" +
+           protocol::engineKindName(engine) + "/" +
+           std::to_string(int(frac * 100));
+}
+
+void
+runCase(benchmark::State &state)
+{
+    auto entry = sweepApps()[std::size_t(state.range(0))];
+    auto engine = allEngines()[std::size_t(state.range(1))];
+    double frac = kFractions[state.range(2)];
+    reportRun(state, keyFor(engine, entry, frac),
+              specFor(engine, entry, frac));
+}
+
+BENCHMARK(runCase)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 4, 1),
+                   benchmark::CreateDenseRange(0, 2, 1),
+                   benchmark::CreateDenseRange(0, 2, 1)})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Figure 12b",
+                "throughput vs fraction of local requests, normalized "
+                "to Baseline @ 20%% local (geomean over apps)");
+    std::printf("%-10s %10s %10s %10s\n", "engine", "20%", "50%",
+                "80%");
+    for (auto engine : allEngines()) {
+        std::printf("%-10s", protocol::engineKindName(engine));
+        for (double frac : kFractions) {
+            double geo = 0;
+            int n = 0;
+            for (const auto &entry : sweepApps()) {
+                double tps = RunCache::instance()
+                                 .get(keyFor(engine, entry, frac),
+                                      specFor(engine, entry, frac))
+                                 .throughputTps;
+                double base =
+                    RunCache::instance()
+                        .get(keyFor(protocol::EngineKind::Baseline,
+                                    entry, 0.2),
+                             specFor(protocol::EngineKind::Baseline,
+                                     entry, 0.2))
+                        .throughputTps;
+                geo += std::log(tps / base);
+                ++n;
+            }
+            std::printf(" %10.2f", std::exp(geo / n));
+        }
+        std::printf("\n");
+    }
+    std::printf("(paper: HADES gains with locality; HADES-H's relative "
+                "speedup shrinks)\n");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 13: throughput normalized to Baseline on a larger machine
+ * with N=10 nodes of C=5 cores each.
+ *
+ * Paper shape: HADES's speedups over Baseline are similar to the
+ * default 5-node cluster of Figure 9 (the protocol scales).
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+core::RunSpec
+specFor(protocol::EngineKind engine, const core::MixEntry &entry)
+{
+    core::RunSpec spec;
+    spec.engine = engine;
+    spec.mix = {entry};
+    spec.cluster.numNodes = 10;
+    spec.cluster.coresPerNode = 5;
+    spec.txnsPerContext = 60;
+    spec.scaleKeys = 200'000;
+    return spec;
+}
+
+std::string
+keyFor(protocol::EngineKind engine, const core::MixEntry &entry)
+{
+    return "fig13/" + entryLabel(entry) + "/" +
+           protocol::engineKindName(engine);
+}
+
+void
+runCase(benchmark::State &state)
+{
+    auto entry = figure9Workloads()[std::size_t(state.range(0))];
+    auto engine = allEngines()[std::size_t(state.range(1))];
+    reportRun(state, keyFor(engine, entry), specFor(engine, entry));
+}
+
+BENCHMARK(runCase)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 10, 1),
+                   benchmark::CreateDenseRange(0, 2, 1)})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Figure 13",
+                "throughput normalized to Baseline, N=10 nodes x C=5 "
+                "cores");
+    std::printf("%-12s %12s %12s %12s | %8s %8s\n", "workload",
+                "Baseline", "HADES-H", "HADES", "H-H/B", "HADES/B");
+    double geo_h = 0, geo_hh = 0;
+    int n = 0;
+    for (const auto &entry : figure9Workloads()) {
+        double tps[3] = {};
+        int i = 0;
+        for (auto engine : allEngines())
+            tps[i++] = RunCache::instance()
+                           .get(keyFor(engine, entry),
+                                specFor(engine, entry))
+                           .throughputTps;
+        std::printf("%-12s %12.0f %12.0f %12.0f | %8.2f %8.2f\n",
+                    entryLabel(entry).c_str(), tps[0], tps[1], tps[2],
+                    tps[1] / tps[0], tps[2] / tps[0]);
+        geo_hh += std::log(tps[1] / tps[0]);
+        geo_h += std::log(tps[2] / tps[0]);
+        ++n;
+    }
+    std::printf("%-12s %38s | %8.2f %8.2f  (compare to Figure 9)\n",
+                "geomean", "", std::exp(geo_hh / n),
+                std::exp(geo_h / n));
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 14: space-shared mixes of two workloads on N=5 nodes with
+ * C=10 cores each -- one workload uses 5 cores per node, the other the
+ * remaining 5.
+ *
+ * Paper shape: the mix's throughput gain is approximately the average
+ * of the two separate workloads' gains (interference is small because
+ * the LLC is large and threads share few lines).
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+using workload::AppKind;
+using kvs::StoreKind;
+
+std::vector<std::pair<core::MixEntry, core::MixEntry>>
+mixes()
+{
+    return {
+        {{AppKind::Tpcc, StoreKind::HashTable},
+         {AppKind::Tatp, StoreKind::HashTable}},
+        {{AppKind::YcsbA, StoreKind::HashTable},
+         {AppKind::YcsbB, StoreKind::BTree}},
+        {{AppKind::Smallbank, StoreKind::HashTable},
+         {AppKind::YcsbA, StoreKind::Map}},
+        {{AppKind::YcsbB, StoreKind::BPlusTree},
+         {AppKind::YcsbB, StoreKind::HashTable}},
+    };
+}
+
+core::RunSpec
+specFor(protocol::EngineKind engine, std::size_t mix_idx)
+{
+    auto [a, b] = mixes()[mix_idx];
+    core::RunSpec spec;
+    spec.engine = engine;
+    spec.mix = {a, b};
+    spec.cluster.numNodes = 5;
+    spec.cluster.coresPerNode = 10;
+    spec.txnsPerContext = 60;
+    spec.scaleKeys = 120'000;
+    return spec;
+}
+
+std::string
+mixLabel(std::size_t idx)
+{
+    auto [a, b] = mixes()[idx];
+    return entryLabel(a) + "+" + entryLabel(b);
+}
+
+std::string
+keyFor(protocol::EngineKind engine, std::size_t idx)
+{
+    return "fig14/" + mixLabel(idx) + "/" +
+           protocol::engineKindName(engine);
+}
+
+void
+runCase(benchmark::State &state)
+{
+    auto idx = std::size_t(state.range(0));
+    auto engine = allEngines()[std::size_t(state.range(1))];
+    reportRun(state, keyFor(engine, idx), specFor(engine, idx));
+}
+
+BENCHMARK(runCase)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 3, 1),
+                   benchmark::CreateDenseRange(0, 2, 1)})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Figure 14", "two-workload mixes, N=5 x C=10 "
+                             "(normalized to Baseline)");
+    std::printf("%-24s %12s %12s %12s | %8s %8s\n", "mix", "Baseline",
+                "HADES-H", "HADES", "H-H/B", "HADES/B");
+    for (std::size_t m = 0; m < mixes().size(); ++m) {
+        double tps[3] = {};
+        int i = 0;
+        for (auto engine : allEngines())
+            tps[i++] = RunCache::instance()
+                           .get(keyFor(engine, m), specFor(engine, m))
+                           .throughputTps;
+        std::printf("%-24s %12.0f %12.0f %12.0f | %8.2f %8.2f\n",
+                    mixLabel(m).c_str(), tps[0], tps[1], tps[2],
+                    tps[1] / tps[0], tps[2] / tps[0]);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

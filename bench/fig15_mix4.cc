@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Figure 15 + Table V: space-shared mixes of four workloads on N=8
+ * nodes of C=25 cores each -- 200 cores in total, the paper's largest
+ * configuration.
+ *
+ * Paper shape: HADES delivers the highest throughput in every mix;
+ * across mixes HADES and HADES-H average 2.9x and 2.1x over Baseline.
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+using workload::AppKind;
+using kvs::StoreKind;
+
+/** Table V. */
+std::vector<std::vector<core::MixEntry>>
+tableVMixes()
+{
+    return {
+        // mix1: HT-wA, BTree-wA, Map-wA, TATP
+        {{AppKind::YcsbA, StoreKind::HashTable},
+         {AppKind::YcsbA, StoreKind::BTree},
+         {AppKind::YcsbA, StoreKind::Map},
+         {AppKind::Tatp, StoreKind::HashTable}},
+        // mix2: Map-wA, TATP, B+Tree-wB, Map-wB
+        {{AppKind::YcsbA, StoreKind::Map},
+         {AppKind::Tatp, StoreKind::HashTable},
+         {AppKind::YcsbB, StoreKind::BPlusTree},
+         {AppKind::YcsbB, StoreKind::Map}},
+        // mix3: B+Tree-wA, Map-wB, Smallbank, BTree-wB
+        {{AppKind::YcsbA, StoreKind::BPlusTree},
+         {AppKind::YcsbB, StoreKind::Map},
+         {AppKind::Smallbank, StoreKind::HashTable},
+         {AppKind::YcsbB, StoreKind::BTree}},
+        // mix4: Smallbank, BTree-wB, TPC-C, TATP
+        {{AppKind::Smallbank, StoreKind::HashTable},
+         {AppKind::YcsbB, StoreKind::BTree},
+         {AppKind::Tpcc, StoreKind::HashTable},
+         {AppKind::Tatp, StoreKind::HashTable}},
+        // mix5: TPC-C, HT-wB, Smallbank, BTree-wA
+        {{AppKind::Tpcc, StoreKind::HashTable},
+         {AppKind::YcsbB, StoreKind::HashTable},
+         {AppKind::Smallbank, StoreKind::HashTable},
+         {AppKind::YcsbA, StoreKind::BTree}},
+        // mix6: B+Tree-wB, Smallbank, TPC-C, TATP
+        {{AppKind::YcsbB, StoreKind::BPlusTree},
+         {AppKind::Smallbank, StoreKind::HashTable},
+         {AppKind::Tpcc, StoreKind::HashTable},
+         {AppKind::Tatp, StoreKind::HashTable}},
+        // mix7: TPC-C, TATP, BTree-wB, Map-wA
+        {{AppKind::Tpcc, StoreKind::HashTable},
+         {AppKind::Tatp, StoreKind::HashTable},
+         {AppKind::YcsbB, StoreKind::BTree},
+         {AppKind::YcsbA, StoreKind::Map}},
+        // mix8: BTree-wB, Map-wA, HT-wA, BTree-wA
+        {{AppKind::YcsbB, StoreKind::BTree},
+         {AppKind::YcsbA, StoreKind::Map},
+         {AppKind::YcsbA, StoreKind::HashTable},
+         {AppKind::YcsbA, StoreKind::BTree}},
+    };
+}
+
+core::RunSpec
+specFor(protocol::EngineKind engine, std::size_t mix_idx)
+{
+    core::RunSpec spec;
+    spec.engine = engine;
+    spec.mix = tableVMixes()[mix_idx];
+    spec.cluster.numNodes = 8;
+    spec.cluster.coresPerNode = 25;
+    spec.txnsPerContext = 25;
+    spec.scaleKeys = 80'000;
+    return spec;
+}
+
+std::string
+keyFor(protocol::EngineKind engine, std::size_t idx)
+{
+    return "fig15/mix" + std::to_string(idx + 1) + "/" +
+           protocol::engineKindName(engine);
+}
+
+void
+runCase(benchmark::State &state)
+{
+    auto idx = std::size_t(state.range(0));
+    auto engine = allEngines()[std::size_t(state.range(1))];
+    reportRun(state, keyFor(engine, idx), specFor(engine, idx));
+}
+
+BENCHMARK(runCase)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 7, 1),
+                   benchmark::CreateDenseRange(0, 2, 1)})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    using namespace hades;
+    using namespace hades::bench;
+
+    printHeader("Figure 15 / Table V",
+                "four-workload mixes, N=8 x C=25 (200 cores), "
+                "normalized to Baseline");
+    std::printf("%-6s %12s %12s %12s | %8s %8s\n", "mix", "Baseline",
+                "HADES-H", "HADES", "H-H/B", "HADES/B");
+    double sum_h = 0, sum_hh = 0;
+    for (std::size_t m = 0; m < tableVMixes().size(); ++m) {
+        double tps[3] = {};
+        int i = 0;
+        for (auto engine : allEngines())
+            tps[i++] = RunCache::instance()
+                           .get(keyFor(engine, m), specFor(engine, m))
+                           .throughputTps;
+        std::printf("mix%-3zu %12.0f %12.0f %12.0f | %8.2f %8.2f\n",
+                    m + 1, tps[0], tps[1], tps[2], tps[1] / tps[0],
+                    tps[2] / tps[0]);
+        sum_hh += tps[1] / tps[0];
+        sum_h += tps[2] / tps[0];
+    }
+    std::printf("%-6s %38s | %8.2f %8.2f  (paper: 2.1x / 2.9x)\n",
+                "mean", "", sum_hh / 8.0, sum_h / 8.0);
+    benchmark::Shutdown();
+    return 0;
+}

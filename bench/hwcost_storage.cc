@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Section VI hardware storage arithmetic: the per-node cost of the
+ * HADES structures for the default cluster (N=5, C=5, m=2, D=4) and
+ * the large FaRM-scale cluster (N=90, C=16, m=2, D=5).
+ *
+ * Paper values: a core BF pair takes 0.7KB and a NIC pair 0.25KB; the
+ * default cluster needs 7.0KB of core BFs, 4 WrTX ID bits per LLC
+ * line, and ~11KB in the NIC; the large cluster needs 22.4KB, 5 bits,
+ * and ~43.1KB.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/hw_cost.hh"
+
+namespace
+{
+
+void
+bmComputeStorage(benchmark::State &state)
+{
+    hades::ClusterConfig cfg;
+    for (auto _ : state) {
+        auto s = hades::core::computeHwStorage(cfg, 4);
+        benchmark::DoNotOptimize(s.nicTotalBytes);
+    }
+}
+BENCHMARK(bmComputeStorage);
+
+void
+printRow(const char *name, const hades::ClusterConfig &cfg,
+         std::uint32_t d)
+{
+    auto s = hades::core::computeHwStorage(cfg, d);
+    std::printf("%-22s %8.2fKB %8.2fKB %6u pairs %6u pairs %4u bits "
+                "%8.1fKB %8.1fKB\n",
+                name, s.coreBfPairBytes / 1024.0,
+                s.nicBfPairBytes / 1024.0, s.corePairs, s.nicPairs,
+                s.wrTxIdBits, s.coreBfTotalBytes / 1024.0,
+                s.nicTotalBytes / 1024.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    std::printf("\n==== Section VI: per-node HADES storage ====\n");
+    std::printf("%-22s %10s %10s %12s %12s %9s %10s %10s\n", "cluster",
+                "coreBF/pr", "nicBF/pr", "core pairs", "nic pairs",
+                "WrTXID", "core tot", "NIC tot");
+
+    hades::ClusterConfig small; // N=5, C=5, m=2 defaults
+    printRow("default (N5,C5,m2,D4)", small, 4);
+    std::printf("%-22s %9s %10s %25s %11s %10s %10s\n", "  (paper)",
+                "0.70KB", "0.25KB", "", "4 bits", "7.0KB", "11.0KB");
+
+    hades::ClusterConfig large;
+    large.numNodes = 90;
+    large.coresPerNode = 16;
+    large.slotsPerCore = 2;
+    printRow("FaRM   (N90,C16,m2,D5)", large, 5);
+    std::printf("%-22s %9s %10s %25s %11s %10s %10s\n", "  (paper)",
+                "0.70KB", "0.25KB", "", "5 bits", "22.4KB", "43.1KB");
+
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Full command-line driver: run any single configuration of the
+ * simulator and print a complete report. This is the "swiss-army"
+ * entry point for exploring the design space beyond the canned benches.
+ *
+ * Examples:
+ *   hades_sim_cli --engine hades --app tpcc --nodes 8 --cores 10
+ *   hades_sim_cli --engine baseline --app ycsb-a --store btree \
+ *                 --net-rt-us 1 --txns 200
+ *   hades_sim_cli --engine hades --app smallbank --replication 2
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/runner.hh"
+
+namespace
+{
+
+using namespace hades;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --engine baseline|hades-h|hades   (default hades)\n"
+        "  --app ycsb-a|ycsb-b|ycsb-e|tpcc|tatp|smallbank\n"
+        "  --store ht|map|btree|b+tree       (default ht; YCSB only)\n"
+        "  --nodes N      --cores C          --slots m\n"
+        "  --txns per-context commits        (default 100)\n"
+        "  --keys table scale                (default 150000)\n"
+        "  --net-rt-us RT                    (default 2)\n"
+        "  --local-frac F                    (0..1; default uniform)\n"
+        "  --replication K                   (default 0 = off)\n"
+        "  --seed S\n",
+        argv0);
+    std::exit(1);
+}
+
+protocol::EngineKind
+parseEngine(const std::string &s, const char *argv0)
+{
+    if (s == "baseline")
+        return protocol::EngineKind::Baseline;
+    if (s == "hades-h" || s == "hybrid")
+        return protocol::EngineKind::HadesHybrid;
+    if (s == "hades")
+        return protocol::EngineKind::Hades;
+    usage(argv0);
+}
+
+workload::AppKind
+parseApp(const std::string &s, const char *argv0)
+{
+    if (s == "ycsb-a")
+        return workload::AppKind::YcsbA;
+    if (s == "ycsb-b")
+        return workload::AppKind::YcsbB;
+    if (s == "ycsb-e")
+        return workload::AppKind::YcsbE;
+    if (s == "tpcc")
+        return workload::AppKind::Tpcc;
+    if (s == "tatp")
+        return workload::AppKind::Tatp;
+    if (s == "smallbank")
+        return workload::AppKind::Smallbank;
+    usage(argv0);
+}
+
+kvs::StoreKind
+parseStore(const std::string &s, const char *argv0)
+{
+    if (s == "ht")
+        return kvs::StoreKind::HashTable;
+    if (s == "map")
+        return kvs::StoreKind::Map;
+    if (s == "btree")
+        return kvs::StoreKind::BTree;
+    if (s == "b+tree" || s == "bptree")
+        return kvs::StoreKind::BPlusTree;
+    usage(argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hades;
+
+    core::RunSpec spec;
+    spec.engine = protocol::EngineKind::Hades;
+    spec.txnsPerContext = 100;
+    spec.scaleKeys = 150'000;
+    core::MixEntry entry{workload::AppKind::YcsbA,
+                         kvs::StoreKind::HashTable};
+
+    for (int i = 1; i < argc; ++i) {
+        std::string opt = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (opt == "--engine")
+            spec.engine = parseEngine(next(), argv[0]);
+        else if (opt == "--app")
+            entry.app = parseApp(next(), argv[0]);
+        else if (opt == "--store")
+            entry.store = parseStore(next(), argv[0]);
+        else if (opt == "--nodes")
+            spec.cluster.numNodes =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--cores")
+            spec.cluster.coresPerNode =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--slots")
+            spec.cluster.slotsPerCore =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--txns")
+            spec.txnsPerContext =
+                std::uint64_t(std::atoll(next().c_str()));
+        else if (opt == "--keys")
+            spec.scaleKeys = std::uint64_t(std::atoll(next().c_str()));
+        else if (opt == "--net-rt-us")
+            spec.cluster.netRoundTrip =
+                us(std::atoll(next().c_str()));
+        else if (opt == "--local-frac")
+            spec.cluster.forcedLocalFraction =
+                std::atof(next().c_str());
+        else if (opt == "--replication")
+            spec.replication.degree =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--seed")
+            spec.cluster.seed = std::uint64_t(std::atoll(next().c_str()));
+        else
+            usage(argv[0]);
+    }
+    if (spec.cluster.numNodes < 2 || spec.cluster.coresPerNode < 1 ||
+        spec.cluster.slotsPerCore < 1)
+        usage(argv[0]);
+    spec.mix = {entry};
+
+    auto res = core::runOne(spec);
+
+    std::printf("workload      %s\n", res.label.c_str());
+    std::printf("engine        %s\n",
+                protocol::engineKindName(spec.engine));
+    std::printf("cluster       N=%u C=%u m=%u, net RT %lldus\n",
+                spec.cluster.numNodes, spec.cluster.coresPerNode,
+                spec.cluster.slotsPerCore,
+                (long long)(spec.cluster.netRoundTrip / kMicrosecond));
+    std::printf("committed     %lu txns in %.3f ms simulated\n",
+                (unsigned long)res.stats.committed,
+                double(res.simTime) / double(kMillisecond));
+    std::printf("throughput    %.0f txn/s\n", res.throughputTps);
+    std::printf("latency       mean %.2fus  p50 %.2fus  p95 %.2fus\n",
+                res.meanLatencyUs, res.p50LatencyUs, res.p95LatencyUs);
+    std::printf("phases        exec %.2fus  validation %.2fus  "
+                "commit %.2fus\n",
+                res.execUs, res.validationUs, res.commitUs);
+    std::printf("squashes      %.2f per committed txn\n",
+                res.stats.committed
+                    ? double(res.stats.totalSquashes()) /
+                          double(res.stats.committed)
+                    : 0.0);
+    for (std::size_t i = 0;
+         i < std::size_t(txn::SquashReason::NumReasons); ++i) {
+        if (res.stats.squashes[i])
+            std::printf("  %-22s %lu\n",
+                        txn::squashReasonName(txn::SquashReason(i)),
+                        (unsigned long)res.stats.squashes[i]);
+    }
+    std::printf("lock-mode     %lu fallbacks\n",
+                (unsigned long)res.stats.lockModeFallbacks);
+    std::printf("network       %lu messages, %.1f MB\n",
+                (unsigned long)res.stats.netMessages,
+                double(res.stats.netBytes) / 1e6);
+    if (res.stats.bfConflictChecks)
+        std::printf("bloom         %lu checks, %.4f%% false positive\n",
+                    (unsigned long)res.stats.bfConflictChecks,
+                    100.0 * res.bfFalsePositiveRate);
+    if (spec.replication.degree)
+        std::printf("replication   %lu replicated commits, %lu aborts, "
+                    "%lu lost updates\n",
+                    (unsigned long)res.replicatedCommits,
+                    (unsigned long)res.replicationAborts,
+                    (unsigned long)res.lostReplicaMessages);
+    return 0;
+}

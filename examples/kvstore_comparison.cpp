@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Key-value store scenario: the same YCSB mix over the four index
+ * structures of Section VII (HashTable, skip-list Map, B-Tree,
+ * B+Tree), showing how index depth changes both absolute throughput
+ * and the benefit of hardware-assisted transactions.
+ *
+ * Usage: kvstore_comparison [a|b]   (YCSB workload, default a)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hades;
+
+    workload::AppKind app = workload::AppKind::YcsbA;
+    if (argc > 1 && std::strcmp(argv[1], "b") == 0)
+        app = workload::AppKind::YcsbB;
+
+    std::printf("YCSB-%s over the four store types (N=5, C=5, m=2)\n\n",
+                app == workload::AppKind::YcsbA ? "A (50%% writes)"
+                                                : "B (5%% writes)");
+
+    // First show what each index traversal costs.
+    std::printf("index traversal depth (avg index records/lookup):\n");
+    for (auto kind :
+         {kvs::StoreKind::HashTable, kvs::StoreKind::Map,
+          kvs::StoreKind::BTree, kvs::StoreKind::BPlusTree}) {
+        auto store = kvs::makeStore(kind, 5);
+        mem::Placement placement{5, 100'000, 256};
+        store->populate(placement, 100'000);
+        std::printf("  %-8s %.1f\n", store->name(),
+                    store->averageDepth());
+    }
+    std::printf("\n%-8s %14s %14s %14s | %8s %8s\n", "store",
+                "Baseline", "HADES-H", "HADES", "H-H/B", "HADES/B");
+
+    for (auto kind :
+         {kvs::StoreKind::HashTable, kvs::StoreKind::Map,
+          kvs::StoreKind::BTree, kvs::StoreKind::BPlusTree}) {
+        double tps[3] = {};
+        int i = 0;
+        for (auto engine : {protocol::EngineKind::Baseline,
+                            protocol::EngineKind::HadesHybrid,
+                            protocol::EngineKind::Hades}) {
+            core::RunSpec spec;
+            spec.engine = engine;
+            spec.mix = {core::MixEntry{app, kind}};
+            spec.txnsPerContext = 80;
+            spec.scaleKeys = 100'000;
+            tps[i++] = core::runOne(spec).throughputTps;
+        }
+        std::printf("%-8s %14.0f %14.0f %14.0f | %8.2f %8.2f\n",
+                    kvs::storeKindName(kind), tps[0], tps[1], tps[2],
+                    tps[1] / tps[0], tps[2] / tps[0]);
+    }
+    return 0;
+}

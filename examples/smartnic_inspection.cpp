@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SmartNIC hardware walk-through: drives the HADES hardware primitives
+ * directly (outside of any workload) so a user can see the protocol
+ * mechanics of Section V step by step:
+ *
+ *   1. a remote read inserts line addresses into the RemoteReadBF at
+ *      the home node's NIC (Module 4a);
+ *   2. a local write tags the LLC directory line with the WrTX ID
+ *      (Module 2) and fills the split Local write BF (Module 3);
+ *   3. committing partially locks the directory with a Locking Buffer
+ *      copy of those filters (Figure 7), and conflicting accesses are
+ *      denied until the Validation step releases it;
+ *   4. Find-LLC-Tags enumerates the committing transaction's lines via
+ *      the WrBF2 set groups (Figure 8).
+ */
+
+#include <cstdio>
+
+#include "bloom/locking_buffer.hh"
+#include "bloom/split_write_bloom.hh"
+#include "common/config.hh"
+#include "mem/llc_directory.hh"
+#include "net/hades_nic.hh"
+
+int
+main()
+{
+    using namespace hades;
+
+    ClusterConfig cfg; // Table III defaults
+    std::printf("HADES hardware walk-through (Table III geometry)\n\n");
+
+    // ---- Module 4a: remote read/write Bloom filters in the NIC ---------
+    net::HadesNicState nic{cfg};
+    const std::uint64_t tx_i = 0x1001, tx_j = 0x2002;
+    auto &fi = nic.remoteFilters(tx_i);
+    for (Addr line = 0; line < 8 * kCacheLineBytes;
+         line += kCacheLineBytes)
+        fi.readBf.insert(line);
+    std::printf("[4a] remote tx i read 8 lines at node y; "
+                "RemoteReadBF_i occupancy: %u bits set of %u\n",
+                fi.readBf.popcount(), fi.readBf.sizeBits());
+
+    // A committing writer checks its write addresses against them.
+    Addr conflicting = 3 * kCacheLineBytes;
+    auto hits = nic.conflictingRemoteTxns(conflicting, tx_j,
+                                          /*check_reads=*/true);
+    std::printf("[4a] tx j commits a write to line 0x%llx -> conflicts "
+                "with %zu remote transaction(s)\n",
+                (unsigned long long)conflicting, hits.size());
+
+    // ---- Module 2 + 3: WrTX ID tags and the split local write BF --------
+    mem::LlcDirectory llc{cfg.llcBytesPerCore * cfg.coresPerNode,
+                          cfg.llcWays};
+    bloom::SplitWriteBloomFilter wr_bf{cfg.coreWriteBf, llc.numSets()};
+    bloom::BloomFilter rd_bf{cfg.coreReadBf.bits,
+                             cfg.coreReadBf.numHashes};
+    for (Addr line = 0x10000; line < 0x10000 + 5 * kCacheLineBytes;
+         line += kCacheLineBytes) {
+        llc.setWrTxId(line, tx_j);
+        wr_bf.insert(line);
+    }
+    std::printf("\n[2]  5 speculative writes tagged in the directory; "
+                "WrTX ID of 0x10040 = 0x%llx\n",
+                (unsigned long long)llc.wrTxIdOf(0x10040));
+    std::printf("[3]  split write BF: WrBF2 covers %u set group(s), "
+                "%zu candidate LLC sets (of %llu total)\n",
+                wr_bf.bf2Popcount(), wr_bf.candidateLlcSets().size(),
+                (unsigned long long)llc.numSets());
+
+    // ---- Figure 8: Find-LLC-Tags -----------------------------------------
+    auto lines = llc.linesWrittenBy(tx_j);
+    std::printf("[V-C] Find-LLC-Tags(tx j) -> %zu lines "
+                "(80-120 cycles in hardware)\n",
+                lines.size());
+
+    // ---- Figure 7: partial directory locking ------------------------------
+    bloom::LockingBufferBank bank{4};
+    auto acq = bank.tryAcquire(tx_j, rd_bf, wr_bf, lines);
+    std::printf("\n[V-B] tx j partially locks the directory: %s\n",
+                acq == bloom::AcquireResult::Acquired ? "acquired"
+                                                      : "failed");
+    std::printf("[V-B] concurrent read of a locked line denied: %s\n",
+                bank.accessBlocked(0x10040, false, tx_i) ? "yes"
+                                                         : "no");
+    std::printf("[V-B] unrelated write allowed: %s\n",
+                bank.accessBlocked(0x900000, true, tx_i) ? "no"
+                                                         : "yes");
+
+    // Commit completes: clear tags, release the lock, drop the filters.
+    llc.clearTxTags(tx_j, /*invalidate=*/false);
+    bank.release(tx_j);
+    nic.clearRemoteFilters(tx_i);
+    std::printf("\n[V-A] commit done: %llu tagged lines remain, "
+                "lock released, NIC filters cleared\n",
+                (unsigned long long)llc.numLinesWrittenBy(tx_j));
+    return 0;
+}

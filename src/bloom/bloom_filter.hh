@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bloom filter signatures used for transaction conflict detection.
+ *
+ * These model the read/write hardware Bloom filters of HADES (Module 3 in
+ * the cores, Module 4a in the NICs). Hashing follows the paper: a CRC
+ * base hash (Table III charges 2 cycles for it), from which k indices are
+ * derived with the standard double-hashing construction used by signature
+ * hardware (Sanchez et al., "Implementing Signatures for Transactional
+ * Memory").
+ */
+
+#ifndef HADES_BLOOM_BLOOM_FILTER_HH_
+#define HADES_BLOOM_BLOOM_FILTER_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hades::bloom
+{
+
+/** Abstract membership filter, so Locking Buffers can hold either the
+ *  plain NIC filters or the split core write filters uniformly. */
+class AddressFilter
+{
+  public:
+    virtual ~AddressFilter() = default;
+
+    /** May the filter contain @p line? (false positives possible,
+     *  false negatives impossible). */
+    virtual bool mayContain(Addr line) const = 0;
+
+    /** Deep copy (used when BFs are copied into a Locking Buffer). */
+    virtual std::unique_ptr<AddressFilter> clone() const = 0;
+
+    /** True if nothing has been inserted. */
+    virtual bool empty() const = 0;
+};
+
+/** Classic k-hash Bloom filter over cache-line addresses. */
+class BloomFilter : public AddressFilter
+{
+  public:
+    /**
+     * @param bits      filter size in bits (power of two recommended)
+     * @param num_hashes number of hash functions (k)
+     */
+    explicit BloomFilter(std::uint32_t bits = 1024,
+                         std::uint32_t num_hashes = 4);
+
+    /** Insert a cache-line address. */
+    void insert(Addr line);
+
+    bool mayContain(Addr line) const override;
+    std::unique_ptr<AddressFilter> clone() const override;
+    bool empty() const override { return inserted_ == 0; }
+
+    /** Remove all contents. */
+    void clear();
+
+    /** Number of insert() calls since the last clear(). */
+    std::uint64_t insertedCount() const { return inserted_; }
+
+    /** Number of bits set (filter occupancy). */
+    std::uint32_t popcount() const;
+
+    std::uint32_t sizeBits() const { return bits_; }
+    std::uint32_t numHashes() const { return numHashes_; }
+
+    /**
+     * Theoretical false-positive probability after @p n distinct
+     * insertions: (1 - e^{-kn/m})^k.
+     */
+    static double theoreticalFpr(std::uint32_t bits,
+                                 std::uint32_t num_hashes, std::uint64_t n);
+
+  private:
+    std::uint32_t bitIndex(Addr line, std::uint32_t i) const;
+
+    std::uint32_t bits_;
+    std::uint32_t numHashes_;
+    std::uint64_t inserted_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace hades::bloom
+
+#endif // HADES_BLOOM_BLOOM_FILTER_HH_

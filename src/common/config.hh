@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Cluster configuration: the architectural parameters of Table III of the
+ * paper plus the software cost model used by the Baseline (SW-Impl)
+ * protocol engine.
+ *
+ * Every knob the evaluation sweeps (node/core counts, network latency,
+ * locality fraction, Bloom filter geometry) lives here so that each bench
+ * binary is a pure function of a ClusterConfig.
+ */
+
+#ifndef HADES_COMMON_CONFIG_HH_
+#define HADES_COMMON_CONFIG_HH_
+
+#include <cstdint>
+
+#include "common/time.hh"
+#include "common/types.hh"
+
+namespace hades
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t ways = 8;
+    std::uint32_t accessCycles = 2; //!< round-trip latency in core cycles
+};
+
+/** Bloom filter geometry (bits and number of hash functions). */
+struct BloomParams
+{
+    std::uint32_t bits = 1024;
+    /** Two hash functions reproduce the Table IV false-positive rates
+     *  of the paper's 1-Kbit filters. */
+    std::uint32_t numHashes = 2;
+};
+
+/**
+ * Geometry of the split write Bloom filter of Section V-C / Figure 8:
+ * WrBF1 is CRC-hashed, WrBF2 is indexed with the LLC set-index bits
+ * modulo its size so set bits identify groups of LLC sets.
+ */
+struct SplitWriteBloomParams
+{
+    std::uint32_t bf1Bits = 512;
+    /** One CRC hash in WrBF1: the LLC-index section WrBF2 acts as the
+     *  second hash function (matches Table IV row 2). */
+    std::uint32_t bf1Hashes = 1;
+    std::uint32_t bf2Bits = 4096;
+};
+
+/**
+ * Cycle costs of the software operations that Table I identifies as the
+ * overheads of SW-Impl. The constants are per-record or per-line charges
+ * the Baseline engine adds on top of the raw memory/network accesses;
+ * HADES eliminates them (and HADES-H eliminates the remote-path subset).
+ */
+struct SoftwareCostModel
+{
+    // The constants are calibrated so that the Table I categories add
+    // up to the 59-71% execution-time share Figure 3 reports for
+    // SW-Impl on a FaRM-class system. Each per-record entry is on the
+    // order of 0.3-1 us of protocol code at 2 GHz (allocation, hashing,
+    // marshalling, bounce-buffer copies, completion polling), which is
+    // what published FaRM-family profiles show per operation.
+
+    /** Insert one entry into the read or write set (allocation,
+     *  bookkeeping, hashing into the per-transaction tables). */
+    std::uint32_t setInsertCycles = 2400;
+    /** Look up / iterate one set entry during validation or commit. */
+    std::uint32_t setWalkCycles = 400;
+    /** memcpy throughput for buffering data, bytes per cycle. */
+    std::uint32_t copyBytesPerCycle = 2;
+    /** Bump a record's version before a write. */
+    std::uint32_t versionUpdateCycles = 800;
+    /** Per-line version compare when checking read atomicity. */
+    std::uint32_t atomicityCheckPerLineCycles = 700;
+    /** Compare a re-read version against the read-set entry. */
+    std::uint32_t versionCompareCycles = 1400;
+    /** Local lock / unlock via CAS. */
+    std::uint32_t localCasCycles = 700;
+    /** Software issue cost of posting one RDMA verb to the NIC. */
+    std::uint32_t rdmaPostCycles = 600;
+    /** Poll for an RDMA completion (per poll iteration). */
+    std::uint32_t rdmaPollCycles = 400;
+    /** Exec-phase retries when a record is found locked, before the
+     *  transaction aborts (FaRM re-reads briefly instead of aborting). */
+    std::uint32_t lockedReadRetries = 4;
+};
+
+/** Top-level cluster configuration (defaults reproduce Table III). */
+struct ClusterConfig
+{
+    // --- Cluster geometry -------------------------------------------------
+    std::uint32_t numNodes = 5;      //!< N
+    std::uint32_t coresPerNode = 5;  //!< C
+    std::uint32_t slotsPerCore = 2;  //!< m multiplexed transactions/core
+
+    // --- Core and memory hierarchy ---------------------------------------
+    double coreFreqGhz = 2.0;
+    CacheParams l1{64 * 1024, 8, 2};
+    CacheParams l2{512 * 1024, 8, 12};
+    std::uint64_t llcBytesPerCore = 4ull * 1024 * 1024;
+    std::uint32_t llcWays = 16;
+    std::uint32_t llcCycles = 40;
+    Tick dramLatency = ns(100);
+
+    // --- HADES hardware primitives ----------------------------------------
+    BloomParams coreReadBf{1024, 2};
+    SplitWriteBloomParams coreWriteBf{512, 1, 4096};
+    BloomParams nicReadBf{1024, 2};
+    BloomParams nicWriteBf{1024, 2};
+    std::uint32_t crcHashCycles = 2;
+    std::uint32_t findTagsMinCycles = 80;
+    std::uint32_t findTagsMaxCycles = 120;
+    /** 0 means auto-size to 2x the hardware contexts per node. */
+    std::uint32_t lockingBuffersPerNode = 0;
+
+    // --- Network -----------------------------------------------------------
+    Tick netRoundTrip = us(2);
+    double netBandwidthGbps = 200.0;
+    std::uint32_t nicQueuePairs = 400;
+    std::uint32_t messageHeaderBytes = 64;
+    /** Fixed NIC pipeline processing per message (both endpoints). */
+    Tick nicProcessing = ns(150);
+
+    // --- Data layout --------------------------------------------------------
+    /** Payload bytes per database record (excluding SW-Impl metadata). */
+    std::uint32_t recordPayloadBytes = 256;
+
+    // --- Protocol policy -----------------------------------------------------
+    /** FaRM-style livelock escape: after this many squashes of the same
+     *  transaction, fall back to lock-all pessimistic execution. */
+    std::uint32_t maxSquashesBeforeLockMode = 48;
+    /** Exponential backoff base applied between retries (cycles). */
+    std::uint32_t retryBackoffBaseCycles = 200;
+
+    // --- Workload placement --------------------------------------------------
+    /** Fraction of requests whose home is the coordinator's node. The
+     *  default 0 means "uniform placement" (1/N local, ~20% at N=5,
+     *  matching the paper's default). Fig 12b sweeps 0.2/0.5/0.8. */
+    double forcedLocalFraction = -1.0;
+
+    std::uint64_t seed = 42;
+
+    /** True if forcedLocalFraction overrides uniform placement. */
+    bool hasForcedLocality() const { return forcedLocalFraction >= 0.0; }
+
+    std::uint32_t totalCores() const { return numNodes * coresPerNode; }
+    std::uint32_t contextsPerNode() const
+    {
+        return coresPerNode * slotsPerCore;
+    }
+
+    /** Clock helper for this configuration. */
+    Clock clock() const { return Clock{coreFreqGhz}; }
+
+    /** Number of LLC sets in one node's shared LLC. */
+    std::uint64_t
+    llcSets() const
+    {
+        std::uint64_t size = llcBytesPerCore * coresPerNode;
+        return size / (std::uint64_t{kCacheLineBytes} * llcWays);
+    }
+
+    SoftwareCostModel costs;
+};
+
+} // namespace hades
+
+#endif // HADES_COMMON_CONFIG_HH_

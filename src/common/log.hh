@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers, following the gem5 convention:
+ * panic() for internal invariant violations (simulator bugs), fatal() for
+ * user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef HADES_COMMON_LOG_HH_
+#define HADES_COMMON_LOG_HH_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hades
+{
+
+/** Abort: a condition that indicates a bug in the simulator itself. */
+[[noreturn]] inline void
+panic(const char *msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg);
+    std::abort();
+}
+
+/** Exit(1): the simulation cannot continue due to a user error. */
+[[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const char *msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg);
+}
+
+/** Assert-like check that survives NDEBUG builds. */
+inline void
+always_assert(bool cond, const char *msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace hades
+
+#endif // HADES_COMMON_LOG_HH_

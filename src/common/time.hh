@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Conversions between wall-clock units, core cycles, and simulator Ticks.
+ */
+
+#ifndef HADES_COMMON_TIME_HH_
+#define HADES_COMMON_TIME_HH_
+
+#include "common/types.hh"
+
+namespace hades
+{
+
+/** One picosecond, the base Tick unit. */
+inline constexpr Tick kPicosecond = 1;
+/** One nanosecond in Ticks. */
+inline constexpr Tick kNanosecond = 1000;
+/** One microsecond in Ticks. */
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+/** One millisecond in Ticks. */
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+/** One second in Ticks. */
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+/**
+ * Clock domain helper: converts cycle counts to Ticks for a given
+ * frequency. The evaluated cores run at 2 GHz (Table III), i.e. 500 ps
+ * per cycle.
+ */
+class Clock
+{
+  public:
+    explicit Clock(double freq_ghz = 2.0)
+        : periodPs_(static_cast<Tick>(1000.0 / freq_ghz))
+    {}
+
+    /** Tick duration of one cycle. */
+    Tick period() const { return periodPs_; }
+
+    /** Convert a cycle count to Ticks. */
+    Tick cycles(std::int64_t n) const { return n * periodPs_; }
+
+    /** Convert Ticks to whole cycles (rounded down). */
+    std::int64_t toCycles(Tick t) const { return t / periodPs_; }
+
+  private:
+    Tick periodPs_;
+};
+
+/** Convert nanoseconds to Ticks. */
+inline constexpr Tick
+ns(std::int64_t n)
+{
+    return n * kNanosecond;
+}
+
+/** Convert microseconds to Ticks. */
+inline constexpr Tick
+us(std::int64_t n)
+{
+    return n * kMicrosecond;
+}
+
+} // namespace hades
+
+#endif // HADES_COMMON_TIME_HH_

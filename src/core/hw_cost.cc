@@ -1,0 +1,34 @@
+#include "core/hw_cost.hh"
+
+#include <bit>
+
+namespace hades::core
+{
+
+HwStorage
+computeHwStorage(const ClusterConfig &cfg,
+                 std::uint32_t avg_remote_nodes,
+                 std::uint32_t tx_entry_bytes)
+{
+    HwStorage out;
+    double core_read_bits = cfg.coreReadBf.bits;
+    double core_write_bits =
+        double(cfg.coreWriteBf.bf1Bits) + double(cfg.coreWriteBf.bf2Bits);
+    out.coreBfPairBytes = (core_read_bits + core_write_bits) / 8.0;
+
+    double nic_bits =
+        double(cfg.nicReadBf.bits) + double(cfg.nicWriteBf.bits);
+    out.nicBfPairBytes = nic_bits / 8.0;
+
+    std::uint32_t contexts = cfg.slotsPerCore * cfg.coresPerNode;
+    out.corePairs = contexts;
+    out.nicPairs = contexts * avg_remote_nodes;
+    out.wrTxIdBits =
+        std::bit_width(std::uint32_t(contexts - 1)); // log2 rounded up
+    out.coreBfTotalBytes = out.coreBfPairBytes * contexts;
+    out.nicTotalBytes = out.nicBfPairBytes * out.nicPairs +
+                        double(tx_entry_bytes) * contexts;
+    return out;
+}
+
+} // namespace hades::core

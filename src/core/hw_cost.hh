@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Hardware storage cost model of Section VI ("Hardware Modifications
+ * and Scalability").
+ *
+ * For N nodes, C cores per node, m multiplexed transactions per core,
+ * and an average of D remote nodes accessed per transaction, each node
+ * needs m*C pairs of core Bloom filters, log2(m*C) WrTX ID bits per LLC
+ * line, and a NIC with m*C*D filter pairs plus m*C per-transaction
+ * entries (Module 4b).
+ */
+
+#ifndef HADES_CORE_HW_COST_HH_
+#define HADES_CORE_HW_COST_HH_
+
+#include <cstdint>
+
+#include "common/config.hh"
+
+namespace hades::core
+{
+
+/** Computed storage requirements for one node. */
+struct HwStorage
+{
+    double coreBfPairBytes = 0;   //!< one (Rd, Wr) core filter pair
+    double nicBfPairBytes = 0;    //!< one (Rd, Wr) NIC filter pair
+    std::uint32_t corePairs = 0;  //!< m*C
+    std::uint32_t nicPairs = 0;   //!< m*C*D
+    std::uint32_t wrTxIdBits = 0; //!< per LLC line
+    double coreBfTotalBytes = 0;  //!< all core filters on the node
+    double nicTotalBytes = 0;     //!< filters + Module 4b entries
+};
+
+/**
+ * Evaluate the Section VI arithmetic.
+ *
+ * @param cfg             cluster configuration (BF geometries, C, m)
+ * @param avg_remote_nodes D, the average remote nodes per transaction
+ * @param tx_entry_bytes  bytes of the Module 4b structures per TX ID
+ */
+HwStorage computeHwStorage(const ClusterConfig &cfg,
+                           std::uint32_t avg_remote_nodes,
+                           std::uint32_t tx_entry_bytes = 90);
+
+} // namespace hades::core
+
+#endif // HADES_CORE_HW_COST_HH_

@@ -1,0 +1,173 @@
+#include "core/runner.hh"
+
+#include <numeric>
+
+#include "common/log.hh"
+#include "protocol/baseline.hh"
+#include "protocol/hades.hh"
+#include "protocol/hades_hybrid.hh"
+#include "protocol/system.hh"
+#include "sim/task.hh"
+
+namespace hades::core
+{
+
+using protocol::EngineKind;
+using protocol::ExecCtx;
+using protocol::System;
+using protocol::TxnEngine;
+
+std::uint32_t
+engineRecordBytes(EngineKind kind, std::uint32_t payload_bytes)
+{
+    txn::RecordLayout layout{payload_bytes};
+    return kind == EngineKind::Hades ? layout.hwBytes()
+                                     : layout.swBytes();
+}
+
+std::unique_ptr<TxnEngine>
+makeEngine(EngineKind kind, System &sys, std::uint32_t payload_bytes)
+{
+    switch (kind) {
+      case EngineKind::Baseline:
+        return std::make_unique<protocol::BaselineEngine>(
+            sys, payload_bytes);
+      case EngineKind::Hades:
+        return std::make_unique<protocol::HadesEngine>(sys,
+                                                       payload_bytes);
+      case EngineKind::HadesHybrid:
+        return std::make_unique<protocol::HadesHybridEngine>(
+            sys, payload_bytes);
+    }
+    panic("unknown engine kind");
+}
+
+namespace
+{
+
+/** One hardware context's driver loop. */
+sim::DetachedTask
+driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
+             ExecCtx ctx, Rng rng, std::uint64_t txns)
+{
+    for (std::uint64_t i = 0; i < txns; ++i) {
+        txn::TxnProgram prog = gen.next(rng, ctx.node);
+        co_await engine.run(ctx, prog);
+    }
+}
+
+} // namespace
+
+RunResult
+runOne(const RunSpec &spec)
+{
+    always_assert(!spec.mix.empty(), "run needs at least one workload");
+
+    // Build the generators first: the placement needs the total record
+    // count before the System exists.
+    workload::WorkloadConfig wcfg;
+    wcfg.numNodes = spec.cluster.numNodes;
+    wcfg.forcedLocalFraction = spec.cluster.forcedLocalFraction;
+    wcfg.scaleKeys = spec.scaleKeys;
+
+    std::vector<std::unique_ptr<workload::WorkloadGenerator>> gens;
+    std::uint64_t total_records = 0;
+    for (std::size_t w = 0; w < spec.mix.size(); ++w) {
+        wcfg.salt = std::uint32_t(w);
+        gens.push_back(workload::makeWorkload(spec.mix[w].app,
+                                              spec.mix[w].store, wcfg));
+        total_records += gens.back()->numRecords();
+    }
+
+    System sys(spec.cluster, total_records,
+               engineRecordBytes(spec.engine,
+                                 spec.cluster.recordPayloadBytes),
+               spec.replication);
+
+    std::uint64_t base = 0;
+    for (auto &gen : gens) {
+        gen->bind(sys.placement, base);
+        base += gen->numRecords();
+    }
+
+    auto engine = makeEngine(spec.engine, sys,
+                             spec.cluster.recordPayloadBytes);
+
+    // Launch one driver per hardware context. Cores are split into
+    // contiguous blocks, one block per mix entry.
+    const auto &cc = spec.cluster;
+    for (NodeId n = 0; n < cc.numNodes; ++n) {
+        for (CoreId c = 0; c < cc.coresPerNode; ++c) {
+            std::size_t w = (std::size_t(c) * gens.size()) /
+                            cc.coresPerNode;
+            for (SlotId s = 0; s < cc.slotsPerCore; ++s) {
+                ExecCtx ctx{n, c, s};
+                Rng rng{cc.seed ^ (std::uint64_t(n) << 40) ^
+                        (std::uint64_t(c) << 20) ^ s};
+                driveContext(*engine, *gens[w], ctx, rng,
+                             spec.txnsPerContext);
+            }
+        }
+    }
+
+    bool drained = sys.kernel.run();
+    always_assert(drained, "simulation did not drain its event queue");
+
+    // ---- Extract metrics ----------------------------------------------------
+    RunResult res;
+    res.stats = engine->stats();
+    res.simTime = sys.kernel.now();
+    res.label = gens.size() == 1 ? gens[0]->label() : "mix";
+
+    const auto &st = res.stats;
+    double seconds = double(res.simTime) / double(kSecond);
+    res.throughputTps =
+        seconds > 0 ? double(st.committed) / seconds : 0;
+    res.meanLatencyUs = st.latency.mean() / double(kMicrosecond);
+    res.p95LatencyUs =
+        double(st.latency.p95()) / double(kMicrosecond);
+    res.p50LatencyUs =
+        double(st.latency.p50()) / double(kMicrosecond);
+    res.execUs = st.execPhase.mean() / double(kMicrosecond);
+    res.validationUs =
+        st.validationPhase.mean() / double(kMicrosecond);
+    res.commitUs = st.commitPhase.mean() / double(kMicrosecond);
+
+    double total_latency = st.latency.mean() * double(st.committed);
+    if (total_latency > 0) {
+        double categorized = 0;
+        for (std::size_t i = 0;
+             i < std::size_t(txn::Overhead::NumCategories); ++i) {
+            res.overheadShare[i] =
+                double(st.overheadTicks[i]) / total_latency;
+            categorized += res.overheadShare[i];
+        }
+        res.otherShare = 1.0 - categorized;
+    }
+
+    res.squashRate = st.attempts
+                         ? double(st.totalSquashes()) /
+                               double(st.attempts)
+                         : 0;
+    std::uint64_t evictions = 0;
+    for (auto &node : sys.nodes)
+        evictions += node->memory.llc().speculativeEvictions();
+    res.evictionSquashRate =
+        st.committed ? double(evictions) / double(st.committed) : 0;
+    res.bfFalsePositiveRate =
+        st.bfConflictChecks
+            ? double(st.bfFalsePositives) /
+                  double(st.bfConflictChecks)
+            : 0;
+
+    res.stats.netMessages = sys.network.totalMessages();
+    res.stats.netBytes = sys.network.totalBytes();
+    if (sys.replicas) {
+        res.replicatedCommits = sys.replicas->replicatedCommits();
+        res.replicationAborts = sys.replicas->replicationAborts();
+        res.lostReplicaMessages = sys.replicas->lostMessages();
+    }
+    return res;
+}
+
+} // namespace hades::core

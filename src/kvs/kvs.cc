@@ -1,0 +1,462 @@
+#include "kvs/kvs.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace hades::kvs
+{
+
+const char *
+storeKindName(StoreKind k)
+{
+    switch (k) {
+      case StoreKind::HashTable:
+        return "HT";
+      case StoreKind::Map:
+        return "Map";
+      case StoreKind::BTree:
+        return "BTree";
+      case StoreKind::BPlusTree:
+        return "B+Tree";
+      default:
+        return "?";
+    }
+}
+
+std::unique_ptr<KeyValueStore>
+makeStore(StoreKind kind, std::uint32_t num_nodes, std::uint32_t salt)
+{
+    switch (kind) {
+      case StoreKind::HashTable:
+        return std::make_unique<HashTableKvs>(num_nodes, salt);
+      case StoreKind::Map:
+        return std::make_unique<SkipListKvs>(num_nodes, salt);
+      case StoreKind::BTree:
+        return std::make_unique<BTreeKvs>(num_nodes, salt);
+      case StoreKind::BPlusTree:
+        return std::make_unique<BPlusTreeKvs>(num_nodes, salt);
+    }
+    panic("unknown store kind");
+}
+
+namespace
+{
+
+/** Keys of each node's partition, sorted ascending. */
+std::vector<std::vector<Key>>
+partitionKeys(std::uint64_t num_keys, std::uint64_t record_base,
+              std::uint32_t num_nodes)
+{
+    std::vector<std::vector<Key>> per_node(num_nodes);
+    for (Key k = 0; k < num_keys; ++k)
+        per_node[mix64(record_base + k) % num_nodes].push_back(k);
+    return per_node; // insertion in ascending key order
+}
+
+std::uint64_t
+pow2Ceil(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// HashTableKvs
+// --------------------------------------------------------------------------
+
+HashTableKvs::HashTableKvs(std::uint32_t num_nodes, std::uint32_t salt)
+{
+    numNodes_ = num_nodes;
+    salt_ = salt;
+    parts_.resize(num_nodes);
+}
+
+std::uint64_t
+HashTableKvs::bucketOf(const Partition &p, Key k) const
+{
+    return mix64(k ^ 0x9e3779b97f4a7c15ULL) & (p.numBuckets - 1);
+}
+
+void
+HashTableKvs::populate(mem::Placement &placement, std::uint64_t num_keys,
+                       std::uint64_t record_base)
+{
+    numKeys_ = num_keys;
+    recordBase_ = record_base;
+    auto per_node = partitionKeys(num_keys, record_base, numNodes_);
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        Partition &p = parts_[n];
+        std::uint64_t keys_here = per_node[n].size();
+        p.numBuckets =
+            pow2Ceil(std::max<std::uint64_t>(1, keys_here / 3));
+        p.buckets.assign(p.numBuckets, {});
+        p.bucketRecord.resize(p.numBuckets);
+        p.chainRecords.assign(p.numBuckets, {});
+        for (Key k : per_node[n])
+            p.buckets[bucketOf(p, k)].push_back(k);
+        for (std::uint64_t b = 0; b < p.numBuckets; ++b) {
+            p.bucketRecord[b] =
+                newIndexRecord(placement, n, kBucketBytes);
+            std::size_t len = p.buckets[b].size();
+            std::size_t chains =
+                len > kEntriesPerBucket ? (len - 1) / kEntriesPerBucket
+                                        : 0;
+            for (std::size_t c = 0; c < chains; ++c)
+                p.chainRecords[b].push_back(
+                    newIndexRecord(placement, n, kBucketBytes));
+        }
+    }
+}
+
+void
+HashTableKvs::lookup(Key k, std::vector<IndexStep> &out) const
+{
+    const Partition &p = parts_[homeOfKey(k)];
+    std::uint64_t b = bucketOf(p, k);
+    out.push_back(IndexStep{p.bucketRecord[b], kBucketBytes});
+    const auto &keys = p.buckets[b];
+    auto it = std::find(keys.begin(), keys.end(), k);
+    always_assert(it != keys.end(), "hash table lookup of absent key");
+    auto pos = std::size_t(it - keys.begin());
+    if (pos >= kEntriesPerBucket) {
+        // The overflow chain is walked up to the node holding the key.
+        std::size_t chain = pos / kEntriesPerBucket - 1;
+        for (std::size_t c = 0; c <= chain; ++c)
+            out.push_back(IndexStep{p.chainRecords[b][c], kBucketBytes});
+    }
+}
+
+// --------------------------------------------------------------------------
+// SkipListKvs
+// --------------------------------------------------------------------------
+
+SkipListKvs::SkipListKvs(std::uint32_t num_nodes, std::uint32_t salt)
+{
+    numNodes_ = num_nodes;
+    salt_ = salt;
+    parts_.resize(num_nodes);
+}
+
+void
+SkipListKvs::populate(mem::Placement &placement, std::uint64_t num_keys,
+                      std::uint64_t record_base)
+{
+    numKeys_ = num_keys;
+    recordBase_ = record_base;
+    auto per_node = partitionKeys(num_keys, record_base, numNodes_);
+    Rng rng{0x5eed + salt_};
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        Partition &p = parts_[n];
+        const auto &keys = per_node[n];
+        p.nodes.clear();
+        p.nodes.reserve(keys.size() + 1);
+        SkipNode head{};
+        head.record = newIndexRecord(placement, n, kNodeBytes);
+        std::fill(std::begin(head.fwd), std::end(head.fwd), -1);
+        p.nodes.push_back(head);
+
+        // Geometric levels (p = 1/4), the classic distribution.
+        p.level = 1;
+        std::vector<std::int32_t> last(kMaxLevel, 0); // head index
+        for (Key k : keys) {
+            int lvl = 1;
+            while (lvl < kMaxLevel && rng.below(4) == 0)
+                ++lvl;
+            p.level = std::max(p.level, lvl);
+
+            SkipNode node{};
+            node.key = k;
+            node.record = newIndexRecord(placement, n, kNodeBytes);
+            std::fill(std::begin(node.fwd), std::end(node.fwd), -1);
+            p.nodes.push_back(node);
+            auto idx = std::int32_t(p.nodes.size() - 1);
+            // Keys arrive sorted: link at the tail of each level chain.
+            for (int l = 0; l < lvl; ++l) {
+                p.nodes[std::size_t(last[l])].fwd[l] = idx;
+                last[l] = idx;
+            }
+        }
+    }
+}
+
+void
+SkipListKvs::lookup(Key k, std::vector<IndexStep> &out) const
+{
+    const Partition &p = parts_[homeOfKey(k)];
+    out.push_back(IndexStep{p.nodes[0].record, kNodeBytes});
+    std::int32_t cur = 0;
+    for (int l = p.level - 1; l >= 0; --l) {
+        for (;;) {
+            std::int32_t nxt = p.nodes[std::size_t(cur)].fwd[l];
+            if (nxt < 0)
+                break;
+            const SkipNode &cand = p.nodes[std::size_t(nxt)];
+            // Examining a candidate reads its node record.
+            if (out.back().record != cand.record)
+                out.push_back(IndexStep{cand.record, kNodeBytes});
+            if (cand.key < k) {
+                cur = nxt;
+            } else if (cand.key == k) {
+                return;
+            } else {
+                break;
+            }
+        }
+    }
+    panic("skip list lookup of absent key");
+}
+
+// --------------------------------------------------------------------------
+// BTreeKvs
+// --------------------------------------------------------------------------
+
+BTreeKvs::BTreeKvs(std::uint32_t num_nodes, std::uint32_t salt)
+{
+    numNodes_ = num_nodes;
+    salt_ = salt;
+    parts_.resize(num_nodes);
+}
+
+std::int32_t
+BTreeKvs::buildSubtree(Partition &p, const std::vector<Key> &keys,
+                       std::size_t lo, std::size_t hi)
+{
+    std::size_t count = hi - lo;
+    if (count <= kFanout) {
+        Node node;
+        node.keys.assign(keys.begin() + std::ptrdiff_t(lo),
+                         keys.begin() + std::ptrdiff_t(hi));
+        p.nodes.push_back(std::move(node));
+        return std::int32_t(p.nodes.size() - 1);
+    }
+    // Interior node: kFanout separator keys, kFanout+1 children.
+    Node node;
+    std::size_t children = kFanout + 1;
+    std::size_t per_child = (count - kFanout) / children;
+    std::size_t extra = (count - kFanout) % children;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    std::size_t cursor = lo;
+    for (std::size_t c = 0; c < children; ++c) {
+        std::size_t len = per_child + (c < extra ? 1 : 0);
+        ranges.emplace_back(cursor, cursor + len);
+        cursor += len;
+        if (c + 1 < children) {
+            node.keys.push_back(keys[cursor]);
+            cursor += 1;
+        }
+    }
+    // Reserve our slot before recursing so node order stays stable.
+    p.nodes.push_back(Node{});
+    auto self = std::int32_t(p.nodes.size() - 1);
+    std::vector<std::int32_t> child_idx;
+    for (auto [clo, chi] : ranges)
+        child_idx.push_back(buildSubtree(p, keys, clo, chi));
+    node.children = std::move(child_idx);
+    p.nodes[std::size_t(self)] = std::move(node);
+    return self;
+}
+
+void
+BTreeKvs::populate(mem::Placement &placement, std::uint64_t num_keys,
+                   std::uint64_t record_base)
+{
+    numKeys_ = num_keys;
+    recordBase_ = record_base;
+    auto per_node = partitionKeys(num_keys, record_base, numNodes_);
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        Partition &p = parts_[n];
+        p.nodes.clear();
+        if (per_node[n].empty()) {
+            p.root = -1;
+            continue;
+        }
+        p.root = buildSubtree(p, per_node[n], 0, per_node[n].size());
+        for (auto &node : p.nodes)
+            node.record = newIndexRecord(placement, n, kNodeBytes);
+    }
+}
+
+void
+BTreeKvs::lookup(Key k, std::vector<IndexStep> &out) const
+{
+    const Partition &p = parts_[homeOfKey(k)];
+    always_assert(p.root >= 0, "B-tree lookup in empty partition");
+    std::int32_t cur = p.root;
+    for (;;) {
+        const Node &node = p.nodes[std::size_t(cur)];
+        out.push_back(IndexStep{node.record, kNodeBytes});
+        auto it =
+            std::lower_bound(node.keys.begin(), node.keys.end(), k);
+        if (it != node.keys.end() && *it == k)
+            return;
+        always_assert(!node.children.empty(),
+                      "B-tree lookup of absent key");
+        cur = node.children[std::size_t(it - node.keys.begin())];
+    }
+}
+
+// --------------------------------------------------------------------------
+// BPlusTreeKvs
+// --------------------------------------------------------------------------
+
+BPlusTreeKvs::BPlusTreeKvs(std::uint32_t num_nodes, std::uint32_t salt)
+{
+    numNodes_ = num_nodes;
+    salt_ = salt;
+    parts_.resize(num_nodes);
+}
+
+void
+BPlusTreeKvs::populate(mem::Placement &placement, std::uint64_t num_keys,
+                       std::uint64_t record_base)
+{
+    numKeys_ = num_keys;
+    recordBase_ = record_base;
+    auto per_node = partitionKeys(num_keys, record_base, numNodes_);
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        Partition &p = parts_[n];
+        const auto &keys = per_node[n];
+        p.inners.clear();
+        p.leaves.clear();
+
+        for (std::size_t i = 0; i < keys.size(); i += kLeafEntries) {
+            Leaf leaf;
+            std::size_t end = std::min(keys.size(), i + kLeafEntries);
+            leaf.keys.assign(keys.begin() + std::ptrdiff_t(i),
+                             keys.begin() + std::ptrdiff_t(end));
+            leaf.firstKey = leaf.keys.front();
+            leaf.record = newIndexRecord(placement, n, kLeafBytes);
+            p.leaves.push_back(std::move(leaf));
+        }
+        if (p.leaves.size() <= 1) {
+            p.rootIsLeaf = true;
+            p.root = 0;
+            continue;
+        }
+
+        // Build inner levels bottom-up until a single root remains.
+        // Children are encoded as ~leaf_index for leaves.
+        std::vector<std::int32_t> level;
+        for (std::size_t i = 0; i < p.leaves.size(); ++i)
+            level.push_back(~std::int32_t(i));
+        auto first_key = [&](std::int32_t child) -> Key {
+            if (child < 0)
+                return p.leaves[std::size_t(~child)].firstKey;
+            return p.inners[std::size_t(child)].splitKeys.front();
+        };
+        while (level.size() > 1) {
+            std::vector<std::int32_t> next;
+            for (std::size_t i = 0; i < level.size();
+                 i += kInnerFanout) {
+                Inner inner;
+                std::size_t end =
+                    std::min(level.size(), i + kInnerFanout);
+                for (std::size_t c = i; c < end; ++c) {
+                    inner.children.push_back(level[c]);
+                    inner.splitKeys.push_back(first_key(level[c]));
+                }
+                inner.record =
+                    newIndexRecord(placement, n, kInnerBytes);
+                p.inners.push_back(std::move(inner));
+                next.push_back(std::int32_t(p.inners.size() - 1));
+            }
+            level = std::move(next);
+        }
+        p.rootIsLeaf = false;
+        p.root = level[0];
+    }
+}
+
+void
+BPlusTreeKvs::lookup(Key k, std::vector<IndexStep> &out) const
+{
+    const Partition &p = parts_[homeOfKey(k)];
+    if (p.rootIsLeaf) {
+        always_assert(!p.leaves.empty(),
+                      "B+tree lookup in empty partition");
+        out.push_back(IndexStep{p.leaves[0].record, kLeafBytes});
+        return;
+    }
+    std::int32_t cur = p.root;
+    for (;;) {
+        const Inner &inner = p.inners[std::size_t(cur)];
+        out.push_back(IndexStep{inner.record, kInnerBytes});
+        // Child whose first key is the largest one <= k.
+        auto it = std::upper_bound(inner.splitKeys.begin(),
+                                   inner.splitKeys.end(), k);
+        std::size_t idx =
+            it == inner.splitKeys.begin()
+                ? 0
+                : std::size_t(it - inner.splitKeys.begin()) - 1;
+        std::int32_t child = inner.children[idx];
+        if (child < 0) {
+            const Leaf &leaf = p.leaves[std::size_t(~child)];
+            out.push_back(IndexStep{leaf.record, kLeafBytes});
+            always_assert(std::binary_search(leaf.keys.begin(),
+                                             leaf.keys.end(), k),
+                          "B+tree lookup of absent key");
+            return;
+        }
+        cur = child;
+    }
+}
+
+void
+BPlusTreeKvs::scan(Key start, std::uint32_t count,
+                   std::vector<IndexStep> &out) const
+{
+    // Partitioned range scan over [start, end): keys are hash-striped
+    // across partitions, so every partition descends once to the leaf
+    // holding its first in-range key and then walks consecutive leaves
+    // (they were bulk-built in ascending key order, so "next leaf" is
+    // the next index).
+    const Key end = std::min<Key>(start + count, numKeys_);
+    if (start >= end)
+        return;
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        const Partition &p = parts_[n];
+        if (p.leaves.empty())
+            continue;
+        // First leaf whose last key reaches into the range.
+        std::size_t leaf = 0;
+        while (leaf < p.leaves.size() &&
+               p.leaves[leaf].keys.back() < start)
+            ++leaf;
+        if (leaf >= p.leaves.size() ||
+            p.leaves[leaf].firstKey >= end) {
+            // The partition's in-range span may still start inside
+            // this leaf even if its first key precedes the range.
+            if (leaf >= p.leaves.size())
+                continue;
+            auto it = std::lower_bound(p.leaves[leaf].keys.begin(),
+                                       p.leaves[leaf].keys.end(),
+                                       start);
+            if (it == p.leaves[leaf].keys.end() || *it >= end)
+                continue;
+        }
+        // Descent to the first in-range leaf (charged via lookup of a
+        // key that lives there), then the chain.
+        auto it = std::lower_bound(p.leaves[leaf].keys.begin(),
+                                   p.leaves[leaf].keys.end(), start);
+        Key anchor = it != p.leaves[leaf].keys.end()
+                         ? *it
+                         : p.leaves[leaf].keys.back();
+        std::vector<IndexStep> path;
+        lookup(anchor, path);
+        for (const auto &s : path)
+            out.push_back(s);
+        for (std::size_t l = leaf + 1; l < p.leaves.size(); ++l) {
+            if (p.leaves[l].firstKey >= end)
+                break;
+            out.push_back(IndexStep{p.leaves[l].record, kLeafBytes});
+        }
+    }
+}
+
+} // namespace hades::kvs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Generic set-associative cache tag array with LRU replacement.
+ *
+ * Used to model the private L1/L2 caches (per core) purely for latency:
+ * the simulator tracks which lines are resident so that hit/miss outcomes
+ * -- and therefore the L1/L2/LLC/DRAM latencies of Table III -- are
+ * determined by the actual access stream.
+ */
+
+#ifndef HADES_MEM_CACHE_ARRAY_HH_
+#define HADES_MEM_CACHE_ARRAY_HH_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace hades::mem
+{
+
+/** Plain tag array: probe / touch / insert with LRU. */
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param ways       associativity
+     */
+    CacheArray(std::uint64_t size_bytes, std::uint32_t ways);
+
+    /** Is @p line resident? Updates LRU on hit. */
+    bool probe(Addr line);
+
+    /** Is @p line resident? No LRU update (observation only). */
+    bool contains(Addr line) const;
+
+    /**
+     * Bring @p line in, evicting the LRU way if the set is full.
+     * @return the evicted line address, if any.
+     */
+    std::optional<Addr> insert(Addr line);
+
+    /** Drop @p line if resident. */
+    void invalidate(Addr line);
+
+    /** Drop everything. */
+    void clear();
+
+    std::uint64_t numSets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr line = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t setOf(Addr line) const
+    {
+        return (line / kCacheLineBytes) % sets_;
+    }
+
+    Way *find(Addr line);
+    const Way *find(Addr line) const;
+
+    std::uint64_t sets_;
+    std::uint32_t ways_;
+    std::vector<Way> array_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace hades::mem
+
+#endif // HADES_MEM_CACHE_ARRAY_HH_

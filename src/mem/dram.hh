@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Main-memory timing model (the paper uses DRAMSim2; Table III gives
+ * 64GB, 4 channels, 8 banks, ~100ns read/write round trip, 1 GHz DDR,
+ * 64-bit channels).
+ *
+ * The model captures the first-order DRAM behaviours that matter for a
+ * protocol study:
+ *  - address-interleaved channels and banks,
+ *  - per-bank row buffers: a row hit costs CAS only, a miss pays
+ *    precharge + activate + CAS,
+ *  - per-bank service occupancy, so bank conflicts queue,
+ *  - burst transfer time on the channel bus.
+ *
+ * Defaults are chosen so that an isolated random access costs ~100ns
+ * round trip, matching Table III.
+ */
+
+#ifndef HADES_MEM_DRAM_HH_
+#define HADES_MEM_DRAM_HH_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hh"
+#include "common/types.hh"
+
+namespace hades::mem
+{
+
+/** DRAM timing/geometry parameters. */
+struct DramParams
+{
+    std::uint32_t channels = 4;
+    std::uint32_t banksPerChannel = 8;
+    std::uint32_t rowBytes = 8 * 1024;
+
+    Tick tCas = ns(15);       //!< column access (row hit)
+    Tick tRcd = ns(15);       //!< activate
+    Tick tRp = ns(15);        //!< precharge
+    Tick tBurst = ns(4);      //!< 64B burst on a 64-bit 1GHz DDR bus
+    /** Controller + on-chip interconnect overhead per access; tuned so
+     *  an isolated row-miss access lands at ~100ns (Table III). */
+    Tick tController = ns(51);
+};
+
+/** Per-node DRAM with open-page row buffers and bank queueing. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramParams &params = {})
+        : p_(params),
+          banks_(std::size_t(params.channels) * params.banksPerChannel)
+    {}
+
+    /** Result of one access. */
+    struct Access
+    {
+        Tick latency = 0; //!< request -> data back, including queueing
+        bool rowHit = false;
+    };
+
+    /**
+     * Access the line at @p addr at time @p now.
+     * @p now = 0 degenerates to an uncontended timing estimate.
+     */
+    Access
+    access(Addr addr, Tick now = 0)
+    {
+        Bank &bank = banks_[bankOf(addr)];
+        std::uint64_t row = addr / p_.rowBytes;
+
+        Tick start = std::max(now, bank.freeAt);
+        bool hit = bank.rowOpen && bank.openRow == row;
+        Tick core_time =
+            hit ? p_.tCas : p_.tRp + p_.tRcd + p_.tCas;
+        Tick service = core_time + p_.tBurst;
+
+        bank.freeAt = start + service;
+        bank.rowOpen = true;
+        bank.openRow = row;
+
+        ++accesses_;
+        rowHits_ += hit ? 1 : 0;
+        return Access{(start - now) + service + p_.tController, hit};
+    }
+
+    /** Fraction of accesses that hit an open row. */
+    double
+    rowHitRate() const
+    {
+        return accesses_ ? double(rowHits_) / double(accesses_) : 0.0;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+    const DramParams &params() const { return p_; }
+
+    /** Bank index of an address: line-interleaved across channels,
+     *  row-interleaved across banks. */
+    std::size_t
+    bankOf(Addr addr) const
+    {
+        std::uint64_t line = addr / kCacheLineBytes;
+        std::uint64_t channel = line % p_.channels;
+        std::uint64_t bank =
+            (addr / p_.rowBytes) % p_.banksPerChannel;
+        return std::size_t(channel) * p_.banksPerChannel +
+               std::size_t(bank);
+    }
+
+  private:
+    struct Bank
+    {
+        Tick freeAt = 0;
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+    };
+
+    DramParams p_;
+    std::vector<Bank> banks_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t rowHits_ = 0;
+};
+
+} // namespace hades::mem
+
+#endif // HADES_MEM_DRAM_HH_

@@ -1,0 +1,108 @@
+#include "net/network.hh"
+
+#include "common/log.hh"
+
+namespace hades::net
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::RdmaRead:
+        return "RdmaRead";
+      case MsgType::RdmaWrite:
+        return "RdmaWrite";
+      case MsgType::RdmaCas:
+        return "RdmaCas";
+      case MsgType::IntendToCommit:
+        return "IntendToCommit";
+      case MsgType::Ack:
+        return "Ack";
+      case MsgType::Validation:
+        return "Validation";
+      case MsgType::Squash:
+        return "Squash";
+      default:
+        return "?";
+    }
+}
+
+Network::Network(sim::Kernel &kernel, const ClusterConfig &cfg)
+    : kernel_(kernel), cfg_(cfg)
+{
+    for (std::uint32_t n = 0; n < cfg.numNodes; ++n)
+        txPort_.push_back(std::make_unique<sim::ComputeResource>(kernel));
+}
+
+Tick
+Network::serialize(std::uint32_t bytes) const
+{
+    // bits / (Gb/s) = ns; keep picosecond precision.
+    double ns_exact = double(bytes) * 8.0 / cfg_.netBandwidthGbps;
+    return static_cast<Tick>(ns_exact * double(kNanosecond));
+}
+
+Tick
+Network::oneWay(std::uint32_t bytes) const
+{
+    std::uint32_t total = bytes + cfg_.messageHeaderBytes;
+    return cfg_.netRoundTrip / 2 + serialize(total) + cfg_.nicProcessing;
+}
+
+void
+Network::account(MsgType t, std::uint32_t bytes)
+{
+    msgCount_[static_cast<std::size_t>(t)] += 1;
+    totalBytes_ += bytes + cfg_.messageHeaderBytes;
+}
+
+sim::Task
+Network::roundTrip(MsgType type, NodeId src, NodeId dst,
+                   std::uint32_t req_bytes, std::uint32_t resp_bytes,
+                   RemoteWork at_dst)
+{
+    always_assert(src != dst, "round trip to self");
+    account(type, req_bytes);
+
+    // Outbound serialization occupies the source TX port.
+    co_await txPort_[src]->occupy(serialize(req_bytes +
+                                            cfg_.messageHeaderBytes));
+    // Propagation + destination NIC pipeline.
+    co_await sim::Delay{kernel_, cfg_.netRoundTrip / 2 +
+                                     cfg_.nicProcessing};
+    // NIC-offloaded work at the destination.
+    Tick work = at_dst ? at_dst() : 0;
+    if (work > 0)
+        co_await sim::Delay{kernel_, work};
+
+    // Response path.
+    account(type, resp_bytes);
+    co_await txPort_[dst]->occupy(serialize(resp_bytes +
+                                            cfg_.messageHeaderBytes));
+    co_await sim::Delay{kernel_, cfg_.netRoundTrip / 2 +
+                                     cfg_.nicProcessing};
+}
+
+void
+Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
+              std::function<void()> at_dst)
+{
+    always_assert(src != dst, "post to self");
+    account(type, bytes);
+    Tick depart =
+        txPort_[src]->reserve(serialize(bytes + cfg_.messageHeaderBytes));
+    Tick arrive = depart + cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
+    kernel_.scheduleAt(arrive, std::move(at_dst));
+}
+
+std::uint64_t
+Network::totalMessages() const
+{
+    std::uint64_t n = 0;
+    for (auto c : msgCount_)
+        n += c;
+    return n;
+}
+
+} // namespace hades::net

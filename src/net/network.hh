@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cluster interconnect model.
+ *
+ * Timing follows Table III: a 2 us NIC-to-NIC round trip, 200 Gb/s
+ * links, and a fixed per-message NIC pipeline cost. Each node's NIC has
+ * a transmit port modeled as a serially-reusable resource, so message
+ * serialization contends under load while propagation overlaps.
+ *
+ * The model supports the verbs the protocols need:
+ *  - roundTrip(): one-sided RDMA-style request/response. A handler runs
+ *    at the destination on arrival (modeling NIC-offloaded work such as
+ *    Bloom filter insertion or conflict checks) and returns the extra
+ *    processing ticks it consumed.
+ *  - post(): one-way message (Validation, Squash) with a handler at the
+ *    destination.
+ *
+ * The 400 queue pairs of Table III are far more than the handful of
+ * contexts per node ever have outstanding, so QP exhaustion is not
+ * modeled.
+ */
+
+#ifndef HADES_NET_NETWORK_HH_
+#define HADES_NET_NETWORK_HH_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/kernel.hh"
+#include "sim/resource.hh"
+#include "sim/task.hh"
+
+namespace hades::net
+{
+
+/** Message categories, for statistics (Table I's operation counts). */
+enum class MsgType : std::uint8_t
+{
+    RdmaRead,
+    RdmaWrite,
+    RdmaCas,
+    IntendToCommit,
+    Ack,
+    Validation,
+    Squash,
+    NumTypes,
+};
+
+/** Human-readable verb name. */
+const char *msgTypeName(MsgType t);
+
+/** The cluster interconnect. */
+class Network
+{
+  public:
+    /** Work executed at the destination NIC; returns processing Ticks. */
+    using RemoteWork = std::function<Tick()>;
+
+    Network(sim::Kernel &kernel, const ClusterConfig &cfg);
+
+    /**
+     * RDMA-style round trip from @p src to @p dst.
+     *
+     * @param type       verb, for accounting
+     * @param req_bytes  request payload (headers added internally)
+     * @param resp_bytes response payload
+     * @param at_dst     optional work at the destination on arrival
+     *
+     * Completes (as a coroutine) when the response arrives back at src.
+     */
+    sim::Task roundTrip(MsgType type, NodeId src, NodeId dst,
+                        std::uint32_t req_bytes, std::uint32_t resp_bytes,
+                        RemoteWork at_dst = nullptr);
+
+    /**
+     * One-way message; @p at_dst runs on arrival. Returns immediately
+     * (the sender does not wait).
+     */
+    void post(MsgType type, NodeId src, NodeId dst,
+              std::uint32_t bytes, std::function<void()> at_dst);
+
+    /** One-way wire latency for a payload of @p bytes (no port queue). */
+    Tick oneWay(std::uint32_t bytes) const;
+
+    // --- statistics ---------------------------------------------------------
+    std::uint64_t messageCount(MsgType t) const
+    {
+        return msgCount_[static_cast<std::size_t>(t)];
+    }
+    std::uint64_t totalMessages() const;
+    std::uint64_t totalBytes() const { return totalBytes_; }
+
+    const ClusterConfig &config() const { return cfg_; }
+    sim::Kernel &kernel() { return kernel_; }
+
+  private:
+    Tick serialize(std::uint32_t bytes) const;
+    void account(MsgType t, std::uint32_t bytes);
+
+    sim::Kernel &kernel_;
+    const ClusterConfig &cfg_;
+    std::vector<std::unique_ptr<sim::ComputeResource>> txPort_;
+    std::uint64_t msgCount_[static_cast<std::size_t>(MsgType::NumTypes)] =
+        {};
+    std::uint64_t totalBytes_ = 0;
+};
+
+} // namespace hades::net
+
+#endif // HADES_NET_NETWORK_HH_

@@ -1,0 +1,592 @@
+#include "protocol/baseline.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hades::protocol
+{
+
+using net::MsgType;
+using txn::Overhead;
+using txn::SquashReason;
+
+namespace
+{
+
+/** Group request indices by home node, excluding @p local. */
+std::map<NodeId, std::vector<std::size_t>>
+groupRemote(const std::vector<NodeId> &homes, NodeId local)
+{
+    std::map<NodeId, std::vector<std::size_t>> g;
+    for (std::size_t i = 0; i < homes.size(); ++i)
+        if (homes[i] != local)
+            g[homes[i]].push_back(i);
+    return g;
+}
+
+} // namespace
+
+sim::Task
+BaselineEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
+{
+    const Tick start = sys_.kernel.now();
+    sys_.tracer.log(start, sim::TraceEvent::TxnStart, ctx.packed(),
+                    ctx.node);
+    std::uint32_t squash_count = 0;
+    for (;;) {
+        stats_.attempts += 1;
+        bool committed = false;
+        co_await attempt(ctx, prog, committed);
+        if (committed)
+            break;
+        squash_count += 1;
+        if (squash_count >= sys_.config.maxSquashesBeforeLockMode) {
+            stats_.lockModeFallbacks += 1;
+            co_await attemptPessimistic(ctx, prog);
+            break;
+        }
+        co_await sim::Delay{sys_.kernel, backoff(squash_count)};
+    }
+    stats_.committed += 1;
+    stats_.latency.add(std::uint64_t(sys_.kernel.now() - start));
+    sys_.tracer.log(sys_.kernel.now(), sim::TraceEvent::TxnCommit,
+                    ctx.packed(), ctx.node);
+}
+
+void
+BaselineEngine::releaseLocks(ExecCtx ctx, std::vector<WriteEntry> &writes)
+{
+    // Batch unlock messages per remote node; local unlocks are direct.
+    std::map<NodeId, std::vector<std::uint64_t>> remote_unlocks;
+    const std::uint64_t self = ctx.packed();
+    for (auto &w : writes) {
+        if (!w.locked)
+            continue;
+        w.locked = false;
+        if (w.home == ctx.node) {
+            sys_.node(w.home).versions.unlock(w.record, self);
+        } else {
+            remote_unlocks[w.home].push_back(w.record);
+        }
+    }
+    for (auto &[node, records] : remote_unlocks) {
+        auto recs = records; // copy into the handler
+        NodeId home = node;
+        sys_.network.post(
+            MsgType::RdmaWrite, ctx.node, home,
+            std::uint32_t(8 * recs.size()), [this, home, recs, self] {
+                for (auto r : recs)
+                    sys_.node(home).versions.unlock(r, self);
+            });
+    }
+}
+
+sim::Task
+BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
+                        bool &committed)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+    const auto &costs = sys_.config.costs;
+    const std::uint64_t self = ctx.packed();
+
+    std::vector<ReadEntry> read_set;
+    std::vector<WriteEntry> write_set;
+    std::vector<std::int64_t> read_vals;
+
+    const Tick exec_start = kernel.now();
+
+    // Fetch one whole record (data + metadata) from its home, capturing
+    // the version/lock snapshot and, for reads, the value, at the
+    // moment the memory is actually accessed.
+    struct Snapshot
+    {
+        bool lockedByOther = false;
+        std::uint64_t version = 0;
+        std::int64_t value = 0;
+    };
+    auto fetch_record = [&](NodeId home, Addr base,
+                            std::uint32_t record_lines,
+                            std::uint64_t record,
+                            Snapshot &snap) -> sim::Task {
+        if (home == ctx.node) {
+            Tick lat = accessLines(home, ctx.core, base, record_lines);
+            co_await core.occupy(lat);
+            const auto m = sys_.node(home).versions.peek(record);
+            snap.lockedByOther =
+                m.lockOwner != 0 && m.lockOwner != self;
+            snap.version = m.version;
+            snap.value = sys_.data.read(record);
+        } else {
+            co_await core.occupy(cycles(costs.rdmaPostCycles));
+            co_await sys_.network.roundTrip(
+                MsgType::RdmaRead, ctx.node, home, 24,
+                record_lines * kCacheLineBytes, [&]() -> Tick {
+                    const auto m =
+                        sys_.node(home).versions.peek(record);
+                    snap.lockedByOther =
+                        m.lockOwner != 0 && m.lockOwner != self;
+                    snap.version = m.version;
+                    snap.value = sys_.data.read(record);
+                    return nicAccessLines(home, base, record_lines);
+                });
+            co_await core.occupy(cycles(costs.rdmaPollCycles));
+        }
+    };
+
+    // ---------------- Execution phase -------------------------------------
+    co_await core.occupy(cycles(prog.setupCycles));
+    for (const auto &req : prog.requests) {
+        co_await core.occupy(cycles(prog.computeCyclesPerRequest));
+
+        const NodeId home = sys_.placement.homeOf(req.record);
+        const Addr base = sys_.placement.addrOf(req.record);
+        const txn::RecordLayout lay = layoutOf(req, layout_);
+        const std::uint32_t record_lines = lay.swLines();
+        const std::uint32_t payload_lines = lay.payloadLines();
+
+        // Index traversal reads: atomic, client-cached, unvalidated
+        // (txn::Request::isIndex); the software still checks the node
+        // image for torn reads.
+        if (req.isIndex && !req.isWrite) {
+            co_await indexRead(ctx, home,
+                               AddrRange{base, lay.swBytes()});
+            Tick ti = kernel.now();
+            co_await core.occupy(cycles(
+                std::int64_t(costs.atomicityCheckPerLineCycles) *
+                lay.payloadLines()));
+            stats_.addOverhead(Overhead::ReadAtomicity,
+                               kernel.now() - ti);
+            continue;
+        }
+
+        // Read-your-own-write short circuit.
+        auto wit = std::find_if(write_set.begin(), write_set.end(),
+                                [&](const WriteEntry &w) {
+                                    return w.record == req.record;
+                                });
+        if (wit != write_set.end()) {
+            co_await core.occupy(cycles(costs.setWalkCycles));
+            if (req.isWrite) {
+                wit->value =
+                    req.derivedFromReadIdx >= 0
+                        ? read_vals[std::size_t(
+                              req.derivedFromReadIdx)] +
+                              req.delta
+                        : req.delta;
+            } else {
+                read_vals.push_back(wit->value);
+            }
+            continue;
+        }
+
+        // Fetch the whole record (record granularity), re-reading a few
+        // times if it is locked by a committing transaction.
+        Snapshot snap;
+        bool gave_up = false;
+        Tick t0 = kernel.now();
+        for (std::uint32_t tries = 0;; ++tries) {
+            co_await fetch_record(home, base, record_lines, req.record,
+                                  snap);
+            if (!snap.lockedByOther)
+                break;
+            if (tries >= costs.lockedReadRetries) {
+                gave_up = true;
+                break;
+            }
+            co_await sim::Delay{kernel, ns(400)};
+        }
+        if (req.isWrite)
+            stats_.addOverhead(Overhead::RdBeforeWr, kernel.now() - t0);
+        if (gave_up) {
+            stats_.addSquash(SquashReason::LockBusy);
+            releaseLocks(ctx, write_set);
+            co_return;
+        }
+
+        if (req.isWrite) {
+            std::int64_t value =
+                req.derivedFromReadIdx >= 0
+                    ? read_vals[std::size_t(req.derivedFromReadIdx)] +
+                          req.delta
+                    : req.delta;
+            // Buffer the write in the Write Set (copy the payload).
+            t0 = kernel.now();
+            co_await core.occupy(
+                cycles(costs.setInsertCycles +
+                       copyCycles(lay.payloadBytes())));
+            stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
+            write_set.push_back(WriteEntry{req.record, home, value,
+                                           lay.payloadBytes(), false});
+        } else {
+            // Read atomicity: compare the per-line versions VC_i of all
+            // payload lines and copy out of the bounce buffer (reads
+            // cannot be zero-copy in SW-Impl).
+            t0 = kernel.now();
+            co_await core.occupy(cycles(
+                std::int64_t(costs.atomicityCheckPerLineCycles) *
+                    payload_lines +
+                copyCycles(lay.payloadBytes())));
+            stats_.addOverhead(Overhead::ReadAtomicity,
+                               kernel.now() - t0);
+
+            // Index traversal reads are atomic but unvalidated (see
+            // txn::Request::isIndex); only data reads join the Read Set.
+            if (!req.isIndex) {
+                t0 = kernel.now();
+                co_await core.occupy(cycles(costs.setInsertCycles));
+                stats_.addOverhead(Overhead::ManageSets,
+                                   kernel.now() - t0);
+                read_set.push_back(
+                    ReadEntry{req.record, snap.version, home});
+                read_vals.push_back(snap.value);
+            }
+        }
+    }
+    const Tick exec_end = kernel.now();
+
+    // ---------------- Validation phase ------------------------------------
+    // Step 1: lock the write set. Local locks via CAS; remote locks in
+    // one batched RDMA CAS message per node, all batches in flight in
+    // parallel (optimization 1).
+    bool lock_failed = false;
+    {
+        Tick t0 = kernel.now();
+        for (auto &w : write_set) {
+            if (w.home != ctx.node)
+                continue;
+            co_await core.occupy(cycles(costs.localCasCycles));
+            if (!sys_.node(w.home).versions.tryLock(w.record, self)) {
+                lock_failed = true;
+                break;
+            }
+            w.locked = true;
+        }
+        if (!lock_failed) {
+            std::vector<NodeId> homes;
+            for (const auto &w : write_set)
+                homes.push_back(w.home);
+            auto by_node = groupRemote(homes, ctx.node);
+            sim::CountdownLatch latch{
+                std::uint32_t(by_node.size())};
+            bool any_fail = false;
+            for (auto &[node, idx_list] : by_node) {
+                NodeId home = node;
+                auto idxs = idx_list;
+                co_await core.occupy(cycles(costs.rdmaPostCycles));
+                sys_.network.post(
+                    MsgType::RdmaCas, ctx.node, home,
+                    std::uint32_t(16 * idxs.size()),
+                    [this, home, idxs, self, &write_set, &any_fail,
+                     &latch, ctx] {
+                        bool ok = true;
+                        std::vector<std::size_t> acquired;
+                        for (auto i : idxs) {
+                            auto &w = write_set[i];
+                            if (sys_.node(home).versions.tryLock(
+                                    w.record, self)) {
+                                acquired.push_back(i);
+                            } else {
+                                ok = false;
+                                for (auto j : acquired)
+                                    sys_.node(home).versions.unlock(
+                                        write_set[j].record, self);
+                                acquired.clear();
+                                break;
+                            }
+                        }
+                        if (ok) {
+                            for (auto i : acquired)
+                                write_set[i].locked = true;
+                        }
+                        // CAS response back to the coordinator.
+                        sys_.network.post(
+                            MsgType::RdmaCas, home, ctx.node,
+                            std::uint32_t(8 * idxs.size()),
+                            [&any_fail, &latch, ok, this] {
+                                if (!ok)
+                                    any_fail = true;
+                                latch.countDown(sys_.kernel);
+                            });
+                    });
+            }
+            co_await latch.wait();
+            co_await core.occupy(
+                cycles(std::int64_t(costs.rdmaPollCycles) *
+                       std::int64_t(by_node.size())));
+            lock_failed = any_fail;
+        }
+        stats_.addOverhead(Overhead::ConflictDetection,
+                           kernel.now() - t0);
+    }
+    if (lock_failed) {
+        stats_.addSquash(SquashReason::LockBusy);
+        releaseLocks(ctx, write_set);
+        co_return;
+    }
+
+    // Step 2: validate the read set by re-reading versions; the read
+    // set is never locked (optimization 4). Remote batches fly in
+    // parallel, one message per node.
+    bool validation_failed = false;
+    {
+        Tick t0 = kernel.now();
+        for (const auto &r : read_set) {
+            if (r.home != ctx.node)
+                continue;
+            Tick lat = accessLines(r.home, ctx.core,
+                                   sys_.placement.addrOf(r.record), 1);
+            co_await core.occupy(lat +
+                                 cycles(costs.versionCompareCycles));
+            const auto m = sys_.node(r.home).versions.peek(r.record);
+            if (m.version != r.version ||
+                (m.lockOwner != 0 && m.lockOwner != self)) {
+                validation_failed = true;
+                break;
+            }
+        }
+        if (!validation_failed) {
+            std::vector<NodeId> homes;
+            for (const auto &r : read_set)
+                homes.push_back(r.home);
+            auto by_node = groupRemote(homes, ctx.node);
+            sim::CountdownLatch latch{
+                std::uint32_t(by_node.size())};
+            bool any_fail = false;
+            for (auto &[node, idx_list] : by_node) {
+                NodeId home = node;
+                auto idxs = idx_list;
+                co_await core.occupy(cycles(costs.rdmaPostCycles));
+                sys_.network.post(
+                    MsgType::RdmaRead, ctx.node, home,
+                    std::uint32_t(8 * idxs.size()),
+                    [this, home, idxs, self, &read_set, &any_fail,
+                     &latch, ctx] {
+                        bool ok = true;
+                        for (auto i : idxs) {
+                            const auto &r = read_set[i];
+                            nicAccessLines(
+                                home, sys_.placement.addrOf(r.record),
+                                1);
+                            const auto m =
+                                sys_.node(home).versions.peek(
+                                    r.record);
+                            if (m.version != r.version ||
+                                (m.lockOwner != 0 &&
+                                 m.lockOwner != self))
+                                ok = false;
+                        }
+                        sys_.network.post(
+                            MsgType::RdmaRead, home, ctx.node,
+                            std::uint32_t(16 * idxs.size()),
+                            [&any_fail, &latch, ok, this] {
+                                if (!ok)
+                                    any_fail = true;
+                                latch.countDown(sys_.kernel);
+                            });
+                    });
+            }
+            co_await latch.wait();
+            std::uint64_t remote_reads = 0;
+            for (const auto &r : read_set)
+                remote_reads += r.home != ctx.node ? 1 : 0;
+            co_await core.occupy(
+                cycles(std::int64_t(costs.rdmaPollCycles) *
+                           std::int64_t(by_node.size()) +
+                       std::int64_t(costs.versionCompareCycles) *
+                           std::int64_t(remote_reads)));
+            validation_failed = any_fail;
+        }
+        stats_.addOverhead(Overhead::ConflictDetection,
+                           kernel.now() - t0);
+    }
+    if (validation_failed) {
+        stats_.addSquash(SquashReason::ValidationFailure);
+        releaseLocks(ctx, write_set);
+        co_return;
+    }
+    const Tick validation_end = kernel.now();
+
+    // ---------------- Commit phase -----------------------------------------
+    // Local writes: apply value + bump version + unlock atomically (one
+    // simulated instant), then charge the time.
+    {
+        std::int64_t local_cycles = 0;
+        Tick mem_ticks = 0;
+        Tick t_manage = 0, t_version = 0;
+        for (auto &w : write_set) {
+            if (w.home != ctx.node)
+                continue;
+            sys_.data.write(w.record, w.value);
+            sys_.node(w.home).versions.bumpVersion(w.record);
+            sys_.node(w.home).versions.unlock(w.record, self);
+            w.locked = false;
+            t_manage += cycles(costs.setWalkCycles +
+                               copyCycles(w.payloadBytes));
+            t_version += cycles(costs.versionUpdateCycles);
+            local_cycles += costs.localCasCycles; // unlock CAS
+            mem_ticks += accessLines(
+                w.home, ctx.core, sys_.placement.addrOf(w.record),
+                txn::RecordLayout{w.payloadBytes}.payloadLines());
+        }
+        stats_.addOverhead(Overhead::ManageSets, t_manage);
+        stats_.addOverhead(Overhead::UpdateVersion, t_version);
+        co_await core.occupy(t_manage + t_version +
+                             cycles(local_cycles) + mem_ticks);
+
+        // Remote writes: one unserialized message per node carrying the
+        // data, version updates, and unlocks (optimizations 2 and 3: no
+        // waiting for completion).
+        std::vector<NodeId> homes;
+        for (const auto &w : write_set)
+            homes.push_back(w.home);
+        auto by_node = groupRemote(homes, ctx.node);
+        for (auto &[node, idxs] : by_node) {
+            NodeId home = node;
+            std::vector<WriteEntry> payload;
+            std::uint64_t batch_bytes = 0;
+            for (auto i : idxs) {
+                payload.push_back(write_set[i]);
+                write_set[i].locked = false;
+                batch_bytes += write_set[i].payloadBytes + 16;
+            }
+            Tick t0 = kernel.now();
+            co_await core.occupy(
+                cycles(costs.rdmaPostCycles +
+                       std::int64_t(costs.setWalkCycles) *
+                           std::int64_t(idxs.size()) +
+                       copyCycles(batch_bytes)));
+            stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
+            sys_.network.post(
+                MsgType::RdmaWrite, ctx.node, home,
+                std::uint32_t(batch_bytes),
+                [this, home, payload, self] {
+                    for (const auto &w : payload) {
+                        sys_.data.write(w.record, w.value);
+                        sys_.node(home).versions.bumpVersion(w.record);
+                        sys_.node(home).versions.unlock(w.record, self);
+                        nicAccessLines(
+                            home, sys_.placement.addrOf(w.record),
+                            txn::RecordLayout{w.payloadBytes}
+                                .payloadLines());
+                    }
+                });
+        }
+    }
+    const Tick commit_end = kernel.now();
+
+    stats_.execPhase.add(double(exec_end - exec_start));
+    stats_.validationPhase.add(double(validation_end - exec_end));
+    stats_.commitPhase.add(double(commit_end - validation_end));
+    committed = true;
+}
+
+sim::Task
+BaselineEngine::attemptPessimistic(ExecCtx ctx,
+                                   const txn::TxnProgram &prog)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+    const auto &costs = sys_.config.costs;
+    const std::uint64_t self = ctx.packed();
+
+    while (tokenBusy_)
+        co_await sim::Delay{kernel, us(1)};
+    tokenBusy_ = true;
+
+    // Lock every data record the transaction touches, in record-id
+    // order (deadlock-free), waiting rather than aborting. Index
+    // records are read-only and never locked.
+    std::vector<std::uint64_t> records;
+    for (const auto &r : prog.requests)
+        if (!r.isIndex)
+            records.push_back(r.record);
+    std::sort(records.begin(), records.end());
+    records.erase(std::unique(records.begin(), records.end()),
+                  records.end());
+
+    for (auto rec : records) {
+        NodeId home = sys_.placement.homeOf(rec);
+        for (;;) {
+            bool got = false;
+            if (home == ctx.node) {
+                co_await core.occupy(cycles(costs.localCasCycles));
+                got = sys_.node(home).versions.tryLock(rec, self);
+            } else {
+                co_await core.occupy(cycles(costs.rdmaPostCycles));
+                co_await sys_.network.roundTrip(
+                    MsgType::RdmaCas, ctx.node, home, 16, 8,
+                    [&]() -> Tick {
+                        got = sys_.node(home).versions.tryLock(rec,
+                                                               self);
+                        return sys_.cycles(20);
+                    });
+            }
+            if (got)
+                break;
+            co_await sim::Delay{kernel, cycles(500)};
+        }
+    }
+
+    // Execute with all permissions held.
+    std::vector<std::int64_t> read_vals;
+    for (const auto &req : prog.requests) {
+        co_await core.occupy(cycles(prog.computeCyclesPerRequest));
+        NodeId home = sys_.placement.homeOf(req.record);
+        Addr base = sys_.placement.addrOf(req.record);
+        const txn::RecordLayout lay = layoutOf(req, layout_);
+        if (req.isIndex && !req.isWrite) {
+            co_await indexRead(ctx, home,
+                               AddrRange{base, lay.swBytes()});
+            continue;
+        }
+        if (home == ctx.node) {
+            co_await core.occupy(accessLines(home, ctx.core, base,
+                                             lay.swLines()));
+        } else {
+            co_await sys_.network.roundTrip(
+                MsgType::RdmaRead, ctx.node, home, 24,
+                lay.swLines() * kCacheLineBytes, [&]() -> Tick {
+                    return nicAccessLines(home, base, lay.swLines());
+                });
+        }
+        if (req.isWrite) {
+            std::int64_t value =
+                req.derivedFromReadIdx >= 0
+                    ? read_vals[std::size_t(req.derivedFromReadIdx)] +
+                          req.delta
+                    : req.delta;
+            sys_.data.write(req.record, value);
+            sys_.node(home).versions.bumpVersion(req.record);
+        } else {
+            read_vals.push_back(sys_.data.read(req.record));
+        }
+    }
+
+    // Unlock everything (batched per node, unserialized).
+    std::map<NodeId, std::vector<std::uint64_t>> by_node;
+    for (auto rec : records)
+        by_node[sys_.placement.homeOf(rec)].push_back(rec);
+    for (auto &[node, recs] : by_node) {
+        NodeId home = node;
+        if (home == ctx.node) {
+            for (auto rec : recs) {
+                co_await core.occupy(cycles(costs.localCasCycles));
+                sys_.node(home).versions.unlock(rec, self);
+            }
+        } else {
+            auto payload = recs;
+            sys_.network.post(MsgType::RdmaWrite, ctx.node, home,
+                              std::uint32_t(8 * payload.size()),
+                              [this, home, payload, self] {
+                                  for (auto rec : payload)
+                                      sys_.node(home).versions.unlock(
+                                          rec, self);
+                              });
+        }
+    }
+    tokenBusy_ = false;
+}
+
+} // namespace hades::protocol

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Abstract transaction engine interface plus the timing helpers shared
+ * by the three protocol implementations (Baseline / HADES / HADES-H).
+ */
+
+#ifndef HADES_PROTOCOL_ENGINE_HH_
+#define HADES_PROTOCOL_ENGINE_HH_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "protocol/system.hh"
+#include "sim/task.hh"
+#include "txn/program.hh"
+#include "txn/record.hh"
+#include "txn/txn_stats.hh"
+
+namespace hades::protocol
+{
+
+/** Thrown inside an attempt coroutine when the attempt is squashed. */
+struct Squashed
+{
+    txn::SquashReason reason;
+};
+
+/** Which of the three evaluated configurations an engine implements. */
+enum class EngineKind
+{
+    Baseline,
+    Hades,
+    HadesHybrid,
+};
+
+inline const char *
+engineKindName(EngineKind k)
+{
+    switch (k) {
+      case EngineKind::Baseline:
+        return "Baseline";
+      case EngineKind::Hades:
+        return "HADES";
+      case EngineKind::HadesHybrid:
+        return "HADES-H";
+      default:
+        return "?";
+    }
+}
+
+/** A distributed transaction protocol implementation. */
+class TxnEngine
+{
+  public:
+    explicit TxnEngine(System &sys) : sys_(sys) {}
+    virtual ~TxnEngine() = default;
+
+    virtual EngineKind kind() const = 0;
+    const char *name() const { return engineKindName(kind()); }
+
+    /**
+     * Execute one transaction to commit, retrying on squashes. The
+     * coroutine completes when the transaction has committed (or, for
+     * repeatedly squashed transactions, committed via the pessimistic
+     * fallback).
+     */
+    virtual sim::Task run(ExecCtx ctx, const txn::TxnProgram &prog) = 0;
+
+    /**
+     * In-memory footprint a record of @p payload_bytes needs under this
+     * engine's layout (SW metadata or bare payload).
+     */
+    virtual std::uint32_t recordBytes(std::uint32_t payload_bytes)
+        const = 0;
+
+    txn::EngineStats &stats() { return stats_; }
+    const txn::EngineStats &stats() const { return stats_; }
+
+  protected:
+    /** Core compute resource of a context. */
+    sim::ComputeResource &
+    coreOf(const ExecCtx &ctx)
+    {
+        return *sys_.node(ctx.node).cores[ctx.core];
+    }
+
+    Tick cycles(std::int64_t n) const { return sys_.cycles(n); }
+
+    /**
+     * Timed multi-line access from a core: the first line pays the full
+     * hierarchy latency; subsequent lines stream behind it.
+     */
+    Tick
+    accessLines(NodeId node, CoreId core, Addr base, std::uint32_t lines)
+    {
+        if (lines == 0)
+            return 0;
+        auto &memsys = sys_.node(node).memory;
+        Tick worst = 0;
+        for (std::uint32_t i = 0; i < lines; ++i) {
+            Addr line = lineAddr(base) + Addr{i} * kCacheLineBytes;
+            worst = std::max(worst, memsys.access(core, line).latency);
+        }
+        return worst + Tick(lines - 1) * cycles(kStreamCycles);
+    }
+
+    /** Timed multi-line access by a NIC servicing an RDMA request. */
+    Tick
+    nicAccessLines(NodeId node, Addr base, std::uint32_t lines)
+    {
+        if (lines == 0)
+            return 0;
+        auto &memsys = sys_.node(node).memory;
+        Tick worst = 0;
+        for (std::uint32_t i = 0; i < lines; ++i) {
+            Addr line = lineAddr(base) + Addr{i} * kCacheLineBytes;
+            worst = std::max(worst, memsys.nicAccess(line).latency);
+        }
+        return worst + Tick(lines - 1) * cycles(kStreamCycles);
+    }
+
+    /** Cycle cost of copying @p bytes in software. */
+    std::int64_t
+    copyCycles(std::uint64_t bytes) const
+    {
+        const auto &c = sys_.config.costs;
+        return std::int64_t(bytes / std::max(1u, c.copyBytesPerCycle)) + 1;
+    }
+
+    /** Exponential backoff with jitter before a retry. */
+    Tick
+    backoff(std::uint32_t attempt)
+    {
+        std::uint32_t shift = std::min(attempt, 6u);
+        std::int64_t base =
+            std::int64_t(sys_.config.retryBackoffBaseCycles) << shift;
+        return cycles(base + std::int64_t(sys_.rng.below(
+                                 std::uint64_t(base) + 1)));
+    }
+
+    /** Uniform Find-LLC-Tags latency in [min, max] cycles (Table III). */
+    Tick
+    findTagsLatency()
+    {
+        const auto &cfg = sys_.config;
+        std::uint32_t span = cfg.findTagsMaxCycles -
+                             cfg.findTagsMinCycles + 1;
+        return cycles(cfg.findTagsMinCycles +
+                      std::int64_t(sys_.rng.below(span)));
+    }
+
+    /**
+     * Timed read of a read-only index structure homed at @p home with
+     * client-side caching (standard practice in FaRM-family stores:
+     * internal index nodes are cached at the client, and the structures
+     * are immutable between resize epochs, so the reads need no
+     * conflict tracking). Resident lines are served from the local
+     * hierarchy; missing lines are fetched with one RDMA read and then
+     * fill the local caches.
+     */
+    sim::Task
+    indexRead(ExecCtx ctx, NodeId home, AddrRange range)
+    {
+        auto &core = coreOf(ctx);
+        auto &mem = sys_.node(ctx.node).memory;
+        std::vector<Addr> missing;
+        for (Addr line = range.firstLine(); line <= range.lastLine();
+             line += kCacheLineBytes) {
+            if (home == ctx.node) {
+                co_await core.occupy(
+                    mem.access(ctx.core, line).latency);
+            } else if (auto acc = mem.cachedAccess(ctx.core, line)) {
+                co_await core.occupy(acc->latency);
+            } else {
+                missing.push_back(line);
+            }
+        }
+        if (missing.empty())
+            co_return;
+        co_await core.occupy(cycles(sys_.config.costs.rdmaPostCycles));
+        co_await sys_.network.roundTrip(
+            net::MsgType::RdmaRead, ctx.node, home, 24,
+            std::uint32_t(missing.size()) * kCacheLineBytes,
+            [&]() -> Tick {
+                Tick t = 0;
+                for (Addr l : missing)
+                    t += sys_.node(home).memory.nicAccess(l).latency /
+                         4;
+                return t;
+            });
+        for (Addr l : missing)
+            mem.access(ctx.core, l); // fill the local caches
+    }
+
+    /** Layout of the record a request targets (index nodes carry their
+     *  own size; data records use the run default @p def). */
+    static txn::RecordLayout
+    layoutOf(const txn::Request &req, const txn::RecordLayout &def)
+    {
+        return req.recordPayloadBytes
+                   ? txn::RecordLayout{req.recordPayloadBytes}
+                   : def;
+    }
+
+    /** Per-line streaming cost after the first line of a bulk access. */
+    static constexpr std::int64_t kStreamCycles = 4;
+
+    System &sys_;
+    txn::EngineStats stats_;
+};
+
+} // namespace hades::protocol
+
+#endif // HADES_PROTOCOL_ENGINE_HH_

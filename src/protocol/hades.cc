@@ -1,0 +1,774 @@
+#include "protocol/hades.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hades::protocol
+{
+
+using net::MsgType;
+using txn::SquashReason;
+
+namespace
+{
+
+/** Expand an address range into its cache-line addresses. */
+std::vector<Addr>
+linesOf(AddrRange range)
+{
+    std::vector<Addr> out;
+    for (Addr l = range.firstLine(); l <= range.lastLine();
+         l += kCacheLineBytes)
+        out.push_back(l);
+    return out;
+}
+
+/** Epoch shift used to make WrTX IDs unique across retries. */
+constexpr unsigned kEpochShift = 48;
+
+} // namespace
+
+HadesEngine::HadesEngine(System &sys, std::uint32_t payload_bytes)
+    : TxnEngine(sys), layout_(payload_bytes)
+{
+    localTxns_.resize(sys.config.numNodes);
+    // Evicting a speculatively-written LLC line squashes its owner.
+    for (auto &node : sys_.nodes) {
+        node->memory.llc().setSquashHook([this](std::uint64_t tx) {
+            sys_.router.squash(sys_.kernel, tx,
+                               SquashReason::LlcEviction);
+        });
+    }
+}
+
+HadesEngine::~HadesEngine()
+{
+    for (auto &node : sys_.nodes)
+        node->memory.llc().setSquashHook(nullptr);
+}
+
+bool
+HadesEngine::probeFilter(const bloom::AddressFilter &bf, Addr line,
+                         bool truth)
+{
+    stats_.bfConflictChecks += 1;
+    bool hit = bf.mayContain(line);
+    if (hit && !truth)
+        stats_.bfFalsePositives += 1;
+    return hit;
+}
+
+bool
+HadesEngine::squashOrSelfSquash(std::uint64_t victim,
+                                const AttemptPtr &fallback_self,
+                                txn::SquashReason why)
+{
+    auto outcome = sys_.router.squash(sys_.kernel, victim, why);
+    if (outcome == SquashOutcome::Uncommittable) {
+        // The victim is past its serialization point; the only safe
+        // resolution is to squash ourselves.
+        sys_.router.squash(sys_.kernel, fallback_self->id, why);
+        return false;
+    }
+    return true;
+}
+
+sim::Task
+HadesEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
+{
+    const Tick start = sys_.kernel.now();
+    sys_.tracer.log(start, sim::TraceEvent::TxnStart, ctx.packed(),
+                    ctx.node);
+    std::uint32_t squash_count = 0;
+    for (;;) {
+        stats_.attempts += 1;
+        std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);
+        std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
+        bool committed = false;
+        co_await attempt(ctx, prog, id, committed);
+        if (committed)
+            break;
+        squash_count += 1;
+        if (squash_count >= sys_.config.maxSquashesBeforeLockMode) {
+            stats_.lockModeFallbacks += 1;
+            co_await attemptPessimistic(ctx, prog);
+            break;
+        }
+        co_await sim::Delay{sys_.kernel, backoff(squash_count)};
+    }
+    stats_.committed += 1;
+    stats_.latency.add(std::uint64_t(sys_.kernel.now() - start));
+    sys_.tracer.log(sys_.kernel.now(), sim::TraceEvent::TxnCommit,
+                    ctx.packed(), ctx.node);
+}
+
+sim::Task
+HadesEngine::localAccess(ExecCtx ctx, AttemptPtr at, AddrRange range,
+                         bool is_write)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+    auto &node = sys_.node(ctx.node);
+    auto &llc = node.memory.llc();
+    const auto lines = linesOf(range);
+
+    // Multi-line reads use a transient Locking Buffer read guard for
+    // atomicity instead of per-record version checks (Table I row 3).
+    bool guard_held = false;
+    if (!is_write && lines.size() > 1) {
+        for (int tries = 0; tries < 64; ++tries) {
+            if (node.lockBank.acquireReadGuard(at->id, lines)) {
+                guard_held = true;
+                break;
+            }
+            co_await sim::Delay{kernel, cycles(100)};
+            checkSquash(at);
+        }
+        if (guard_held) {
+            co_await core.occupy(cycles(
+                std::int64_t(sys_.config.crcHashCycles) *
+                std::int64_t(lines.size())));
+        }
+    }
+
+    for (Addr line : lines) {
+        bool need_dir = is_write ? !at->recordedWr.count(line)
+                                 : !(at->recordedRd.count(line) ||
+                                     at->recordedWr.count(line));
+        // Latency of the data access itself.
+        co_await core.occupy(
+            node.memory.access(ctx.core, line).latency);
+
+        if (!need_dir)
+            continue;
+
+        // First access by this transaction: it must reach the
+        // directory/LLC for conflict detection (Module 1 semantics).
+        int stall_guard = 0;
+        while (node.lockBank.accessBlocked(line, is_write, at->id)) {
+            co_await sim::Delay{kernel, cycles(sys_.config.llcCycles)};
+            checkSquash(at);
+            always_assert(++stall_guard < 1000000,
+                          "directory stall did not resolve");
+        }
+
+        // Charge the BF hashing up front: the tag check + filter probe
+        // + tag set below are one atomic directory operation in the
+        // hardware, so no simulated time may pass inside the block.
+        co_await core.occupy(cycles(sys_.config.crcHashCycles));
+        checkSquash(at);
+
+        // WrTX ID tag check (Module 2): eager L-L detection.
+        std::uint64_t tag = llc.wrTxIdOf(line);
+        if (tag != 0 && tag != at->id) {
+            if (guard_held)
+                node.lockBank.release(at->id);
+            throw Squashed{SquashReason::EagerLocalConflict};
+        }
+
+        if (is_write) {
+            // Check every other local transaction's LocalReadBF.
+            for (auto &[oid, other] : localTxns_[ctx.node]) {
+                if (oid == at->id)
+                    continue;
+                bool truth = other->ctrl.localReadLines.count(line) != 0;
+                if (probeFilter(other->localReadBf, line, truth)) {
+                    if (guard_held)
+                        node.lockBank.release(at->id);
+                    throw Squashed{SquashReason::EagerLocalConflict};
+                }
+            }
+            at->localWriteBf.insert(line);
+            at->ctrl.localWriteLines.insert(line);
+            llc.setWrTxId(line, at->id);
+            at->recordedWr.insert(line);
+            // An eviction squash fired by setWrTxId targets us directly.
+            checkSquash(at);
+        } else {
+            at->localReadBf.insert(line);
+            at->ctrl.localReadLines.insert(line);
+            at->recordedRd.insert(line);
+        }
+    }
+
+    if (guard_held)
+        node.lockBank.release(at->id);
+}
+
+sim::Task
+HadesEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
+                          AddrRange range, bool is_write)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+    const auto lines = linesOf(range);
+
+    // Already-fetched lines are served from the local copies.
+    bool all_cached = true;
+    for (Addr line : lines) {
+        bool cached = is_write ? at->recordedWr.count(line) != 0
+                               : (at->recordedRd.count(line) != 0 ||
+                                  at->recordedWr.count(line) != 0);
+        all_cached &= cached;
+    }
+    if (all_cached) {
+        for (Addr line : lines) {
+            co_await core.occupy(
+                sys_.node(ctx.node).memory.access(ctx.core, line)
+                    .latency);
+        }
+        co_return;
+    }
+
+    at->nodesInvolved.insert(home);
+    auto &nic4b = sys_.node(ctx.node).nic.localState(at->id);
+    nic4b.nodesInvolved.insert(home);
+
+    // Partially-written lines must be fetched (and go into the remote
+    // write BF); fully-written lines are neither fetched nor filtered --
+    // their addresses travel with the Intend-to-commit at commit.
+    std::vector<Addr> filter_lines; // lines to insert into the NIC BF
+    std::vector<Addr> fetch_lines;  // lines brought to the local node
+    if (is_write) {
+        for (Addr line : lines) {
+            bool full = line >= range.base &&
+                        line + kCacheLineBytes <= range.end();
+            if (!full) {
+                filter_lines.push_back(line);
+                fetch_lines.push_back(line);
+            }
+        }
+        nic4b.writesByNode[home].push_back(range);
+        nic4b.bufferedBytes += range.bytes;
+    } else {
+        filter_lines = lines;
+        fetch_lines = lines;
+    }
+
+    // Fully-written lines need no exec-time message at all: the data is
+    // buffered locally and their addresses travel with Intend-to-commit.
+    if (!fetch_lines.empty()) {
+        co_await core.occupy(cycles(sys_.config.costs.rdmaPostCycles));
+        for (;;) {
+            bool blocked = false;
+            co_await sys_.network.roundTrip(
+                MsgType::RdmaRead, ctx.node, home, 24,
+                std::uint32_t(fetch_lines.size()) * kCacheLineBytes,
+                [&]() -> Tick {
+                    auto &ynode = sys_.node(home);
+                    for (Addr line : lines) {
+                        if (ynode.lockBank.accessBlocked(line, is_write,
+                                                         at->id)) {
+                            blocked = true;
+                            return sys_.cycles(20);
+                        }
+                    }
+                    auto &filters = ynode.nic.remoteFilters(at->id);
+                    for (Addr line : filter_lines) {
+                        if (is_write) {
+                            filters.writeBf.insert(line);
+                            at->ctrl.remoteWriteLines[home].insert(line);
+                        } else {
+                            filters.readBf.insert(line);
+                            at->ctrl.remoteReadLines[home].insert(line);
+                        }
+                    }
+                    Tick t = sys_.cycles(
+                        std::int64_t(sys_.config.crcHashCycles) *
+                        std::int64_t(filter_lines.size()));
+                    for (Addr line : fetch_lines)
+                        t += ynode.memory.nicAccess(line).latency / 4;
+                    return t;
+                });
+            if (!blocked)
+                break;
+            co_await sim::Delay{kernel, ns(300)};
+            checkSquash(at);
+        }
+    }
+
+    // The fetched lines now live in the local caches.
+    for (Addr line : fetch_lines) {
+        sys_.node(ctx.node).memory.access(ctx.core, line);
+        if (is_write)
+            at->recordedWr.insert(line);
+        else
+            at->recordedRd.insert(line);
+    }
+    if (is_write) {
+        // Non-fetched (fully written) lines are buffered locally too.
+        for (Addr line : lines)
+            at->recordedWr.insert(line);
+    }
+}
+
+sim::Task
+HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
+{
+    auto &core = coreOf(ctx);
+    auto &node = sys_.node(ctx.node);
+    auto &llc = node.memory.llc();
+    const std::uint64_t id = at->id;
+
+    // --- Step 1: partially lock the local directory --------------------------
+    co_await core.occupy(findTagsLatency());
+    std::vector<Addr> local_write_lines = llc.linesWrittenBy(id);
+    std::sort(local_write_lines.begin(), local_write_lines.end());
+    co_await core.occupy(cycles(8)); // load BFs into the Locking Buffer
+    for (;;) {
+        auto acq = node.lockBank.tryAcquire(id, at->localReadBf,
+                                            at->localWriteBf,
+                                            local_write_lines);
+        if (acq == bloom::AcquireResult::Acquired)
+            break;
+        if (acq == bloom::AcquireResult::Conflict)
+            throw Squashed{SquashReason::LockFailure};
+        // Bank exhausted: wait for a committing transaction to drain.
+        // Commits hold buffers for network round trips, so retrying
+        // faster than a fraction of an RTT just burns simulation events.
+        co_await sim::Delay{sys_.kernel, ns(200)};
+        checkSquash(at);
+    }
+    at->localDirLocked = true;
+
+    // --- Step 2: local data vs. remote transactions -------------------------
+    for (Addr line : local_write_lines) {
+        for (const auto &[k, filters] : node.nic.remote()) {
+            if (k == id)
+                continue;
+            AttemptControl *kc = sys_.router.find(k);
+            if (!kc)
+                continue; // stale filters, cleanup message in flight
+            bool truth_rd = kc->remoteReadsContain(ctx.node, line);
+            bool truth_wr = kc->remoteWritesContain(ctx.node, line);
+            bool hit = probeFilter(filters.readBf, line, truth_rd) ||
+                       probeFilter(filters.writeBf, line, truth_wr);
+            if (!hit)
+                continue;
+            // Charge the squash notification to the victim's node.
+            NodeId victim_node = NodeId((k >> 32) & 0xfff);
+            if (victim_node != ctx.node) {
+                sys_.network.post(MsgType::Squash, ctx.node,
+                                  victim_node, 16, [] {});
+            }
+            if (!squashOrSelfSquash(k, at,
+                                    SquashReason::LazyConflict)) {
+                checkSquash(at); // throws: we squashed ourselves
+            }
+        }
+    }
+    co_await core.occupy(
+        cycles(2 * std::int64_t(local_write_lines.size()) + 10));
+    checkSquash(at);
+
+    // --- Step 3: Intend-to-commit to all involved remote nodes --------------
+    at->acksPending = std::uint32_t(at->nodesInvolved.size());
+    auto &nic4b = node.nic.localState(id);
+    for (NodeId y : at->nodesInvolved) {
+        std::vector<Addr> itc_lines;
+        auto wit = nic4b.writesByNode.find(y);
+        if (wit != nic4b.writesByNode.end()) {
+            for (const auto &range : wit->second)
+                for (Addr l : linesOf(range))
+                    itc_lines.push_back(l);
+            std::sort(itc_lines.begin(), itc_lines.end());
+            itc_lines.erase(
+                std::unique(itc_lines.begin(), itc_lines.end()),
+                itc_lines.end());
+        }
+        sys_.network.post(
+            MsgType::IntendToCommit, ctx.node, y,
+            std::uint32_t(8 * itc_lines.size() + 16),
+            [this, y, at, itc_lines] {
+                handleIntendToCommit(y, at, itc_lines);
+            });
+    }
+    // --- Section V-A: replica updates ride the two-phase commit -----------
+    // Each backup stages the update in temporary durable storage,
+    // persists it, and Acks; a lost update (failure injection) leaves
+    // the Ack count short and the timeout below aborts the transaction.
+    if (sys_.replicas && !at->writeBuffer.empty()) {
+        std::map<NodeId, std::vector<std::pair<std::uint64_t,
+                                               std::int64_t>>>
+            plan;
+        for (const auto &[rec, hv] : at->writeBuffer)
+            for (NodeId b : sys_.replicas->backupsOf(rec, hv.first))
+                plan[b].emplace_back(rec, hv.second);
+        at->acksPending += std::uint32_t(plan.size());
+        const Tick persist = sys_.replicas->config().persistLatency();
+        auto ack = [this, at] {
+            if (at->finished || at->ctrl.squashRequested)
+                return;
+            if (at->acksPending > 0) {
+                at->acksPending -= 1;
+                if (at->acksPending == 0)
+                    at->ctrl.wake.notify(sys_.kernel);
+            }
+        };
+        for (auto &[b, updates] : plan) {
+            at->replicaNodes.insert(b);
+            if (sys_.replicas->injectLoss())
+                continue; // the update never arrives: no Ack
+            const std::uint64_t id_c = id;
+            auto payload = updates;
+            if (b == ctx.node) {
+                sys_.kernel.schedule(persist, [this, at, id_c, payload,
+                                               ack, b] {
+                    auto &store = sys_.replicas->store(b);
+                    for (const auto &[rec, val] : payload)
+                        store.stage(id_c, rec, val);
+                    ack();
+                });
+            } else {
+                NodeId x = ctx.node;
+                sys_.network.post(
+                    MsgType::RdmaWrite, ctx.node, b,
+                    std::uint32_t(payload.size() *
+                                  (layout_.payloadBytes() + 16)),
+                    [this, at, id_c, payload, ack, persist, b, x] {
+                        auto &store = sys_.replicas->store(b);
+                        for (const auto &[rec, val] : payload)
+                            store.stage(id_c, rec, val);
+                        // Persist, then Ack over the wire.
+                        sys_.kernel.schedule(persist, [this, at, ack,
+                                                       b, x] {
+                            sys_.network.post(MsgType::Ack, b, x, 16,
+                                              ack);
+                        });
+                    });
+            }
+        }
+        if (!plan.empty()) {
+            Tick deadline = 4 * sys_.config.netRoundTrip +
+                            2 * persist + us(2);
+            sys_.kernel.schedule(deadline, [this, at] {
+                if (!at->finished && !at->ctrl.uncommittable &&
+                    at->acksPending > 0) {
+                    sys_.router.squash(sys_.kernel, at->id,
+                                       SquashReason::ReplicaTimeout);
+                }
+            });
+        }
+    }
+
+    while (at->acksPending > 0 && !at->ctrl.squashRequested)
+        co_await at->ctrl.wake.wait();
+    checkSquash(at);
+
+    // All Acks received: the transaction can no longer be squashed.
+    at->ctrl.uncommittable = true;
+
+    // --- Step 4: clear local speculative state ------------------------------
+    co_await core.occupy(findTagsLatency());
+    for (const auto &[record, hv] : at->writeBuffer) {
+        if (hv.first == ctx.node)
+            sys_.data.write(record, hv.second);
+    }
+    llc.clearTxTags(id, /*invalidate=*/false);
+
+    // --- Step 5: Validation + updates to the remote nodes --------------------
+    for (NodeId y : at->nodesInvolved) {
+        std::uint32_t bytes = 16;
+        std::vector<std::pair<std::uint64_t, std::int64_t>> updates;
+        for (const auto &[record, hv] : at->writeBuffer) {
+            if (hv.first == y) {
+                updates.emplace_back(record, hv.second);
+                bytes += layout_.payloadLines() * kCacheLineBytes;
+            }
+        }
+        sys_.network.post(
+            MsgType::Validation, ctx.node, y, bytes,
+            [this, y, id, updates] {
+                auto &ynode = sys_.node(y);
+                for (const auto &[record, value] : updates) {
+                    sys_.data.write(record, value);
+                    nicAccessLines(y, sys_.placement.addrOf(record),
+                                   layout_.payloadLines());
+                }
+                ynode.lockBank.release(id);
+                ynode.nic.clearRemoteFilters(id);
+            });
+    }
+
+    // Promote staged replica images to permanent durable storage
+    // (the Validation of Section V-A's two-phase durability).
+    if (sys_.replicas && !at->replicaNodes.empty()) {
+        sys_.replicas->noteCommit();
+        for (NodeId b : at->replicaNodes) {
+            if (b == ctx.node) {
+                sys_.replicas->store(b).promote(id);
+            } else {
+                sys_.network.post(MsgType::Validation, ctx.node, b, 16,
+                                  [this, b, id] {
+                                      sys_.replicas->store(b).promote(
+                                          id);
+                                  });
+            }
+        }
+    }
+
+    // --- Step 6: unlock the local directory and clear local state ------------
+    co_await core.occupy(cycles(6));
+    node.lockBank.release(id);
+    at->localDirLocked = false;
+}
+
+void
+HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
+                              std::vector<Addr> write_lines, int tries)
+{
+    auto &kernel = sys_.kernel;
+    auto &ynode = sys_.node(y);
+    const std::uint64_t id = at->id;
+
+    // The committer may have been squashed while the message was in
+    // flight; in that case its cleanup messages take care of state.
+    if (at->finished || at->ctrl.squashRequested)
+        return;
+
+    // Step 1 (remote): partially lock y's directory for the committer.
+    auto &filters = ynode.nic.remoteFilters(id);
+    bloom::BloomFilter write_filter = filters.writeBf;
+    for (Addr line : write_lines)
+        write_filter.insert(line); // cover fully-written lines too
+    auto acq = ynode.lockBank.tryAcquire(id, filters.readBf,
+                                         write_filter, write_lines);
+    if (acq == bloom::AcquireResult::Conflict) {
+        sys_.router.squash(kernel, id, SquashReason::LockFailure);
+        return;
+    }
+    if (acq == bloom::AcquireResult::NoBuffer) {
+        // Bank exhausted: retry briefly, then squash the committer.
+        // The bound matters: committers hold their local buffers while
+        // waiting here, so unbounded retries could form a distributed
+        // waits-for cycle between exhausted banks.
+        if (tries >= 64) {
+            sys_.router.squash(kernel, id, SquashReason::LockFailure);
+            return;
+        }
+        kernel.schedule(ns(200), [this, y, at, write_lines, tries] {
+            handleIntendToCommit(y, at, write_lines, tries + 1);
+        });
+        return;
+    }
+
+    // Step 2 (remote): conflicts on y's data with any transaction.
+    bool self_squashed = false;
+    for (Addr line : write_lines) {
+        // Other remote transactions with filters at y.
+        for (const auto &[k, kf] : ynode.nic.remote()) {
+            if (k == id)
+                continue;
+            AttemptControl *kc = sys_.router.find(k);
+            if (!kc)
+                continue; // stale filters, cleanup message in flight
+            bool hit =
+                probeFilter(kf.readBf, line,
+                            kc->remoteReadsContain(y, line)) ||
+                probeFilter(kf.writeBf, line,
+                            kc->remoteWritesContain(y, line));
+            if (hit && !squashOrSelfSquash(
+                           k, at, SquashReason::LazyConflict)) {
+                self_squashed = true;
+                break;
+            }
+        }
+        if (self_squashed)
+            break;
+        // Local transactions running at y.
+        for (auto &[oid, other] : localTxns_[y]) {
+            if (oid == id)
+                continue;
+            bool truth_rd = other->ctrl.localReadLines.count(line) != 0;
+            bool truth_wr = other->ctrl.localWriteLines.count(line) != 0;
+            bool hit =
+                probeFilter(other->localReadBf, line, truth_rd) ||
+                probeFilter(other->localWriteBf, line, truth_wr);
+            if (hit && !squashOrSelfSquash(
+                           oid, at, SquashReason::LazyConflict)) {
+                self_squashed = true;
+                break;
+            }
+        }
+        if (self_squashed)
+            break;
+    }
+    if (self_squashed) {
+        ynode.lockBank.release(id);
+        return;
+    }
+
+    // Step 3 (remote): send the Ack after the NIC processing time.
+    Tick work = sys_.cycles(20 + 2 * std::int64_t(write_lines.size()));
+    NodeId x = at->homeNode;
+    kernel.schedule(work, [this, at, x, y] {
+        sys_.network.post(MsgType::Ack, y, x, 16, [this, at] {
+            if (at->finished || at->ctrl.squashRequested)
+                return;
+            if (at->acksPending > 0) {
+                at->acksPending -= 1;
+                if (at->acksPending == 0)
+                    at->ctrl.wake.notify(sys_.kernel);
+            }
+        });
+    });
+}
+
+void
+HadesEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
+{
+    auto &node = sys_.node(ctx.node);
+    const std::uint64_t id = at->id;
+
+    // Invalidate speculative lines and drop all local hardware state.
+    // The Locking Buffer release is unconditional: it also reclaims a
+    // transient read guard if the squash landed mid-read.
+    node.memory.llc().clearTxTags(id, /*invalidate=*/true);
+    node.lockBank.release(id);
+    at->localDirLocked = false;
+    node.nic.clearLocalState(id);
+
+    // Tell every involved remote node to drop our filters/locks.
+    for (NodeId y : at->nodesInvolved) {
+        sys_.network.post(MsgType::Squash, ctx.node, y, 16,
+                          [this, y, id] {
+                              sys_.node(y).lockBank.release(id);
+                              sys_.node(y).nic.clearRemoteFilters(id);
+                          });
+    }
+
+    // Abort message to replica nodes: drop staged images (V-A).
+    if (sys_.replicas && !at->replicaNodes.empty()) {
+        sys_.replicas->noteAbort();
+        for (NodeId b : at->replicaNodes) {
+            if (b == ctx.node) {
+                sys_.replicas->store(b).discard(id);
+            } else {
+                sys_.network.post(
+                    MsgType::Squash, ctx.node, b, 16,
+                    [this, b, id] {
+                        sys_.replicas->store(b).discard(id);
+                    });
+            }
+        }
+    }
+}
+
+sim::Task
+HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
+                     std::uint64_t id, bool &committed)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+
+    auto at = std::make_shared<Attempt>(
+        sys_.config, sys_.node(ctx.node).memory.llc().numSets());
+    at->id = id;
+    at->homeNode = ctx.node;
+    sys_.router.add(id, &at->ctrl);
+    localTxns_[ctx.node][id] = at;
+
+    const Tick exec_start = kernel.now();
+    Tick exec_end = exec_start;
+
+    bool ok = false;
+    try {
+        std::vector<std::int64_t> read_vals;
+        co_await core.occupy(cycles(prog.setupCycles));
+        checkSquash(at);
+
+        for (const auto &req : prog.requests) {
+            co_await core.occupy(cycles(prog.computeCyclesPerRequest));
+            checkSquash(at);
+
+            const NodeId home = sys_.placement.homeOf(req.record);
+            const Addr base = sys_.placement.addrOf(req.record);
+            const std::uint32_t size =
+                req.sizeBytes ? req.sizeBytes
+                              : layoutOf(req, layout_).payloadBytes();
+            AddrRange range{base + req.offsetBytes, size};
+
+            if (req.isIndex && !req.isWrite) {
+                // Client-cached read-only index structures need no
+                // conflict tracking (see TxnEngine::indexRead).
+                co_await indexRead(ctx, home, range);
+            } else if (home == ctx.node) {
+                co_await localAccess(ctx, at, range, req.isWrite);
+            } else {
+                co_await remoteAccess(ctx, at, home, range,
+                                      req.isWrite);
+            }
+            checkSquash(at);
+
+            if (req.isWrite) {
+                std::int64_t value =
+                    req.derivedFromReadIdx >= 0
+                        ? read_vals[std::size_t(
+                              req.derivedFromReadIdx)] +
+                              req.delta
+                        : req.delta;
+                at->writeBuffer[req.record] = {home, value};
+            } else if (!req.isIndex) {
+                // Index reads return structure pointers, not values;
+                // keep read_vals indices consistent across engines.
+                auto wit = at->writeBuffer.find(req.record);
+                read_vals.push_back(wit != at->writeBuffer.end()
+                                        ? wit->second.second
+                                        : sys_.data.read(req.record));
+            }
+        }
+        exec_end = kernel.now();
+
+        // recordedRd/Wr span local and remote lines: they are the full
+        // per-transaction footprint (Section VIII-C quotes <=76 / <=40).
+        stats_.maxLinesRead = std::max(
+            stats_.maxLinesRead, std::uint64_t(at->recordedRd.size()));
+        stats_.maxLinesWritten = std::max(
+            stats_.maxLinesWritten, std::uint64_t(at->recordedWr.size()));
+
+        co_await commit(ctx, at);
+        ok = true;
+    } catch (const Squashed &sq) {
+        stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
+                                                  : sq.reason);
+        cleanupAborted(ctx, at);
+    }
+
+    at->finished = true;
+    sys_.router.remove(id);
+    localTxns_[ctx.node].erase(id);
+
+    if (ok) {
+        sys_.node(ctx.node).nic.clearLocalState(id);
+        stats_.execPhase.add(double(exec_end - exec_start));
+        stats_.validationPhase.add(double(kernel.now() - exec_end));
+        committed = true;
+    }
+}
+
+sim::Task
+HadesEngine::attemptPessimistic(ExecCtx ctx, const txn::TxnProgram &prog)
+{
+    // Livelock escape (Section VI): after repeated squashes the
+    // transaction acquires a cluster-wide token that serializes all
+    // fallback transactions, then retries without the squash cap. The
+    // paper instead pre-locks all data; the token models the same
+    // "guaranteed progress" property with the hardware we already have.
+    while (tokenBusy_)
+        co_await sim::Delay{sys_.kernel, us(1)};
+    tokenBusy_ = true;
+    for (;;) {
+        stats_.attempts += 1;
+        std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);
+        std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
+        bool committed = false;
+        co_await attempt(ctx, prog, id, committed);
+        if (committed)
+            break;
+        co_await sim::Delay{sys_.kernel, backoff(4)};
+    }
+    tokenBusy_ = false;
+}
+
+} // namespace hades::protocol

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The hardware-only HADES protocol engine (Section V-A, Table II).
+ *
+ * Per transaction attempt the engine maintains the hardware the paper
+ * adds: a Local read BF and a split Local write BF (Module 3), the
+ * Recorded RD/WR filter bits (Module 1, modeled as exact sets), WrTX ID
+ * tags in the home node's LLC directory (Module 2), Remote read/write
+ * BFs in the NICs of remote nodes (Module 4a), and the per-transaction
+ * remote-write tables in the local NIC (Module 4b).
+ *
+ * Conflict policy (Section IV-B): L-L conflicts are detected eagerly at
+ * access time (the second accessor squashes itself); conflicts with at
+ * least one remote access are detected lazily when the first transaction
+ * commits (the committer squashes the other).
+ *
+ * Model notes (documented deviations):
+ *  - Squash notifications act on the victim's control block at the
+ *    instant a conflict is detected (the wire message is still charged
+ *    for traffic accounting). With in-flight squashes, the paper's
+ *    protocol has a narrow window where two mutually-conflicting commits
+ *    could cross; instantaneous delivery closes it. A committer that
+ *    finds its victim already uncommittable squashes itself instead.
+ *  - The Locking Buffer copy installed by a remote commit includes the
+ *    Intend-to-commit address list in addition to RemoteWriteBF, so
+ *    fully-written lines (which the paper deliberately keeps out of the
+ *    write BF) are also protected during the commit window.
+ */
+
+#ifndef HADES_PROTOCOL_HADES_HH_
+#define HADES_PROTOCOL_HADES_HH_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.hh"
+#include "bloom/split_write_bloom.hh"
+#include "protocol/engine.hh"
+
+namespace hades::protocol
+{
+
+/** Hardware-only HADES engine. */
+class HadesEngine : public TxnEngine
+{
+  public:
+    HadesEngine(System &sys, std::uint32_t payload_bytes);
+    ~HadesEngine() override;
+
+    EngineKind kind() const override { return EngineKind::Hades; }
+
+    std::uint32_t
+    recordBytes(std::uint32_t payload_bytes) const override
+    {
+        // HADES needs no record metadata (Table I row 2).
+        return txn::RecordLayout{payload_bytes}.hwBytes();
+    }
+
+    sim::Task run(ExecCtx ctx, const txn::TxnProgram &prog) override;
+
+  private:
+    /** Live hardware state of one attempt. */
+    struct Attempt
+    {
+        Attempt(const ClusterConfig &cfg, std::uint64_t llc_sets)
+            : localReadBf(cfg.coreReadBf.bits, cfg.coreReadBf.numHashes),
+              localWriteBf(cfg.coreWriteBf, llc_sets)
+        {}
+
+        AttemptControl ctrl;
+        bloom::BloomFilter localReadBf;
+        bloom::SplitWriteBloomFilter localWriteBf;
+        /** Module 1 Recorded RD/WR bits + locally-cached remote lines. */
+        std::unordered_set<Addr> recordedRd, recordedWr;
+        /** Buffered writes: record -> (home, value). */
+        std::unordered_map<std::uint64_t, std::pair<NodeId, std::int64_t>>
+            writeBuffer;
+        /** Remote nodes this attempt touched (Module 4b lower struct). */
+        std::set<NodeId> nodesInvolved;
+        /** Backup nodes holding staged replica updates (Section V-A). */
+        std::set<NodeId> replicaNodes;
+        std::uint32_t acksPending = 0;
+        bool localDirLocked = false;
+        bool finished = false;
+        std::uint64_t id = 0; //!< packed gid | epoch (WrTX ID value)
+        NodeId homeNode = 0;
+    };
+
+    using AttemptPtr = std::shared_ptr<Attempt>;
+
+    /** One optimistic attempt; sets @p committed. */
+    sim::Task attempt(ExecCtx ctx, const txn::TxnProgram &prog,
+                      std::uint64_t id, bool &committed);
+
+    /** Pessimistic fallback after repeated squashes (Section VI). */
+    sim::Task attemptPessimistic(ExecCtx ctx,
+                                 const txn::TxnProgram &prog);
+
+    /** Timed local read/write with eager L-L conflict detection. */
+    sim::Task localAccess(ExecCtx ctx, AttemptPtr at, AddrRange range,
+                          bool is_write);
+
+    /** Timed remote read/write (RDMA + NIC BF insertion at the home). */
+    sim::Task remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
+                           AddrRange range, bool is_write);
+
+    /** The commit sequence of Table II (both sides). */
+    sim::Task commit(ExecCtx ctx, AttemptPtr at);
+
+    /** Process an Intend-to-commit at remote node @p y (NIC offload).
+     *  @p tries counts NoBuffer retries: a bounded number of retries
+     *  breaks distributed waits-for cycles on exhausted banks (the
+     *  committer is squashed, releasing its own buffers). */
+    void handleIntendToCommit(NodeId y, AttemptPtr at,
+                              std::vector<Addr> write_lines,
+                              int tries = 0);
+
+    /** Undo all speculative state of a squashed/finished attempt. */
+    void cleanupAborted(ExecCtx ctx, AttemptPtr at);
+
+    /** Throw Squashed if the attempt has a pending squash request. */
+    static void
+    checkSquash(const AttemptPtr &at)
+    {
+        if (at->ctrl.squashRequested)
+            throw Squashed{at->ctrl.reason};
+    }
+
+    /** Probe one BF and account the check + false positives. */
+    bool probeFilter(const bloom::AddressFilter &bf, Addr line,
+                     bool truth);
+
+    /**
+     * Squash transaction @p victim; if it is uncommittable, squash
+     * @p fallback_self instead (conservative ordering rule).
+     * @return false if the caller itself had to be squashed.
+     */
+    bool squashOrSelfSquash(std::uint64_t victim,
+                            const AttemptPtr &fallback_self,
+                            txn::SquashReason why);
+
+    /** Registry of running local attempts, per node (Module 3 bank). */
+    std::vector<std::unordered_map<std::uint64_t, AttemptPtr>> localTxns_;
+
+    /** Next per-context attempt epoch (keys WrTX IDs uniquely). */
+    std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
+
+    /** Cluster-wide pessimistic-fallback token (Section VI). */
+    bool tokenBusy_ = false;
+
+    txn::RecordLayout layout_;
+};
+
+} // namespace hades::protocol
+
+#endif // HADES_PROTOCOL_HADES_HH_

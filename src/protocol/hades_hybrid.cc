@@ -1,0 +1,699 @@
+#include "protocol/hades_hybrid.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hades::protocol
+{
+
+using net::MsgType;
+using txn::Overhead;
+using txn::SquashReason;
+
+namespace
+{
+
+std::vector<Addr>
+linesOf(AddrRange range)
+{
+    std::vector<Addr> out;
+    for (Addr l = range.firstLine(); l <= range.lastLine();
+         l += kCacheLineBytes)
+        out.push_back(l);
+    return out;
+}
+
+constexpr unsigned kEpochShift = 48;
+
+} // namespace
+
+HadesHybridEngine::HadesHybridEngine(System &sys,
+                                     std::uint32_t payload_bytes)
+    : TxnEngine(sys), layout_(payload_bytes)
+{}
+
+bool
+HadesHybridEngine::probeFilter(const bloom::AddressFilter &bf, Addr line,
+                               bool truth)
+{
+    stats_.bfConflictChecks += 1;
+    bool hit = bf.mayContain(line);
+    if (hit && !truth)
+        stats_.bfFalsePositives += 1;
+    return hit;
+}
+
+bool
+HadesHybridEngine::squashOrSelfSquash(std::uint64_t victim,
+                                      const AttemptPtr &fallback_self,
+                                      txn::SquashReason why)
+{
+    auto outcome = sys_.router.squash(sys_.kernel, victim, why);
+    if (outcome == SquashOutcome::Uncommittable) {
+        sys_.router.squash(sys_.kernel, fallback_self->id, why);
+        return false;
+    }
+    return true;
+}
+
+std::vector<Addr>
+HadesHybridEngine::recordLines(std::uint64_t record) const
+{
+    Addr base = sys_.placement.addrOf(record);
+    std::vector<Addr> out;
+    for (std::uint32_t i = 0; i < layout_.swLines(); ++i)
+        out.push_back(lineAddr(base) + Addr{i} * kCacheLineBytes);
+    return out;
+}
+
+sim::Task
+HadesHybridEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
+{
+    const Tick start = sys_.kernel.now();
+    sys_.tracer.log(start, sim::TraceEvent::TxnStart, ctx.packed(),
+                    ctx.node);
+    std::uint32_t squash_count = 0;
+    for (;;) {
+        stats_.attempts += 1;
+        std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);
+        std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
+        bool committed = false;
+        co_await attempt(ctx, prog, id, committed);
+        if (committed)
+            break;
+        squash_count += 1;
+        if (squash_count >= sys_.config.maxSquashesBeforeLockMode) {
+            stats_.lockModeFallbacks += 1;
+            co_await attemptPessimistic(ctx, prog);
+            break;
+        }
+        co_await sim::Delay{sys_.kernel, backoff(squash_count)};
+    }
+    stats_.committed += 1;
+    stats_.latency.add(std::uint64_t(sys_.kernel.now() - start));
+    sys_.tracer.log(sys_.kernel.now(), sim::TraceEvent::TxnCommit,
+                    ctx.packed(), ctx.node);
+}
+
+sim::Task
+HadesHybridEngine::localAccess(ExecCtx ctx, AttemptPtr at,
+                               const txn::Request &req,
+                               std::vector<std::int64_t> &read_vals)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+    auto &node = sys_.node(ctx.node);
+    const auto &costs = sys_.config.costs;
+    const Addr base = sys_.placement.addrOf(req.record);
+    const txn::RecordLayout lay = layoutOf(req, layout_);
+    const std::uint32_t record_lines = lay.swLines();
+
+    // Software accesses still traverse the directory when they miss in
+    // the private caches, so a partially locked directory stalls them.
+    int stall_guard = 0;
+    while (node.lockBank.accessBlocked(lineAddr(base), req.isWrite,
+                                       at->id)) {
+        co_await sim::Delay{kernel, cycles(sys_.config.llcCycles)};
+        checkSquash(at);
+        always_assert(++stall_guard < 1000000,
+                      "HADES-H local access stall did not resolve");
+    }
+
+    if (req.isWrite) {
+        std::int64_t value =
+            req.derivedFromReadIdx >= 0
+                ? read_vals[std::size_t(req.derivedFromReadIdx)] +
+                      req.delta
+                : req.delta;
+        auto it = std::find_if(at->localWrites.begin(),
+                               at->localWrites.end(),
+                               [&](const LocalWriteEntry &w) {
+                                   return w.record == req.record;
+                               });
+        if (it != at->localWrites.end()) {
+            co_await core.occupy(cycles(costs.setWalkCycles));
+            it->value = value;
+            co_return;
+        }
+
+        // RD before WR at record granularity.
+        Tick t0 = kernel.now();
+        co_await core.occupy(
+            accessLines(ctx.node, ctx.core, base, record_lines));
+        stats_.addOverhead(Overhead::RdBeforeWr, kernel.now() - t0);
+
+        const auto m = node.versions.peek(req.record);
+        t0 = kernel.now();
+        co_await core.occupy(
+            cycles(costs.setInsertCycles +
+                   copyCycles(lay.payloadBytes())));
+        stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
+        at->localWrites.push_back(
+            LocalWriteEntry{req.record, m.version, value});
+    } else {
+        auto wit = std::find_if(at->localWrites.begin(),
+                                at->localWrites.end(),
+                                [&](const LocalWriteEntry &w) {
+                                    return w.record == req.record;
+                                });
+        if (wit != at->localWrites.end()) {
+            co_await core.occupy(cycles(costs.setWalkCycles));
+            read_vals.push_back(wit->value);
+            co_return;
+        }
+
+        co_await core.occupy(
+            accessLines(ctx.node, ctx.core, base, record_lines));
+        const auto m = node.versions.peek(req.record);
+        std::int64_t value = sys_.data.read(req.record);
+
+        // Read atomicity: per-line version compares + copy-out.
+        Tick t0 = kernel.now();
+        co_await core.occupy(cycles(
+            std::int64_t(costs.atomicityCheckPerLineCycles) *
+                lay.payloadLines() +
+            copyCycles(lay.payloadBytes())));
+        stats_.addOverhead(Overhead::ReadAtomicity, kernel.now() - t0);
+
+        if (!req.isIndex) {
+            t0 = kernel.now();
+            co_await core.occupy(cycles(costs.setInsertCycles));
+            stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
+            at->localReads.push_back(
+                LocalReadEntry{req.record, m.version});
+            read_vals.push_back(value);
+        }
+    }
+}
+
+sim::Task
+HadesHybridEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
+                                AddrRange range, bool is_write)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+    const auto lines = linesOf(range);
+
+    bool all_cached = true;
+    for (Addr line : lines) {
+        bool cached = is_write ? at->recordedWr.count(line) != 0
+                               : (at->recordedRd.count(line) != 0 ||
+                                  at->recordedWr.count(line) != 0);
+        all_cached &= cached;
+    }
+    if (all_cached) {
+        for (Addr line : lines)
+            co_await core.occupy(
+                sys_.node(ctx.node).memory.access(ctx.core, line)
+                    .latency);
+        co_return;
+    }
+
+    at->nodesInvolved.insert(home);
+    auto &nic4b = sys_.node(ctx.node).nic.localState(at->id);
+    nic4b.nodesInvolved.insert(home);
+
+    std::vector<Addr> filter_lines;
+    std::vector<Addr> fetch_lines;
+    if (is_write) {
+        for (Addr line : lines) {
+            bool full = line >= range.base &&
+                        line + kCacheLineBytes <= range.end();
+            if (!full) {
+                filter_lines.push_back(line);
+                fetch_lines.push_back(line);
+            }
+        }
+        nic4b.writesByNode[home].push_back(range);
+        nic4b.bufferedBytes += range.bytes;
+    } else {
+        filter_lines = lines;
+        fetch_lines = lines;
+    }
+
+    if (!fetch_lines.empty()) {
+        co_await core.occupy(cycles(sys_.config.costs.rdmaPostCycles));
+        for (;;) {
+            bool blocked = false;
+            co_await sys_.network.roundTrip(
+                MsgType::RdmaRead, ctx.node, home, 24,
+                std::uint32_t(fetch_lines.size()) * kCacheLineBytes,
+                [&]() -> Tick {
+                    auto &ynode = sys_.node(home);
+                    for (Addr line : lines) {
+                        if (ynode.lockBank.accessBlocked(line, is_write,
+                                                         at->id)) {
+                            blocked = true;
+                            return sys_.cycles(20);
+                        }
+                    }
+                    auto &filters = ynode.nic.remoteFilters(at->id);
+                    for (Addr line : filter_lines) {
+                        if (is_write) {
+                            filters.writeBf.insert(line);
+                            at->ctrl.remoteWriteLines[home].insert(line);
+                        } else {
+                            filters.readBf.insert(line);
+                            at->ctrl.remoteReadLines[home].insert(line);
+                        }
+                    }
+                    Tick t = sys_.cycles(
+                        std::int64_t(sys_.config.crcHashCycles) *
+                        std::int64_t(filter_lines.size()));
+                    for (Addr line : fetch_lines)
+                        t += ynode.memory.nicAccess(line).latency / 4;
+                    return t;
+                });
+            if (!blocked)
+                break;
+            co_await sim::Delay{kernel, ns(300)};
+            checkSquash(at);
+        }
+    }
+
+    for (Addr line : fetch_lines) {
+        sys_.node(ctx.node).memory.access(ctx.core, line);
+        if (is_write)
+            at->recordedWr.insert(line);
+        else
+            at->recordedRd.insert(line);
+    }
+    if (is_write) {
+        for (Addr line : lines)
+            at->recordedWr.insert(line);
+    }
+}
+
+sim::Task
+HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+    auto &node = sys_.node(ctx.node);
+    const auto &costs = sys_.config.costs;
+    const std::uint64_t id = at->id;
+
+    // --- Build the NIC-resident local BFs from the software sets ------------
+    std::vector<Addr> local_write_lines;
+    {
+        std::uint32_t hashed = 0;
+        for (const auto &r : at->localReads) {
+            for (Addr line : recordLines(r.record)) {
+                at->nicLocalReadBf.insert(line);
+                at->ctrl.localReadLines.insert(line);
+                ++hashed;
+            }
+        }
+        for (const auto &w : at->localWrites) {
+            for (Addr line : recordLines(w.record)) {
+                at->nicLocalWriteBf.insert(line);
+                at->ctrl.localWriteLines.insert(line);
+                local_write_lines.push_back(line);
+                ++hashed;
+            }
+        }
+        // Software passes the addresses to the NIC; the NIC hashes them.
+        co_await core.occupy(
+            cycles(costs.rdmaPostCycles +
+                   std::int64_t(sys_.config.crcHashCycles) * hashed));
+        checkSquash(at);
+    }
+
+    // --- Partially lock the local directory ---------------------------------
+    for (;;) {
+        auto acq = node.lockBank.tryAcquire(id, at->nicLocalReadBf,
+                                            at->nicLocalWriteBf,
+                                            local_write_lines);
+        if (acq == bloom::AcquireResult::Acquired)
+            break;
+        if (acq == bloom::AcquireResult::Conflict)
+            throw Squashed{SquashReason::LockFailure};
+        co_await sim::Delay{sys_.kernel, ns(200)};
+        checkSquash(at);
+    }
+    at->localDirLocked = true;
+
+    // --- L-R conflicts: LocalWriteBF vs the NIC's remote filters -------------
+    for (Addr line : local_write_lines) {
+        for (const auto &[k, filters] : node.nic.remote()) {
+            if (k == id)
+                continue;
+            AttemptControl *kc = sys_.router.find(k);
+            if (!kc)
+                continue;
+            bool hit =
+                probeFilter(filters.readBf, line,
+                            kc->remoteReadsContain(ctx.node, line)) ||
+                probeFilter(filters.writeBf, line,
+                            kc->remoteWritesContain(ctx.node, line));
+            if (!hit)
+                continue;
+            NodeId victim_node = NodeId((k >> 32) & 0xfff);
+            if (victim_node != ctx.node)
+                sys_.network.post(MsgType::Squash, ctx.node,
+                                  victim_node, 16, [] {});
+            if (!squashOrSelfSquash(k, at,
+                                    SquashReason::LazyConflict)) {
+                checkSquash(at);
+            }
+        }
+    }
+    co_await core.occupy(
+        cycles(2 * std::int64_t(local_write_lines.size()) + 10));
+    checkSquash(at);
+
+    // --- Intend-to-commit to involved remote nodes ---------------------------
+    at->acksPending = std::uint32_t(at->nodesInvolved.size());
+    auto &nic4b = node.nic.localState(id);
+    for (NodeId y : at->nodesInvolved) {
+        std::vector<Addr> itc_lines;
+        auto wit = nic4b.writesByNode.find(y);
+        if (wit != nic4b.writesByNode.end()) {
+            for (const auto &range : wit->second)
+                for (Addr l : linesOf(range))
+                    itc_lines.push_back(l);
+            std::sort(itc_lines.begin(), itc_lines.end());
+            itc_lines.erase(
+                std::unique(itc_lines.begin(), itc_lines.end()),
+                itc_lines.end());
+        }
+        sys_.network.post(
+            MsgType::IntendToCommit, ctx.node, y,
+            std::uint32_t(8 * itc_lines.size() + 16),
+            [this, y, at, itc_lines] {
+                handleIntendToCommit(y, at, itc_lines);
+            });
+    }
+    while (at->acksPending > 0 && !at->ctrl.squashRequested)
+        co_await at->ctrl.wake.wait();
+    checkSquash(at);
+
+    // --- Local Validation (software, Section V-D) ----------------------------
+    {
+        Tick t0 = kernel.now();
+        bool failed = false;
+        for (const auto &r : at->localReads) {
+            Addr base = sys_.placement.addrOf(r.record);
+            if (node.lockBank.accessBlocked(lineAddr(base), false, id)) {
+                failed = true; // another commit owns these lines
+                break;
+            }
+            co_await core.occupy(
+                accessLines(ctx.node, ctx.core, base, 1) +
+                cycles(costs.versionCompareCycles));
+            if (node.versions.peek(r.record).version != r.version) {
+                failed = true;
+                break;
+            }
+        }
+        if (!failed) {
+            for (const auto &w : at->localWrites) {
+                Addr base = sys_.placement.addrOf(w.record);
+                co_await core.occupy(
+                    accessLines(ctx.node, ctx.core, base, 1) +
+                    cycles(costs.versionCompareCycles));
+                if (node.versions.peek(w.record).version != w.version) {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        stats_.addOverhead(Overhead::ConflictDetection,
+                           kernel.now() - t0);
+        checkSquash(at);
+        if (failed)
+            throw Squashed{SquashReason::ValidationFailure};
+    }
+
+    // Serialization point: the transaction can no longer fail.
+    at->ctrl.uncommittable = true;
+
+    // --- Apply local updates (atomic instant), then charge the time ----------
+    {
+        Tick apply_ticks = 0;
+        Tick t_version = 0;
+        for (const auto &w : at->localWrites) {
+            sys_.data.write(w.record, w.value);
+            node.versions.bumpVersion(w.record);
+            apply_ticks += accessLines(ctx.node, ctx.core,
+                                       sys_.placement.addrOf(w.record),
+                                       layout_.payloadLines());
+            apply_ticks += cycles(copyCycles(layout_.payloadBytes()));
+            t_version += cycles(costs.versionUpdateCycles);
+        }
+        stats_.addOverhead(Overhead::UpdateVersion, t_version);
+        co_await core.occupy(apply_ticks + t_version);
+    }
+
+    // --- Validation + updates to remote nodes --------------------------------
+    for (NodeId y : at->nodesInvolved) {
+        std::uint32_t bytes = 16;
+        std::vector<std::pair<std::uint64_t, std::int64_t>> updates;
+        for (const auto &[record, hv] : at->remoteWriteBuffer) {
+            if (hv.first == y) {
+                updates.emplace_back(record, hv.second);
+                bytes += layout_.payloadLines() * kCacheLineBytes;
+            }
+        }
+        sys_.network.post(
+            MsgType::Validation, ctx.node, y, bytes,
+            [this, y, id, updates] {
+                auto &ynode = sys_.node(y);
+                for (const auto &[record, value] : updates) {
+                    sys_.data.write(record, value);
+                    // Bump the version so software Local Validations of
+                    // transactions at y that read this record fail.
+                    ynode.versions.bumpVersion(record);
+                    nicAccessLines(y, sys_.placement.addrOf(record),
+                                   layout_.payloadLines());
+                }
+                ynode.lockBank.release(id);
+                ynode.nic.clearRemoteFilters(id);
+            });
+    }
+
+    // --- Unlock and clear ------------------------------------------------------
+    co_await core.occupy(cycles(6));
+    node.lockBank.release(id);
+    at->localDirLocked = false;
+}
+
+void
+HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
+                              std::vector<Addr> write_lines, int tries)
+{
+    auto &kernel = sys_.kernel;
+    auto &ynode = sys_.node(y);
+    const std::uint64_t id = at->id;
+
+    if (at->finished || at->ctrl.squashRequested)
+        return;
+
+    auto &filters = ynode.nic.remoteFilters(id);
+    bloom::BloomFilter write_filter = filters.writeBf;
+    for (Addr line : write_lines)
+        write_filter.insert(line);
+    auto acq = ynode.lockBank.tryAcquire(id, filters.readBf,
+                                         write_filter, write_lines);
+    if (acq == bloom::AcquireResult::Conflict) {
+        sys_.router.squash(kernel, id, SquashReason::LockFailure);
+        return;
+    }
+    if (acq == bloom::AcquireResult::NoBuffer) {
+        if (tries >= 64) {
+            sys_.router.squash(kernel, id, SquashReason::LockFailure);
+            return;
+        }
+        kernel.schedule(ns(200), [this, y, at, write_lines, tries] {
+            handleIntendToCommit(y, at, write_lines, tries + 1);
+        });
+        return;
+    }
+
+    // Conflicts with other *remote* transactions only: local HADES-H
+    // transactions have no standing BFs; they self-detect during their
+    // own Local Validation ("y will return an Ack to i without checking
+    // for conflicts with local transactions").
+    bool self_squashed = false;
+    for (Addr line : write_lines) {
+        for (const auto &[k, kf] : ynode.nic.remote()) {
+            if (k == id)
+                continue;
+            AttemptControl *kc = sys_.router.find(k);
+            if (!kc)
+                continue;
+            bool hit =
+                probeFilter(kf.readBf, line,
+                            kc->remoteReadsContain(y, line)) ||
+                probeFilter(kf.writeBf, line,
+                            kc->remoteWritesContain(y, line));
+            if (hit && !squashOrSelfSquash(
+                           k, at, SquashReason::LazyConflict)) {
+                self_squashed = true;
+                break;
+            }
+        }
+        if (self_squashed)
+            break;
+    }
+    if (self_squashed) {
+        ynode.lockBank.release(id);
+        return;
+    }
+
+    Tick work = sys_.cycles(20 + 2 * std::int64_t(write_lines.size()));
+    NodeId x = at->homeNode;
+    kernel.schedule(work, [this, at, x, y] {
+        sys_.network.post(MsgType::Ack, y, x, 16, [this, at] {
+            if (at->finished || at->ctrl.squashRequested)
+                return;
+            if (at->acksPending > 0) {
+                at->acksPending -= 1;
+                if (at->acksPending == 0)
+                    at->ctrl.wake.notify(sys_.kernel);
+            }
+        });
+    });
+}
+
+void
+HadesHybridEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
+{
+    auto &node = sys_.node(ctx.node);
+    const std::uint64_t id = at->id;
+
+    node.lockBank.release(id); // unconditional: also reclaims guards
+    at->localDirLocked = false;
+    node.nic.clearLocalState(id);
+
+    for (NodeId y : at->nodesInvolved) {
+        sys_.network.post(MsgType::Squash, ctx.node, y, 16,
+                          [this, y, id] {
+                              sys_.node(y).lockBank.release(id);
+                              sys_.node(y).nic.clearRemoteFilters(id);
+                          });
+    }
+}
+
+sim::Task
+HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
+                           std::uint64_t id, bool &committed)
+{
+    auto &kernel = sys_.kernel;
+    auto &core = coreOf(ctx);
+
+    auto at = std::make_shared<Attempt>(sys_.config);
+    at->id = id;
+    at->homeNode = ctx.node;
+    sys_.router.add(id, &at->ctrl);
+
+    const Tick exec_start = kernel.now();
+    Tick exec_end = exec_start;
+
+    bool ok = false;
+    try {
+        std::vector<std::int64_t> read_vals;
+        co_await core.occupy(cycles(prog.setupCycles));
+        checkSquash(at);
+
+        for (const auto &req : prog.requests) {
+            co_await core.occupy(cycles(prog.computeCyclesPerRequest));
+            checkSquash(at);
+
+            const NodeId home = sys_.placement.homeOf(req.record);
+            if (req.isIndex && !req.isWrite) {
+                const txn::RecordLayout lay = layoutOf(req, layout_);
+                co_await indexRead(
+                    ctx, home,
+                    AddrRange{sys_.placement.addrOf(req.record),
+                              lay.swBytes()});
+                if (home == ctx.node) {
+                    // The software local path still pays the node
+                    // consistency check.
+                    Tick ti = kernel.now();
+                    co_await coreOf(ctx).occupy(cycles(
+                        std::int64_t(sys_.config.costs
+                                         .atomicityCheckPerLineCycles) *
+                        lay.payloadLines()));
+                    stats_.addOverhead(Overhead::ReadAtomicity,
+                                       kernel.now() - ti);
+                }
+            } else if (home == ctx.node) {
+                co_await localAccess(ctx, at, req, read_vals);
+            } else {
+                const Addr base =
+                    sys_.placement.addrOf(req.record) +
+                    layoutOf(req, layout_).swPayloadOffset();
+                const std::uint32_t size =
+                    req.sizeBytes
+                        ? req.sizeBytes
+                        : layoutOf(req, layout_).payloadBytes();
+                AddrRange range{base + req.offsetBytes, size};
+                co_await remoteAccess(ctx, at, home, range,
+                                      req.isWrite);
+                if (req.isWrite) {
+                    std::int64_t value =
+                        req.derivedFromReadIdx >= 0
+                            ? read_vals[std::size_t(
+                                  req.derivedFromReadIdx)] +
+                                  req.delta
+                            : req.delta;
+                    at->remoteWriteBuffer[req.record] = {home, value};
+                } else if (!req.isIndex) {
+                    auto wit = at->remoteWriteBuffer.find(req.record);
+                    read_vals.push_back(
+                        wit != at->remoteWriteBuffer.end()
+                            ? wit->second.second
+                            : sys_.data.read(req.record));
+                }
+            }
+            checkSquash(at);
+        }
+        exec_end = kernel.now();
+
+        stats_.maxLinesRead = std::max(
+            stats_.maxLinesRead, std::uint64_t(at->recordedRd.size()));
+        stats_.maxLinesWritten = std::max(
+            stats_.maxLinesWritten, std::uint64_t(at->recordedWr.size()));
+
+        co_await commit(ctx, at);
+        ok = true;
+    } catch (const Squashed &sq) {
+        stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
+                                                  : sq.reason);
+        cleanupAborted(ctx, at);
+    }
+
+    at->finished = true;
+    sys_.router.remove(id);
+
+    if (ok) {
+        sys_.node(ctx.node).nic.clearLocalState(id);
+        stats_.execPhase.add(double(exec_end - exec_start));
+        stats_.validationPhase.add(double(kernel.now() - exec_end));
+        committed = true;
+    }
+}
+
+sim::Task
+HadesHybridEngine::attemptPessimistic(ExecCtx ctx,
+                                      const txn::TxnProgram &prog)
+{
+    while (tokenBusy_)
+        co_await sim::Delay{sys_.kernel, us(1)};
+    tokenBusy_ = true;
+    for (;;) {
+        stats_.attempts += 1;
+        std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);
+        std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
+        bool committed = false;
+        co_await attempt(ctx, prog, id, committed);
+        if (committed)
+            break;
+        co_await sim::Delay{sys_.kernel, backoff(4)};
+    }
+    tokenBusy_ = false;
+}
+
+} // namespace hades::protocol

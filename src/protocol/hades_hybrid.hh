@@ -1,0 +1,148 @@
+/**
+ * @file
+ * HADES-H: the hybrid hardware-software protocol of Section V-D.
+ *
+ * Remote operations use the HADES NIC hardware (cache-line granularity,
+ * Remote read/write BFs in the home node's NIC, Intend-to-commit / Ack /
+ * Validation verbs). Local operations run in software exactly like
+ * SW-Impl: records are augmented as in Figure 1, local reads/writes are
+ * tracked at record granularity in Read and Write sets, and local
+ * conflicts are found by a software Local Validation (version re-reads)
+ * after all Acks arrive.
+ *
+ * Of the processor-side hardware only the partial directory-locking
+ * primitive survives: at commit the local record addresses are passed
+ * to the NIC, which builds the equivalent of LocalRead/WriteBF and
+ * installs them in a Locking Buffer.
+ */
+
+#ifndef HADES_PROTOCOL_HADES_HYBRID_HH_
+#define HADES_PROTOCOL_HADES_HYBRID_HH_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/bloom_filter.hh"
+#include "protocol/engine.hh"
+
+namespace hades::protocol
+{
+
+/** Hybrid HW/SW engine (HADES-H). */
+class HadesHybridEngine : public TxnEngine
+{
+  public:
+    HadesHybridEngine(System &sys, std::uint32_t payload_bytes);
+
+    EngineKind kind() const override { return EngineKind::HadesHybrid; }
+
+    std::uint32_t
+    recordBytes(std::uint32_t payload_bytes) const override
+    {
+        // Local operations are software: records carry Figure 1 metadata.
+        return txn::RecordLayout{payload_bytes}.swBytes();
+    }
+
+    sim::Task run(ExecCtx ctx, const txn::TxnProgram &prog) override;
+
+  private:
+    struct LocalReadEntry
+    {
+        std::uint64_t record;
+        std::uint64_t version;
+    };
+
+    struct LocalWriteEntry
+    {
+        std::uint64_t record;
+        std::uint64_t version;
+        std::int64_t value;
+    };
+
+    struct Attempt
+    {
+        explicit Attempt(const ClusterConfig &cfg)
+            : nicLocalReadBf(cfg.nicReadBf.bits, cfg.nicReadBf.numHashes),
+              nicLocalWriteBf(cfg.nicWriteBf.bits,
+                              cfg.nicWriteBf.numHashes)
+        {}
+
+        AttemptControl ctrl;
+        // Software local path (record granularity).
+        std::vector<LocalReadEntry> localReads;
+        std::vector<LocalWriteEntry> localWrites;
+        // Hardware remote path (line granularity).
+        std::unordered_set<Addr> recordedRd, recordedWr;
+        std::unordered_map<std::uint64_t,
+                           std::pair<NodeId, std::int64_t>>
+            remoteWriteBuffer;
+        std::set<NodeId> nodesInvolved;
+        // NIC-built local filters, populated at commit time.
+        bloom::BloomFilter nicLocalReadBf;
+        bloom::BloomFilter nicLocalWriteBf;
+        std::unordered_set<Addr> localReadLinesExact;
+        std::unordered_set<Addr> localWriteLinesExact;
+        std::uint32_t acksPending = 0;
+        bool localDirLocked = false;
+        bool finished = false;
+        std::uint64_t id = 0;
+        NodeId homeNode = 0;
+    };
+
+    using AttemptPtr = std::shared_ptr<Attempt>;
+
+    sim::Task attempt(ExecCtx ctx, const txn::TxnProgram &prog,
+                      std::uint64_t id, bool &committed);
+    sim::Task attemptPessimistic(ExecCtx ctx,
+                                 const txn::TxnProgram &prog);
+
+    /** Software local read/write at record granularity (SW-Impl path). */
+    sim::Task localAccess(ExecCtx ctx, AttemptPtr at,
+                          const txn::Request &req,
+                          std::vector<std::int64_t> &read_vals);
+
+    /** Hardware remote read/write (same behaviour as HADES). */
+    sim::Task remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
+                           AddrRange range, bool is_write);
+
+    /** Commit: NIC-built local BFs + HADES remote flow + Local
+     *  Validation. */
+    sim::Task commit(ExecCtx ctx, AttemptPtr at);
+
+    /** Process an Intend-to-commit at remote node @p y (NIC offload).
+     *  @p tries counts NoBuffer retries: a bounded number of retries
+     *  breaks distributed waits-for cycles on exhausted banks. */
+    void handleIntendToCommit(NodeId y, AttemptPtr at,
+                              std::vector<Addr> write_lines,
+                              int tries = 0);
+
+    void cleanupAborted(ExecCtx ctx, AttemptPtr at);
+
+    static void
+    checkSquash(const AttemptPtr &at)
+    {
+        if (at->ctrl.squashRequested)
+            throw Squashed{at->ctrl.reason};
+    }
+
+    bool probeFilter(const bloom::AddressFilter &bf, Addr line,
+                     bool truth);
+    bool squashOrSelfSquash(std::uint64_t victim,
+                            const AttemptPtr &fallback_self,
+                            txn::SquashReason why);
+
+    /** All sw-layout cache lines of a record (header + payload). */
+    std::vector<Addr> recordLines(std::uint64_t record) const;
+
+    std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
+    bool tokenBusy_ = false;
+    txn::RecordLayout layout_;
+};
+
+} // namespace hades::protocol
+
+#endif // HADES_PROTOCOL_HADES_HYBRID_HH_

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Shared simulation state the protocol engines operate on: per-node
+ * hardware (memory hierarchy, Locking Buffers, HADES NIC state, record
+ * metadata), the interconnect, record placement, the functional ground
+ * truth, and the squash router that delivers conflict-induced squashes
+ * to running transaction attempts.
+ */
+
+#ifndef HADES_PROTOCOL_SYSTEM_HH_
+#define HADES_PROTOCOL_SYSTEM_HH_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bloom/locking_buffer.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "mem/address_space.hh"
+#include "mem/hierarchy.hh"
+#include "net/hades_nic.hh"
+#include "net/network.hh"
+#include "replica/replication.hh"
+#include "sim/kernel.hh"
+#include "sim/resource.hh"
+#include "sim/task.hh"
+#include "sim/trace.hh"
+#include "txn/ground_truth.hh"
+#include "txn/txn_stats.hh"
+#include "txn/version_table.hh"
+
+namespace hades::protocol
+{
+
+/** Identity of one hardware transaction context executing a program. */
+struct ExecCtx
+{
+    NodeId node = 0;
+    CoreId core = 0;
+    SlotId slot = 0;
+
+    GlobalTxId gid() const { return GlobalTxId{node, core, slot}; }
+    std::uint64_t packed() const { return gid().pack(); }
+};
+
+/**
+ * Control block of one in-flight transaction attempt, registered with
+ * the SquashRouter so conflicts detected anywhere in the cluster can
+ * squash it. Also carries the *exact* access footprint of the attempt,
+ * which is the measurement oracle for Bloom-filter false positives
+ * (hardware would not have it; Section VIII-C reports the rates).
+ */
+struct AttemptControl
+{
+    bool squashRequested = false;
+    txn::SquashReason reason = txn::SquashReason::LazyConflict;
+    /** Set once all Acks are received: the attempt can no longer be
+     *  squashed ("After this, i cannot be squashed anymore"). */
+    bool uncommittable = false;
+    /** Wakes the attempt's wait loop (ack progress or squash). */
+    sim::AutoResetEvent wake;
+
+    // Exact footprints (oracle for false-positive accounting).
+    std::unordered_set<Addr> localReadLines;
+    std::unordered_set<Addr> localWriteLines;
+    std::unordered_map<NodeId, std::unordered_set<Addr>> remoteReadLines;
+    std::unordered_map<NodeId, std::unordered_set<Addr>> remoteWriteLines;
+
+    bool
+    remoteReadsContain(NodeId n, Addr line) const
+    {
+        auto it = remoteReadLines.find(n);
+        return it != remoteReadLines.end() && it->second.count(line);
+    }
+
+    bool
+    remoteWritesContain(NodeId n, Addr line) const
+    {
+        auto it = remoteWriteLines.find(n);
+        return it != remoteWriteLines.end() && it->second.count(line);
+    }
+};
+
+/** Result of asking the router to squash a transaction. */
+enum class SquashOutcome
+{
+    Delivered,     //!< the victim will unwind and retry
+    Uncommittable, //!< victim already received all Acks; cannot squash
+    NotFound,      //!< no such attempt (already finished/squashed)
+};
+
+/** Delivers squashes to registered attempts by packed GlobalTxId. */
+class SquashRouter
+{
+  public:
+    /** Attach an (optional) tracer; squash deliveries are logged. */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
+    void
+    add(std::uint64_t tx, AttemptControl *ctrl)
+    {
+        active_[tx] = ctrl;
+    }
+
+    void remove(std::uint64_t tx) { active_.erase(tx); }
+
+    AttemptControl *
+    find(std::uint64_t tx)
+    {
+        auto it = active_.find(tx);
+        return it == active_.end() ? nullptr : it->second;
+    }
+
+    /** Request the squash of @p tx. */
+    SquashOutcome
+    squash(sim::Kernel &kernel, std::uint64_t tx, txn::SquashReason why)
+    {
+        AttemptControl *c = find(tx);
+        if (!c)
+            return SquashOutcome::NotFound;
+        if (c->uncommittable)
+            return SquashOutcome::Uncommittable;
+        if (!c->squashRequested) {
+            c->squashRequested = true;
+            c->reason = why;
+            if (tracer_) {
+                tracer_->log(kernel.now(), sim::TraceEvent::TxnSquash,
+                             tx, NodeId((tx >> 32) & 0xfff),
+                             std::uint64_t(why));
+            }
+        }
+        c->wake.notify(kernel);
+        return SquashOutcome::Delivered;
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, AttemptControl *> active_;
+    sim::Tracer *tracer_ = nullptr;
+};
+
+/** All per-node state. */
+struct NodeCtx
+{
+    NodeCtx(NodeId id_, const ClusterConfig &cfg, sim::Kernel &kernel)
+        : id(id_),
+          memory(cfg, &kernel),
+          lockBank(cfg.lockingBuffersPerNode
+                       ? cfg.lockingBuffersPerNode
+                       : 2 * cfg.contextsPerNode()),
+          nic(cfg)
+    {
+        for (std::uint32_t c = 0; c < cfg.coresPerNode; ++c)
+            cores.push_back(std::make_unique<sim::ComputeResource>(kernel));
+    }
+
+    NodeId id;
+    mem::NodeMemory memory;
+    bloom::LockingBufferBank lockBank;
+    net::HadesNicState nic;
+    txn::VersionTable versions;
+    std::vector<std::unique_ptr<sim::ComputeResource>> cores;
+};
+
+/** The complete simulated cluster an engine runs against. */
+class System
+{
+  public:
+    /**
+     * @param cfg          cluster configuration
+     * @param num_records  records pre-placed across the nodes
+     * @param record_bytes in-memory footprint of one record (depends on
+     *                     the engine's layout: swBytes or hwBytes)
+     */
+    System(const ClusterConfig &cfg, std::uint64_t num_records,
+           std::uint32_t record_bytes,
+           const replica::ReplicationConfig &repl = {})
+        : config(cfg),
+          clock(cfg.clock()),
+          network(kernel, config),
+          placement(cfg.numNodes, num_records, record_bytes),
+          rng(cfg.seed ^ 0x5ca1ab1e)
+    {
+        for (NodeId n = 0; n < cfg.numNodes; ++n)
+            nodes.push_back(
+                std::make_unique<NodeCtx>(n, config, kernel));
+        if (repl.enabled())
+            replicas = std::make_unique<replica::ReplicaManager>(
+                repl, cfg.numNodes, cfg.seed ^ 0xface);
+        router.setTracer(&tracer);
+    }
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    NodeCtx &node(NodeId n) { return *nodes[n]; }
+    Tick cycles(std::int64_t n) const { return clock.cycles(n); }
+
+    sim::Kernel kernel;
+    ClusterConfig config;
+    Clock clock;
+    net::Network network;
+    mem::Placement placement;
+    txn::GroundTruth data;
+    SquashRouter router;
+    Rng rng;
+    std::vector<std::unique_ptr<NodeCtx>> nodes;
+    /** Optional Section V-A fault-tolerance substrate. */
+    std::unique_ptr<replica::ReplicaManager> replicas;
+    /** Protocol event trace (off by default; tracer.enable()). */
+    sim::Tracer tracer;
+};
+
+} // namespace hades::protocol
+
+#endif // HADES_PROTOCOL_SYSTEM_HH_

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Fault-tolerance and durability substrate (Section V-A, "Fault-
+ * Tolerance and Durability").
+ *
+ * The paper outlines the design: every write additionally updates
+ * replicas on other nodes; replica updates must complete by commit
+ * time; durability requires the updated replicas to be persisted
+ * (SSD/NVM) by commit. The mechanism piggybacks on HADES' two-phase
+ * commit: the coordinator's Intend-to-commit fans out to replica
+ * nodes, each persists the update to *temporary durable storage* and
+ * answers with an Ack; once all Acks arrive the Validation message
+ * promotes the temporary image to permanent storage. A missing Ack
+ * (lost message / failed node) aborts the transaction on all replicas.
+ *
+ * This module provides:
+ *  - a placement rule mapping each record to its K backup nodes,
+ *  - per-node ReplicaStore with a two-stage (staged -> durable) image,
+ *  - persistence timing (NVM-like by default, SSD configurable),
+ *  - failure injection: a per-message loss probability and explicit
+ *    node-failure switches, so the abort path is actually exercised.
+ */
+
+#ifndef HADES_REPLICA_REPLICATION_HH_
+#define HADES_REPLICA_REPLICATION_HH_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+#include "common/time.hh"
+#include "common/types.hh"
+
+namespace hades::replica
+{
+
+/** Durability medium for staged replica images. */
+enum class Medium
+{
+    Nvm, //!< ~300ns persist
+    Ssd, //!< ~10us persist
+};
+
+/** Replication configuration. */
+struct ReplicationConfig
+{
+    /** Number of backup copies per record (0 disables replication). */
+    std::uint32_t degree = 0;
+    Medium medium = Medium::Nvm;
+    /** Probability that a replica-update message is lost (failure
+     *  injection; lost updates abort the transaction). */
+    double messageLossProbability = 0.0;
+
+    bool enabled() const { return degree > 0; }
+
+    /** Persist latency of one staged image. */
+    Tick
+    persistLatency() const
+    {
+        return medium == Medium::Nvm ? ns(300) : us(10);
+    }
+};
+
+/**
+ * One node's replica storage: staged images (temporary durable
+ * storage, keyed by the writing transaction) and the permanent
+ * durable image.
+ */
+class ReplicaStore
+{
+  public:
+    /** Stage a value for @p record written by transaction @p tx. */
+    void
+    stage(std::uint64_t tx, std::uint64_t record, std::int64_t value)
+    {
+        staged_[tx].emplace_back(record, value);
+    }
+
+    /** Promote a transaction's staged images to permanent storage. */
+    void
+    promote(std::uint64_t tx)
+    {
+        auto it = staged_.find(tx);
+        if (it == staged_.end())
+            return;
+        for (auto &[record, value] : it->second)
+            durable_[record] = value;
+        staged_.erase(it);
+    }
+
+    /** Drop a transaction's staged images (abort path). */
+    void discard(std::uint64_t tx) { staged_.erase(tx); }
+
+    /** Durable value of @p record (recovery reads this). */
+    std::int64_t
+    durableValue(std::uint64_t record) const
+    {
+        auto it = durable_.find(record);
+        return it == durable_.end() ? 0 : it->second;
+    }
+
+    bool hasDurable(std::uint64_t record) const
+    {
+        return durable_.count(record) != 0;
+    }
+
+    std::size_t stagedTxns() const { return staged_.size(); }
+    std::size_t durableRecords() const { return durable_.size(); }
+
+  private:
+    std::unordered_map<
+        std::uint64_t,
+        std::vector<std::pair<std::uint64_t, std::int64_t>>>
+        staged_;
+    std::unordered_map<std::uint64_t, std::int64_t> durable_;
+};
+
+/**
+ * Cluster-wide replica placement and state: record -> K backup nodes
+ * (primary excluded), one ReplicaStore per node, plus failure
+ * injection counters.
+ */
+class ReplicaManager
+{
+  public:
+    ReplicaManager(const ReplicationConfig &cfg, std::uint32_t num_nodes,
+                   std::uint64_t seed = 0xfee1)
+        : cfg_(cfg), numNodes_(num_nodes), rng_(seed),
+          stores_(num_nodes)
+    {}
+
+    const ReplicationConfig &config() const { return cfg_; }
+
+    /**
+     * Backup nodes of a record homed at @p primary: the next K nodes
+     * in a hash-rotated ring, skipping the primary (chain placement).
+     */
+    std::vector<NodeId>
+    backupsOf(std::uint64_t record, NodeId primary) const
+    {
+        std::vector<NodeId> out;
+        if (!cfg_.enabled() || numNodes_ < 2)
+            return out;
+        std::uint32_t k =
+            std::min(cfg_.degree, numNodes_ - 1);
+        std::uint64_t start = mix64(record ^ 0xb4c4) % numNodes_;
+        for (std::uint32_t i = 0; out.size() < k; ++i) {
+            NodeId n = NodeId((start + i) % numNodes_);
+            if (n != primary)
+                out.push_back(n);
+        }
+        return out;
+    }
+
+    ReplicaStore &store(NodeId n) { return stores_[n]; }
+    const ReplicaStore &store(NodeId n) const { return stores_[n]; }
+
+    /** Failure injection: does this replica-update message get lost? */
+    bool
+    injectLoss()
+    {
+        if (cfg_.messageLossProbability <= 0.0)
+            return false;
+        bool lost = rng_.chance(cfg_.messageLossProbability);
+        lostMessages_ += lost ? 1 : 0;
+        return lost;
+    }
+
+    /**
+     * Recovery check: every record in @p records must have identical
+     * durable images on all of its backups.
+     * @return number of records whose replicas diverge.
+     */
+    std::uint64_t
+    divergentRecords(const std::vector<std::uint64_t> &records,
+                     const std::vector<NodeId> &primaries) const
+    {
+        std::uint64_t bad = 0;
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            auto backups = backupsOf(records[i], primaries[i]);
+            if (backups.size() < 2)
+                continue;
+            std::int64_t first =
+                stores_[backups[0]].durableValue(records[i]);
+            for (std::size_t b = 1; b < backups.size(); ++b)
+                if (stores_[backups[b]].durableValue(records[i]) !=
+                    first)
+                    ++bad;
+        }
+        return bad;
+    }
+
+    std::uint64_t lostMessages() const { return lostMessages_; }
+    std::uint64_t replicatedCommits() const { return commits_; }
+    std::uint64_t replicationAborts() const { return aborts_; }
+
+    void noteCommit() { ++commits_; }
+    void noteAbort() { ++aborts_; }
+
+  private:
+    ReplicationConfig cfg_;
+    std::uint32_t numNodes_;
+    Rng rng_;
+    std::vector<ReplicaStore> stores_;
+    std::uint64_t lostMessages_ = 0;
+    std::uint64_t commits_ = 0;
+    std::uint64_t aborts_ = 0;
+};
+
+} // namespace hades::replica
+
+#endif // HADES_REPLICA_REPLICATION_HH_

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Lightweight protocol event tracing.
+ *
+ * A bounded ring of timestamped events that the runtime appends to when
+ * tracing is enabled (it is off by default and costs one branch when
+ * off). Used to debug protocol interleavings: squashes, commits, and
+ * message handling can be dumped in simulated-time order.
+ */
+
+#ifndef HADES_SIM_TRACE_HH_
+#define HADES_SIM_TRACE_HH_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hades::sim
+{
+
+/** Categories of traced events. */
+enum class TraceEvent : std::uint8_t
+{
+    TxnStart,
+    TxnCommit,
+    TxnSquash,
+    IntendToCommit,
+    Ack,
+    Validation,
+    LockAcquire,
+    LockRelease,
+};
+
+/** Name for dumping. */
+inline const char *
+traceEventName(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::TxnStart:
+        return "TxnStart";
+      case TraceEvent::TxnCommit:
+        return "TxnCommit";
+      case TraceEvent::TxnSquash:
+        return "TxnSquash";
+      case TraceEvent::IntendToCommit:
+        return "IntendToCommit";
+      case TraceEvent::Ack:
+        return "Ack";
+      case TraceEvent::Validation:
+        return "Validation";
+      case TraceEvent::LockAcquire:
+        return "LockAcquire";
+      case TraceEvent::LockRelease:
+        return "LockRelease";
+      default:
+        return "?";
+    }
+}
+
+/** Bounded event recorder. */
+class Tracer
+{
+  public:
+    struct Record
+    {
+        Tick when = 0;
+        TraceEvent event = TraceEvent::TxnStart;
+        std::uint64_t tx = 0;
+        NodeId node = 0;
+        std::uint64_t detail = 0;
+    };
+
+    /** @param capacity ring size; older events are overwritten. */
+    explicit Tracer(std::size_t capacity = 64 * 1024)
+        : capacity_(capacity)
+    {}
+
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+    bool enabled() const { return enabled_; }
+
+    /** Append one event (no-op while disabled). */
+    void
+    log(Tick when, TraceEvent event, std::uint64_t tx, NodeId node,
+        std::uint64_t detail = 0)
+    {
+        if (!enabled_)
+            return;
+        if (ring_.size() < capacity_) {
+            ring_.push_back(Record{when, event, tx, node, detail});
+        } else {
+            ring_[head_ % capacity_] =
+                Record{when, event, tx, node, detail};
+        }
+        ++head_;
+        ++total_;
+    }
+
+    /** Events currently retained, oldest first. */
+    std::vector<Record>
+    records() const
+    {
+        std::vector<Record> out;
+        if (ring_.size() < capacity_) {
+            out = ring_;
+        } else {
+            out.reserve(capacity_);
+            for (std::size_t i = 0; i < capacity_; ++i)
+                out.push_back(ring_[(head_ + i) % capacity_]);
+        }
+        return out;
+    }
+
+    /** Total events observed (including overwritten ones). */
+    std::uint64_t total() const { return total_; }
+
+    /** Human-readable dump, one line per event. */
+    void
+    dump(std::FILE *out = stderr) const
+    {
+        for (const auto &r : records()) {
+            std::fprintf(out,
+                         "%12lld ps  node %-3u %-15s tx=%016llx "
+                         "detail=%llu\n",
+                         (long long)r.when, r.node,
+                         traceEventName(r.event),
+                         (unsigned long long)r.tx,
+                         (unsigned long long)r.detail);
+        }
+    }
+
+    void
+    clear()
+    {
+        ring_.clear();
+        head_ = 0;
+        total_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    bool enabled_ = false;
+    std::vector<Record> ring_;
+    std::size_t head_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace hades::sim
+
+#endif // HADES_SIM_TRACE_HH_

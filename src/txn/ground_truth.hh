@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Functional ground truth: the committed value of every record.
+ *
+ * The timing model decides *when* things happen; this store decides
+ * *what* the data is. All three protocol engines buffer writes during
+ * execution and apply them here exactly at their serialization point, so
+ * the test suite can check serializability properties (conservation,
+ * exactly-once increments) against the same store regardless of engine.
+ */
+
+#ifndef HADES_TXN_GROUND_TRUTH_HH_
+#define HADES_TXN_GROUND_TRUTH_HH_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace hades::txn
+{
+
+/** Committed record values (defaults to 0 for untouched records). */
+class GroundTruth
+{
+  public:
+    std::int64_t
+    read(std::uint64_t record) const
+    {
+        auto it = values_.find(record);
+        return it == values_.end() ? 0 : it->second;
+    }
+
+    void write(std::uint64_t record, std::int64_t v)
+    {
+        values_[record] = v;
+    }
+
+    /** Sum over a record id range [first, last] (invariant checks). */
+    std::int64_t
+    sumRange(std::uint64_t first, std::uint64_t last) const
+    {
+        std::int64_t s = 0;
+        for (std::uint64_t r = first; r <= last; ++r)
+            s += read(r);
+        return s;
+    }
+
+    std::size_t touched() const { return values_.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, std::int64_t> values_;
+};
+
+} // namespace hades::txn
+
+#endif // HADES_TXN_GROUND_TRUTH_HH_

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Database record layout arithmetic.
+ *
+ * SW-Impl (Baseline and the local path of HADES-H) augments each record
+ * as in Figure 1: a header with Version, Lock, and Incarnation words,
+ * plus a per-cache-line version VC_i in front of every payload line.
+ * HADES is "agnostic to the data layout and does not require any
+ * extension to the data records", so its records are payload only.
+ */
+
+#ifndef HADES_TXN_RECORD_HH_
+#define HADES_TXN_RECORD_HH_
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hades::txn
+{
+
+/** Bytes of the Version + Lock + Incarnation header (Figure 1). */
+inline constexpr std::uint32_t kSwHeaderBytes = 24;
+/** Bytes of one per-cache-line version word VC_i (Figure 1). */
+inline constexpr std::uint32_t kPerLineVersionBytes = 8;
+
+/** Layout calculator for a record with a given payload size. */
+class RecordLayout
+{
+  public:
+    explicit RecordLayout(std::uint32_t payload_bytes)
+        : payloadBytes_(payload_bytes)
+    {}
+
+    std::uint32_t payloadBytes() const { return payloadBytes_; }
+
+    /** Payload cache lines (the unit HADES operates on). */
+    std::uint32_t
+    payloadLines() const
+    {
+        return (payloadBytes_ + kCacheLineBytes - 1) / kCacheLineBytes;
+    }
+
+    /** Raw metadata bytes: header + one VC_i per payload line. */
+    std::uint32_t
+    metaBytes() const
+    {
+        return kSwHeaderBytes + payloadLines() * kPerLineVersionBytes;
+    }
+
+    /**
+     * Whole cache lines occupied by the metadata. The model keeps the
+     * metadata in leading lines and the payload contiguous behind it
+     * (the interleaved order of Figure 1 has the same line counts but
+     * would make address arithmetic gratuitously fiddly).
+     */
+    std::uint32_t
+    metaLines() const
+    {
+        return (metaBytes() + kCacheLineBytes - 1) / kCacheLineBytes;
+    }
+
+    /** In-memory footprint with SW-Impl metadata (Figure 1). */
+    std::uint32_t
+    swBytes() const
+    {
+        return (metaLines() + payloadLines()) * kCacheLineBytes;
+    }
+
+    /** In-memory footprint for HADES (no metadata). */
+    std::uint32_t
+    hwBytes() const
+    {
+        return payloadLines() * kCacheLineBytes;
+    }
+
+    /** Lines occupied by the SW-Impl representation. */
+    std::uint32_t
+    swLines() const
+    {
+        return metaLines() + payloadLines();
+    }
+
+    /** Offset of the payload within the SW-Impl record image. */
+    std::uint32_t
+    swPayloadOffset() const
+    {
+        return metaLines() * kCacheLineBytes;
+    }
+
+  private:
+    std::uint32_t payloadBytes_;
+};
+
+} // namespace hades::txn
+
+#endif // HADES_TXN_RECORD_HH_

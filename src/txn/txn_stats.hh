@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Per-engine statistics: throughput, latency phases, squash reasons, the
+ * Table I software-overhead categories (Figure 3), and Bloom filter
+ * false-positive accounting (Section VIII-C).
+ */
+
+#ifndef HADES_TXN_TXN_STATS_HH_
+#define HADES_TXN_TXN_STATS_HH_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hades::txn
+{
+
+/** The software overhead categories of Table I / Figure 3. */
+enum class Overhead : std::uint8_t
+{
+    ManageSets,       //!< manage the Read and Write sets
+    UpdateVersion,    //!< bump record version before a write
+    ReadAtomicity,    //!< per-line version checks + non-zero-copy reads
+    RdBeforeWr,       //!< read the whole record before writing it
+    ConflictDetection,//!< re-read versions during validation
+    NumCategories,
+};
+
+/** Name for printing Figure 3 rows. */
+inline const char *
+overheadName(Overhead o)
+{
+    switch (o) {
+      case Overhead::ManageSets:
+        return "ManageRdWrSets";
+      case Overhead::UpdateVersion:
+        return "UpdateVersion";
+      case Overhead::ReadAtomicity:
+        return "ReadAtomicity";
+      case Overhead::RdBeforeWr:
+        return "RdBeforeWr";
+      case Overhead::ConflictDetection:
+        return "ConflictDetection";
+      default:
+        return "?";
+    }
+}
+
+/** Why a transaction attempt was squashed. */
+enum class SquashReason : std::uint8_t
+{
+    EagerLocalConflict, //!< L-L conflict detected at access time (HADES)
+    LazyConflict,       //!< squashed by a committing transaction
+    LockFailure,        //!< failed to partially lock a directory
+    ValidationFailure,  //!< version mismatch in software validation
+    LockBusy,           //!< SW lock CAS lost (Baseline/HADES-H)
+    LlcEviction,        //!< speculative line evicted from the LLC
+    ReplicaTimeout,     //!< a replica update was lost / not acked
+    NumReasons,
+};
+
+inline const char *
+squashReasonName(SquashReason r)
+{
+    switch (r) {
+      case SquashReason::EagerLocalConflict:
+        return "EagerLocalConflict";
+      case SquashReason::LazyConflict:
+        return "LazyConflict";
+      case SquashReason::LockFailure:
+        return "LockFailure";
+      case SquashReason::ValidationFailure:
+        return "ValidationFailure";
+      case SquashReason::LockBusy:
+        return "LockBusy";
+      case SquashReason::LlcEviction:
+        return "LlcEviction";
+      case SquashReason::ReplicaTimeout:
+        return "ReplicaTimeout";
+      default:
+        return "?";
+    }
+}
+
+/** Aggregate statistics for one engine over one simulation. */
+struct EngineStats
+{
+    std::uint64_t committed = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t lockModeFallbacks = 0;
+
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(SquashReason::NumReasons)>
+        squashes{};
+
+    /** End-to-end latency of committed transactions (Ticks), measured
+     *  from first-attempt start to commit completion. */
+    stats::Histogram latency;
+
+    /** Phase time of committed transactions (Ticks). */
+    stats::Accumulator execPhase;
+    stats::Accumulator validationPhase;
+    stats::Accumulator commitPhase;
+
+    /** Table I overhead categories (Baseline / HADES-H local path). */
+    std::array<Tick,
+               static_cast<std::size_t>(Overhead::NumCategories)>
+        overheadTicks{};
+
+    /** Core busy time attributable to transactions (for Other Time). */
+    Tick totalBusyTicks = 0;
+
+    /** Bloom filter conflict checks and measured false positives. */
+    std::uint64_t bfConflictChecks = 0;
+    std::uint64_t bfFalsePositives = 0;
+
+    /** Largest per-transaction cache-line footprints observed
+     *  (Section VIII-C quotes at most 76 read / 40 written). */
+    std::uint64_t maxLinesRead = 0;
+    std::uint64_t maxLinesWritten = 0;
+
+    /** Network message counts snapshot (filled by the runner). */
+    std::uint64_t netMessages = 0;
+    std::uint64_t netBytes = 0;
+
+    std::uint64_t
+    totalSquashes() const
+    {
+        std::uint64_t n = 0;
+        for (auto s : squashes)
+            n += s;
+        return n;
+    }
+
+    void
+    addOverhead(Overhead o, Tick t)
+    {
+        overheadTicks[static_cast<std::size_t>(o)] += t;
+    }
+
+    Tick
+    overhead(Overhead o) const
+    {
+        return overheadTicks[static_cast<std::size_t>(o)];
+    }
+
+    void
+    addSquash(SquashReason r)
+    {
+        squashes[static_cast<std::size_t>(r)] += 1;
+    }
+
+    void
+    merge(const EngineStats &o)
+    {
+        committed += o.committed;
+        attempts += o.attempts;
+        lockModeFallbacks += o.lockModeFallbacks;
+        for (std::size_t i = 0; i < squashes.size(); ++i)
+            squashes[i] += o.squashes[i];
+        latency.merge(o.latency);
+        execPhase.merge(o.execPhase);
+        validationPhase.merge(o.validationPhase);
+        commitPhase.merge(o.commitPhase);
+        for (std::size_t i = 0; i < overheadTicks.size(); ++i)
+            overheadTicks[i] += o.overheadTicks[i];
+        totalBusyTicks += o.totalBusyTicks;
+        bfConflictChecks += o.bfConflictChecks;
+        bfFalsePositives += o.bfFalsePositives;
+        maxLinesRead = std::max(maxLinesRead, o.maxLinesRead);
+        maxLinesWritten = std::max(maxLinesWritten, o.maxLinesWritten);
+        netMessages += o.netMessages;
+        netBytes += o.netBytes;
+    }
+};
+
+} // namespace hades::txn
+
+#endif // HADES_TXN_TXN_STATS_HH_

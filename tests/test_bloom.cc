@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Unit and property tests for the Bloom filter hardware models: plain
+ * filters, the split write filter of Figure 8, and the Locking Buffer
+ * bank of Figure 7.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bloom/bloom_filter.hh"
+#include "bloom/locking_buffer.hh"
+#include "bloom/split_write_bloom.hh"
+#include "common/rng.hh"
+
+namespace hades::bloom
+{
+namespace
+{
+
+Addr
+randomLine(Rng &rng)
+{
+    return rng.next() & ~Addr{kCacheLineBytes - 1};
+}
+
+TEST(BloomFilter, NoFalseNegatives)
+{
+    BloomFilter bf{1024, 4};
+    Rng rng{11};
+    std::vector<Addr> lines;
+    for (int i = 0; i < 76; ++i) // max lines read per txn in the paper
+        lines.push_back(randomLine(rng));
+    for (Addr a : lines)
+        bf.insert(a);
+    for (Addr a : lines)
+        EXPECT_TRUE(bf.mayContain(a));
+}
+
+TEST(BloomFilter, EmptyContainsNothing)
+{
+    BloomFilter bf{1024, 4};
+    Rng rng{12};
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(bf.mayContain(randomLine(rng)));
+}
+
+TEST(BloomFilter, ClearResets)
+{
+    BloomFilter bf{1024, 4};
+    bf.insert(64);
+    EXPECT_TRUE(bf.mayContain(64));
+    EXPECT_EQ(bf.insertedCount(), 1u);
+    bf.clear();
+    EXPECT_FALSE(bf.mayContain(64));
+    EXPECT_EQ(bf.insertedCount(), 0u);
+    EXPECT_EQ(bf.popcount(), 0u);
+    EXPECT_TRUE(bf.empty());
+}
+
+TEST(BloomFilter, CloneIsIndependent)
+{
+    BloomFilter bf{1024, 4};
+    bf.insert(128);
+    auto copy = bf.clone();
+    bf.clear();
+    EXPECT_TRUE(copy->mayContain(128));
+    EXPECT_FALSE(bf.mayContain(128));
+}
+
+/**
+ * Empirical false-positive rate should track the theoretical
+ * (1 - e^{-kn/m})^k within a factor, for the geometries in Table IV.
+ */
+struct FprCase
+{
+    std::uint32_t bits;
+    std::uint32_t hashes;
+    std::uint32_t inserted;
+};
+
+class BloomFprTest : public ::testing::TestWithParam<FprCase>
+{};
+
+TEST_P(BloomFprTest, EmpiricalMatchesTheory)
+{
+    const auto p = GetParam();
+    Rng rng{1234};
+    constexpr int kTrials = 60;
+    constexpr int kProbes = 4000;
+    std::uint64_t fps = 0, probes = 0;
+    for (int t = 0; t < kTrials; ++t) {
+        BloomFilter bf{p.bits, p.hashes};
+        std::set<Addr> members;
+        while (members.size() < p.inserted) {
+            Addr a = randomLine(rng);
+            if (members.insert(a).second)
+                bf.insert(a);
+        }
+        for (int i = 0; i < kProbes; ++i) {
+            Addr a = randomLine(rng);
+            if (members.count(a))
+                continue;
+            ++probes;
+            fps += bf.mayContain(a) ? 1 : 0;
+        }
+    }
+    double empirical = double(fps) / double(probes);
+    double theory = BloomFilter::theoreticalFpr(p.bits, p.hashes,
+                                                p.inserted);
+    // Loose band: within 3x either way plus small additive slack.
+    EXPECT_LT(empirical, theory * 3.0 + 5e-4);
+    EXPECT_GT(empirical + 5e-4, theory / 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIVGeometries, BloomFprTest,
+    ::testing::Values(FprCase{1024, 4, 10}, FprCase{1024, 4, 20},
+                      FprCase{1024, 4, 50}, FprCase{1024, 4, 100},
+                      FprCase{512, 3, 20}, FprCase{4096, 4, 100}));
+
+// --- split write filter ------------------------------------------------------
+
+SplitWriteBloomParams
+defaultSplitParams()
+{
+    return SplitWriteBloomParams{512, 3, 4096};
+}
+
+TEST(SplitWriteBloom, NoFalseNegatives)
+{
+    SplitWriteBloomFilter bf{defaultSplitParams(), 20480};
+    Rng rng{21};
+    std::vector<Addr> lines;
+    for (int i = 0; i < 40; ++i) // max lines written per txn in the paper
+        lines.push_back(randomLine(rng));
+    for (Addr a : lines)
+        bf.insert(a);
+    for (Addr a : lines)
+        EXPECT_TRUE(bf.mayContain(a));
+}
+
+TEST(SplitWriteBloom, Bf2CoversInsertedSets)
+{
+    SplitWriteBloomFilter bf{defaultSplitParams(), 20480};
+    Addr line = 64 * 12345;
+    bf.insert(line);
+    auto covered = bf.candidateLlcSets();
+    std::uint64_t target_set = bf.llcSetOf(line);
+    bool found = false;
+    for (auto s : covered)
+        found |= (s == target_set);
+    EXPECT_TRUE(found) << "WrBF2 must cover the set of an inserted line";
+    // With one line inserted, only the sets sharing that WrBF2 bit are
+    // candidates: 20480 sets / 4096 bits = 5 sets per bit.
+    EXPECT_EQ(covered.size(), 20480u / 4096u);
+}
+
+TEST(SplitWriteBloom, CombinedFilterIsAtLeastAsSelective)
+{
+    // The split design must never have a higher false-positive rate than
+    // its CRC section alone: membership requires both sections to hit.
+    SplitWriteBloomFilter split{defaultSplitParams(), 20480};
+    BloomFilter plain{512, 3};
+    Rng rng{31};
+    for (int i = 0; i < 40; ++i) {
+        Addr a = randomLine(rng);
+        split.insert(a);
+        plain.insert(a);
+    }
+    int split_hits = 0, plain_hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Addr probe = randomLine(rng);
+        split_hits += split.mayContain(probe) ? 1 : 0;
+        plain_hits += plain.mayContain(probe) ? 1 : 0;
+    }
+    EXPECT_LE(split_hits, plain_hits);
+}
+
+TEST(SplitWriteBloom, PaperTableIVOrderOfMagnitude)
+{
+    // Table IV row 2 (512bit+4Kbit): ~0.003% at 10 lines, ~0.439% at 100
+    // lines. Verify we land in the right order of magnitude.
+    Rng rng{77};
+    auto measure = [&](std::uint32_t n_lines) {
+        std::uint64_t fp = 0, probes = 0;
+        for (int t = 0; t < 40; ++t) {
+            SplitWriteBloomFilter bf{defaultSplitParams(), 20480};
+            std::set<Addr> members;
+            while (members.size() < n_lines) {
+                Addr a = randomLine(rng);
+                if (members.insert(a).second)
+                    bf.insert(a);
+            }
+            for (int i = 0; i < 20000; ++i) {
+                Addr a = randomLine(rng);
+                if (members.count(a))
+                    continue;
+                ++probes;
+                fp += bf.mayContain(a) ? 1 : 0;
+            }
+        }
+        return double(fp) / double(probes);
+    };
+    EXPECT_LT(measure(10), 0.0005);  // paper: 0.003%
+    double fpr100 = measure(100);
+    EXPECT_GT(fpr100, 0.0005); // paper: 0.439%
+    EXPECT_LT(fpr100, 0.02);
+}
+
+TEST(SplitWriteBloom, ClearResetsBothSections)
+{
+    SplitWriteBloomFilter bf{defaultSplitParams(), 20480};
+    bf.insert(640);
+    bf.clear();
+    EXPECT_FALSE(bf.mayContain(640));
+    EXPECT_EQ(bf.bf2Popcount(), 0u);
+    EXPECT_TRUE(bf.empty());
+}
+
+// --- locking buffers ----------------------------------------------------------
+
+TEST(LockingBuffer, AcquireReleaseLifecycle)
+{
+    LockingBufferBank bank{4};
+    BloomFilter rd{1024, 4}, wr{1024, 4};
+    rd.insert(64);
+    wr.insert(128);
+    std::vector<Addr> writes{128};
+    EXPECT_EQ(AcquireResult::Acquired, bank.tryAcquire(1, rd, wr, writes));
+    EXPECT_TRUE(bank.held(1));
+    EXPECT_EQ(bank.activeCount(), 1u);
+    bank.release(1);
+    EXPECT_FALSE(bank.held(1));
+    EXPECT_EQ(bank.activeCount(), 0u);
+}
+
+TEST(LockingBuffer, WriteBlockedByActiveReadBf)
+{
+    LockingBufferBank bank{4};
+    BloomFilter rd{1024, 4}, wr{1024, 4};
+    rd.insert(64);
+    std::vector<Addr> no_writes;
+    ASSERT_EQ(AcquireResult::Acquired, bank.tryAcquire(1, rd, wr, no_writes));
+
+    // Another transaction writing a line the committer read: denied.
+    EXPECT_TRUE(bank.accessBlocked(64, /*is_write=*/true, 2));
+    // Reading that line is fine (only writes conflict with reads).
+    EXPECT_FALSE(bank.accessBlocked(64, /*is_write=*/false, 2));
+    // The owner itself is never blocked.
+    EXPECT_FALSE(bank.accessBlocked(64, true, 1));
+}
+
+TEST(LockingBuffer, ReadBlockedByActiveWriteBf)
+{
+    LockingBufferBank bank{4};
+    BloomFilter rd{1024, 4}, wr{1024, 4};
+    wr.insert(192);
+    std::vector<Addr> writes{192};
+    ASSERT_EQ(AcquireResult::Acquired, bank.tryAcquire(1, rd, wr, writes));
+    EXPECT_TRUE(bank.accessBlocked(192, false, 2));
+    EXPECT_TRUE(bank.accessBlocked(192, true, 2));
+}
+
+TEST(LockingBuffer, ConcurrentNonConflictingCommits)
+{
+    LockingBufferBank bank{4};
+    BloomFilter rd1{1024, 4}, wr1{1024, 4};
+    BloomFilter rd2{1024, 4}, wr2{1024, 4};
+    wr1.insert(64);
+    wr2.insert(4096);
+    std::vector<Addr> w1{64}, w2{4096};
+    EXPECT_EQ(AcquireResult::Acquired, bank.tryAcquire(1, rd1, wr1, w1));
+    EXPECT_EQ(AcquireResult::Acquired, bank.tryAcquire(2, rd2, wr2, w2));
+    EXPECT_EQ(bank.activeCount(), 2u);
+}
+
+TEST(LockingBuffer, ConflictingCommitIsRejected)
+{
+    LockingBufferBank bank{4};
+    BloomFilter rd1{1024, 4}, wr1{1024, 4};
+    wr1.insert(64);
+    std::vector<Addr> w1{64};
+    ASSERT_EQ(AcquireResult::Acquired, bank.tryAcquire(1, rd1, wr1, w1));
+
+    // Second committer writes the same line: rejected at acquire.
+    BloomFilter rd2{1024, 4}, wr2{1024, 4};
+    wr2.insert(64);
+    EXPECT_EQ(AcquireResult::Conflict, bank.tryAcquire(2, rd2, wr2, w1));
+    EXPECT_EQ(bank.acquireFailures(), 1u);
+}
+
+TEST(LockingBuffer, CommitWritingWhatAnotherRead)
+{
+    LockingBufferBank bank{4};
+    BloomFilter rd1{1024, 4}, wr1{1024, 4};
+    rd1.insert(640);
+    std::vector<Addr> none;
+    ASSERT_EQ(AcquireResult::Acquired, bank.tryAcquire(1, rd1, wr1, none));
+
+    BloomFilter rd2{1024, 4}, wr2{1024, 4};
+    wr2.insert(640);
+    std::vector<Addr> w2{640};
+    EXPECT_EQ(AcquireResult::Conflict, bank.tryAcquire(2, rd2, wr2, w2));
+}
+
+TEST(LockingBuffer, BankExhaustion)
+{
+    LockingBufferBank bank{2};
+    BloomFilter rd{1024, 4}, wr{1024, 4};
+    std::vector<Addr> none;
+    EXPECT_EQ(AcquireResult::Acquired, bank.tryAcquire(1, rd, wr, none));
+    EXPECT_EQ(AcquireResult::Acquired, bank.tryAcquire(2, rd, wr, none));
+    EXPECT_EQ(AcquireResult::NoBuffer, bank.tryAcquire(3, rd, wr, none));
+    bank.release(1);
+    EXPECT_EQ(AcquireResult::Acquired, bank.tryAcquire(3, rd, wr, none));
+}
+
+TEST(LockingBuffer, ReadGuardStallsWritesOnly)
+{
+    LockingBufferBank bank{2};
+    std::vector<Addr> lines{64, 128, 192};
+    ASSERT_TRUE(bank.acquireReadGuard(7, lines));
+    EXPECT_TRUE(bank.accessBlocked(128, true, 9));
+    EXPECT_FALSE(bank.accessBlocked(128, false, 9));
+    bank.release(7);
+    EXPECT_FALSE(bank.accessBlocked(128, true, 9));
+}
+
+TEST(LockingBuffer, SplitWriteFilterInBuffer)
+{
+    // Locking Buffers must accept the core's split write BF design too.
+    LockingBufferBank bank{2};
+    BloomFilter rd{1024, 4};
+    SplitWriteBloomFilter wr{SplitWriteBloomParams{512, 3, 4096}, 20480};
+    wr.insert(64 * 999);
+    std::vector<Addr> writes{64 * 999};
+    ASSERT_EQ(AcquireResult::Acquired, bank.tryAcquire(1, rd, wr, writes));
+    EXPECT_TRUE(bank.accessBlocked(64 * 999, false, 2));
+}
+
+} // namespace
+} // namespace hades::bloom

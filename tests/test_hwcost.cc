@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the Section VI hardware storage arithmetic against the
+ * numbers quoted in the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hw_cost.hh"
+
+namespace hades::core
+{
+namespace
+{
+
+TEST(HwCost, CoreBfPairIsAboutPointSevenKb)
+{
+    ClusterConfig cfg;
+    auto s = computeHwStorage(cfg, 4);
+    // 1024 (read) + 512 + 4096 (split write) bits = 704 bytes.
+    EXPECT_NEAR(s.coreBfPairBytes, 0.7 * 1024, 20.0);
+}
+
+TEST(HwCost, NicBfPairIsQuarterKb)
+{
+    ClusterConfig cfg;
+    auto s = computeHwStorage(cfg, 4);
+    EXPECT_DOUBLE_EQ(s.nicBfPairBytes, 256.0);
+}
+
+TEST(HwCost, DefaultClusterMatchesPaper)
+{
+    // N=5, C=5, m=2, D=4: 10 core pairs (7.0KB), 4 WrTX ID bits,
+    // 40 NIC pairs + 10 TX entries (~11KB).
+    ClusterConfig cfg;
+    auto s = computeHwStorage(cfg, 4);
+    EXPECT_EQ(s.corePairs, 10u);
+    EXPECT_EQ(s.nicPairs, 40u);
+    EXPECT_EQ(s.wrTxIdBits, 4u);
+    EXPECT_NEAR(s.coreBfTotalBytes / 1024.0, 7.0, 0.25);
+    EXPECT_NEAR(s.nicTotalBytes / 1024.0, 11.0, 0.5);
+}
+
+TEST(HwCost, FarmScaleClusterMatchesPaper)
+{
+    // N=90, C=16, m=2, D=5: 32 pairs (22.4KB), 5 bits, ~43.1KB NIC.
+    ClusterConfig cfg;
+    cfg.numNodes = 90;
+    cfg.coresPerNode = 16;
+    auto s = computeHwStorage(cfg, 5);
+    EXPECT_EQ(s.corePairs, 32u);
+    EXPECT_EQ(s.nicPairs, 160u);
+    EXPECT_EQ(s.wrTxIdBits, 5u);
+    EXPECT_NEAR(s.coreBfTotalBytes / 1024.0, 22.4, 0.5);
+    EXPECT_NEAR(s.nicTotalBytes / 1024.0, 43.1, 1.0);
+}
+
+TEST(HwCost, StorageScalesLinearlyWithContexts)
+{
+    ClusterConfig a, b;
+    b.coresPerNode = 2 * a.coresPerNode;
+    auto sa = computeHwStorage(a, 4);
+    auto sb = computeHwStorage(b, 4);
+    EXPECT_DOUBLE_EQ(sb.coreBfTotalBytes, 2 * sa.coreBfTotalBytes);
+    EXPECT_EQ(sb.nicPairs, 2 * sa.nicPairs);
+}
+
+TEST(HwCost, WrTxIdBitsAreLogOfContexts)
+{
+    ClusterConfig cfg;
+    cfg.coresPerNode = 25;
+    cfg.slotsPerCore = 2; // 50 contexts
+    auto s = computeHwStorage(cfg, 4);
+    EXPECT_EQ(s.wrTxIdBits, 6u); // log2(50) rounded up
+}
+
+TEST(HwCost, NicFitsInCommodityNicMemory)
+{
+    // Section VI: an NVIDIA NIC has up to 4MB of on-NIC memory; even
+    // the FaRM-scale configuration uses ~1% of that.
+    ClusterConfig cfg;
+    cfg.numNodes = 90;
+    cfg.coresPerNode = 16;
+    auto s = computeHwStorage(cfg, 5);
+    EXPECT_LT(s.nicTotalBytes, 4.0 * 1024 * 1024 * 0.02);
+}
+
+} // namespace
+} // namespace hades::core

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Integration tests: all three protocol engines driven end-to-end on a
+ * live cluster, with serializability checked through invariants that
+ * only hold if concurrency control is correct:
+ *
+ *  - conservation: concurrent transfer transactions keep the total sum
+ *    of all account records constant;
+ *  - exactly-once increments: N concurrent read-modify-write increments
+ *    of a single hot record leave it holding exactly N.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "protocol/system.hh"
+#include "sim/task.hh"
+
+namespace hades
+{
+namespace
+{
+
+using core::MixEntry;
+using core::RunSpec;
+using protocol::EngineKind;
+using protocol::ExecCtx;
+using protocol::System;
+using protocol::TxnEngine;
+
+/** Small cluster for fast tests. */
+ClusterConfig
+testCluster()
+{
+    ClusterConfig cfg;
+    cfg.numNodes = 3;
+    cfg.coresPerNode = 2;
+    cfg.slotsPerCore = 2;
+    cfg.seed = 7;
+    return cfg;
+}
+
+/** Transfer transaction: move delta from record a to record b. */
+txn::TxnProgram
+transferProgram(std::uint64_t a, std::uint64_t b, std::int64_t delta)
+{
+    txn::TxnProgram prog;
+    txn::Request ra;
+    ra.record = a;
+    prog.requests.push_back(ra); // read a (idx 0)
+    txn::Request rb;
+    rb.record = b;
+    prog.requests.push_back(rb); // read b (idx 1)
+    txn::Request wa;
+    wa.record = a;
+    wa.isWrite = true;
+    wa.derivedFromReadIdx = 0;
+    wa.delta = -delta;
+    prog.requests.push_back(wa);
+    txn::Request wb;
+    wb.record = b;
+    wb.isWrite = true;
+    wb.derivedFromReadIdx = 1;
+    wb.delta = delta;
+    prog.requests.push_back(wb);
+    return prog;
+}
+
+/** Increment transaction: record += 1 (read-modify-write). */
+txn::TxnProgram
+incrementProgram(std::uint64_t record)
+{
+    txn::TxnProgram prog;
+    txn::Request r;
+    r.record = record;
+    prog.requests.push_back(r);
+    txn::Request w;
+    w.record = record;
+    w.isWrite = true;
+    w.derivedFromReadIdx = 0;
+    w.delta = 1;
+    prog.requests.push_back(w);
+    return prog;
+}
+
+std::string
+engineTestName(EngineKind k)
+{
+    switch (k) {
+      case EngineKind::Baseline:
+        return "Baseline";
+      case EngineKind::Hades:
+        return "Hades";
+      default:
+        return "HadesH";
+    }
+}
+
+sim::DetachedTask
+driveTransfers(TxnEngine &engine, ExecCtx ctx,
+               std::uint64_t num_records, std::uint64_t txns,
+               std::uint64_t seed)
+{
+    Rng rng{seed};
+    for (std::uint64_t i = 0; i < txns; ++i) {
+        std::uint64_t a = rng.below(num_records);
+        std::uint64_t b = rng.below(num_records);
+        if (b == a)
+            b = (a + 1) % num_records;
+        auto prog = transferProgram(a, b,
+                                    std::int64_t(rng.below(10)) + 1);
+        co_await engine.run(ctx, prog);
+    }
+}
+
+sim::DetachedTask
+driveIncrements(TxnEngine &engine, ExecCtx ctx, std::uint64_t record,
+                std::uint64_t txns)
+{
+    for (std::uint64_t i = 0; i < txns; ++i) {
+        auto prog = incrementProgram(record);
+        co_await engine.run(ctx, prog);
+    }
+}
+
+class EngineInvariantTest
+    : public ::testing::TestWithParam<EngineKind>
+{};
+
+TEST_P(EngineInvariantTest, TransfersConserveTotal)
+{
+    const EngineKind kind = GetParam();
+    ClusterConfig cfg = testCluster();
+    constexpr std::uint64_t kRecords = 64;
+    constexpr std::uint64_t kTxnsPerCtx = 40;
+
+    System sys(cfg, kRecords,
+               core::engineRecordBytes(kind, cfg.recordPayloadBytes));
+    auto engine = core::makeEngine(kind, sys, cfg.recordPayloadBytes);
+
+    // Seed every account with 1000.
+    for (std::uint64_t r = 0; r < kRecords; ++r)
+        sys.data.write(r, 1000);
+    const std::int64_t expected = 1000 * std::int64_t(kRecords);
+
+    std::uint64_t seed = 1;
+    for (NodeId n = 0; n < cfg.numNodes; ++n)
+        for (CoreId c = 0; c < cfg.coresPerNode; ++c)
+            for (SlotId s = 0; s < cfg.slotsPerCore; ++s)
+                driveTransfers(*engine, ExecCtx{n, c, s}, kRecords,
+                               kTxnsPerCtx, seed++);
+
+    ASSERT_TRUE(sys.kernel.run()) << "simulation deadlocked";
+
+    EXPECT_EQ(sys.data.sumRange(0, kRecords - 1), expected)
+        << engine->name() << " violated conservation";
+    const auto &st = engine->stats();
+    EXPECT_EQ(st.committed,
+              std::uint64_t(cfg.numNodes) * cfg.coresPerNode *
+                  cfg.slotsPerCore * kTxnsPerCtx);
+    EXPECT_GE(st.attempts, st.committed);
+}
+
+TEST_P(EngineInvariantTest, HotRecordIncrementsExactlyOnce)
+{
+    const EngineKind kind = GetParam();
+    ClusterConfig cfg = testCluster();
+    constexpr std::uint64_t kTxnsPerCtx = 25;
+
+    System sys(cfg, 8,
+               core::engineRecordBytes(kind, cfg.recordPayloadBytes));
+    auto engine = core::makeEngine(kind, sys, cfg.recordPayloadBytes);
+
+    const std::uint64_t hot = 3;
+    std::uint64_t contexts = 0;
+    for (NodeId n = 0; n < cfg.numNodes; ++n)
+        for (CoreId c = 0; c < cfg.coresPerNode; ++c)
+            for (SlotId s = 0; s < cfg.slotsPerCore; ++s) {
+                driveIncrements(*engine, ExecCtx{n, c, s}, hot,
+                                kTxnsPerCtx);
+                ++contexts;
+            }
+
+    ASSERT_TRUE(sys.kernel.run()) << "simulation deadlocked";
+
+    // Heavy contention on one record: every committed increment must
+    // be applied exactly once.
+    EXPECT_EQ(sys.data.read(hot),
+              std::int64_t(contexts * kTxnsPerCtx))
+        << engine->name() << " lost or duplicated increments";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineInvariantTest,
+                         ::testing::Values(EngineKind::Baseline,
+                                           EngineKind::Hades,
+                                           EngineKind::HadesHybrid),
+                         [](const auto &info) {
+                             return engineTestName(info.param);
+                         });
+
+// --- runner smoke tests -------------------------------------------------------
+
+class RunnerSmokeTest : public ::testing::TestWithParam<EngineKind>
+{};
+
+TEST_P(RunnerSmokeTest, YcsbHashTableRuns)
+{
+    RunSpec spec;
+    spec.cluster = testCluster();
+    spec.engine = GetParam();
+    spec.mix = {MixEntry{workload::AppKind::YcsbA,
+                         kvs::StoreKind::HashTable}};
+    spec.txnsPerContext = 20;
+    spec.scaleKeys = 2000;
+
+    auto res = core::runOne(spec);
+    std::uint64_t contexts = std::uint64_t(spec.cluster.numNodes) *
+                             spec.cluster.coresPerNode *
+                             spec.cluster.slotsPerCore;
+    EXPECT_EQ(res.stats.committed, contexts * spec.txnsPerContext);
+    EXPECT_GT(res.throughputTps, 0.0);
+    EXPECT_GT(res.meanLatencyUs, 0.0);
+    EXPECT_GE(res.p95LatencyUs, res.p50LatencyUs);
+    EXPECT_GT(res.simTime, 0);
+    EXPECT_EQ(res.label, "HT-wA");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, RunnerSmokeTest,
+                         ::testing::Values(EngineKind::Baseline,
+                                           EngineKind::Hades,
+                                           EngineKind::HadesHybrid),
+                         [](const auto &info) {
+                             return engineTestName(info.param);
+                         });
+
+TEST(Runner, DeterministicForFixedSeed)
+{
+    RunSpec spec;
+    spec.cluster = testCluster();
+    spec.engine = EngineKind::Hades;
+    spec.mix = {MixEntry{workload::AppKind::Smallbank,
+                         kvs::StoreKind::HashTable}};
+    spec.txnsPerContext = 15;
+    spec.scaleKeys = 1000;
+
+    auto a = core::runOne(spec);
+    auto b = core::runOne(spec);
+    EXPECT_EQ(a.simTime, b.simTime);
+    EXPECT_EQ(a.stats.committed, b.stats.committed);
+    EXPECT_EQ(a.stats.attempts, b.stats.attempts);
+    EXPECT_DOUBLE_EQ(a.throughputTps, b.throughputTps);
+}
+
+} // namespace
+} // namespace hades

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy: cache tag arrays, the LLC
+ * directory with WrTX ID tags and transaction-aware replacement, the
+ * timed hierarchy, and record placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/address_space.hh"
+#include "mem/cache_array.hh"
+#include "mem/hierarchy.hh"
+#include "mem/llc_directory.hh"
+
+namespace hades::mem
+{
+namespace
+{
+
+TEST(CacheArray, HitAfterInsert)
+{
+    CacheArray c{64 * 1024, 8};
+    EXPECT_FALSE(c.probe(0x1000));
+    c.insert(0x1000);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheArray, LruEvictionWithinSet)
+{
+    // 2-way, tiny cache: 2 sets of 2 ways.
+    CacheArray c{4 * kCacheLineBytes, 2};
+    ASSERT_EQ(c.numSets(), 2u);
+    Addr set0_a = 0 * kCacheLineBytes;
+    Addr set0_b = 2 * kCacheLineBytes;
+    Addr set0_c = 4 * kCacheLineBytes;
+    c.insert(set0_a);
+    c.insert(set0_b);
+    c.probe(set0_a); // make b the LRU
+    auto evicted = c.insert(set0_c);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, set0_b);
+    EXPECT_TRUE(c.contains(set0_a));
+    EXPECT_TRUE(c.contains(set0_c));
+}
+
+TEST(CacheArray, InvalidateAndClear)
+{
+    CacheArray c{64 * 1024, 8};
+    c.insert(0x40);
+    c.invalidate(0x40);
+    EXPECT_FALSE(c.contains(0x40));
+    c.insert(0x40);
+    c.insert(0x80);
+    c.clear();
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_FALSE(c.contains(0x80));
+}
+
+TEST(CacheArray, InsertExistingLineIsNotEviction)
+{
+    CacheArray c{4 * kCacheLineBytes, 2};
+    c.insert(0);
+    EXPECT_FALSE(c.insert(0).has_value());
+}
+
+TEST(LlcDirectory, WrTxIdTagging)
+{
+    LlcDirectory llc{1 * 1024 * 1024, 16};
+    EXPECT_EQ(llc.wrTxIdOf(0x40), 0u);
+    llc.setWrTxId(0x40, 7);
+    EXPECT_EQ(llc.wrTxIdOf(0x40), 7u);
+    EXPECT_EQ(llc.numLinesWrittenBy(7), 1u);
+    // Re-tagging by the same transaction is idempotent.
+    llc.setWrTxId(0x40, 7);
+    EXPECT_EQ(llc.numLinesWrittenBy(7), 1u);
+}
+
+TEST(LlcDirectory, FindLinesWrittenBy)
+{
+    LlcDirectory llc{1 * 1024 * 1024, 16};
+    std::set<Addr> lines;
+    for (int i = 0; i < 40; ++i) {
+        Addr a = Addr(i) * 4096;
+        llc.setWrTxId(a, 9);
+        lines.insert(a);
+    }
+    auto found = llc.linesWrittenBy(9);
+    EXPECT_EQ(found.size(), lines.size());
+    for (Addr a : found)
+        EXPECT_TRUE(lines.count(a));
+}
+
+TEST(LlcDirectory, ClearTxTagsCommit)
+{
+    LlcDirectory llc{1 * 1024 * 1024, 16};
+    llc.setWrTxId(0x40, 5);
+    llc.setWrTxId(0x80, 5);
+    llc.clearTxTags(5, /*invalidate=*/false);
+    EXPECT_EQ(llc.numLinesWrittenBy(5), 0u);
+    EXPECT_EQ(llc.wrTxIdOf(0x40), 0u);
+    // Lines stay resident after commit.
+    EXPECT_TRUE(llc.probe(0x40));
+}
+
+TEST(LlcDirectory, ClearTxTagsSquashInvalidates)
+{
+    LlcDirectory llc{1 * 1024 * 1024, 16};
+    llc.setWrTxId(0x40, 5);
+    llc.clearTxTags(5, /*invalidate=*/true);
+    EXPECT_FALSE(llc.probe(0x40)); // miss: the line was dropped
+}
+
+TEST(LlcDirectory, TxAwareReplacementPrefersCleanVictims)
+{
+    // 2 sets x 2 ways. Fill one set with one speculative and one clean
+    // line; inserting a third must evict the clean one.
+    LlcDirectory llc{4 * kCacheLineBytes, 2};
+    std::uint64_t squashed = 0;
+    llc.setSquashHook([&](std::uint64_t tx) { squashed = tx; });
+
+    Addr spec = 0, clean = 2 * kCacheLineBytes,
+         incoming = 4 * kCacheLineBytes;
+    llc.setWrTxId(spec, 3);
+    llc.insert(clean);
+    llc.insert(incoming);
+    EXPECT_EQ(squashed, 0u) << "clean line should have been evicted";
+    EXPECT_EQ(llc.wrTxIdOf(spec), 3u);
+    EXPECT_TRUE(llc.probe(incoming));
+    EXPECT_FALSE(llc.probe(clean));
+}
+
+TEST(LlcDirectory, AllSpeculativeSetSquashesOwner)
+{
+    LlcDirectory llc{4 * kCacheLineBytes, 2};
+    std::vector<std::uint64_t> squashed;
+    llc.setSquashHook(
+        [&](std::uint64_t tx) { squashed.push_back(tx); });
+
+    llc.setWrTxId(0, 11);
+    llc.setWrTxId(2 * kCacheLineBytes, 12);
+    llc.insert(4 * kCacheLineBytes); // same set, every way speculative
+    ASSERT_EQ(squashed.size(), 1u);
+    EXPECT_EQ(llc.speculativeEvictions(), 1u);
+    EXPECT_TRUE(squashed[0] == 11 || squashed[0] == 12);
+    // The victim's index entry is gone.
+    EXPECT_EQ(llc.numLinesWrittenBy(squashed[0]), 0u);
+}
+
+TEST(NodeMemory, LatencyLadder)
+{
+    ClusterConfig cfg;
+    NodeMemory mem{cfg};
+    Clock clk = cfg.clock();
+
+    // Cold: DRAM.
+    auto a0 = mem.access(0, 0x1000);
+    EXPECT_EQ(a0.level, HitLevel::DRAM);
+    EXPECT_EQ(a0.latency, clk.cycles(cfg.llcCycles) + cfg.dramLatency);
+
+    // Warm: L1.
+    auto a1 = mem.access(0, 0x1000);
+    EXPECT_EQ(a1.level, HitLevel::L1);
+    EXPECT_EQ(a1.latency, clk.cycles(cfg.l1.accessCycles));
+
+    // Another core on the same node: hits the shared LLC.
+    auto a2 = mem.access(1, 0x1000);
+    EXPECT_EQ(a2.level, HitLevel::LLC);
+    EXPECT_EQ(a2.latency, clk.cycles(cfg.llcCycles));
+}
+
+TEST(NodeMemory, CachedAccessDoesNotFill)
+{
+    ClusterConfig cfg;
+    NodeMemory mem{cfg};
+    EXPECT_FALSE(mem.cachedAccess(0, 0x4000).has_value());
+    // Still not resident: cachedAccess must not allocate.
+    EXPECT_FALSE(mem.cachedAccess(0, 0x4000).has_value());
+    mem.access(0, 0x4000);
+    auto hit = mem.cachedAccess(0, 0x4000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->level, HitLevel::L1);
+}
+
+TEST(NodeMemory, NicAccessBypassesPrivateCaches)
+{
+    ClusterConfig cfg;
+    NodeMemory mem{cfg};
+    auto first = mem.nicAccess(0x2000);
+    EXPECT_EQ(first.level, HitLevel::DRAM);
+    auto second = mem.nicAccess(0x2000);
+    EXPECT_EQ(second.level, HitLevel::LLC);
+    // The line is not in any core's private hierarchy.
+    EXPECT_FALSE(mem.l1(0).contains(0x2000));
+}
+
+// --- placement ---------------------------------------------------------------
+
+TEST(Placement, UniformDistributionAcrossNodes)
+{
+    Placement p{5, 100'000, 256};
+    std::vector<std::uint64_t> per_node(5, 0);
+    for (std::uint64_t r = 0; r < 100'000; ++r)
+        per_node[p.homeOf(r)] += 1;
+    for (auto n : per_node) {
+        EXPECT_GT(n, 18'000u);
+        EXPECT_LT(n, 22'000u);
+    }
+}
+
+TEST(Placement, AddressesHomedCorrectly)
+{
+    Placement p{4, 10'000, 256};
+    for (std::uint64_t r = 0; r < 10'000; r += 97)
+        EXPECT_EQ(homeOfAddr(p.addrOf(r)), p.homeOf(r));
+}
+
+TEST(Placement, RecordsDoNotOverlap)
+{
+    Placement p{3, 5'000, 192};
+    std::set<Addr> seen;
+    for (std::uint64_t r = 0; r < 5'000; ++r)
+        EXPECT_TRUE(seen.insert(p.addrOf(r)).second);
+    // 192B is already line-aligned, so slots stay 192B.
+    EXPECT_EQ(p.recordBytes(), 192u);
+}
+
+TEST(Placement, RegisteredRecords)
+{
+    Placement p{4, 1'000, 256};
+    auto rid = Placement::makeRegisteredId(2, 42);
+    EXPECT_EQ(p.homeOf(rid), 2u);
+    Addr a = p.registerRecord(rid, 2, 512);
+    EXPECT_EQ(p.addrOf(rid), a);
+    EXPECT_EQ(homeOfAddr(a), 2u);
+}
+
+TEST(Placement, RegisteredIdsDistinctFromData)
+{
+    auto rid = Placement::makeRegisteredId(0, 0);
+    EXPECT_NE(rid & Placement::kRegisteredBit, 0u);
+}
+
+} // namespace
+} // namespace hades::mem

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the interconnect model and the HADES SmartNIC state
+ * (Modules 4a/4b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "net/hades_nic.hh"
+#include "net/network.hh"
+#include "sim/task.hh"
+
+namespace hades::net
+{
+namespace
+{
+
+ClusterConfig
+cfg()
+{
+    return ClusterConfig{};
+}
+
+sim::DetachedTask
+doRoundTrip(Network &net, MsgType t, NodeId src, NodeId dst,
+            std::uint32_t req, std::uint32_t resp, Tick &done,
+            Network::RemoteWork work = nullptr)
+{
+    co_await net.roundTrip(t, src, dst, req, resp, std::move(work));
+    done = net.kernel().now();
+}
+
+TEST(Network, RoundTripTakesAtLeastTheWireLatency)
+{
+    sim::Kernel kernel;
+    auto c = cfg();
+    Network net{kernel, c};
+    Tick done = -1;
+    doRoundTrip(net, MsgType::RdmaRead, 0, 1, 24, 256, done);
+    kernel.run();
+    // At least the 2us NIC-to-NIC round trip.
+    EXPECT_GE(done, c.netRoundTrip);
+    // And not absurdly more for a small message.
+    EXPECT_LT(done, c.netRoundTrip + us(1));
+    EXPECT_EQ(net.messageCount(MsgType::RdmaRead), 2u); // req + resp
+}
+
+TEST(Network, RemoteWorkAddsToLatency)
+{
+    sim::Kernel kernel;
+    auto c = cfg();
+    Network net{kernel, c};
+    Tick plain = 0, with_work = 0;
+    doRoundTrip(net, MsgType::RdmaRead, 0, 1, 24, 64, plain);
+    kernel.run();
+    sim::Kernel k2;
+    Network net2{k2, c};
+    doRoundTrip(net2, MsgType::RdmaRead, 0, 1, 24, 64, with_work,
+                [] { return ns(500); });
+    k2.run();
+    EXPECT_EQ(with_work, plain + ns(500));
+}
+
+TEST(Network, BandwidthSerializationScalesWithBytes)
+{
+    sim::Kernel kernel;
+    auto c = cfg();
+    Network net{kernel, c};
+    Tick small = 0, big = 0;
+    doRoundTrip(net, MsgType::RdmaRead, 0, 1, 24, 64, small);
+    kernel.run();
+    sim::Kernel k2;
+    Network net2{k2, c};
+    doRoundTrip(net2, MsgType::RdmaRead, 0, 1, 24, 64 * 1024, big);
+    k2.run();
+    // 64KB at 200Gb/s adds ~2.6us of serialization.
+    EXPECT_GT(big, small + us(2));
+}
+
+TEST(Network, PostDeliversOnceAtOneWayLatency)
+{
+    sim::Kernel kernel;
+    auto c = cfg();
+    Network net{kernel, c};
+    int delivered = 0;
+    Tick at = 0;
+    net.post(MsgType::Squash, 2, 3, 16, [&] {
+        ++delivered;
+        at = kernel.now();
+    });
+    kernel.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_GE(at, c.netRoundTrip / 2);
+    EXPECT_LT(at, c.netRoundTrip);
+}
+
+TEST(Network, TxPortContention)
+{
+    // Two large posts from the same source serialize on its TX port;
+    // posts from another node do not queue behind them.
+    sim::Kernel kernel;
+    auto c = cfg();
+    Network net{kernel, c};
+    Tick t1 = 0, t2 = 0, t3 = 0;
+    net.post(MsgType::RdmaWrite, 0, 1, 512 * 1024,
+             [&] { t1 = kernel.now(); });
+    net.post(MsgType::RdmaWrite, 0, 1, 512 * 1024,
+             [&] { t2 = kernel.now(); });
+    net.post(MsgType::RdmaWrite, 2, 1, 64, [&] { t3 = kernel.now(); });
+    kernel.run();
+    EXPECT_GT(t2, t1); // second waits for the first's serialization
+    EXPECT_LT(t3, t2); // other node's port is free
+}
+
+TEST(Network, MessageAccounting)
+{
+    sim::Kernel kernel;
+    auto c = cfg();
+    Network net{kernel, c};
+    net.post(MsgType::Validation, 0, 1, 128, [] {});
+    net.post(MsgType::Ack, 1, 0, 16, [] {});
+    kernel.run();
+    EXPECT_EQ(net.messageCount(MsgType::Validation), 1u);
+    EXPECT_EQ(net.messageCount(MsgType::Ack), 1u);
+    EXPECT_EQ(net.totalMessages(), 2u);
+    EXPECT_EQ(net.totalBytes(),
+              128u + 16u + 2u * c.messageHeaderBytes);
+}
+
+TEST(MsgType, Names)
+{
+    EXPECT_STREQ(msgTypeName(MsgType::IntendToCommit),
+                 "IntendToCommit");
+    EXPECT_STREQ(msgTypeName(MsgType::Validation), "Validation");
+    EXPECT_STREQ(msgTypeName(MsgType::Squash), "Squash");
+}
+
+// --- HADES NIC state -----------------------------------------------------------
+
+TEST(HadesNic, RemoteFiltersLifecycle)
+{
+    auto c = cfg();
+    HadesNicState nic{c};
+    EXPECT_FALSE(nic.hasRemoteFilters(7));
+    auto &f = nic.remoteFilters(7);
+    EXPECT_TRUE(nic.hasRemoteFilters(7));
+    f.readBf.insert(0x40);
+    // Same transaction gets the same filters back.
+    EXPECT_TRUE(nic.remoteFilters(7).readBf.mayContain(0x40));
+    nic.clearRemoteFilters(7);
+    EXPECT_FALSE(nic.hasRemoteFilters(7));
+}
+
+TEST(HadesNic, ConflictScanFindsReadersAndWriters)
+{
+    auto c = cfg();
+    HadesNicState nic{c};
+    nic.remoteFilters(1).readBf.insert(0x1000);
+    nic.remoteFilters(2).writeBf.insert(0x1000);
+    nic.remoteFilters(3).readBf.insert(0x9000);
+
+    auto hits = nic.conflictingRemoteTxns(0x1000, /*self=*/99,
+                                          /*check_reads=*/true);
+    EXPECT_EQ(hits.size(), 2u);
+
+    // Without read checking only the writer conflicts.
+    auto w_only = nic.conflictingRemoteTxns(0x1000, 99, false);
+    ASSERT_EQ(w_only.size(), 1u);
+    EXPECT_EQ(w_only[0], 2u);
+
+    // A transaction never conflicts with itself.
+    auto self_scan = nic.conflictingRemoteTxns(0x1000, 1, true);
+    EXPECT_EQ(self_scan.size(), 1u);
+}
+
+TEST(HadesNic, Module4bBookkeeping)
+{
+    auto c = cfg();
+    HadesNicState nic{c};
+    auto &st = nic.localState(5);
+    EXPECT_TRUE(st.empty());
+    st.writesByNode[2].push_back(AddrRange{0x100, 128});
+    st.nodesInvolved.insert(2);
+    st.nodesInvolved.insert(3);
+    st.bufferedBytes += 128;
+    EXPECT_FALSE(nic.localState(5).empty());
+    EXPECT_EQ(nic.localState(5).nodesInvolved.size(), 2u);
+    nic.clearLocalState(5);
+    EXPECT_TRUE(nic.localState(5).empty());
+}
+
+TEST(HadesNic, FilterGeometryFromConfig)
+{
+    auto c = cfg();
+    HadesNicState nic{c};
+    auto &f = nic.remoteFilters(1);
+    EXPECT_EQ(f.readBf.sizeBits(), c.nicReadBf.bits);
+    EXPECT_EQ(f.writeBf.sizeBits(), c.nicWriteBf.bits);
+}
+
+} // namespace
+} // namespace hades::net

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the protocol event tracer: off-by-default, ordering,
+ * ring-buffer bounds, and integration with squash delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "protocol/system.hh"
+#include "sim/task.hh"
+#include "sim/trace.hh"
+
+namespace hades
+{
+namespace
+{
+
+TEST(Tracer, DisabledByDefaultCostsNothing)
+{
+    sim::Tracer t;
+    EXPECT_FALSE(t.enabled());
+    t.log(10, sim::TraceEvent::TxnStart, 1, 0);
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, RecordsInOrder)
+{
+    sim::Tracer t;
+    t.enable();
+    t.log(10, sim::TraceEvent::TxnStart, 1, 0);
+    t.log(20, sim::TraceEvent::TxnCommit, 1, 0, 7);
+    auto rec = t.records();
+    ASSERT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec[0].when, 10);
+    EXPECT_EQ(rec[0].event, sim::TraceEvent::TxnStart);
+    EXPECT_EQ(rec[1].when, 20);
+    EXPECT_EQ(rec[1].detail, 7u);
+}
+
+TEST(Tracer, RingOverwritesOldest)
+{
+    sim::Tracer t{4};
+    t.enable();
+    for (Tick i = 0; i < 10; ++i)
+        t.log(i, sim::TraceEvent::Ack, std::uint64_t(i), 0);
+    auto rec = t.records();
+    ASSERT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.front().when, 6);
+    EXPECT_EQ(rec.back().when, 9);
+    EXPECT_EQ(t.total(), 10u);
+}
+
+TEST(Tracer, EventNames)
+{
+    EXPECT_STREQ(traceEventName(sim::TraceEvent::TxnSquash),
+                 "TxnSquash");
+    EXPECT_STREQ(traceEventName(sim::TraceEvent::IntendToCommit),
+                 "IntendToCommit");
+}
+
+sim::DetachedTask
+driveOne(protocol::TxnEngine &engine, protocol::ExecCtx ctx,
+         txn::TxnProgram prog, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await engine.run(ctx, prog);
+}
+
+TEST(Tracer, CapturesCommitsAndSquashes)
+{
+    ClusterConfig cfg;
+    cfg.numNodes = 2;
+    cfg.coresPerNode = 2;
+    cfg.slotsPerCore = 1;
+    protocol::System sys(
+        cfg, 16,
+        core::engineRecordBytes(protocol::EngineKind::Hades,
+                                cfg.recordPayloadBytes));
+    sys.tracer.enable();
+    auto engine = core::makeEngine(protocol::EngineKind::Hades, sys,
+                                   cfg.recordPayloadBytes);
+
+    // Two contexts increment the same record: commits + squashes.
+    txn::TxnProgram prog;
+    txn::Request r;
+    r.record = 1;
+    txn::Request w;
+    w.record = 1;
+    w.isWrite = true;
+    w.derivedFromReadIdx = 0;
+    w.delta = 1;
+    prog.requests = {r, w};
+    driveOne(*engine, protocol::ExecCtx{0, 0, 0}, prog, 20);
+    driveOne(*engine, protocol::ExecCtx{0, 1, 0}, prog, 20);
+    ASSERT_TRUE(sys.kernel.run());
+
+    std::uint64_t commits = 0, squashes = 0, starts = 0;
+    Tick last = -1;
+    for (const auto &rec : sys.tracer.records()) {
+        EXPECT_GE(rec.when, last) << "trace out of order";
+        last = rec.when;
+        commits += rec.event == sim::TraceEvent::TxnCommit ? 1 : 0;
+        squashes += rec.event == sim::TraceEvent::TxnSquash ? 1 : 0;
+        starts += rec.event == sim::TraceEvent::TxnStart ? 1 : 0;
+    }
+    EXPECT_EQ(commits, 40u);
+    EXPECT_EQ(starts, 40u);
+    // Router-delivered squashes are traced; eager self-squashes throw
+    // directly inside the accessor and are counted only in the stats.
+    EXPECT_LE(squashes, engine->stats().totalSquashes());
+}
+
+} // namespace
+} // namespace hades

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the transaction substrate: record layout arithmetic
+ * (Figure 1), version/lock tables, programs, and statistics types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "txn/ground_truth.hh"
+#include "txn/program.hh"
+#include "txn/record.hh"
+#include "txn/txn_stats.hh"
+#include "txn/version_table.hh"
+
+namespace hades::txn
+{
+namespace
+{
+
+TEST(RecordLayout, PayloadLines)
+{
+    EXPECT_EQ(RecordLayout{1}.payloadLines(), 1u);
+    EXPECT_EQ(RecordLayout{64}.payloadLines(), 1u);
+    EXPECT_EQ(RecordLayout{65}.payloadLines(), 2u);
+    EXPECT_EQ(RecordLayout{256}.payloadLines(), 4u);
+}
+
+TEST(RecordLayout, HwBytesAreBarePayload)
+{
+    RecordLayout l{256};
+    EXPECT_EQ(l.hwBytes(), 256u);
+    EXPECT_EQ(RecordLayout{100}.hwBytes(), 128u); // 2 lines
+}
+
+TEST(RecordLayout, SwBytesIncludeFigure1Metadata)
+{
+    RecordLayout l{256}; // 4 payload lines
+    // Header (24B) + 4 per-line versions (32B) = 56B -> 1 meta line.
+    EXPECT_EQ(l.metaBytes(), 24u + 4 * 8u);
+    EXPECT_EQ(l.metaLines(), 1u);
+    EXPECT_EQ(l.swLines(), 5u);
+    EXPECT_EQ(l.swBytes(), 5u * 64u);
+    EXPECT_EQ(l.swPayloadOffset(), 64u);
+}
+
+TEST(RecordLayout, LargeRecordNeedsMoreMetaLines)
+{
+    RecordLayout l{1024}; // 16 payload lines
+    // 24 + 16*8 = 152B -> 3 meta lines.
+    EXPECT_EQ(l.metaLines(), 3u);
+    EXPECT_EQ(l.swLines(), 19u);
+}
+
+TEST(RecordLayout, SwAlwaysBiggerThanHw)
+{
+    for (std::uint32_t payload : {8u, 64u, 100u, 256u, 512u, 4096u}) {
+        RecordLayout l{payload};
+        EXPECT_GT(l.swBytes(), l.hwBytes()) << payload;
+    }
+}
+
+TEST(VersionTable, LockSemantics)
+{
+    VersionTable t;
+    EXPECT_TRUE(t.tryLock(1, 100));
+    EXPECT_FALSE(t.tryLock(1, 200)) << "held lock must not be stolen";
+    EXPECT_TRUE(t.tryLock(1, 100)) << "re-entrant for the same owner";
+    t.unlock(1, 200); // wrong owner: no-op
+    EXPECT_EQ(t.peek(1).lockOwner, 100u);
+    t.unlock(1, 100);
+    EXPECT_EQ(t.peek(1).lockOwner, 0u);
+    EXPECT_TRUE(t.tryLock(1, 200));
+}
+
+TEST(VersionTable, VersionsBumpIndependently)
+{
+    VersionTable t;
+    t.bumpVersion(5);
+    t.bumpVersion(5);
+    t.bumpVersion(6);
+    EXPECT_EQ(t.peek(5).version, 2u);
+    EXPECT_EQ(t.peek(6).version, 1u);
+    EXPECT_EQ(t.peek(7).version, 0u);
+}
+
+TEST(GroundTruth, ReadWriteAndSum)
+{
+    GroundTruth g;
+    EXPECT_EQ(g.read(0), 0);
+    g.write(0, 10);
+    g.write(1, -4);
+    g.write(2, 6);
+    EXPECT_EQ(g.read(0), 10);
+    EXPECT_EQ(g.sumRange(0, 2), 12);
+    EXPECT_EQ(g.touched(), 3u);
+}
+
+TEST(TxnProgram, CountsReadsAndWrites)
+{
+    TxnProgram p;
+    Request r;
+    p.requests.push_back(r);
+    r.isWrite = true;
+    p.requests.push_back(r);
+    p.requests.push_back(r);
+    EXPECT_EQ(p.numReads(), 1u);
+    EXPECT_EQ(p.numWrites(), 2u);
+}
+
+TEST(EngineStats, SquashAccounting)
+{
+    EngineStats s;
+    s.addSquash(SquashReason::EagerLocalConflict);
+    s.addSquash(SquashReason::LazyConflict);
+    s.addSquash(SquashReason::LazyConflict);
+    EXPECT_EQ(s.totalSquashes(), 3u);
+    EXPECT_EQ(s.squashes[std::size_t(SquashReason::LazyConflict)], 2u);
+}
+
+TEST(EngineStats, OverheadAccounting)
+{
+    EngineStats s;
+    s.addOverhead(Overhead::ManageSets, 100);
+    s.addOverhead(Overhead::ManageSets, 50);
+    s.addOverhead(Overhead::ReadAtomicity, 7);
+    EXPECT_EQ(s.overhead(Overhead::ManageSets), 150);
+    EXPECT_EQ(s.overhead(Overhead::ReadAtomicity), 7);
+    EXPECT_EQ(s.overhead(Overhead::RdBeforeWr), 0);
+}
+
+TEST(EngineStats, MergeCombinesEverything)
+{
+    EngineStats a, b;
+    a.committed = 10;
+    a.attempts = 12;
+    a.latency.add(100);
+    a.maxLinesRead = 30;
+    a.bfConflictChecks = 1000;
+    a.bfFalsePositives = 1;
+    b.committed = 5;
+    b.attempts = 9;
+    b.latency.add(300);
+    b.maxLinesRead = 76;
+    b.addSquash(SquashReason::LockFailure);
+    a.merge(b);
+    EXPECT_EQ(a.committed, 15u);
+    EXPECT_EQ(a.attempts, 21u);
+    EXPECT_EQ(a.latency.count(), 2u);
+    EXPECT_EQ(a.maxLinesRead, 76u);
+    EXPECT_EQ(a.totalSquashes(), 1u);
+    EXPECT_EQ(a.bfConflictChecks, 1000u);
+}
+
+TEST(Names, OverheadAndSquash)
+{
+    EXPECT_STREQ(overheadName(Overhead::RdBeforeWr), "RdBeforeWr");
+    EXPECT_STREQ(overheadName(Overhead::ConflictDetection),
+                 "ConflictDetection");
+    EXPECT_STREQ(squashReasonName(SquashReason::LlcEviction),
+                 "LlcEviction");
+    EXPECT_STREQ(squashReasonName(SquashReason::EagerLocalConflict),
+                 "EagerLocalConflict");
+}
+
+} // namespace
+} // namespace hades::txn

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the workload generators: mixes, request counts, locality
+ * shaping, and the characteristics the paper quotes (TPC-C has many
+ * small requests, TATP is read-heavy with few requests, Smallbank is
+ * ~46% writes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "workload/workloads.hh"
+
+namespace hades::workload
+{
+namespace
+{
+
+WorkloadConfig
+cfg()
+{
+    WorkloadConfig c;
+    c.numNodes = 5;
+    c.scaleKeys = 50'000;
+    return c;
+}
+
+struct MixStats
+{
+    double writeFraction = 0;
+    double dataReqsPerTxn = 0;
+    double allReqsPerTxn = 0;
+    double indexReqsPerTxn = 0;
+};
+
+MixStats
+sample(WorkloadGenerator &gen, int txns = 4000)
+{
+    Rng rng{99};
+    std::uint64_t writes = 0, data = 0, total = 0, index = 0;
+    for (int i = 0; i < txns; ++i) {
+        auto prog = gen.next(rng, NodeId(i % 5));
+        for (const auto &r : prog.requests) {
+            ++total;
+            if (r.isIndex) {
+                ++index;
+                continue;
+            }
+            ++data;
+            writes += r.isWrite ? 1 : 0;
+        }
+    }
+    MixStats s;
+    s.writeFraction = double(writes) / double(data);
+    s.dataReqsPerTxn = double(data) / txns;
+    s.allReqsPerTxn = double(total) / txns;
+    s.indexReqsPerTxn = double(index) / txns;
+    return s;
+}
+
+std::unique_ptr<WorkloadGenerator>
+bound(AppKind app, kvs::StoreKind store, const WorkloadConfig &c,
+      mem::Placement &placement)
+{
+    auto gen = makeWorkload(app, store, c);
+    placement = mem::Placement{c.numNodes, gen->numRecords(), 256};
+    gen->bind(placement, 0);
+    return gen;
+}
+
+TEST(Ycsb, WorkloadAIsHalfWrites)
+{
+    auto c = cfg();
+    mem::Placement p{1, 1, 64};
+    auto gen = bound(AppKind::YcsbA, kvs::StoreKind::HashTable, c, p);
+    auto s = sample(*gen);
+    EXPECT_NEAR(s.writeFraction, 0.50, 0.03);
+    EXPECT_DOUBLE_EQ(s.dataReqsPerTxn, 5.0); // 5 client requests
+    EXPECT_GT(s.indexReqsPerTxn, 0.5);       // hash bucket reads
+}
+
+TEST(Ycsb, WorkloadBIsReadHeavy)
+{
+    auto c = cfg();
+    mem::Placement p{1, 1, 64};
+    auto gen = bound(AppKind::YcsbB, kvs::StoreKind::HashTable, c, p);
+    auto s = sample(*gen);
+    EXPECT_NEAR(s.writeFraction, 0.05, 0.02);
+}
+
+TEST(Ycsb, LabelIncludesStore)
+{
+    auto c = cfg();
+    auto gen = makeWorkload(AppKind::YcsbA, kvs::StoreKind::BTree, c);
+    EXPECT_EQ(gen->label(), "BTree-wA");
+}
+
+TEST(Ycsb, ZipfSkewsTowardsHotKeys)
+{
+    auto c = cfg();
+    mem::Placement p{1, 1, 64};
+    auto gen = bound(AppKind::YcsbA, kvs::StoreKind::HashTable, c, p);
+    Rng rng{5};
+    std::uint64_t hot = 0, total = 0;
+    for (int i = 0; i < 3000; ++i) {
+        auto prog = gen->next(rng, 0);
+        for (const auto &r : prog.requests) {
+            if (r.isIndex)
+                continue;
+            ++total;
+            hot += (r.record < 100) ? 1 : 0; // top-100 of 50k keys
+        }
+    }
+    EXPECT_GT(double(hot) / double(total), 0.15);
+}
+
+TEST(Tpcc, ManySmallFineGrainedRequests)
+{
+    auto c = cfg();
+    mem::Placement p{1, 1, 64};
+    auto gen = bound(AppKind::Tpcc, kvs::StoreKind::HashTable, c, p);
+    auto s = sample(*gen);
+    // Paper: ~13.5 requests per transaction, write-intensive.
+    EXPECT_GT(s.allReqsPerTxn, 8.0);
+    EXPECT_LT(s.allReqsPerTxn, 20.0);
+    EXPECT_GT(s.writeFraction, 0.25);
+
+    // Requests are fine-grained (well below a whole record).
+    Rng rng{1};
+    auto prog = gen->next(rng, 0);
+    for (const auto &r : prog.requests) {
+        EXPECT_GT(r.sizeBytes, 0u);
+        EXPECT_LE(r.sizeBytes, 64u);
+    }
+}
+
+TEST(Tatp, ReadHeavyFewRequests)
+{
+    auto c = cfg();
+    mem::Placement p{1, 1, 64};
+    auto gen = bound(AppKind::Tatp, kvs::StoreKind::HashTable, c, p);
+    auto s = sample(*gen);
+    // Paper: 80% reads / 20% writes, small transactions.
+    EXPECT_NEAR(s.writeFraction, 0.20, 0.08);
+    EXPECT_LT(s.allReqsPerTxn, 3.0);
+}
+
+TEST(Smallbank, WriteIntensive)
+{
+    auto c = cfg();
+    mem::Placement p{1, 1, 64};
+    auto gen =
+        bound(AppKind::Smallbank, kvs::StoreKind::HashTable, c, p);
+    auto s = sample(*gen);
+    // Paper: 46% write requests.
+    EXPECT_NEAR(s.writeFraction, 0.46, 0.10);
+}
+
+TEST(Smallbank, TransfersAreDerivedWrites)
+{
+    auto c = cfg();
+    mem::Placement p{1, 1, 64};
+    auto gen =
+        bound(AppKind::Smallbank, kvs::StoreKind::HashTable, c, p);
+    Rng rng{3};
+    bool saw_derived = false;
+    for (int i = 0; i < 200 && !saw_derived; ++i) {
+        auto prog = gen->next(rng, 0);
+        for (const auto &r : prog.requests)
+            saw_derived |= r.isWrite && r.derivedFromReadIdx >= 0;
+    }
+    EXPECT_TRUE(saw_derived);
+}
+
+TEST(Ycsb, WorkloadEIssuesScans)
+{
+    auto c = cfg();
+    mem::Placement p{1, 1, 64};
+    auto gen = bound(AppKind::YcsbE, kvs::StoreKind::BPlusTree, c, p);
+    EXPECT_EQ(gen->label(), "B+Tree-wE");
+    auto s = sample(*gen, 1500);
+    // Scans multiply the data requests per transaction well past the
+    // 5 client requests of workloads A/B.
+    EXPECT_GT(s.dataReqsPerTxn, 10.0);
+    EXPECT_GT(s.indexReqsPerTxn, 4.0);
+    EXPECT_LT(s.writeFraction, 0.10);
+}
+
+TEST(Locality, ForcedLocalFractionShapesHomes)
+{
+    auto c = cfg();
+    c.forcedLocalFraction = 0.8;
+    auto gen = makeWorkload(AppKind::YcsbA, kvs::StoreKind::HashTable,
+                            c);
+    mem::Placement p{c.numNodes, gen->numRecords(), 256};
+    gen->bind(p, 0);
+
+    Rng rng{7};
+    std::uint64_t local = 0, total = 0;
+    const NodeId me = 2;
+    for (int i = 0; i < 2000; ++i) {
+        auto prog = gen->next(rng, me);
+        for (const auto &r : prog.requests) {
+            if (r.isIndex)
+                continue;
+            ++total;
+            local += p.homeOf(r.record) == me ? 1 : 0;
+        }
+    }
+    EXPECT_NEAR(double(local) / double(total), 0.8, 0.05);
+}
+
+TEST(Locality, DefaultIsUniform)
+{
+    auto c = cfg(); // forcedLocalFraction < 0
+    auto gen = makeWorkload(AppKind::YcsbA, kvs::StoreKind::HashTable,
+                            c);
+    mem::Placement p{c.numNodes, gen->numRecords(), 256};
+    gen->bind(p, 0);
+    Rng rng{8};
+    std::uint64_t local = 0, total = 0;
+    // Rotate the coordinator: a single node's view is biased by where
+    // the zipf-hot keys happen to be homed.
+    for (int i = 0; i < 5000; ++i) {
+        NodeId me = NodeId(i % 5);
+        auto prog = gen->next(rng, me);
+        for (const auto &r : prog.requests) {
+            if (r.isIndex)
+                continue;
+            ++total;
+            local += p.homeOf(r.record) == me ? 1 : 0;
+        }
+    }
+    // ~1/N = 20% at N=5.
+    EXPECT_NEAR(double(local) / double(total), 0.20, 0.05);
+}
+
+TEST(RecordBase, OffsetsApplied)
+{
+    auto c = cfg();
+    auto gen = makeWorkload(AppKind::Smallbank,
+                            kvs::StoreKind::HashTable, c);
+    mem::Placement p{c.numNodes, gen->numRecords() + 777, 256};
+    gen->bind(p, 777);
+    Rng rng{9};
+    auto prog = gen->next(rng, 0);
+    for (const auto &r : prog.requests)
+        EXPECT_GE(r.record, 777u);
+}
+
+TEST(AppKindName, Labels)
+{
+    EXPECT_STREQ(appKindName(AppKind::Tpcc), "TPCC");
+    EXPECT_STREQ(appKindName(AppKind::YcsbA), "wA");
+    EXPECT_STREQ(appKindName(AppKind::YcsbReadOnly), "100%RD");
+}
+
+} // namespace
+} // namespace hades::workload
