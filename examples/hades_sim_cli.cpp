@@ -38,7 +38,11 @@ usage(const char *argv0)
         "  --net-rt-us RT                    (default 2)\n"
         "  --local-frac F                    (0..1; default uniform)\n"
         "  --replication K                   (default 0 = off)\n"
-        "  --seed S\n",
+        "  --seed S\n"
+        "  --fault-drop P                    per-message loss prob\n"
+        "  --fault-dup P                     duplicate-delivery prob\n"
+        "  --fault-delay P                   reorder-delay prob\n"
+        "  --fault-seed S                    fault RNG seed\n",
         argv0);
     std::exit(1);
 }
@@ -139,6 +143,18 @@ main(int argc, char **argv)
                 std::uint32_t(std::atoi(next().c_str()));
         else if (opt == "--seed")
             spec.cluster.seed = std::uint64_t(std::atoll(next().c_str()));
+        else if (opt == "--fault-drop") {
+            spec.cluster.faults.enabled = true;
+            spec.cluster.faults.dropAll(std::atof(next().c_str()));
+        } else if (opt == "--fault-dup") {
+            spec.cluster.faults.enabled = true;
+            spec.cluster.faults.dupAll(std::atof(next().c_str()));
+        } else if (opt == "--fault-delay") {
+            spec.cluster.faults.enabled = true;
+            spec.cluster.faults.delayAll(std::atof(next().c_str()));
+        } else if (opt == "--fault-seed")
+            spec.cluster.faults.seed =
+                std::uint64_t(std::atoll(next().c_str()));
         else
             usage(argv[0]);
     }
@@ -192,5 +208,21 @@ main(int argc, char **argv)
                     (unsigned long)res.replicatedCommits,
                     (unsigned long)res.replicationAborts,
                     (unsigned long)res.lostReplicaMessages);
+    if (spec.cluster.faults.enabled) {
+        std::printf("faults        %lu drops (%lu crash), %lu dups, "
+                    "%lu delays, %lu nic stalls\n",
+                    (unsigned long)res.faultDrops,
+                    (unsigned long)res.faultCrashDrops,
+                    (unsigned long)res.faultDuplicates,
+                    (unsigned long)res.faultDelays,
+                    (unsigned long)res.faultNicStalls);
+        std::printf("recovery      %lu nic retransmits, %lu commit "
+                    "resends, %lu reliable resends, %lu timeout "
+                    "squashes\n",
+                    (unsigned long)res.netRetransmits,
+                    (unsigned long)res.timeoutResends,
+                    (unsigned long)res.reliableResends,
+                    (unsigned long)res.timeoutSquashes);
+    }
     return 0;
 }

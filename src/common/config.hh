@@ -12,7 +12,9 @@
 #ifndef HADES_COMMON_CONFIG_HH_
 #define HADES_COMMON_CONFIG_HH_
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/time.hh"
 #include "common/types.hh"
@@ -90,6 +92,75 @@ struct SoftwareCostModel
     std::uint32_t lockedReadRetries = 4;
 };
 
+/**
+ * Fault-injection plan knobs (src/fault/). All perturbations are drawn
+ * from a dedicated seeded RNG, so a faulty run is exactly as
+ * bit-reproducible as a fault-free one. With enabled == false the
+ * network takes its original code paths and no RNG is consumed, so
+ * fault-free runs are bit-identical to builds without the subsystem.
+ */
+struct FaultConfig
+{
+    /** Must mirror net::MsgType::NumTypes (static_assert'd in
+     *  src/fault/fault_plan.cc). */
+    static constexpr std::size_t kNumVerbs = 7;
+
+    bool enabled = false;
+    /** Mixed with ClusterConfig::seed to seed the fault RNG. */
+    std::uint64_t seed = 0x0ddfa117;
+
+    /** Per-verb message-loss probability, indexed by net::MsgType. */
+    std::array<double, kNumVerbs> dropProb{};
+    /** Per-verb duplicate-delivery probability. */
+    std::array<double, kNumVerbs> dupProb{};
+    /** Per-verb reorder-delay probability. */
+    std::array<double, kNumVerbs> delayProb{};
+    /** Deterministically drop the first N sends of a verb (phase-
+     *  targeted chaos tests; probabilistic knobs are skipped for a
+     *  message dropped this way). */
+    std::array<std::uint32_t, kNumVerbs> dropFirst{};
+
+    /** Upper bound of an injected reorder delay. */
+    Tick maxDelay = us(6);
+
+    /** Probability that a send additionally stalls the source NIC
+     *  pipeline (backpressure burst) for nicStallTicks. */
+    double nicStallProb = 0;
+    Tick nicStallTicks = us(1);
+
+    /**
+     * Whole-node outage window scheduled on the DES kernel. A *pause*
+     * stalls the node's cores and NIC TX port for the window and defers
+     * message arrivals to the window end. A *crash* additionally drops
+     * every message into or out of the node during the window
+     * (fail-stop with message amnesia; the node restarts warm at
+     * `until` -- see DESIGN.md).
+     */
+    struct NodeEvent
+    {
+        NodeId node = 0;
+        Tick at = 0;
+        Tick until = 0;
+        bool crash = false;
+    };
+    std::vector<NodeEvent> nodeEvents;
+
+    // Convenience setters: apply one probability to every verb.
+    void dropAll(double p) { dropProb.fill(p); }
+    void dupAll(double p) { dupProb.fill(p); }
+    void delayAll(double p) { delayProb.fill(p); }
+
+    bool
+    anyNodeEventCovers(NodeId node, Tick t, bool crash_only) const
+    {
+        for (const auto &ev : nodeEvents)
+            if (ev.node == node && t >= ev.at && t < ev.until &&
+                (!crash_only || ev.crash))
+                return true;
+        return false;
+    }
+};
+
 /** Top-level cluster configuration (defaults reproduce Table III). */
 struct ClusterConfig
 {
@@ -136,6 +207,20 @@ struct ClusterConfig
     std::uint32_t maxSquashesBeforeLockMode = 48;
     /** Exponential backoff base applied between retries (cycles). */
     std::uint32_t retryBackoffBaseCycles = 200;
+
+    // --- Message-loss recovery (only active when faults.enabled) -------------
+    /** Initial per-verb retransmission/resend timeout. Doubles per
+     *  attempt (capped at retryTimeoutCap) with jitter on the
+     *  protocol-level resends. */
+    Tick retryTimeoutBase = us(8);
+    Tick retryTimeoutCap = us(128);
+    /** Commit-phase Intend-to-commit resend budget: after this many
+     *  timeout-triggered resend rounds without a full Ack set the
+     *  committer squashes itself (CommitTimeout) and retries. */
+    std::uint32_t maxCommitResends = 10;
+
+    /** Fault-injection plan (disabled by default: zero-cost when off). */
+    FaultConfig faults;
 
     // --- Workload placement --------------------------------------------------
     /** Fraction of requests whose home is the coordinator's node. The

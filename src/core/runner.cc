@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/log.hh"
+#include "fault/fault_plan.hh"
 #include "protocol/baseline.hh"
 #include "protocol/hades.hh"
 #include "protocol/hades_hybrid.hh"
@@ -93,6 +94,23 @@ runOne(const RunSpec &spec)
     auto engine = makeEngine(spec.engine, sys,
                              spec.cluster.recordPayloadBytes);
 
+    // Attach the fault plan (if any) before the first message flies.
+    // Fault-free runs never construct one, so they stay bit-identical.
+    std::unique_ptr<fault::FaultPlan> faults;
+    if (spec.cluster.faults.enabled) {
+        faults = std::make_unique<fault::FaultPlan>(sys.kernel,
+                                                    spec.cluster);
+        sys.network.setFaultInjector(faults.get());
+        std::vector<std::vector<sim::ComputeResource *>> cores_by_node;
+        for (auto &node : sys.nodes) {
+            std::vector<sim::ComputeResource *> cores;
+            for (auto &core : node->cores)
+                cores.push_back(core.get());
+            cores_by_node.push_back(std::move(cores));
+        }
+        faults->scheduleNodeEvents(sys.network, cores_by_node);
+    }
+
     // Launch one driver per hardware context. Cores are split into
     // contiguous blocks, one block per mix entry.
     const auto &cc = spec.cluster;
@@ -167,6 +185,19 @@ runOne(const RunSpec &spec)
         res.replicationAborts = sys.replicas->replicationAborts();
         res.lostReplicaMessages = sys.replicas->lostMessages();
     }
+    if (faults) {
+        const auto &fs = faults->stats();
+        res.faultDrops = fs.totalDrops() + fs.crashDrops;
+        res.faultDuplicates = fs.totalDuplicates();
+        res.faultDelays = fs.totalDelays() + fs.pausedDeferrals;
+        res.faultNicStalls = fs.totalNicStalls();
+        res.faultCrashDrops = fs.crashDrops;
+    }
+    res.netRetransmits = sys.network.totalRetransmits();
+    res.timeoutResends = st.timeoutResends;
+    res.reliableResends = st.reliableResends;
+    res.timeoutSquashes =
+        st.squashes[std::size_t(txn::SquashReason::CommitTimeout)];
     return res;
 }
 

@@ -86,6 +86,17 @@ struct RunResult
     std::uint64_t replicatedCommits = 0;
     std::uint64_t replicationAborts = 0;
     std::uint64_t lostReplicaMessages = 0;
+
+    /** Fault-injection outcome (all zero when faults are disabled). */
+    std::uint64_t faultDrops = 0;      //!< message copies dropped
+    std::uint64_t faultDuplicates = 0; //!< message copies duplicated
+    std::uint64_t faultDelays = 0;     //!< message copies delayed
+    std::uint64_t faultNicStalls = 0;  //!< injected NIC stalls
+    std::uint64_t faultCrashDrops = 0; //!< drops due to crash windows
+    std::uint64_t netRetransmits = 0;  //!< NIC-level RC retransmissions
+    std::uint64_t timeoutResends = 0;  //!< commit-phase Ack-timeout resends
+    std::uint64_t reliableResends = 0; //!< reliable one-way resends
+    std::uint64_t timeoutSquashes = 0; //!< CommitTimeout squash-and-retries
 };
 
 /** Run one configuration to completion. */

@@ -1,0 +1,143 @@
+#include "fault/fault_plan.hh"
+
+#include "common/log.hh"
+
+namespace hades::fault
+{
+
+static_assert(FaultConfig::kNumVerbs ==
+                  static_cast<std::size_t>(net::MsgType::NumTypes),
+              "FaultConfig verb array size must mirror net::MsgType");
+
+namespace
+{
+
+std::uint64_t
+sumArray(const std::array<std::uint64_t, FaultStats::kNumVerbs> &a)
+{
+    std::uint64_t n = 0;
+    for (auto c : a)
+        n += c;
+    return n;
+}
+
+} // namespace
+
+std::uint64_t
+FaultStats::totalDrops() const
+{
+    return sumArray(drops);
+}
+
+std::uint64_t
+FaultStats::totalDuplicates() const
+{
+    return sumArray(duplicates);
+}
+
+std::uint64_t
+FaultStats::totalDelays() const
+{
+    return sumArray(delays);
+}
+
+std::uint64_t
+FaultStats::totalNicStalls() const
+{
+    return sumArray(nicStalls);
+}
+
+FaultPlan::FaultPlan(sim::Kernel &kernel, const ClusterConfig &cfg)
+    : kernel_(kernel), cfg_(cfg), f_(cfg.faults),
+      rng_(cfg.seed ^ cfg.faults.seed)
+{
+}
+
+net::FaultDecision
+FaultPlan::judge(net::MsgType t, NodeId src, NodeId dst)
+{
+    const auto v = static_cast<std::size_t>(t);
+    net::FaultDecision d;
+    const std::uint64_t nth = seen_[v]++;
+
+    // Node-outage windows come first and are purely deterministic (no
+    // RNG draw), so adding windows does not shift the probabilistic
+    // draw sequence of unrelated messages.
+    const Tick now = kernel_.now();
+    const Tick arrive = now + cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
+    if (f_.anyNodeEventCovers(src, now, /*crash_only=*/true) ||
+        f_.anyNodeEventCovers(dst, arrive, /*crash_only=*/true)) {
+        stats_.crashDrops += 1;
+        d.drop = true;
+        return d;
+    }
+    for (const auto &ev : f_.nodeEvents) {
+        if (!ev.crash && ev.node == dst && arrive >= ev.at &&
+            arrive < ev.until) {
+            // The destination NIC buffers the copy until the pause ends.
+            d.delay = ev.until - arrive;
+            stats_.pausedDeferrals += 1;
+            break;
+        }
+    }
+
+    if (nth < f_.dropFirst[v]) {
+        stats_.drops[v] += 1;
+        d.drop = true;
+        return d;
+    }
+
+    // Probabilistic knobs. Each draw is guarded by prob > 0 so a knob
+    // left at zero consumes no randomness: enabling one fault class
+    // never shifts the draw sequence of another.
+    if (f_.dropProb[v] > 0 && rng_.chance(f_.dropProb[v])) {
+        stats_.drops[v] += 1;
+        d.drop = true;
+    }
+    if (f_.delayProb[v] > 0 && rng_.chance(f_.delayProb[v])) {
+        d.delay +=
+            static_cast<Tick>(rng_.below(
+                static_cast<std::uint64_t>(f_.maxDelay))) +
+            1;
+        stats_.delays[v] += 1;
+    }
+    if (f_.dupProb[v] > 0 && rng_.chance(f_.dupProb[v])) {
+        // The duplicate trails the primary copy by a fresh delay, so a
+        // dup is also a reorder; if the primary was dropped the
+        // duplicate still goes out (the wire lost one of two copies).
+        d.duplicate = true;
+        d.duplicateDelay =
+            d.delay +
+            static_cast<Tick>(rng_.below(
+                static_cast<std::uint64_t>(f_.maxDelay))) +
+            1;
+        stats_.duplicates[v] += 1;
+    }
+    if (f_.nicStallProb > 0 && rng_.chance(f_.nicStallProb)) {
+        d.stall = f_.nicStallTicks;
+        stats_.nicStalls[v] += 1;
+    }
+    return d;
+}
+
+void
+FaultPlan::scheduleNodeEvents(
+    net::Network &network,
+    const std::vector<std::vector<sim::ComputeResource *>> &cores_by_node)
+{
+    for (const auto &ev : f_.nodeEvents) {
+        always_assert(ev.until > ev.at, "empty node-outage window");
+        const Tick duration = ev.until - ev.at;
+        std::vector<sim::ComputeResource *> cores;
+        if (ev.node < cores_by_node.size())
+            cores = cores_by_node[ev.node];
+        kernel_.scheduleAt(
+            ev.at, [&network, cores, node = ev.node, duration] {
+                network.stallNode(node, duration);
+                for (auto *core : cores)
+                    core->reserve(duration);
+            });
+    }
+}
+
+} // namespace hades::fault

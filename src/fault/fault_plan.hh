@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Seedable fault-injection plan.
+ *
+ * A FaultPlan is the net::FaultInjector the runner attaches to the
+ * Network when ClusterConfig::faults.enabled is set. It perturbs
+ * individual message copies (drop / duplicate / reorder-delay / NIC
+ * stall) from a dedicated RNG -- seeded by mixing the cluster seed with
+ * FaultConfig::seed -- and schedules whole-node pause/crash windows on
+ * the DES kernel. Because every random draw comes from this one
+ * generator in a fixed per-message order, a faulty run is exactly as
+ * bit-reproducible as a fault-free one.
+ *
+ * Semantics of a node-outage window [at, until):
+ *  - pause: the node's cores and NIC TX port stall for the window;
+ *    message copies that would arrive inside the window are deferred to
+ *    its end (the NIC buffers them).
+ *  - crash: additionally, every message copy into or out of the node
+ *    during the window is dropped (fail-stop with message amnesia). The
+ *    node restarts warm at `until`; peers recover via their protocol
+ *    timeouts. See DESIGN.md for why warm restart is the right model
+ *    for a DES without persistent state.
+ */
+
+#ifndef HADES_FAULT_FAULT_PLAN_HH_
+#define HADES_FAULT_FAULT_PLAN_HH_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "net/network.hh"
+#include "sim/kernel.hh"
+#include "sim/resource.hh"
+
+namespace hades::fault
+{
+
+/** Counters of what the plan actually injected. */
+struct FaultStats
+{
+    static constexpr std::size_t kNumVerbs = FaultConfig::kNumVerbs;
+
+    std::array<std::uint64_t, kNumVerbs> drops{};
+    std::array<std::uint64_t, kNumVerbs> duplicates{};
+    std::array<std::uint64_t, kNumVerbs> delays{};
+    std::array<std::uint64_t, kNumVerbs> nicStalls{};
+    /** Copies deferred to the end of a pause window. */
+    std::uint64_t pausedDeferrals = 0;
+    /** Copies dropped because an endpoint was inside a crash window. */
+    std::uint64_t crashDrops = 0;
+
+    std::uint64_t totalDrops() const;
+    std::uint64_t totalDuplicates() const;
+    std::uint64_t totalDelays() const;
+    std::uint64_t totalNicStalls() const;
+};
+
+/** The fault injector (see file comment). */
+class FaultPlan : public net::FaultInjector
+{
+  public:
+    FaultPlan(sim::Kernel &kernel, const ClusterConfig &cfg);
+
+    /** Decide the fate of one transmitted message copy. */
+    net::FaultDecision judge(net::MsgType t, NodeId src,
+                             NodeId dst) override;
+
+    /**
+     * Schedule the configured node pause/crash windows: at each window
+     * start the node's compute resources in @p cores_by_node (indexed
+     * by node) and its Network TX port are reserved until the window
+     * end, so in-flight work at the node freezes.
+     */
+    void scheduleNodeEvents(
+        net::Network &network,
+        const std::vector<std::vector<sim::ComputeResource *>>
+            &cores_by_node);
+
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    sim::Kernel &kernel_;
+    const ClusterConfig &cfg_;
+    const FaultConfig &f_;
+    Rng rng_;
+    FaultStats stats_;
+    /** Sends seen per verb, for FaultConfig::dropFirst. */
+    std::array<std::uint64_t, FaultConfig::kNumVerbs> seen_{};
+};
+
+} // namespace hades::fault
+
+#endif // HADES_FAULT_FAULT_PLAN_HH_

@@ -85,6 +85,9 @@ class LlcDirectory
     /** Count of speculative lines evicted (each squashed a transaction). */
     std::uint64_t speculativeEvictions() const { return specEvictions_; }
 
+    /** Transactions with WrTX tags still in the array (leak checks). */
+    std::size_t taggedTxCount() const { return writers_.size(); }
+
   private:
     struct Way
     {

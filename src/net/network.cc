@@ -1,5 +1,7 @@
 #include "net/network.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace hades::net
@@ -63,6 +65,11 @@ Network::roundTrip(MsgType type, NodeId src, NodeId dst,
                    RemoteWork at_dst)
 {
     always_assert(src != dst, "round trip to self");
+    if (fault_) {
+        co_await faultyRoundTrip(type, src, dst, req_bytes, resp_bytes,
+                                 std::move(at_dst));
+        co_return;
+    }
     account(type, req_bytes);
 
     // Outbound serialization occupies the source TX port.
@@ -84,6 +91,92 @@ Network::roundTrip(MsgType type, NodeId src, NodeId dst,
                                      cfg_.nicProcessing};
 }
 
+sim::Task
+Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
+                         std::uint32_t req_bytes,
+                         std::uint32_t resp_bytes, RemoteWork at_dst)
+{
+    // RDMA RC semantics under loss: the requester NIC retransmits after
+    // a capped exponential timeout until the response arrives. Delivered
+    // request copies (duplicates included) each run the destination
+    // handler, so handlers must be idempotent -- exactly the semantics
+    // the protocol relies on.
+    struct RtState
+    {
+        bool active = true;       //!< round trip not yet completed
+        bool respArrived = false;
+        std::uint32_t gen = 0;    //!< current retransmission attempt
+        sim::AutoResetEvent wake;
+        RemoteWork work;
+    };
+    auto st = std::make_shared<RtState>();
+    st->work = std::move(at_dst);
+
+    const Tick half = cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
+
+    // Delivery of one request copy: run the handler, then send the
+    // response (which is itself subject to faults).
+    auto deliver = [this, st, type, src, dst, resp_bytes, half] {
+        if (!st->active)
+            return;
+        Tick work = st->work ? st->work() : 0;
+        kernel_.schedule(work, [this, st, type, src, dst, resp_bytes,
+                                half] {
+            if (!st->active)
+                return;
+            account(type, resp_bytes);
+            Tick depart = txPort_[dst]->reserve(
+                serialize(resp_bytes + cfg_.messageHeaderBytes));
+            FaultDecision fd = fault_->judge(type, dst, src);
+            if (fd.stall > 0)
+                txPort_[dst]->reserve(fd.stall);
+            auto arrive = [this, st] {
+                if (!st->active)
+                    return;
+                st->respArrived = true;
+                st->wake.notify(kernel_);
+            };
+            if (!fd.drop)
+                kernel_.scheduleAt(depart + half + fd.delay, arrive);
+            if (fd.duplicate)
+                kernel_.scheduleAt(depart + half + fd.duplicateDelay,
+                                   arrive);
+        });
+    };
+
+    Tick rto = cfg_.retryTimeoutBase;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        if (attempt > 0)
+            retransmits_[static_cast<std::size_t>(type)] += 1;
+        account(type, req_bytes);
+        co_await txPort_[src]->occupy(serialize(req_bytes +
+                                                cfg_.messageHeaderBytes));
+        if (st->respArrived)
+            break; // a late response of an earlier copy arrived
+        FaultDecision fd = fault_->judge(type, src, dst);
+        if (fd.stall > 0)
+            txPort_[src]->reserve(fd.stall);
+        if (!fd.drop)
+            kernel_.schedule(half + fd.delay, deliver);
+        if (fd.duplicate)
+            kernel_.schedule(half + fd.duplicateDelay, deliver);
+
+        // Wait for the response or the retransmission timeout,
+        // whichever comes first.
+        std::uint32_t gen = ++st->gen;
+        kernel_.schedule(rto, [this, st, gen] {
+            if (st->active && !st->respArrived && st->gen == gen)
+                st->wake.notify(kernel_);
+        });
+        co_await st->wake.wait();
+        if (st->respArrived)
+            break;
+        rto = std::min(rto * 2, cfg_.retryTimeoutCap);
+    }
+    st->active = false;
+    st->work = nullptr; // drop captured references to the caller frame
+}
+
 void
 Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
               std::function<void()> at_dst)
@@ -93,7 +186,36 @@ Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
     Tick depart =
         txPort_[src]->reserve(serialize(bytes + cfg_.messageHeaderBytes));
     Tick arrive = depart + cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
-    kernel_.scheduleAt(arrive, std::move(at_dst));
+    if (!fault_) {
+        kernel_.scheduleAt(arrive, std::move(at_dst));
+        return;
+    }
+    // One-way messages carry no NIC-level reliability: a dropped copy is
+    // simply gone (recovery is the protocol's job), a duplicated copy
+    // runs the handler twice.
+    FaultDecision fd = fault_->judge(type, src, dst);
+    if (fd.stall > 0)
+        txPort_[src]->reserve(fd.stall);
+    if (fd.drop && !fd.duplicate)
+        return;
+    if (fd.drop || !fd.duplicate) {
+        kernel_.scheduleAt(arrive + (fd.drop ? fd.duplicateDelay
+                                             : fd.delay),
+                           std::move(at_dst));
+        return;
+    }
+    auto handler =
+        std::make_shared<std::function<void()>>(std::move(at_dst));
+    kernel_.scheduleAt(arrive + fd.delay, [handler] { (*handler)(); });
+    kernel_.scheduleAt(arrive + fd.duplicateDelay,
+                       [handler] { (*handler)(); });
+}
+
+void
+Network::stallNode(NodeId node, Tick duration)
+{
+    if (duration > 0)
+        txPort_[node]->reserve(duration);
 }
 
 std::uint64_t
@@ -101,6 +223,15 @@ Network::totalMessages() const
 {
     std::uint64_t n = 0;
     for (auto c : msgCount_)
+        n += c;
+    return n;
+}
+
+std::uint64_t
+Network::totalRetransmits() const
+{
+    std::uint64_t n = 0;
+    for (auto c : retransmits_)
         n += c;
     return n;
 }

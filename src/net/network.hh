@@ -52,6 +52,28 @@ enum class MsgType : std::uint8_t
 /** Human-readable verb name. */
 const char *msgTypeName(MsgType t);
 
+/** What the fault injector decided for one message transmission. */
+struct FaultDecision
+{
+    bool drop = false;        //!< the copy is lost on the wire
+    Tick delay = 0;           //!< extra reorder delay before arrival
+    bool duplicate = false;   //!< deliver a second copy
+    Tick duplicateDelay = 0;  //!< extra delay of the duplicate copy
+    Tick stall = 0;           //!< source NIC pipeline stall after send
+};
+
+/**
+ * Perturbs message deliveries. Consulted once per transmitted copy
+ * (including NIC retransmissions); never consulted when unset, so the
+ * fault-free fast path is unchanged.
+ */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+    virtual FaultDecision judge(MsgType t, NodeId src, NodeId dst) = 0;
+};
+
 /** The cluster interconnect. */
 class Network
 {
@@ -85,6 +107,21 @@ class Network
     /** One-way wire latency for a payload of @p bytes (no port queue). */
     Tick oneWay(std::uint32_t bytes) const;
 
+    // --- fault injection ----------------------------------------------------
+    /**
+     * Attach (or detach, with nullptr) a fault injector. While attached,
+     * roundTrip() runs an RC-style NIC retransmission loop (lost
+     * request/response copies are resent after a capped exponential
+     * timeout) and post() copies may be dropped, delayed, or duplicated
+     * -- one-way verbs carry no NIC-level reliability; recovery is the
+     * protocol engines' job.
+     */
+    void setFaultInjector(FaultInjector *f) { fault_ = f; }
+    FaultInjector *faultInjector() const { return fault_; }
+
+    /** Stall @p node's TX port for @p duration (node pause/crash). */
+    void stallNode(NodeId node, Tick duration);
+
     // --- statistics ---------------------------------------------------------
     std::uint64_t messageCount(MsgType t) const
     {
@@ -93,6 +130,13 @@ class Network
     std::uint64_t totalMessages() const;
     std::uint64_t totalBytes() const { return totalBytes_; }
 
+    /** NIC-level retransmitted round-trip request copies, per verb. */
+    std::uint64_t retransmits(MsgType t) const
+    {
+        return retransmits_[static_cast<std::size_t>(t)];
+    }
+    std::uint64_t totalRetransmits() const;
+
     const ClusterConfig &config() const { return cfg_; }
     sim::Kernel &kernel() { return kernel_; }
 
@@ -100,11 +144,20 @@ class Network
     Tick serialize(std::uint32_t bytes) const;
     void account(MsgType t, std::uint32_t bytes);
 
+    /** roundTrip() body used while a fault injector is attached. */
+    sim::Task faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
+                              std::uint32_t req_bytes,
+                              std::uint32_t resp_bytes,
+                              RemoteWork at_dst);
+
     sim::Kernel &kernel_;
     const ClusterConfig &cfg_;
+    FaultInjector *fault_ = nullptr;
     std::vector<std::unique_ptr<sim::ComputeResource>> txPort_;
     std::uint64_t msgCount_[static_cast<std::size_t>(MsgType::NumTypes)] =
         {};
+    std::uint64_t retransmits_[static_cast<std::size_t>(
+        MsgType::NumTypes)] = {};
     std::uint64_t totalBytes_ = 0;
 };
 

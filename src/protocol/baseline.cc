@@ -14,6 +14,9 @@ using txn::SquashReason;
 namespace
 {
 
+/** Bit position of the attempt epoch inside a lock-owner id. */
+constexpr unsigned kEpochShift = 48;
+
 /** Group request indices by home node, excluding @p local. */
 std::map<NodeId, std::vector<std::size_t>>
 groupRemote(const std::vector<NodeId> &homes, NodeId local)
@@ -55,11 +58,14 @@ BaselineEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
 }
 
 void
-BaselineEngine::releaseLocks(ExecCtx ctx, std::vector<WriteEntry> &writes)
+BaselineEngine::releaseLocks(ExecCtx ctx, std::uint64_t self,
+                             std::vector<WriteEntry> &writes)
 {
     // Batch unlock messages per remote node; local unlocks are direct.
+    // With faults on the unlocks ride the reliable channel (unlock is
+    // owner-guarded, so replayed copies are no-ops) -- a lost unlock
+    // would leak the lock forever.
     std::map<NodeId, std::vector<std::uint64_t>> remote_unlocks;
-    const std::uint64_t self = ctx.packed();
     for (auto &w : writes) {
         if (!w.locked)
             continue;
@@ -73,7 +79,7 @@ BaselineEngine::releaseLocks(ExecCtx ctx, std::vector<WriteEntry> &writes)
     for (auto &[node, records] : remote_unlocks) {
         auto recs = records; // copy into the handler
         NodeId home = node;
-        sys_.network.post(
+        reliablePost(
             MsgType::RdmaWrite, ctx.node, home,
             std::uint32_t(8 * recs.size()), [this, home, recs, self] {
                 for (auto r : recs)
@@ -83,16 +89,67 @@ BaselineEngine::releaseLocks(ExecCtx ctx, std::vector<WriteEntry> &writes)
 }
 
 sim::Task
+BaselineEngine::awaitFanout(
+    std::shared_ptr<Fanout> fo,
+    std::map<NodeId, std::vector<std::size_t>> by_node,
+    std::function<void(NodeId, const std::vector<std::size_t> &)> repost)
+{
+    if (fo->pending.empty()) {
+        fo->closed = true;
+        co_return;
+    }
+    if (!faultsOn()) {
+        co_await fo->wake.wait();
+        fo->closed = true;
+        co_return;
+    }
+    // Wake on either the last reply or a resend timer; the generation
+    // counter discards timers from earlier rounds.
+    auto gen = std::make_shared<std::uint32_t>(0);
+    for (std::uint32_t round = 0;; ++round) {
+        std::uint32_t g = ++*gen;
+        sys_.kernel.schedule(resendTimeout(round), [this, fo, gen, g] {
+            if (*gen == g && !fo->closed && !fo->pending.empty())
+                fo->wake.notify(sys_.kernel);
+        });
+        co_await fo->wake.wait();
+        if (fo->pending.empty())
+            break;
+        if (round >= sys_.config.maxCommitResends) {
+            // Give up on the unresponsive nodes and fail the batch;
+            // `closed` below makes any late deliveries inert.
+            fo->anyFail = true;
+            break;
+        }
+        for (NodeId n : fo->pending) {
+            stats_.timeoutResends += 1;
+            repost(n, by_node.at(n));
+        }
+    }
+    fo->closed = true;
+}
+
+sim::Task
 BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         bool &committed)
 {
     auto &kernel = sys_.kernel;
     auto &core = coreOf(ctx);
     const auto &costs = sys_.config.costs;
-    const std::uint64_t self = ctx.packed();
+    // Faults on: tag the lock-owner id with a per-attempt epoch so a
+    // replayed unlock/commit-write of attempt N can never touch the
+    // locks of attempt N+1. Fault-free the bare id is used, as before.
+    std::uint64_t self = ctx.packed();
+    if (faultsOn())
+        self |= (epochs_[ctx.packed()]++ & 0x3fff) << kEpochShift;
 
-    std::vector<ReadEntry> read_set;
-    std::vector<WriteEntry> write_set;
+    // The sets are shared with the message handlers below: under
+    // injected faults a delayed or duplicated delivery can outlive this
+    // coroutine frame, so the handlers must not hold frame references.
+    auto rs = std::make_shared<std::vector<ReadEntry>>();
+    auto ws = std::make_shared<std::vector<WriteEntry>>();
+    auto &read_set = *rs;
+    auto &write_set = *ws;
     std::vector<std::int64_t> read_vals;
 
     const Tick exec_start = kernel.now();
@@ -201,7 +258,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             stats_.addOverhead(Overhead::RdBeforeWr, kernel.now() - t0);
         if (gave_up) {
             stats_.addSquash(SquashReason::LockBusy);
-            releaseLocks(ctx, write_set);
+            releaseLocks(ctx, self, write_set);
             co_return;
         }
 
@@ -251,6 +308,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     // one batched RDMA CAS message per node, all batches in flight in
     // parallel (optimization 1).
     bool lock_failed = false;
+    bool lock_timed_out = false;
     {
         Tick t0 = kernel.now();
         for (auto &w : write_set) {
@@ -268,18 +326,20 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             for (const auto &w : write_set)
                 homes.push_back(w.home);
             auto by_node = groupRemote(homes, ctx.node);
-            sim::CountdownLatch latch{
-                std::uint32_t(by_node.size())};
-            bool any_fail = false;
-            for (auto &[node, idx_list] : by_node) {
-                NodeId home = node;
-                auto idxs = idx_list;
-                co_await core.occupy(cycles(costs.rdmaPostCycles));
+            auto fo = std::make_shared<Fanout>();
+            for (const auto &[node, idx_list] : by_node)
+                fo->pending.insert(node);
+            auto post_batch = [this, ws, fo, self, ctx](
+                                  NodeId home,
+                                  const std::vector<std::size_t>
+                                      &idxs) {
                 sys_.network.post(
                     MsgType::RdmaCas, ctx.node, home,
                     std::uint32_t(16 * idxs.size()),
-                    [this, home, idxs, self, &write_set, &any_fail,
-                     &latch, ctx] {
+                    [this, ws, fo, home, idxs, self, ctx] {
+                        if (fo->closed)
+                            return; // stale delivery of an old batch
+                        auto &write_set = *ws;
                         bool ok = true;
                         std::vector<std::size_t> acquired;
                         for (auto i : idxs) {
@@ -304,25 +364,29 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         sys_.network.post(
                             MsgType::RdmaCas, home, ctx.node,
                             std::uint32_t(8 * idxs.size()),
-                            [&any_fail, &latch, ok, this] {
-                                if (!ok)
-                                    any_fail = true;
-                                latch.countDown(sys_.kernel);
+                            [this, fo, home, ok] {
+                                fo->reply(sys_.kernel, home, ok);
                             });
                     });
+            };
+            for (const auto &[node, idx_list] : by_node) {
+                co_await core.occupy(cycles(costs.rdmaPostCycles));
+                post_batch(node, idx_list);
             }
-            co_await latch.wait();
+            co_await awaitFanout(fo, by_node, post_batch);
             co_await core.occupy(
                 cycles(std::int64_t(costs.rdmaPollCycles) *
                        std::int64_t(by_node.size())));
-            lock_failed = any_fail;
+            lock_failed = fo->anyFail;
+            lock_timed_out = !fo->pending.empty();
         }
         stats_.addOverhead(Overhead::ConflictDetection,
                            kernel.now() - t0);
     }
     if (lock_failed) {
-        stats_.addSquash(SquashReason::LockBusy);
-        releaseLocks(ctx, write_set);
+        stats_.addSquash(lock_timed_out ? SquashReason::CommitTimeout
+                                        : SquashReason::LockBusy);
+        releaseLocks(ctx, self, write_set);
         co_return;
     }
 
@@ -330,6 +394,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     // set is never locked (optimization 4). Remote batches fly in
     // parallel, one message per node.
     bool validation_failed = false;
+    bool validation_timed_out = false;
     {
         Tick t0 = kernel.now();
         for (const auto &r : read_set) {
@@ -351,18 +416,20 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             for (const auto &r : read_set)
                 homes.push_back(r.home);
             auto by_node = groupRemote(homes, ctx.node);
-            sim::CountdownLatch latch{
-                std::uint32_t(by_node.size())};
-            bool any_fail = false;
-            for (auto &[node, idx_list] : by_node) {
-                NodeId home = node;
-                auto idxs = idx_list;
-                co_await core.occupy(cycles(costs.rdmaPostCycles));
+            auto fo = std::make_shared<Fanout>();
+            for (const auto &[node, idx_list] : by_node)
+                fo->pending.insert(node);
+            auto post_batch = [this, rs, fo, self, ctx](
+                                  NodeId home,
+                                  const std::vector<std::size_t>
+                                      &idxs) {
                 sys_.network.post(
                     MsgType::RdmaRead, ctx.node, home,
                     std::uint32_t(8 * idxs.size()),
-                    [this, home, idxs, self, &read_set, &any_fail,
-                     &latch, ctx] {
+                    [this, rs, fo, home, idxs, self, ctx] {
+                        if (fo->closed)
+                            return; // stale delivery of an old batch
+                        auto &read_set = *rs;
                         bool ok = true;
                         for (auto i : idxs) {
                             const auto &r = read_set[i];
@@ -380,14 +447,16 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         sys_.network.post(
                             MsgType::RdmaRead, home, ctx.node,
                             std::uint32_t(16 * idxs.size()),
-                            [&any_fail, &latch, ok, this] {
-                                if (!ok)
-                                    any_fail = true;
-                                latch.countDown(sys_.kernel);
+                            [this, fo, home, ok] {
+                                fo->reply(sys_.kernel, home, ok);
                             });
                     });
+            };
+            for (const auto &[node, idx_list] : by_node) {
+                co_await core.occupy(cycles(costs.rdmaPostCycles));
+                post_batch(node, idx_list);
             }
-            co_await latch.wait();
+            co_await awaitFanout(fo, by_node, post_batch);
             std::uint64_t remote_reads = 0;
             for (const auto &r : read_set)
                 remote_reads += r.home != ctx.node ? 1 : 0;
@@ -396,14 +465,17 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                            std::int64_t(by_node.size()) +
                        std::int64_t(costs.versionCompareCycles) *
                            std::int64_t(remote_reads)));
-            validation_failed = any_fail;
+            validation_failed = fo->anyFail;
+            validation_timed_out = !fo->pending.empty();
         }
         stats_.addOverhead(Overhead::ConflictDetection,
                            kernel.now() - t0);
     }
     if (validation_failed) {
-        stats_.addSquash(SquashReason::ValidationFailure);
-        releaseLocks(ctx, write_set);
+        stats_.addSquash(validation_timed_out
+                             ? SquashReason::CommitTimeout
+                             : SquashReason::ValidationFailure);
+        releaseLocks(ctx, self, write_set);
         co_return;
     }
     const Tick validation_end = kernel.now();
@@ -458,11 +530,21 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                            std::int64_t(idxs.size()) +
                        copyCycles(batch_bytes)));
             stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
-            sys_.network.post(
+            // Faults on: the commit write must eventually arrive (it
+            // both applies the data and releases the locks), so it
+            // rides the reliable channel. The first delivered copy
+            // releases the lock, so a replayed copy is skipped by the
+            // owner check (self is epoch-unique: no ABA with later
+            // attempts of the same context).
+            reliablePost(
                 MsgType::RdmaWrite, ctx.node, home,
                 std::uint32_t(batch_bytes),
                 [this, home, payload, self] {
                     for (const auto &w : payload) {
+                        if (faultsOn() &&
+                            sys_.node(home).versions.peek(w.record)
+                                    .lockOwner != self)
+                            continue;
                         sys_.data.write(w.record, w.value);
                         sys_.node(home).versions.bumpVersion(w.record);
                         sys_.node(home).versions.unlock(w.record, self);
@@ -489,7 +571,9 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
     auto &kernel = sys_.kernel;
     auto &core = coreOf(ctx);
     const auto &costs = sys_.config.costs;
-    const std::uint64_t self = ctx.packed();
+    std::uint64_t self = ctx.packed();
+    if (faultsOn())
+        self |= (epochs_[ctx.packed()]++ & 0x3fff) << kEpochShift;
 
     while (tokenBusy_)
         co_await sim::Delay{kernel, us(1)};
@@ -577,13 +661,13 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
             }
         } else {
             auto payload = recs;
-            sys_.network.post(MsgType::RdmaWrite, ctx.node, home,
-                              std::uint32_t(8 * payload.size()),
-                              [this, home, payload, self] {
-                                  for (auto rec : payload)
-                                      sys_.node(home).versions.unlock(
-                                          rec, self);
-                              });
+            reliablePost(MsgType::RdmaWrite, ctx.node, home,
+                         std::uint32_t(8 * payload.size()),
+                         [this, home, payload, self] {
+                             for (auto rec : payload)
+                                 sys_.node(home).versions.unlock(
+                                     rec, self);
+                         });
         }
     }
     tokenBusy_ = false;

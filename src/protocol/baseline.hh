@@ -17,7 +17,10 @@
 #define HADES_PROTOCOL_BASELINE_HH_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "protocol/engine.hh"
@@ -76,13 +79,37 @@ class BaselineEngine : public TxnEngine
     sim::Task attemptPessimistic(ExecCtx ctx,
                                  const txn::TxnProgram &prog);
 
-    /** Release all locks this attempt still holds (abort path). */
-    void releaseLocks(ExecCtx ctx, std::vector<WriteEntry> &writes);
+    /** Release all locks this attempt still holds (abort path).
+     *  @p self is the (possibly epoch-tagged) lock-owner id. */
+    void releaseLocks(ExecCtx ctx, std::uint64_t self,
+                      std::vector<WriteEntry> &writes);
+
+    /**
+     * Await one reply per node of a lock/validation fan-out. Fault-free
+     * this reduces to a single wait for the last reply, reproducing the
+     * CountdownLatch event sequence exactly. With faults on it re-posts
+     * the batch to unresponsive nodes on a capped-exponential timer and
+     * fails the batch (Fanout::anyFail) after
+     * ClusterConfig::maxCommitResends rounds. Fanout::closed is set on
+     * every exit so late deliveries of stale batches are discarded.
+     */
+    sim::Task awaitFanout(
+        std::shared_ptr<Fanout> fo,
+        std::map<NodeId, std::vector<std::size_t>> by_node,
+        std::function<void(NodeId, const std::vector<std::size_t> &)>
+            repost);
 
     /** Serializes pessimistic fallbacks: running several lock-all
      *  transactions concurrently creates lock convoys on skewed
      *  workloads (each holds hot locks while waiting for the next). */
     bool tokenBusy_ = false;
+
+    /** Next per-context attempt epoch (faults-on only): makes lock
+     *  owner ids unique across attempts, so a replayed unlock or
+     *  commit write from an earlier attempt can never touch the locks
+     *  of a later one. Fault-free the bare packed context id is used,
+     *  as before. */
+    std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
 
     txn::RecordLayout layout_;
 };

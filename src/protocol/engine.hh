@@ -9,6 +9,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
 
 #include "protocol/system.hh"
 #include "sim/task.hh"
@@ -47,6 +50,34 @@ engineKindName(EngineKind k)
         return "?";
     }
 }
+
+/**
+ * Shared state of one batched fan-out awaiting one reply per node
+ * (Baseline lock / validation batches). Replies are idempotent per
+ * node, so duplicated or retransmitted response deliveries cannot
+ * over-release the waiter; `closed` discards replies that arrive after
+ * the coordinator abandoned the batch. The waiter is notified exactly
+ * when the pending set empties, mirroring CountdownLatch's fault-free
+ * event sequence.
+ */
+struct Fanout
+{
+    std::unordered_set<NodeId> pending;
+    bool anyFail = false;
+    bool closed = false;
+    sim::AutoResetEvent wake;
+
+    void
+    reply(sim::Kernel &kernel, NodeId node, bool ok)
+    {
+        if (closed || pending.erase(node) == 0)
+            return; // stale batch or duplicate reply
+        if (!ok)
+            anyFail = true;
+        if (pending.empty())
+            wake.notify(kernel);
+    }
+};
 
 /** A distributed transaction protocol implementation. */
 class TxnEngine
@@ -202,11 +233,91 @@ class TxnEngine
                    : def;
     }
 
+    /** True when the fault-injection layer is active. Every recovery
+     *  code path (timers, resends, extra Acks) is gated on this so
+     *  fault-free runs stay bit-identical to the pre-fault simulator. */
+    bool faultsOn() const { return sys_.config.faults.enabled; }
+
+    /**
+     * Protocol-level resend timeout for attempt @p attempt: capped
+     * exponential in retryTimeoutBase..retryTimeoutCap plus up to 25%
+     * jitter. Only called on faults-on paths, so the RNG draw does not
+     * perturb fault-free runs.
+     */
+    Tick
+    resendTimeout(std::uint32_t attempt)
+    {
+        Tick base = sys_.config.retryTimeoutBase
+                    << std::min(attempt, 4u);
+        base = std::min(base, sys_.config.retryTimeoutCap);
+        return base + Tick(sys_.rng.below(std::uint64_t(base / 4) + 1));
+    }
+
+    /**
+     * One-way message with protocol-level reliability. Fault-free this
+     * is exactly Network::post. With faults enabled the destination
+     * confirms every delivered copy with a small Ack, and the sender
+     * re-posts on a capped-exponential timer until confirmed -- so
+     * @p handler runs once per delivered copy and MUST be idempotent.
+     */
+    void
+    reliablePost(net::MsgType type, NodeId src, NodeId dst,
+                 std::uint32_t bytes, std::function<void()> handler)
+    {
+        if (!faultsOn()) {
+            sys_.network.post(type, src, dst, bytes,
+                              std::move(handler));
+            return;
+        }
+        auto st = std::make_shared<ReliableSend>();
+        st->type = type;
+        st->src = src;
+        st->dst = dst;
+        st->bytes = bytes;
+        st->handler = std::move(handler);
+        reliableAttempt(std::move(st), 0);
+    }
+
     /** Per-line streaming cost after the first line of a bulk access. */
     static constexpr std::int64_t kStreamCycles = 4;
 
     System &sys_;
     txn::EngineStats stats_;
+
+  private:
+    /** In-flight reliablePost state, owned by the kernel closures. */
+    struct ReliableSend
+    {
+        net::MsgType type{};
+        NodeId src = 0;
+        NodeId dst = 0;
+        std::uint32_t bytes = 0;
+        std::function<void()> handler;
+        bool confirmed = false;
+    };
+
+    void
+    reliableAttempt(std::shared_ptr<ReliableSend> st, std::uint32_t n)
+    {
+        if (st->confirmed)
+            return;
+        if (n > 0)
+            stats_.reliableResends += 1;
+        sys_.network.post(st->type, st->src, st->dst, st->bytes,
+                          [this, st] {
+                              st->handler();
+                              // Confirm this delivered copy; the Ack is
+                              // itself lossy, so the sender may resend
+                              // (handler idempotency absorbs it).
+                              sys_.network.post(
+                                  net::MsgType::Ack, st->dst, st->src, 8,
+                                  [st] { st->confirmed = true; });
+                          });
+        sys_.kernel.schedule(resendTimeout(n), [this, st, n] {
+            if (!st->confirmed)
+                reliableAttempt(st, n + 1);
+        });
+    }
 };
 
 } // namespace hades::protocol

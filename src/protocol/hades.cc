@@ -377,6 +377,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                 std::unique(itc_lines.begin(), itc_lines.end()),
                 itc_lines.end());
         }
+        at->itcLines[y] = itc_lines; // kept for timeout resends
         sys_.network.post(
             MsgType::IntendToCommit, ctx.node, y,
             std::uint32_t(8 * itc_lines.size() + 16),
@@ -397,9 +398,11 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                 plan[b].emplace_back(rec, hv.second);
         at->acksPending += std::uint32_t(plan.size());
         const Tick persist = sys_.replicas->config().persistLatency();
-        auto ack = [this, at] {
+        auto ack = [this, at](NodeId b) {
             if (at->finished || at->ctrl.squashRequested)
                 return;
+            if (!at->replicaAckedBy.insert(b).second)
+                return; // replayed staging Ack
             if (at->acksPending > 0) {
                 at->acksPending -= 1;
                 if (at->acksPending == 0)
@@ -418,7 +421,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                     auto &store = sys_.replicas->store(b);
                     for (const auto &[rec, val] : payload)
                         store.stage(id_c, rec, val);
-                    ack();
+                    ack(b);
                 });
             } else {
                 NodeId x = ctx.node;
@@ -434,7 +437,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                         sys_.kernel.schedule(persist, [this, at, ack,
                                                        b, x] {
                             sys_.network.post(MsgType::Ack, b, x, 16,
-                                              ack);
+                                              [ack, b] { ack(b); });
                         });
                     });
             }
@@ -451,6 +454,12 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
             });
         }
     }
+
+    // Faults on: a lost Intend-to-commit or Ack would strand the wait
+    // below, so arm the commit resend timer chain (CommitTimeout squash
+    // after maxCommitResends fruitless rounds).
+    if (faultsOn() && at->acksPending > 0)
+        armCommitResend(ctx, at, 0);
 
     while (at->acksPending > 0 && !at->ctrl.squashRequested)
         co_await at->ctrl.wake.wait();
@@ -477,10 +486,15 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                 bytes += layout_.payloadLines() * kCacheLineBytes;
             }
         }
-        sys_.network.post(
+        reliablePost(
             MsgType::Validation, ctx.node, y, bytes,
             [this, y, id, updates] {
                 auto &ynode = sys_.node(y);
+                // Replay guard: the first delivery clears the filters,
+                // so a duplicated/re-sent Validation must not re-apply
+                // writes over a lock some later transaction now holds.
+                if (faultsOn() && !ynode.nic.hasRemoteFilters(id))
+                    return;
                 for (const auto &[record, value] : updates) {
                     sys_.data.write(record, value);
                     nicAccessLines(y, sys_.placement.addrOf(record),
@@ -499,11 +513,11 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
             if (b == ctx.node) {
                 sys_.replicas->store(b).promote(id);
             } else {
-                sys_.network.post(MsgType::Validation, ctx.node, b, 16,
-                                  [this, b, id] {
-                                      sys_.replicas->store(b).promote(
-                                          id);
-                                  });
+                // promote() is idempotent: replayed copies are no-ops.
+                reliablePost(MsgType::Validation, ctx.node, b, 16,
+                             [this, b, id] {
+                                 sys_.replicas->store(b).promote(id);
+                             });
             }
         }
     }
@@ -526,6 +540,17 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
     // flight; in that case its cleanup messages take care of state.
     if (at->finished || at->ctrl.squashRequested)
         return;
+
+    // Idempotency guard (duplicated or timeout-resent delivery): if
+    // this node's directory is already partially locked for the
+    // committer -- or the committer is already past its serialization
+    // point -- re-acquiring would corrupt the Locking Buffer bank.
+    // Just confirm with another Ack; the committer dedupes by node.
+    if (ynode.lockBank.held(id) || at->ctrl.uncommittable) {
+        kernel.schedule(sys_.cycles(20),
+                        [this, at, y] { postCommitAck(at, y); });
+        return;
+    }
 
     // Step 1 (remote): partially lock y's directory for the committer.
     auto &filters = ynode.nic.remoteFilters(id);
@@ -601,17 +626,53 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
 
     // Step 3 (remote): send the Ack after the NIC processing time.
     Tick work = sys_.cycles(20 + 2 * std::int64_t(write_lines.size()));
-    NodeId x = at->homeNode;
-    kernel.schedule(work, [this, at, x, y] {
-        sys_.network.post(MsgType::Ack, y, x, 16, [this, at] {
-            if (at->finished || at->ctrl.squashRequested)
-                return;
-            if (at->acksPending > 0) {
-                at->acksPending -= 1;
-                if (at->acksPending == 0)
-                    at->ctrl.wake.notify(sys_.kernel);
-            }
-        });
+    kernel.schedule(work, [this, at, y] { postCommitAck(at, y); });
+}
+
+void
+HadesEngine::postCommitAck(AttemptPtr at, NodeId y)
+{
+    sys_.network.post(MsgType::Ack, y, at->homeNode, 16, [this, at, y] {
+        if (at->finished || at->ctrl.squashRequested)
+            return;
+        if (!at->ackedBy.insert(y).second)
+            return; // duplicated/re-sent Ack: already counted
+        if (at->acksPending > 0) {
+            at->acksPending -= 1;
+            if (at->acksPending == 0)
+                at->ctrl.wake.notify(sys_.kernel);
+        }
+    });
+}
+
+void
+HadesEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
+                             std::uint32_t round)
+{
+    sys_.kernel.schedule(resendTimeout(round), [this, ctx, at, round] {
+        if (at->finished || at->ctrl.uncommittable ||
+            at->ctrl.squashRequested || at->acksPending == 0)
+            return;
+        if (round >= sys_.config.maxCommitResends) {
+            // Out of resend budget: a peer is unreachable (crashed or
+            // partitioned). Squash-and-retry from a clean slate.
+            sys_.router.squash(sys_.kernel, at->id,
+                               SquashReason::CommitTimeout);
+            return;
+        }
+        for (NodeId y : at->nodesInvolved) {
+            if (at->ackedBy.count(y))
+                continue;
+            stats_.timeoutResends += 1;
+            const std::vector<Addr> itc_lines = at->itcLines[y];
+            sys_.network.post(
+                MsgType::IntendToCommit, ctx.node, y,
+                std::uint32_t(8 * itc_lines.size() + 16),
+                [this, y, at, itc_lines] {
+                    handleIntendToCommit(y, at, itc_lines);
+                });
+        }
+        armCommitResend(ctx, at, round + 1);
     });
 }
 
@@ -629,13 +690,16 @@ HadesEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
     at->localDirLocked = false;
     node.nic.clearLocalState(id);
 
-    // Tell every involved remote node to drop our filters/locks.
+    // Tell every involved remote node to drop our filters/locks. The
+    // cleanup must survive message loss (a leaked Locking Buffer entry
+    // blocks the bank forever), so it rides the reliable channel; both
+    // handler operations are idempotent under replay.
     for (NodeId y : at->nodesInvolved) {
-        sys_.network.post(MsgType::Squash, ctx.node, y, 16,
-                          [this, y, id] {
-                              sys_.node(y).lockBank.release(id);
-                              sys_.node(y).nic.clearRemoteFilters(id);
-                          });
+        reliablePost(MsgType::Squash, ctx.node, y, 16,
+                     [this, y, id] {
+                         sys_.node(y).lockBank.release(id);
+                         sys_.node(y).nic.clearRemoteFilters(id);
+                     });
     }
 
     // Abort message to replica nodes: drop staged images (V-A).
@@ -645,7 +709,7 @@ HadesEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
             if (b == ctx.node) {
                 sys_.replicas->store(b).discard(id);
             } else {
-                sys_.network.post(
+                reliablePost(
                     MsgType::Squash, ctx.node, b, 16,
                     [this, b, id] {
                         sys_.replicas->store(b).discard(id);

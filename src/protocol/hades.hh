@@ -85,6 +85,13 @@ class HadesEngine : public TxnEngine
         /** Backup nodes holding staged replica updates (Section V-A). */
         std::set<NodeId> replicaNodes;
         std::uint32_t acksPending = 0;
+        /** Nodes whose commit Ack arrived (dedupes replayed Acks and
+         *  selects the targets of a timeout resend). */
+        std::set<NodeId> ackedBy;
+        /** Backups whose replica-staging Ack arrived. */
+        std::set<NodeId> replicaAckedBy;
+        /** Intend-to-commit address list per node, kept for resends. */
+        std::map<NodeId, std::vector<Addr>> itcLines;
         bool localDirLocked = false;
         bool finished = false;
         std::uint64_t id = 0; //!< packed gid | epoch (WrTX ID value)
@@ -122,6 +129,18 @@ class HadesEngine : public TxnEngine
 
     /** Undo all speculative state of a squashed/finished attempt. */
     void cleanupAborted(ExecCtx ctx, AttemptPtr at);
+
+    /** Send one commit Ack from @p y back to the committer (idempotent
+     *  at the receiver via Attempt::ackedBy). */
+    void postCommitAck(AttemptPtr at, NodeId y);
+
+    /**
+     * Faults-on only: timer chain that re-posts Intend-to-commit to
+     * nodes that have not Acked; after maxCommitResends rounds the
+     * committer squashes itself (CommitTimeout) and retries.
+     */
+    void armCommitResend(ExecCtx ctx, AttemptPtr at,
+                         std::uint32_t round);
 
     /** Throw Squashed if the attempt has a pending squash request. */
     static void

@@ -378,6 +378,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 std::unique(itc_lines.begin(), itc_lines.end()),
                 itc_lines.end());
         }
+        at->itcLines[y] = itc_lines; // kept for timeout resends
         sys_.network.post(
             MsgType::IntendToCommit, ctx.node, y,
             std::uint32_t(8 * itc_lines.size() + 16),
@@ -385,6 +386,10 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 handleIntendToCommit(y, at, itc_lines);
             });
     }
+    // Faults on: recover from lost Intend-to-commit/Ack messages.
+    if (faultsOn() && at->acksPending > 0)
+        armCommitResend(ctx, at, 0);
+
     while (at->acksPending > 0 && !at->ctrl.squashRequested)
         co_await at->ctrl.wake.wait();
     checkSquash(at);
@@ -456,10 +461,16 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 bytes += layout_.payloadLines() * kCacheLineBytes;
             }
         }
-        sys_.network.post(
+        reliablePost(
             MsgType::Validation, ctx.node, y, bytes,
             [this, y, id, updates] {
                 auto &ynode = sys_.node(y);
+                // Replay guard: bumpVersion is NOT idempotent -- a
+                // duplicated Validation must not bump versions (or
+                // overwrite data) a second time after the first copy
+                // cleared the filters and released the locks.
+                if (faultsOn() && !ynode.nic.hasRemoteFilters(id))
+                    return;
                 for (const auto &[record, value] : updates) {
                     sys_.data.write(record, value);
                     // Bump the version so software Local Validations of
@@ -489,6 +500,15 @@ HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
 
     if (at->finished || at->ctrl.squashRequested)
         return;
+
+    // Idempotency guard for duplicated/re-sent deliveries: the
+    // directory is already locked here (or the committer is already
+    // past its serialization point); just re-Ack.
+    if (ynode.lockBank.held(id) || at->ctrl.uncommittable) {
+        kernel.schedule(sys_.cycles(20),
+                        [this, at, y] { postCommitAck(at, y); });
+        return;
+    }
 
     auto &filters = ynode.nic.remoteFilters(id);
     bloom::BloomFilter write_filter = filters.writeBf;
@@ -543,17 +563,51 @@ HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
     }
 
     Tick work = sys_.cycles(20 + 2 * std::int64_t(write_lines.size()));
-    NodeId x = at->homeNode;
-    kernel.schedule(work, [this, at, x, y] {
-        sys_.network.post(MsgType::Ack, y, x, 16, [this, at] {
-            if (at->finished || at->ctrl.squashRequested)
-                return;
-            if (at->acksPending > 0) {
-                at->acksPending -= 1;
-                if (at->acksPending == 0)
-                    at->ctrl.wake.notify(sys_.kernel);
-            }
-        });
+    kernel.schedule(work, [this, at, y] { postCommitAck(at, y); });
+}
+
+void
+HadesHybridEngine::postCommitAck(AttemptPtr at, NodeId y)
+{
+    sys_.network.post(MsgType::Ack, y, at->homeNode, 16, [this, at, y] {
+        if (at->finished || at->ctrl.squashRequested)
+            return;
+        if (!at->ackedBy.insert(y).second)
+            return; // duplicated/re-sent Ack: already counted
+        if (at->acksPending > 0) {
+            at->acksPending -= 1;
+            if (at->acksPending == 0)
+                at->ctrl.wake.notify(sys_.kernel);
+        }
+    });
+}
+
+void
+HadesHybridEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
+                                   std::uint32_t round)
+{
+    sys_.kernel.schedule(resendTimeout(round), [this, ctx, at, round] {
+        if (at->finished || at->ctrl.uncommittable ||
+            at->ctrl.squashRequested || at->acksPending == 0)
+            return;
+        if (round >= sys_.config.maxCommitResends) {
+            sys_.router.squash(sys_.kernel, at->id,
+                               SquashReason::CommitTimeout);
+            return;
+        }
+        for (NodeId y : at->nodesInvolved) {
+            if (at->ackedBy.count(y))
+                continue;
+            stats_.timeoutResends += 1;
+            const std::vector<Addr> itc_lines = at->itcLines[y];
+            sys_.network.post(
+                MsgType::IntendToCommit, ctx.node, y,
+                std::uint32_t(8 * itc_lines.size() + 16),
+                [this, y, at, itc_lines] {
+                    handleIntendToCommit(y, at, itc_lines);
+                });
+        }
+        armCommitResend(ctx, at, round + 1);
     });
 }
 
@@ -567,12 +621,14 @@ HadesHybridEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
     at->localDirLocked = false;
     node.nic.clearLocalState(id);
 
+    // Reliable: a lost cleanup would leak a remote Locking Buffer entry
+    // and the NIC filters forever. Both operations are idempotent.
     for (NodeId y : at->nodesInvolved) {
-        sys_.network.post(MsgType::Squash, ctx.node, y, 16,
-                          [this, y, id] {
-                              sys_.node(y).lockBank.release(id);
-                              sys_.node(y).nic.clearRemoteFilters(id);
-                          });
+        reliablePost(MsgType::Squash, ctx.node, y, 16,
+                     [this, y, id] {
+                         sys_.node(y).lockBank.release(id);
+                         sys_.node(y).nic.clearRemoteFilters(id);
+                     });
     }
 }
 

@@ -20,6 +20,7 @@
 #define HADES_PROTOCOL_HADES_HYBRID_HH_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -87,6 +88,11 @@ class HadesHybridEngine : public TxnEngine
         std::unordered_set<Addr> localReadLinesExact;
         std::unordered_set<Addr> localWriteLinesExact;
         std::uint32_t acksPending = 0;
+        /** Nodes whose commit Ack arrived (dedupes replayed Acks and
+         *  selects the targets of a timeout resend). */
+        std::set<NodeId> ackedBy;
+        /** Intend-to-commit address list per node, kept for resends. */
+        std::map<NodeId, std::vector<Addr>> itcLines;
         bool localDirLocked = false;
         bool finished = false;
         std::uint64_t id = 0;
@@ -121,6 +127,14 @@ class HadesHybridEngine : public TxnEngine
                               int tries = 0);
 
     void cleanupAborted(ExecCtx ctx, AttemptPtr at);
+
+    /** Send one commit Ack from @p y back to the committer (idempotent
+     *  at the receiver via Attempt::ackedBy). */
+    void postCommitAck(AttemptPtr at, NodeId y);
+
+    /** Faults-on only: Intend-to-commit resend chain (see HADES). */
+    void armCommitResend(ExecCtx ctx, AttemptPtr at,
+                         std::uint32_t round);
 
     static void
     checkSquash(const AttemptPtr &at)

@@ -59,6 +59,7 @@ enum class SquashReason : std::uint8_t
     LockBusy,           //!< SW lock CAS lost (Baseline/HADES-H)
     LlcEviction,        //!< speculative line evicted from the LLC
     ReplicaTimeout,     //!< a replica update was lost / not acked
+    CommitTimeout,      //!< commit-phase Acks never arrived (faults)
     NumReasons,
 };
 
@@ -80,6 +81,8 @@ squashReasonName(SquashReason r)
         return "LlcEviction";
       case SquashReason::ReplicaTimeout:
         return "ReplicaTimeout";
+      case SquashReason::CommitTimeout:
+        return "CommitTimeout";
       default:
         return "?";
     }
@@ -125,6 +128,13 @@ struct EngineStats
     /** Network message counts snapshot (filled by the runner). */
     std::uint64_t netMessages = 0;
     std::uint64_t netBytes = 0;
+
+    /** Commit-phase message resends triggered by an Ack timeout
+     *  (fault recovery; always 0 in fault-free runs). */
+    std::uint64_t timeoutResends = 0;
+    /** Reliable one-way resends (Validation/Squash/replica traffic)
+     *  triggered by a missing delivery confirmation. */
+    std::uint64_t reliableResends = 0;
 
     std::uint64_t
     totalSquashes() const
@@ -174,6 +184,8 @@ struct EngineStats
         maxLinesWritten = std::max(maxLinesWritten, o.maxLinesWritten);
         netMessages += o.netMessages;
         netBytes += o.netBytes;
+        timeoutResends += o.timeoutResends;
+        reliableResends += o.reliableResends;
     }
 };
 

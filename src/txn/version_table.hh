@@ -72,6 +72,16 @@ class VersionTable
 
     std::size_t touched() const { return meta_.size(); }
 
+    /** Number of records currently lock-held (leak checks). */
+    std::size_t
+    lockedCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &[record, m] : meta_)
+            n += m.lockOwner != 0;
+        return n;
+    }
+
   private:
     std::unordered_map<std::uint64_t, RecordMeta> meta_;
 };

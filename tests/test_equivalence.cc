@@ -10,14 +10,19 @@
  *    (and that state must match a functional replay oracle);
  *  - under full concurrency, randomized transfer workloads must
  *    conserve the total balance on every engine, across cluster
- *    geometries and seeds (parameterized sweep).
+ *    geometries and seeds (parameterized sweep);
+ *  - both properties must survive light fault injection (message drops,
+ *    duplicates, reorder delays): the recovery paths may retry and
+ *    squash, but the committed history must stay serializable.
  */
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 
 #include "core/runner.hh"
+#include "fault/fault_plan.hh"
 #include "protocol/system.hh"
 #include "sim/task.hh"
 
@@ -94,6 +99,39 @@ runSequence(TxnEngine &engine, ExecCtx ctx,
         co_await engine.run(ctx, p);
 }
 
+/** Light chaos: enough to exercise every recovery path without making
+ *  the simulated run long. */
+void
+lightFaults(ClusterConfig &cfg)
+{
+    cfg.faults.enabled = true;
+    cfg.faults.dropAll(0.02);
+    cfg.faults.dupAll(0.05);
+    cfg.faults.delayAll(0.10);
+    cfg.retryTimeoutBase = us(4);
+    cfg.retryTimeoutCap = us(32);
+}
+
+/** Wire a FaultPlan the way the runner does (no-op when disabled). */
+std::unique_ptr<fault::FaultPlan>
+attachFaults(System &sys)
+{
+    if (!sys.config.faults.enabled)
+        return nullptr;
+    auto plan =
+        std::make_unique<fault::FaultPlan>(sys.kernel, sys.config);
+    sys.network.setFaultInjector(plan.get());
+    std::vector<std::vector<sim::ComputeResource *>> cores_by_node;
+    for (auto &node : sys.nodes) {
+        std::vector<sim::ComputeResource *> cores;
+        for (auto &core : node->cores)
+            cores.push_back(core.get());
+        cores_by_node.push_back(std::move(cores));
+    }
+    plan->scheduleNodeEvents(sys.network, cores_by_node);
+    return plan;
+}
+
 TEST(Equivalence, SerialExecutionMatchesOracleOnEveryEngine)
 {
     constexpr std::uint64_t kRecords = 40;
@@ -136,6 +174,90 @@ TEST(Equivalence, SerialExecutionMatchesOracleOnEveryEngine)
     }
 }
 
+// --- seeded differential sweep: fault-free and light-fault -------------------
+
+struct DiffCase
+{
+    std::uint64_t seed;
+    bool faulty;
+};
+
+class DifferentialSweep : public ::testing::TestWithParam<DiffCase>
+{};
+
+/**
+ * A serial context must produce the oracle's database on every engine,
+ * with or without message-level faults. Under faults, retries and
+ * timeout squashes are allowed (a serial context never conflicts, but
+ * it can lose commit traffic); the committed count and the final state
+ * must still be exact.
+ */
+TEST_P(DifferentialSweep, EnginesMatchOracle)
+{
+    const auto p = GetParam();
+    constexpr std::uint64_t kRecords = 32;
+    constexpr int kTxns = 60;
+
+    std::vector<txn::TxnProgram> progs;
+    Rng rng{0x5eed0000 + p.seed};
+    for (int i = 0; i < kTxns; ++i)
+        progs.push_back(fuzzProgram(rng, kRecords));
+
+    std::map<std::uint64_t, std::int64_t> oracle;
+    for (const auto &p2 : progs)
+        replay(oracle, p2);
+
+    for (auto kind : {EngineKind::Baseline, EngineKind::Hades,
+                      EngineKind::HadesHybrid}) {
+        ClusterConfig cfg;
+        cfg.numNodes = 3;
+        cfg.coresPerNode = 1;
+        cfg.slotsPerCore = 1;
+        cfg.seed = 100 + p.seed;
+        if (p.faulty)
+            lightFaults(cfg);
+        System sys(cfg, kRecords,
+                   core::engineRecordBytes(kind,
+                                           cfg.recordPayloadBytes));
+        auto engine =
+            core::makeEngine(kind, sys, cfg.recordPayloadBytes);
+        auto plan = attachFaults(sys);
+        runSequence(*engine, ExecCtx{0, 0, 0}, progs);
+        ASSERT_TRUE(sys.kernel.run()) << engine->name();
+        EXPECT_EQ(engine->stats().committed, std::uint64_t(kTxns))
+            << engine->name();
+        if (!p.faulty) {
+            EXPECT_EQ(engine->stats().totalSquashes(), 0u)
+                << engine->name();
+        }
+        for (std::uint64_t rec = 0; rec < kRecords; ++rec) {
+            std::int64_t expect =
+                oracle.count(rec) ? oracle[rec] : 0;
+            EXPECT_EQ(sys.data.read(rec), expect)
+                << engine->name() << " diverged on record " << rec
+                << (p.faulty ? " (faulty)" : "") << ", seed "
+                << p.seed;
+        }
+    }
+}
+
+std::vector<DiffCase>
+diffCases()
+{
+    std::vector<DiffCase> cases;
+    for (std::uint64_t s = 0; s < 8; ++s)
+        for (bool faulty : {false, true})
+            cases.push_back({s, faulty});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DifferentialSweep, ::testing::ValuesIn(diffCases()),
+    [](const auto &info) {
+        return "s" + std::to_string(info.param.seed) +
+               (info.param.faulty ? "_faulty" : "_clean");
+    });
+
 // --- concurrent conservation sweep -------------------------------------------
 
 struct SweepCase
@@ -145,6 +267,7 @@ struct SweepCase
     std::uint32_t cores;
     std::uint32_t slots;
     std::uint64_t seed;
+    bool faulty = false;
 };
 
 class ConservationSweep : public ::testing::TestWithParam<SweepCase>
@@ -189,6 +312,8 @@ TEST_P(ConservationSweep, TotalBalancePreserved)
     cfg.coresPerNode = p.cores;
     cfg.slotsPerCore = p.slots;
     cfg.seed = p.seed;
+    if (p.faulty)
+        lightFaults(cfg);
     constexpr std::uint64_t kRecords = 48;
     constexpr std::uint64_t kTxns = 30;
 
@@ -197,6 +322,7 @@ TEST_P(ConservationSweep, TotalBalancePreserved)
                                        cfg.recordPayloadBytes));
     auto engine =
         core::makeEngine(p.engine, sys, cfg.recordPayloadBytes);
+    auto plan = attachFaults(sys);
     for (std::uint64_t r = 0; r < kRecords; ++r)
         sys.data.write(r, 500);
 
@@ -228,6 +354,8 @@ sweepCases()
         cases.push_back({e, 2, 1, 2, seed++});
         cases.push_back({e, 3, 2, 1, seed++});
         cases.push_back({e, 5, 2, 2, seed++});
+        cases.push_back({e, 2, 2, 1, seed++, true});
+        cases.push_back({e, 3, 2, 1, seed++, true});
     }
     return cases;
 }
@@ -240,7 +368,8 @@ INSTANTIATE_TEST_SUITE_P(
                         : c.engine == EngineKind::Hades ? "Hades"
                                                         : "HadesH";
         return e + "_n" + std::to_string(c.nodes) + "c" +
-               std::to_string(c.cores) + "m" + std::to_string(c.slots);
+               std::to_string(c.cores) + "m" + std::to_string(c.slots) +
+               (c.faulty ? "_faulty" : "");
     });
 
 } // namespace

@@ -86,6 +86,10 @@ expectNoLeaks(System &sys)
             << "leaked Locking Buffer on node " << node->id;
         EXPECT_EQ(node->nic.remoteTxCount(), 0u)
             << "leaked NIC filters on node " << node->id;
+        EXPECT_EQ(node->versions.lockedCount(), 0u)
+            << "leaked record lock on node " << node->id;
+        EXPECT_EQ(node->memory.llc().taggedTxCount(), 0u)
+            << "leaked WrTX tag on node " << node->id;
     }
 }
 
