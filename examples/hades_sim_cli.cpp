@@ -42,7 +42,10 @@ usage(const char *argv0)
         "  --fault-drop P                    per-message loss prob\n"
         "  --fault-dup P                     duplicate-delivery prob\n"
         "  --fault-delay P                   reorder-delay prob\n"
-        "  --fault-seed S                    fault RNG seed\n",
+        "  --fault-seed S                    fault RNG seed\n"
+        "  --audit | --no-audit              correctness auditor\n"
+        "                                    (default: on in debug "
+        "builds)\n",
         argv0);
     std::exit(1);
 }
@@ -155,6 +158,10 @@ main(int argc, char **argv)
         } else if (opt == "--fault-seed")
             spec.cluster.faults.seed =
                 std::uint64_t(std::atoll(next().c_str()));
+        else if (opt == "--audit")
+            spec.audit = true;
+        else if (opt == "--no-audit")
+            spec.audit = false;
         else
             usage(argv[0]);
     }
@@ -224,5 +231,12 @@ main(int argc, char **argv)
                     (unsigned long)res.reliableResends,
                     (unsigned long)res.timeoutSquashes);
     }
+    if (res.audited)
+        std::printf("audit         PASS: %lu commits + %lu aborts, "
+                    "%lu graph edges, %lu hardware checks\n",
+                    (unsigned long)res.auditedCommits,
+                    (unsigned long)res.auditedAborts,
+                    (unsigned long)res.auditGraphEdges,
+                    (unsigned long)res.auditChecks);
     return 0;
 }

@@ -1,0 +1,296 @@
+#include "audit/history_graph.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace hades::audit
+{
+
+namespace
+{
+
+std::string
+fmt(const char *format, std::uint64_t a, std::uint64_t b,
+    std::uint64_t c)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof buf, format, (unsigned long long)a,
+                  (unsigned long long)b, (unsigned long long)c);
+    return std::string(buf);
+}
+
+void
+addViolation(AuditReport &report, ViolationKind kind,
+             std::string detail)
+{
+    report.violations.push_back(Violation{kind, std::move(detail)});
+}
+
+/** Per-record view of the committed history. */
+struct RecordHistory
+{
+    /** version -> dense index of the committed installer. */
+    std::map<std::uint64_t, std::size_t> writers;
+    /** version -> dense indices of the committed readers. */
+    std::map<std::uint64_t, std::vector<std::size_t>> readers;
+};
+
+} // namespace
+
+const char *
+violationKindName(ViolationKind k)
+{
+    static const char *names[] = {
+        "dependency-cycle",     "fractured-read",
+        "broken-version-chain", "phantom-version",
+        "dirty-write",          "dangling-txn",
+        "bloom-false-negative", "find-tags-mismatch",
+        "lock-epoch-regression", "state-leak",
+    };
+    auto i = std::size_t(k);
+    return i < std::size_t(ViolationKind::NumKinds) ? names[i] : "?";
+}
+
+bool
+AuditReport::has(ViolationKind k) const
+{
+    for (const auto &v : violations)
+        if (v.kind == k)
+            return true;
+    return false;
+}
+
+std::string
+AuditReport::summary() const
+{
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "audit: %llu committed, %llu aborted, %llu reads, "
+                  "%llu writes, %llu edges, %zu violations",
+                  (unsigned long long)committedTxns,
+                  (unsigned long long)abortedTxns,
+                  (unsigned long long)readsAudited,
+                  (unsigned long long)writesAudited,
+                  (unsigned long long)graphEdges, violations.size());
+    std::string out = head;
+    std::size_t shown = 0;
+    for (const auto &v : violations) {
+        if (shown++ == 5) {
+            out += "\n  ... (further violations elided)";
+            break;
+        }
+        out += "\n  [";
+        out += violationKindName(v.kind);
+        out += "] ";
+        out += v.detail;
+    }
+    return out;
+}
+
+void
+auditHistory(const std::vector<TxnObservation> &observations,
+             AuditReport &report)
+{
+    // ---- Close-out checks on every observation -----------------------------
+    std::vector<const TxnObservation *> committed;
+    for (const auto &obs : observations) {
+        report.readsAudited += obs.reads.size();
+        report.writesAudited += obs.writes.size();
+        if (obs.committed) {
+            report.committedTxns += 1;
+            committed.push_back(&obs);
+            continue;
+        }
+        if (!obs.aborted) {
+            addViolation(report, ViolationKind::DanglingTxn,
+                         fmt("txn obs %llu (engine id %llx) never "
+                             "committed nor aborted (%llu writes)",
+                             obs.id, obs.engineId, obs.writes.size()));
+            continue;
+        }
+        report.abortedTxns += 1;
+        if (!obs.writes.empty()) {
+            addViolation(report, ViolationKind::DirtyWrite,
+                         fmt("aborted txn obs %llu (engine id %llx) "
+                             "applied %llu write(s) to the store",
+                             obs.id, obs.engineId, obs.writes.size()));
+        }
+    }
+
+    // ---- Per-record version chains -----------------------------------------
+    std::map<std::uint64_t, RecordHistory> records;
+    for (std::size_t t = 0; t < committed.size(); ++t) {
+        for (const auto &w : committed[t]->writes) {
+            auto &rec = records[w.record];
+            auto [it, fresh] = rec.writers.emplace(w.version, t);
+            if (!fresh) {
+                addViolation(
+                    report, ViolationKind::BrokenVersionChain,
+                    fmt("record %llu version %llu installed twice "
+                        "(lost update); second installer engine id "
+                        "%llx",
+                        w.record, w.version,
+                        committed[t]->engineId));
+            }
+        }
+        for (const auto &r : committed[t]->reads)
+            records[r.record].readers[r.version].push_back(t);
+    }
+
+    for (const auto &[record, rec] : records) {
+        // Versions installed by audited transactions must be gap-free
+        // above the first one: the store's counter is sequential, so a
+        // hole means some write bypassed the audit. Versions below the
+        // first audited one belong to pre-run initialization.
+        std::uint64_t prev = 0;
+        bool first = true;
+        for (const auto &[version, writer] : rec.writers) {
+            if (!first && version != prev + 1) {
+                addViolation(
+                    report, ViolationKind::BrokenVersionChain,
+                    fmt("record %llu: audited versions jump from "
+                        "%llu to %llu",
+                        record, prev, version));
+            }
+            first = false;
+            prev = version;
+        }
+        if (rec.writers.empty())
+            continue; // all reads saw pre-run state: nothing to check
+        const std::uint64_t first_audited = rec.writers.begin()->first;
+        for (const auto &[version, who] : rec.readers) {
+            if (version >= first_audited && !rec.writers.count(version))
+                addViolation(
+                    report, ViolationKind::PhantomVersion,
+                    fmt("record %llu read at version %llu, which no "
+                        "audited txn installed (first audited: %llu)",
+                        record, version, first_audited));
+        }
+    }
+
+    // ---- Dependency edges ---------------------------------------------------
+    std::vector<std::set<std::size_t>> succ(committed.size());
+    auto addEdge = [&](std::size_t from, std::size_t to) {
+        if (from != to && succ[from].insert(to).second)
+            report.graphEdges += 1;
+    };
+    for (const auto &[record, rec] : records) {
+        (void)record;
+        // WW: installer of v -> installer of the next version.
+        for (auto it = rec.writers.begin(); it != rec.writers.end();) {
+            auto cur = it++;
+            if (it != rec.writers.end())
+                addEdge(cur->second, it->second);
+        }
+        for (const auto &[version, rdrs] : rec.readers) {
+            // WR: installer of v -> every reader of v.
+            auto wit = rec.writers.find(version);
+            if (wit != rec.writers.end())
+                for (std::size_t rdr : rdrs)
+                    addEdge(wit->second, rdr);
+            // RW: reader of v -> installer of the next version > v
+            // (the write that overwrote what the reader saw).
+            auto nit = rec.writers.upper_bound(version);
+            if (nit != rec.writers.end())
+                for (std::size_t rdr : rdrs)
+                    addEdge(rdr, nit->second);
+        }
+    }
+
+    // ---- Cycle detection (Kahn peel; leftovers are cyclic) ------------------
+    std::vector<std::size_t> indeg(committed.size(), 0);
+    for (const auto &s : succ)
+        for (std::size_t to : s)
+            indeg[to] += 1;
+    std::vector<std::size_t> queue;
+    for (std::size_t i = 0; i < committed.size(); ++i)
+        if (indeg[i] == 0)
+            queue.push_back(i);
+    std::size_t peeled = 0;
+    while (!queue.empty()) {
+        std::size_t n = queue.back();
+        queue.pop_back();
+        peeled += 1;
+        for (std::size_t to : succ[n])
+            if (--indeg[to] == 0)
+                queue.push_back(to);
+    }
+    if (peeled != committed.size()) {
+        // Extract one concrete cycle for the diagnostic: walk inside
+        // the un-peeled subgraph until a node repeats.
+        std::size_t start = 0;
+        while (indeg[start] == 0)
+            ++start;
+        std::vector<std::size_t> path;
+        std::set<std::size_t> on_path;
+        std::size_t cur = start;
+        while (on_path.insert(cur).second) {
+            path.push_back(cur);
+            for (std::size_t to : succ[cur]) {
+                if (indeg[to] != 0) {
+                    cur = to;
+                    break;
+                }
+            }
+        }
+        std::string cyc;
+        bool in_cycle = false;
+        for (std::size_t n : path) {
+            in_cycle = in_cycle || n == cur;
+            if (!in_cycle)
+                continue;
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%llx -> ",
+                          (unsigned long long)committed[n]->engineId);
+            cyc += buf;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llx",
+                      (unsigned long long)committed[cur]->engineId);
+        cyc += buf;
+        addViolation(report, ViolationKind::DependencyCycle,
+                     "non-serializable history: " +
+                         fmt("%llu txn(s) on dependency cycles; one "
+                             "cycle (engine ids): ",
+                             committed.size() - peeled, 0, 0) +
+                         cyc);
+    }
+
+    // ---- Fractured reads (read atomicity, RAMP-style) -----------------------
+    for (std::size_t t = 0; t < committed.size(); ++t) {
+        // What did t read, per record? (first read wins; engines record
+        // one entry per record thanks to read-your-own-write caching)
+        std::map<std::uint64_t, std::uint64_t> read_at;
+        for (const auto &r : committed[t]->reads)
+            read_at.emplace(r.record, r.version);
+        for (const auto &r : committed[t]->reads) {
+            auto wit = records[r.record].writers.find(r.version);
+            if (wit == records[r.record].writers.end())
+                continue; // pre-run version: no audited writer
+            std::size_t w = wit->second;
+            if (w == t)
+                continue;
+            // t saw writer w's update of r.record; it must not have
+            // seen a pre-w state of any other record w also wrote.
+            for (const auto &ww : committed[w]->writes) {
+                auto rit = read_at.find(ww.record);
+                if (rit == read_at.end() || rit->second >= ww.version)
+                    continue;
+                addViolation(
+                    report, ViolationKind::FracturedRead,
+                    fmt("txn engine id %llx read record %llu at "
+                        "version %llu",
+                        committed[t]->engineId, ww.record,
+                        rit->second) +
+                        fmt(" but also saw the writer (engine id "
+                            "%llx) of record %llu@%llu",
+                            committed[w]->engineId, r.record,
+                            r.version));
+            }
+        }
+    }
+}
+
+} // namespace hades::audit

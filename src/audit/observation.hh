@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Data model of the correctness auditor: per-transaction read/write
+ * observations stamped with ground-truth versions, the violation
+ * taxonomy, and the report the history audit produces.
+ *
+ * An observation is opened when a transaction attempt starts, collects
+ * every data read (record + the ground-truth version it saw) and every
+ * applied write (record + the version it installed), and is closed with
+ * either a commit or an abort. The committed observations form the
+ * history the serializability audit runs over; aborted observations
+ * must have applied no writes (dirty-write check).
+ */
+
+#ifndef HADES_AUDIT_OBSERVATION_HH_
+#define HADES_AUDIT_OBSERVATION_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hades::audit
+{
+
+/** One data read: the ground-truth version the value was read at. */
+struct ReadObs
+{
+    std::uint64_t record = 0;
+    std::uint64_t version = 0;
+};
+
+/** One applied write: the ground-truth version it installed. */
+struct WriteObs
+{
+    std::uint64_t record = 0;
+    std::uint64_t version = 0;
+};
+
+/** Everything recorded about one transaction attempt. */
+struct TxnObservation
+{
+    /** Auditor-allocated id (dense, unique across the run). Engine
+     *  transaction ids are NOT unique across attempts in all engines
+     *  (Baseline reuses the bare context id fault-free), so the
+     *  auditor allocates its own. */
+    std::uint64_t id = 0;
+    /** Engine id (packed gid | epoch) for diagnostics only. */
+    std::uint64_t engineId = 0;
+    bool committed = false;
+    bool aborted = false;
+    std::vector<ReadObs> reads;
+    std::vector<WriteObs> writes;
+};
+
+/** Classes of correctness violation the auditor can report. */
+enum class ViolationKind
+{
+    /** The committed history's RW/WW/WR graph has a cycle. */
+    DependencyCycle,
+    /** A committed reader saw only part of a committed writer. */
+    FracturedRead,
+    /** Two committed writers installed the same version, or a version
+     *  inside the audited range was never installed by anyone. */
+    BrokenVersionChain,
+    /** A read observed a version no audited transaction installed. */
+    PhantomVersion,
+    /** An aborted transaction's write reached the committed store. */
+    DirtyWrite,
+    /** An observation was neither committed nor aborted at finalize. */
+    DanglingTxn,
+    /** A Bloom filter missed an address it provably contains. */
+    BloomFalseNegative,
+    /** Find-LLC-Tags did not return exactly the written lines. */
+    FindTagsMismatch,
+    /** A lock-owner epoch moved backwards for one context. */
+    LockEpochRegression,
+    /** Hardware state (WrTX tags, Locking Buffers, NIC filters,
+     *  record locks) did not drain to zero after the run. */
+    StateLeak,
+    NumKinds,
+};
+
+const char *violationKindName(ViolationKind k);
+
+/** One concrete violation with a human-readable diagnostic. */
+struct Violation
+{
+    ViolationKind kind = ViolationKind::DependencyCycle;
+    std::string detail;
+};
+
+/** Outcome of an audited run. */
+struct AuditReport
+{
+    std::vector<Violation> violations;
+
+    std::uint64_t committedTxns = 0;
+    std::uint64_t abortedTxns = 0;
+    std::uint64_t readsAudited = 0;
+    std::uint64_t writesAudited = 0;
+    std::uint64_t graphEdges = 0;
+    std::uint64_t filterProbesChecked = 0;
+    std::uint64_t findTagsChecked = 0;
+    std::uint64_t lockAcquiresChecked = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    bool has(ViolationKind k) const;
+
+    /** One-line outcome; on failure the first few diagnostics. */
+    std::string summary() const;
+};
+
+} // namespace hades::audit
+
+#endif // HADES_AUDIT_OBSERVATION_HH_

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "audit/auditor.hh"
 #include "common/log.hh"
 #include "fault/fault_plan.hh"
 #include "protocol/baseline.hh"
@@ -94,6 +95,15 @@ runOne(const RunSpec &spec)
     auto engine = makeEngine(spec.engine, sys,
                              spec.cluster.recordPayloadBytes);
 
+    // The auditor records into side structures only (it draws no
+    // random numbers and schedules no events), so an audited run is
+    // bit-identical to the same run without it.
+    std::unique_ptr<audit::Auditor> auditor;
+    if (spec.audit) {
+        auditor = std::make_unique<audit::Auditor>();
+        sys.audit = auditor.get();
+    }
+
     // Attach the fault plan (if any) before the first message flies.
     // Fault-free runs never construct one, so they stay bit-identical.
     std::unique_ptr<fault::FaultPlan> faults;
@@ -131,8 +141,38 @@ runOne(const RunSpec &spec)
     bool drained = sys.kernel.run();
     always_assert(drained, "simulation did not drain its event queue");
 
-    // ---- Extract metrics ----------------------------------------------------
+    // ---- Correctness audit --------------------------------------------------
     RunResult res;
+    if (auditor) {
+        // End-of-run drain: every piece of speculative hardware state
+        // must be gone once the event queue is empty.
+        for (NodeId n = 0; n < spec.cluster.numNodes; ++n) {
+            auto &node = sys.node(n);
+            auditor->noteDrained(
+                "llc-wrtx-tags", n,
+                node.memory.llc().taggedTxCount());
+            auditor->noteDrained("locking-buffer", n,
+                                 node.lockBank.activeCount());
+            auditor->noteDrained("nic-remote-filters", n,
+                                 node.nic.remoteTxCount());
+            auditor->noteDrained("nic-local-state", n,
+                                 node.nic.localTxCount());
+            auditor->noteDrained("record-locks", n,
+                                 node.versions.lockedCount());
+        }
+        audit::AuditReport report = auditor->finalize();
+        if (!report.ok())
+            panic(report.summary().c_str());
+        res.audited = true;
+        res.auditedCommits = report.committedTxns;
+        res.auditedAborts = report.abortedTxns;
+        res.auditGraphEdges = report.graphEdges;
+        res.auditChecks = report.filterProbesChecked +
+                          report.findTagsChecked +
+                          report.lockAcquiresChecked;
+    }
+
+    // ---- Extract metrics ----------------------------------------------------
     res.stats = engine->stats();
     res.simTime = sys.kernel.now();
     res.label = gens.size() == 1 ? gens[0]->label() : "mix";

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.hh"
 #include "common/config.hh"
 #include "kvs/kvs.hh"
 #include "protocol/engine.hh"
@@ -49,6 +50,11 @@ struct RunSpec
     std::uint64_t scaleKeys = 100'000;
     /** Section V-A fault tolerance (degree 0 = off; HADES engine). */
     replica::ReplicationConfig replication;
+    /** Run the correctness auditor (serializability + invariant
+     *  checks) over this run; a violation aborts the process. On by
+     *  default in debug/audit builds. Purely observational: audited
+     *  and unaudited runs produce identical results. */
+    bool audit = audit::kDefaultEnabled;
 };
 
 /** Metrics extracted from one simulation. */
@@ -97,6 +103,13 @@ struct RunResult
     std::uint64_t timeoutResends = 0;  //!< commit-phase Ack-timeout resends
     std::uint64_t reliableResends = 0; //!< reliable one-way resends
     std::uint64_t timeoutSquashes = 0; //!< CommitTimeout squash-and-retries
+
+    /** Correctness-audit outcome (all zero when auditing is off). */
+    bool audited = false;
+    std::uint64_t auditedCommits = 0;  //!< committed txns audited
+    std::uint64_t auditedAborts = 0;   //!< aborted attempts audited
+    std::uint64_t auditGraphEdges = 0; //!< dependency edges checked
+    std::uint64_t auditChecks = 0;     //!< structural checks performed
 };
 
 /** Run one configuration to completion. */

@@ -1,5 +1,7 @@
 #include "mem/llc_directory.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace hades::mem
@@ -130,7 +132,10 @@ LlcDirectory::linesWrittenBy(std::uint64_t tx_id) const
     auto it = writers_.find(tx_id);
     if (it == writers_.end())
         return out;
-    out.assign(it->second.begin(), it->second.end());
+    // The exact index is a hash set; sort so the enumeration order the
+    // protocol engines act on is platform-independent.
+    out.assign(it->second.begin(), it->second.end()); // det-lint: ordered-ok (sorted below)
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -147,7 +152,8 @@ LlcDirectory::clearTxTags(std::uint64_t tx_id, bool invalidate)
     auto it = writers_.find(tx_id);
     if (it == writers_.end())
         return;
-    for (Addr line : it->second) {
+    // Per-line untag/invalidate is order-insensitive (no LRU stamps).
+    for (Addr line : it->second) { // det-lint: ordered-ok
         if (Way *w = find(line)) {
             w->wrTxId = 0;
             if (invalidate)

@@ -84,7 +84,7 @@ class HadesNicState
     bool
     hasRemoteFilters(std::uint64_t tx) const
     {
-        return remote_.count(tx) != 0;
+        return remote_.contains(tx);
     }
 
     /** Drop @p tx's filters (commit step 5 / squash cleanup). */
@@ -115,7 +115,7 @@ class HadesNicState
     std::size_t remoteTxCount() const { return remote_.size(); }
 
     /** All tracked remote transactions (iteration for conflict scans). */
-    const std::unordered_map<std::uint64_t, RemoteTxFilters> &
+    const std::map<std::uint64_t, RemoteTxFilters> &
     remote() const
     {
         return remote_;
@@ -128,11 +128,22 @@ class HadesNicState
         return local_[tx];
     }
 
+    /** Does @p tx have Module 4b state here? (No default-create.) */
+    bool hasLocalState(std::uint64_t tx) const
+    {
+        return local_.contains(tx);
+    }
+
+    /** Number of local transactions tracked (drain checks). */
+    std::size_t localTxCount() const { return local_.size(); }
+
     void clearLocalState(std::uint64_t tx) { local_.erase(tx); }
 
   private:
     const ClusterConfig &cfg_;
-    std::unordered_map<std::uint64_t, RemoteTxFilters> remote_;
+    /** Ordered: conflict scans iterate this and their enumeration
+     *  order reaches protocol decisions (squash victim selection). */
+    std::map<std::uint64_t, RemoteTxFilters> remote_;
     std::unordered_map<std::uint64_t, LocalTxRemoteState> local_;
 };
 

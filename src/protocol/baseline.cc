@@ -142,6 +142,8 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     std::uint64_t self = ctx.packed();
     if (faultsOn())
         self |= (epochs_[ctx.packed()]++ & 0x3fff) << kEpochShift;
+    const std::uint64_t audit_id =
+        sys_.audit ? sys_.audit->begin(self) : 0;
 
     // The sets are shared with the message handlers below: under
     // injected faults a delayed or duplicated delivery can outlive this
@@ -162,6 +164,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         bool lockedByOther = false;
         std::uint64_t version = 0;
         std::int64_t value = 0;
+        std::uint64_t gtVersion = 0; //!< ground truth, for the audit
     };
     auto fetch_record = [&](NodeId home, Addr base,
                             std::uint32_t record_lines,
@@ -175,6 +178,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                 m.lockOwner != 0 && m.lockOwner != self;
             snap.version = m.version;
             snap.value = sys_.data.read(record);
+            snap.gtVersion = sys_.data.version(record);
         } else {
             co_await core.occupy(cycles(costs.rdmaPostCycles));
             co_await sys_.network.roundTrip(
@@ -186,6 +190,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         m.lockOwner != 0 && m.lockOwner != self;
                     snap.version = m.version;
                     snap.value = sys_.data.read(record);
+                    snap.gtVersion = sys_.data.version(record);
                     return nicAccessLines(home, base, record_lines);
                 });
             co_await core.occupy(cycles(costs.rdmaPollCycles));
@@ -259,6 +264,8 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         if (gave_up) {
             stats_.addSquash(SquashReason::LockBusy);
             releaseLocks(ctx, self, write_set);
+            if (sys_.audit)
+                sys_.audit->noteAbort(audit_id);
             co_return;
         }
 
@@ -298,6 +305,9 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                 read_set.push_back(
                     ReadEntry{req.record, snap.version, home});
                 read_vals.push_back(snap.value);
+                if (sys_.audit)
+                    sys_.audit->noteRead(audit_id, req.record,
+                                         snap.gtVersion);
             }
         }
     }
@@ -320,6 +330,8 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                 break;
             }
             w.locked = true;
+            if (sys_.audit)
+                sys_.audit->noteLockAcquire(self);
         }
         if (!lock_failed) {
             std::vector<NodeId> homes;
@@ -357,8 +369,11 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                             }
                         }
                         if (ok) {
-                            for (auto i : acquired)
+                            for (auto i : acquired) {
                                 write_set[i].locked = true;
+                                if (sys_.audit)
+                                    sys_.audit->noteLockAcquire(self);
+                            }
                         }
                         // CAS response back to the coordinator.
                         sys_.network.post(
@@ -387,6 +402,8 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         stats_.addSquash(lock_timed_out ? SquashReason::CommitTimeout
                                         : SquashReason::LockBusy);
         releaseLocks(ctx, self, write_set);
+        if (sys_.audit)
+            sys_.audit->noteAbort(audit_id);
         co_return;
     }
 
@@ -476,6 +493,8 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                              ? SquashReason::CommitTimeout
                              : SquashReason::ValidationFailure);
         releaseLocks(ctx, self, write_set);
+        if (sys_.audit)
+            sys_.audit->noteAbort(audit_id);
         co_return;
     }
     const Tick validation_end = kernel.now();
@@ -490,7 +509,9 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         for (auto &w : write_set) {
             if (w.home != ctx.node)
                 continue;
-            sys_.data.write(w.record, w.value);
+            std::uint64_t v = sys_.data.write(w.record, w.value);
+            if (sys_.audit)
+                sys_.audit->noteWrite(audit_id, w.record, v);
             sys_.node(w.home).versions.bumpVersion(w.record);
             sys_.node(w.home).versions.unlock(w.record, self);
             w.locked = false;
@@ -539,13 +560,17 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             reliablePost(
                 MsgType::RdmaWrite, ctx.node, home,
                 std::uint32_t(batch_bytes),
-                [this, home, payload, self] {
+                [this, home, payload, self, audit_id] {
                     for (const auto &w : payload) {
                         if (faultsOn() &&
                             sys_.node(home).versions.peek(w.record)
                                     .lockOwner != self)
                             continue;
-                        sys_.data.write(w.record, w.value);
+                        std::uint64_t v =
+                            sys_.data.write(w.record, w.value);
+                        if (sys_.audit)
+                            sys_.audit->noteWrite(audit_id, w.record,
+                                                  v);
                         sys_.node(home).versions.bumpVersion(w.record);
                         sys_.node(home).versions.unlock(w.record, self);
                         nicAccessLines(
@@ -562,6 +587,8 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     stats_.validationPhase.add(double(validation_end - exec_end));
     stats_.commitPhase.add(double(commit_end - validation_end));
     committed = true;
+    if (sys_.audit)
+        sys_.audit->noteCommit(audit_id);
 }
 
 sim::Task
@@ -574,6 +601,8 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
     std::uint64_t self = ctx.packed();
     if (faultsOn())
         self |= (epochs_[ctx.packed()]++ & 0x3fff) << kEpochShift;
+    const std::uint64_t audit_id =
+        sys_.audit ? sys_.audit->begin(self) : 0;
 
     while (tokenBusy_)
         co_await sim::Delay{kernel, us(1)};
@@ -607,8 +636,11 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
                         return sys_.cycles(20);
                     });
             }
-            if (got)
+            if (got) {
+                if (sys_.audit)
+                    sys_.audit->noteLockAcquire(self);
                 break;
+            }
             co_await sim::Delay{kernel, cycles(500)};
         }
     }
@@ -641,10 +673,15 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
                     ? read_vals[std::size_t(req.derivedFromReadIdx)] +
                           req.delta
                     : req.delta;
-            sys_.data.write(req.record, value);
+            std::uint64_t v = sys_.data.write(req.record, value);
+            if (sys_.audit)
+                sys_.audit->noteWrite(audit_id, req.record, v);
             sys_.node(home).versions.bumpVersion(req.record);
         } else {
             read_vals.push_back(sys_.data.read(req.record));
+            if (sys_.audit)
+                sys_.audit->noteRead(audit_id, req.record,
+                                     sys_.data.version(req.record));
         }
     }
 
@@ -671,6 +708,8 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
         }
     }
     tokenBusy_ = false;
+    if (sys_.audit)
+        sys_.audit->noteCommit(audit_id);
 }
 
 } // namespace hades::protocol

@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_set>
+#include <set>
 
 #include "protocol/system.hh"
 #include "sim/task.hh"
@@ -62,7 +62,9 @@ engineKindName(EngineKind k)
  */
 struct Fanout
 {
-    std::unordered_set<NodeId> pending;
+    /** Ordered: resend paths iterate the survivors, and that order
+     *  reaches message timing under faults. */
+    std::set<NodeId> pending;
     bool anyFail = false;
     bool closed = false;
     sim::AutoResetEvent wake;

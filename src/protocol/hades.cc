@@ -56,6 +56,8 @@ HadesEngine::probeFilter(const bloom::AddressFilter &bf, Addr line,
     bool hit = bf.mayContain(line);
     if (hit && !truth)
         stats_.bfFalsePositives += 1;
+    if (sys_.audit)
+        sys_.audit->noteFilterProbe(hit, truth, "hades-conflict-probe");
     return hit;
 }
 
@@ -120,6 +122,8 @@ HadesEngine::localAccess(ExecCtx ctx, AttemptPtr at, AddrRange range,
         for (int tries = 0; tries < 64; ++tries) {
             if (node.lockBank.acquireReadGuard(at->id, lines)) {
                 guard_held = true;
+                if (sys_.audit)
+                    sys_.audit->noteLockAcquire(at->id);
                 break;
             }
             co_await sim::Delay{kernel, cycles(100)};
@@ -133,9 +137,9 @@ HadesEngine::localAccess(ExecCtx ctx, AttemptPtr at, AddrRange range,
     }
 
     for (Addr line : lines) {
-        bool need_dir = is_write ? !at->recordedWr.count(line)
-                                 : !(at->recordedRd.count(line) ||
-                                     at->recordedWr.count(line));
+        bool need_dir = is_write ? !at->recordedWr.contains(line)
+                                 : !(at->recordedRd.contains(line) ||
+                                     at->recordedWr.contains(line));
         // Latency of the data access itself.
         co_await core.occupy(
             node.memory.access(ctx.core, line).latency);
@@ -172,7 +176,7 @@ HadesEngine::localAccess(ExecCtx ctx, AttemptPtr at, AddrRange range,
             for (auto &[oid, other] : localTxns_[ctx.node]) {
                 if (oid == at->id)
                     continue;
-                bool truth = other->ctrl.localReadLines.count(line) != 0;
+                bool truth = other->ctrl.localReadLines.contains(line);
                 if (probeFilter(other->localReadBf, line, truth)) {
                     if (guard_held)
                         node.lockBank.release(at->id);
@@ -207,9 +211,9 @@ HadesEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
     // Already-fetched lines are served from the local copies.
     bool all_cached = true;
     for (Addr line : lines) {
-        bool cached = is_write ? at->recordedWr.count(line) != 0
-                               : (at->recordedRd.count(line) != 0 ||
-                                  at->recordedWr.count(line) != 0);
+        bool cached = is_write ? at->recordedWr.contains(line)
+                               : (at->recordedRd.contains(line) ||
+                                  at->recordedWr.contains(line));
         all_cached &= cached;
     }
     if (all_cached) {
@@ -314,14 +318,28 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
     // --- Step 1: partially lock the local directory --------------------------
     co_await core.occupy(findTagsLatency());
     std::vector<Addr> local_write_lines = llc.linesWrittenBy(id);
-    std::sort(local_write_lines.begin(), local_write_lines.end());
+    // Find-LLC-Tags must enumerate exactly the lines this attempt
+    // wrote, all covered by the split WrBF signature -- unless an
+    // eviction squash already tore tags out from under us (the squash
+    // throws at the next checkSquash).
+    if (sys_.audit && !at->ctrl.squashRequested) {
+        sys_.audit->noteFindTags(id, local_write_lines,
+                                 at->ctrl.localWriteLines,
+                                 &at->localWriteBf);
+        sys_.audit->checkFilterCovers(at->localReadBf,
+                                      at->ctrl.localReadLines,
+                                      "hades-core-read-bf");
+    }
     co_await core.occupy(cycles(8)); // load BFs into the Locking Buffer
     for (;;) {
         auto acq = node.lockBank.tryAcquire(id, at->localReadBf,
                                             at->localWriteBf,
                                             local_write_lines);
-        if (acq == bloom::AcquireResult::Acquired)
+        if (acq == bloom::AcquireResult::Acquired) {
+            if (sys_.audit)
+                sys_.audit->noteLockAcquire(id);
             break;
+        }
         if (acq == bloom::AcquireResult::Conflict)
             throw Squashed{SquashReason::LockFailure};
         // Bank exhausted: wait for a committing transaction to drain.
@@ -471,8 +489,11 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
     // --- Step 4: clear local speculative state ------------------------------
     co_await core.occupy(findTagsLatency());
     for (const auto &[record, hv] : at->writeBuffer) {
-        if (hv.first == ctx.node)
-            sys_.data.write(record, hv.second);
+        if (hv.first == ctx.node) {
+            std::uint64_t v = sys_.data.write(record, hv.second);
+            if (sys_.audit)
+                sys_.audit->noteWrite(at->auditId, record, v);
+        }
     }
     llc.clearTxTags(id, /*invalidate=*/false);
 
@@ -486,9 +507,10 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                 bytes += layout_.payloadLines() * kCacheLineBytes;
             }
         }
+        const std::uint64_t aid = at->auditId;
         reliablePost(
             MsgType::Validation, ctx.node, y, bytes,
-            [this, y, id, updates] {
+            [this, y, id, aid, updates] {
                 auto &ynode = sys_.node(y);
                 // Replay guard: the first delivery clears the filters,
                 // so a duplicated/re-sent Validation must not re-apply
@@ -496,7 +518,9 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                 if (faultsOn() && !ynode.nic.hasRemoteFilters(id))
                     return;
                 for (const auto &[record, value] : updates) {
-                    sys_.data.write(record, value);
+                    std::uint64_t v = sys_.data.write(record, value);
+                    if (sys_.audit)
+                        sys_.audit->noteWrite(aid, record, v);
                     nicAccessLines(y, sys_.placement.addrOf(record),
                                    layout_.payloadLines());
                 }
@@ -554,6 +578,16 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
 
     // Step 1 (remote): partially lock y's directory for the committer.
     auto &filters = ynode.nic.remoteFilters(id);
+    if (sys_.audit) {
+        auto rit = at->ctrl.remoteReadLines.find(y);
+        if (rit != at->ctrl.remoteReadLines.end())
+            sys_.audit->checkFilterCovers(filters.readBf, rit->second,
+                                          "hades-nic-read-bf");
+        auto wit = at->ctrl.remoteWriteLines.find(y);
+        if (wit != at->ctrl.remoteWriteLines.end())
+            sys_.audit->checkFilterCovers(filters.writeBf, wit->second,
+                                          "hades-nic-write-bf");
+    }
     bloom::BloomFilter write_filter = filters.writeBf;
     for (Addr line : write_lines)
         write_filter.insert(line); // cover fully-written lines too
@@ -577,6 +611,8 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
         });
         return;
     }
+    if (sys_.audit)
+        sys_.audit->noteLockAcquire(id);
 
     // Step 2 (remote): conflicts on y's data with any transaction.
     bool self_squashed = false;
@@ -605,8 +641,8 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
         for (auto &[oid, other] : localTxns_[y]) {
             if (oid == id)
                 continue;
-            bool truth_rd = other->ctrl.localReadLines.count(line) != 0;
-            bool truth_wr = other->ctrl.localWriteLines.count(line) != 0;
+            bool truth_rd = other->ctrl.localReadLines.contains(line);
+            bool truth_wr = other->ctrl.localWriteLines.contains(line);
             bool hit =
                 probeFilter(other->localReadBf, line, truth_rd) ||
                 probeFilter(other->localWriteBf, line, truth_wr);
@@ -661,7 +697,7 @@ HadesEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
             return;
         }
         for (NodeId y : at->nodesInvolved) {
-            if (at->ackedBy.count(y))
+            if (at->ackedBy.contains(y))
                 continue;
             stats_.timeoutResends += 1;
             const std::vector<Addr> itc_lines = at->itcLines[y];
@@ -732,6 +768,8 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     at->homeNode = ctx.node;
     sys_.router.add(id, &at->ctrl);
     localTxns_[ctx.node][id] = at;
+    if (sys_.audit)
+        at->auditId = sys_.audit->begin(id);
 
     const Tick exec_start = kernel.now();
     Tick exec_end = exec_start;
@@ -777,9 +815,18 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                 // Index reads return structure pointers, not values;
                 // keep read_vals indices consistent across engines.
                 auto wit = at->writeBuffer.find(req.record);
-                read_vals.push_back(wit != at->writeBuffer.end()
-                                        ? wit->second.second
-                                        : sys_.data.read(req.record));
+                if (wit != at->writeBuffer.end()) {
+                    // Read-your-own-write: served from the write
+                    // buffer, invisible to the history audit.
+                    read_vals.push_back(wit->second.second);
+                } else {
+                    read_vals.push_back(sys_.data.read(req.record));
+                    if (sys_.audit) {
+                        sys_.audit->noteRead(
+                            at->auditId, req.record,
+                            sys_.data.version(req.record));
+                    }
+                }
             }
         }
         exec_end = kernel.now();
@@ -797,6 +844,8 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
                                                   : sq.reason);
         cleanupAborted(ctx, at);
+        if (sys_.audit)
+            sys_.audit->noteAbort(at->auditId);
     }
 
     at->finished = true;
@@ -808,6 +857,21 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         stats_.execPhase.add(double(exec_end - exec_start));
         stats_.validationPhase.add(double(kernel.now() - exec_end));
         committed = true;
+        if (sys_.audit)
+            sys_.audit->noteCommit(at->auditId);
+    }
+
+    // Per-attempt drain check: every piece of this attempt's local
+    // hardware state must be gone (remote state drains asynchronously
+    // and is re-checked at end of run).
+    if (sys_.audit) {
+        auto &n = sys_.node(ctx.node);
+        sys_.audit->noteDrained("llc-wrtx-tags", ctx.node,
+                                n.memory.llc().numLinesWrittenBy(id));
+        sys_.audit->noteDrained("locking-buffer", ctx.node,
+                                n.lockBank.held(id) ? 1 : 0);
+        sys_.audit->noteDrained("nic-local-state", ctx.node,
+                                n.nic.hasLocalState(id) ? 1 : 0);
     }
 }
 

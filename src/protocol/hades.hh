@@ -77,8 +77,9 @@ class HadesEngine : public TxnEngine
         bloom::SplitWriteBloomFilter localWriteBf;
         /** Module 1 Recorded RD/WR bits + locally-cached remote lines. */
         std::unordered_set<Addr> recordedRd, recordedWr;
-        /** Buffered writes: record -> (home, value). */
-        std::unordered_map<std::uint64_t, std::pair<NodeId, std::int64_t>>
+        /** Buffered writes: record -> (home, value). Ordered: commit
+         *  iterates it and the order reaches message/write timing. */
+        std::map<std::uint64_t, std::pair<NodeId, std::int64_t>>
             writeBuffer;
         /** Remote nodes this attempt touched (Module 4b lower struct). */
         std::set<NodeId> nodesInvolved;
@@ -95,6 +96,7 @@ class HadesEngine : public TxnEngine
         bool localDirLocked = false;
         bool finished = false;
         std::uint64_t id = 0; //!< packed gid | epoch (WrTX ID value)
+        std::uint64_t auditId = 0; //!< auditor observation (0 = off)
         NodeId homeNode = 0;
     };
 
@@ -163,8 +165,10 @@ class HadesEngine : public TxnEngine
                             const AttemptPtr &fallback_self,
                             txn::SquashReason why);
 
-    /** Registry of running local attempts, per node (Module 3 bank). */
-    std::vector<std::unordered_map<std::uint64_t, AttemptPtr>> localTxns_;
+    /** Registry of running local attempts, per node (Module 3 bank).
+     *  Ordered: eager conflict scans iterate a node's registry and
+     *  their enumeration order picks squash victims. */
+    std::vector<std::map<std::uint64_t, AttemptPtr>> localTxns_;
 
     /** Next per-context attempt epoch (keys WrTX IDs uniquely). */
     std::unordered_map<std::uint64_t, std::uint64_t> epochs_;

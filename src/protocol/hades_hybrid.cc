@@ -41,6 +41,8 @@ HadesHybridEngine::probeFilter(const bloom::AddressFilter &bf, Addr line,
     bool hit = bf.mayContain(line);
     if (hit && !truth)
         stats_.bfFalsePositives += 1;
+    if (sys_.audit)
+        sys_.audit->noteFilterProbe(hit, truth, "hybrid-conflict-probe");
     return hit;
 }
 
@@ -167,6 +169,10 @@ HadesHybridEngine::localAccess(ExecCtx ctx, AttemptPtr at,
             accessLines(ctx.node, ctx.core, base, record_lines));
         const auto m = node.versions.peek(req.record);
         std::int64_t value = sys_.data.read(req.record);
+        // Capture the ground-truth version at the same instant as the
+        // value: simulated time passes below before the entry lands in
+        // the read set.
+        const std::uint64_t gt_version = sys_.data.version(req.record);
 
         // Read atomicity: per-line version compares + copy-out.
         Tick t0 = kernel.now();
@@ -183,6 +189,9 @@ HadesHybridEngine::localAccess(ExecCtx ctx, AttemptPtr at,
             at->localReads.push_back(
                 LocalReadEntry{req.record, m.version});
             read_vals.push_back(value);
+            if (sys_.audit)
+                sys_.audit->noteRead(at->auditId, req.record,
+                                     gt_version);
         }
     }
 }
@@ -197,9 +206,9 @@ HadesHybridEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
 
     bool all_cached = true;
     for (Addr line : lines) {
-        bool cached = is_write ? at->recordedWr.count(line) != 0
-                               : (at->recordedRd.count(line) != 0 ||
-                                  at->recordedWr.count(line) != 0);
+        bool cached = is_write ? at->recordedWr.contains(line)
+                               : (at->recordedRd.contains(line) ||
+                                  at->recordedWr.contains(line));
         all_cached &= cached;
     }
     if (all_cached) {
@@ -319,14 +328,26 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                    std::int64_t(sys_.config.crcHashCycles) * hashed));
         checkSquash(at);
     }
+    // The NIC-built filters must cover the exact local footprint.
+    if (sys_.audit) {
+        sys_.audit->checkFilterCovers(at->nicLocalReadBf,
+                                      at->ctrl.localReadLines,
+                                      "hybrid-nic-local-read-bf");
+        sys_.audit->checkFilterCovers(at->nicLocalWriteBf,
+                                      at->ctrl.localWriteLines,
+                                      "hybrid-nic-local-write-bf");
+    }
 
     // --- Partially lock the local directory ---------------------------------
     for (;;) {
         auto acq = node.lockBank.tryAcquire(id, at->nicLocalReadBf,
                                             at->nicLocalWriteBf,
                                             local_write_lines);
-        if (acq == bloom::AcquireResult::Acquired)
+        if (acq == bloom::AcquireResult::Acquired) {
+            if (sys_.audit)
+                sys_.audit->noteLockAcquire(id);
             break;
+        }
         if (acq == bloom::AcquireResult::Conflict)
             throw Squashed{SquashReason::LockFailure};
         co_await sim::Delay{sys_.kernel, ns(200)};
@@ -439,7 +460,9 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
         Tick apply_ticks = 0;
         Tick t_version = 0;
         for (const auto &w : at->localWrites) {
-            sys_.data.write(w.record, w.value);
+            std::uint64_t v = sys_.data.write(w.record, w.value);
+            if (sys_.audit)
+                sys_.audit->noteWrite(at->auditId, w.record, v);
             node.versions.bumpVersion(w.record);
             apply_ticks += accessLines(ctx.node, ctx.core,
                                        sys_.placement.addrOf(w.record),
@@ -461,9 +484,10 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 bytes += layout_.payloadLines() * kCacheLineBytes;
             }
         }
+        const std::uint64_t aid = at->auditId;
         reliablePost(
             MsgType::Validation, ctx.node, y, bytes,
-            [this, y, id, updates] {
+            [this, y, id, aid, updates] {
                 auto &ynode = sys_.node(y);
                 // Replay guard: bumpVersion is NOT idempotent -- a
                 // duplicated Validation must not bump versions (or
@@ -472,7 +496,9 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 if (faultsOn() && !ynode.nic.hasRemoteFilters(id))
                     return;
                 for (const auto &[record, value] : updates) {
-                    sys_.data.write(record, value);
+                    std::uint64_t v = sys_.data.write(record, value);
+                    if (sys_.audit)
+                        sys_.audit->noteWrite(aid, record, v);
                     // Bump the version so software Local Validations of
                     // transactions at y that read this record fail.
                     ynode.versions.bumpVersion(record);
@@ -511,6 +537,16 @@ HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
     }
 
     auto &filters = ynode.nic.remoteFilters(id);
+    if (sys_.audit) {
+        auto rit = at->ctrl.remoteReadLines.find(y);
+        if (rit != at->ctrl.remoteReadLines.end())
+            sys_.audit->checkFilterCovers(filters.readBf, rit->second,
+                                          "hybrid-nic-read-bf");
+        auto wit = at->ctrl.remoteWriteLines.find(y);
+        if (wit != at->ctrl.remoteWriteLines.end())
+            sys_.audit->checkFilterCovers(filters.writeBf, wit->second,
+                                          "hybrid-nic-write-bf");
+    }
     bloom::BloomFilter write_filter = filters.writeBf;
     for (Addr line : write_lines)
         write_filter.insert(line);
@@ -530,6 +566,8 @@ HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
         });
         return;
     }
+    if (sys_.audit)
+        sys_.audit->noteLockAcquire(id);
 
     // Conflicts with other *remote* transactions only: local HADES-H
     // transactions have no standing BFs; they self-detect during their
@@ -596,7 +634,7 @@ HadesHybridEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
             return;
         }
         for (NodeId y : at->nodesInvolved) {
-            if (at->ackedBy.count(y))
+            if (at->ackedBy.contains(y))
                 continue;
             stats_.timeoutResends += 1;
             const std::vector<Addr> itc_lines = at->itcLines[y];
@@ -643,6 +681,8 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     at->id = id;
     at->homeNode = ctx.node;
     sys_.router.add(id, &at->ctrl);
+    if (sys_.audit)
+        at->auditId = sys_.audit->begin(id);
 
     const Tick exec_start = kernel.now();
     Tick exec_end = exec_start;
@@ -698,10 +738,18 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                     at->remoteWriteBuffer[req.record] = {home, value};
                 } else if (!req.isIndex) {
                     auto wit = at->remoteWriteBuffer.find(req.record);
-                    read_vals.push_back(
-                        wit != at->remoteWriteBuffer.end()
-                            ? wit->second.second
-                            : sys_.data.read(req.record));
+                    if (wit != at->remoteWriteBuffer.end()) {
+                        // Read-your-own-write: invisible to the audit.
+                        read_vals.push_back(wit->second.second);
+                    } else {
+                        read_vals.push_back(
+                            sys_.data.read(req.record));
+                        if (sys_.audit) {
+                            sys_.audit->noteRead(
+                                at->auditId, req.record,
+                                sys_.data.version(req.record));
+                        }
+                    }
                 }
             }
             checkSquash(at);
@@ -719,6 +767,8 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
                                                   : sq.reason);
         cleanupAborted(ctx, at);
+        if (sys_.audit)
+            sys_.audit->noteAbort(at->auditId);
     }
 
     at->finished = true;
@@ -729,6 +779,18 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         stats_.execPhase.add(double(exec_end - exec_start));
         stats_.validationPhase.add(double(kernel.now() - exec_end));
         committed = true;
+        if (sys_.audit)
+            sys_.audit->noteCommit(at->auditId);
+    }
+
+    // Per-attempt drain check of local hardware state (remote state
+    // drains asynchronously; checked again at end of run).
+    if (sys_.audit) {
+        auto &n = sys_.node(ctx.node);
+        sys_.audit->noteDrained("locking-buffer", ctx.node,
+                                n.lockBank.held(id) ? 1 : 0);
+        sys_.audit->noteDrained("nic-local-state", ctx.node,
+                                n.nic.hasLocalState(id) ? 1 : 0);
     }
 }
 

@@ -76,10 +76,10 @@ class HadesHybridEngine : public TxnEngine
         // Software local path (record granularity).
         std::vector<LocalReadEntry> localReads;
         std::vector<LocalWriteEntry> localWrites;
-        // Hardware remote path (line granularity).
+        // Hardware remote path (line granularity). The write buffer is
+        // ordered: commit iterates it into Validation payloads.
         std::unordered_set<Addr> recordedRd, recordedWr;
-        std::unordered_map<std::uint64_t,
-                           std::pair<NodeId, std::int64_t>>
+        std::map<std::uint64_t, std::pair<NodeId, std::int64_t>>
             remoteWriteBuffer;
         std::set<NodeId> nodesInvolved;
         // NIC-built local filters, populated at commit time.
@@ -96,6 +96,7 @@ class HadesHybridEngine : public TxnEngine
         bool localDirLocked = false;
         bool finished = false;
         std::uint64_t id = 0;
+        std::uint64_t auditId = 0; //!< auditor observation (0 = off)
         NodeId homeNode = 0;
     };
 

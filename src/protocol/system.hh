@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "audit/auditor.hh"
 #include "bloom/locking_buffer.hh"
 #include "common/config.hh"
 #include "common/rng.hh"
@@ -72,14 +73,15 @@ struct AttemptControl
     remoteReadsContain(NodeId n, Addr line) const
     {
         auto it = remoteReadLines.find(n);
-        return it != remoteReadLines.end() && it->second.count(line);
+        return it != remoteReadLines.end() && it->second.contains(line);
     }
 
     bool
     remoteWritesContain(NodeId n, Addr line) const
     {
         auto it = remoteWriteLines.find(n);
-        return it != remoteWriteLines.end() && it->second.count(line);
+        return it != remoteWriteLines.end() &&
+               it->second.contains(line);
     }
 };
 
@@ -210,6 +212,10 @@ class System
     std::unique_ptr<replica::ReplicaManager> replicas;
     /** Protocol event trace (off by default; tracer.enable()). */
     sim::Tracer tracer;
+    /** Correctness auditor; null when auditing is off. Engines report
+     *  reads/writes/commits and hardware invariant checks into it;
+     *  purely observational, so it cannot perturb the simulation. */
+    audit::Auditor *audit = nullptr;
 };
 
 } // namespace hades::protocol

@@ -7,6 +7,12 @@
  * execution and apply them here exactly at their serialization point, so
  * the test suite can check serializability properties (conservation,
  * exactly-once increments) against the same store regardless of engine.
+ *
+ * Every write also bumps a per-record version counter. The counter is
+ * protocol-independent (unlike the VersionTable the software engines
+ * manage) and exists for the correctness auditor: stamping each read
+ * and each applied write with the ground-truth version at that instant
+ * reconstructs the version order the serializability audit needs.
  */
 
 #ifndef HADES_TXN_GROUND_TRUTH_HH_
@@ -29,9 +35,20 @@ class GroundTruth
         return it == values_.end() ? 0 : it->second;
     }
 
-    void write(std::uint64_t record, std::int64_t v)
+    /** Install a new value; returns the version it installed. */
+    std::uint64_t
+    write(std::uint64_t record, std::int64_t v)
     {
         values_[record] = v;
+        return ++versions_[record];
+    }
+
+    /** Version of the last committed write (0 = never written). */
+    std::uint64_t
+    version(std::uint64_t record) const
+    {
+        auto it = versions_.find(record);
+        return it == versions_.end() ? 0 : it->second;
     }
 
     /** Sum over a record id range [first, last] (invariant checks). */
@@ -48,6 +65,7 @@ class GroundTruth
 
   private:
     std::unordered_map<std::uint64_t, std::int64_t> values_;
+    std::unordered_map<std::uint64_t, std::uint64_t> versions_;
 };
 
 } // namespace hades::txn

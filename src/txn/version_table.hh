@@ -77,6 +77,7 @@ class VersionTable
     lockedCount() const
     {
         std::size_t n = 0;
+        // det-lint: ordered-ok (pure count, order-insensitive)
         for (const auto &[record, m] : meta_)
             n += m.lockOwner != 0;
         return n;

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Source hygiene checks that need no toolchain beyond POSIX, plus a
+# clang-format dry run when the binary is available (CI installs it;
+# dev containers may not have it, in which case that step is skipped).
+#
+# Usage: tools/check_format.sh [repo-root]
+set -u
+
+repo="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$repo" || exit 2
+
+fail=0
+
+sources=$(find src tests bench examples tools \
+               -name '*.hh' -o -name '*.cc' -o -name '*.cpp' \
+               -o -name '*.py' -o -name '*.sh' 2>/dev/null | sort)
+
+# 1. No trailing whitespace.
+if grep -n ' $' $sources /dev/null; then
+    echo "check_format: trailing whitespace (above)" >&2
+    fail=1
+fi
+
+# 2. No tabs in C++ sources (4-space indent per .clang-format).
+cxx=$(printf '%s\n' "$sources" | grep -E '\.(hh|cc|cpp)$')
+if grep -nP '\t' $cxx /dev/null; then
+    echo "check_format: tab indentation in C++ source (above)" >&2
+    fail=1
+fi
+
+# 3. Every file ends with exactly one newline.
+for f in $sources; do
+    if [ -s "$f" ] && [ -n "$(tail -c 1 "$f")" ]; then
+        echo "$f: missing newline at end of file" >&2
+        fail=1
+    fi
+done
+
+# 4. clang-format dry run (skipped when not installed).
+if command -v clang-format >/dev/null 2>&1; then
+    if ! clang-format --dry-run --Werror $cxx; then
+        echo "check_format: clang-format violations (above)" >&2
+        fail=1
+    fi
+else
+    echo "check_format: clang-format not found; dry run skipped"
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "check_format: OK ($(printf '%s\n' "$sources" | wc -l) files)"
+fi
+exit "$fail"

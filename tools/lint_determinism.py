@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Determinism lint for the HADES simulator sources.
+
+The simulator's contract is bit-reproducible runs: the same RunSpec and
+seed must produce the same simulated history on every platform and
+standard-library implementation. This lint flags the source patterns
+that historically break that contract:
+
+  R1  uncontrolled randomness: rand()/srand(), std::random_device,
+      standard mersenne/linear-congruential engines. All randomness
+      must flow through the seeded Rng in src/common/rng.hh.
+  R2  wall-clock time: time(), gettimeofday, clock_gettime,
+      std::chrono clocks. Simulated time comes from the kernel;
+      src/common/time.hh owns the only permitted conversions.
+  R3  iteration over unordered containers: ranged-for over a variable
+      declared in the same file as std::unordered_map/unordered_set.
+      Hash-table iteration order is implementation-defined; if the loop
+      body feeds a protocol decision (squash victim choice, message
+      emission order) the run is no longer reproducible. Benign
+      aggregate loops are annotated with `det-lint: ordered-ok`.
+  R4  pointer-keyed ordered containers: std::map/std::set keyed by a
+      pointer type order by address, which varies run to run.
+
+Suppression: append `// det-lint: ordered-ok` (any `det-lint:` marker)
+to the flagged line or the line directly above it.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Files allowed to use the primitives they encapsulate.
+ALLOWLIST = {
+    "src/common/rng.hh": {"R1"},
+    "src/common/time.hh": {"R2"},
+}
+
+SUPPRESS_RE = re.compile(r"det-lint:")
+
+R1_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand|rand_r|drand48|lrand48)\s*\(|"
+    r"\bstd::random_device\b|\bstd::mt19937(?:_64)?\b|"
+    r"\bstd::minstd_rand0?\b|\bstd::default_random_engine\b"
+)
+
+R2_RE = re.compile(
+    r"\bstd::chrono::(?:system|steady|high_resolution)_clock\b|"
+    r"\b(?:gettimeofday|clock_gettime|localtime|gmtime)\s*\(|"
+    r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&)"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<"
+)
+
+# `name` of a member/variable declared with an unordered type: last
+# identifier before ';', '=', '{' or '(' on the declaration statement.
+DECL_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:;|=|\{|\()")
+
+RANGED_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*\*?([A-Za-z_][\w.\->]*)\s*\)")
+
+R4_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:]*\s*\*"
+)
+
+
+def suppressed(lines, idx):
+    """Marker on the flagged line or the line directly above it."""
+    if SUPPRESS_RE.search(lines[idx]):
+        return True
+    return idx > 0 and SUPPRESS_RE.search(lines[idx - 1]) is not None
+
+
+def strip_comments(line):
+    """Drop // comments so commented-out code is not flagged (but keep
+    the raw line for suppression-marker checks)."""
+    return line.split("//", 1)[0]
+
+
+def unordered_names(lines):
+    """Names declared with an unordered container type in this file.
+
+    Heuristic: the declaration may span lines (template arguments
+    wrapped by the formatter), so scan a small window after the type
+    for the declared name.
+    """
+    names = set()
+    for i, line in enumerate(lines):
+        code = strip_comments(line)
+        if not UNORDERED_DECL_RE.search(code):
+            continue
+        if re.search(r"\busing\b|\btypedef\b", code):
+            continue
+        window = " ".join(
+            strip_comments(l) for l in lines[i : i + 4]
+        )
+        m = UNORDERED_DECL_RE.search(window)
+        tail = window[m.end():]
+        # Skip past the template argument list to the declared name.
+        depth = 1
+        pos = 0
+        while pos < len(tail) and depth > 0:
+            if tail[pos] == "<":
+                depth += 1
+            elif tail[pos] == ">":
+                depth -= 1
+            pos += 1
+        nm = DECL_NAME_RE.search(tail[pos:])
+        if nm:
+            names.add(nm.group(1))
+    return names
+
+
+def lint_file(path, rel, findings):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    allowed = ALLOWLIST.get(rel, set())
+
+    names = unordered_names(lines)
+
+    for i, raw in enumerate(lines):
+        code = strip_comments(raw)
+
+        def report(rule, msg):
+            if rule in allowed or suppressed(lines, i):
+                return
+            findings.append((rel, i + 1, rule, msg, raw.strip()))
+
+        if R1_RE.search(code):
+            report("R1", "uncontrolled randomness; use common/rng.hh")
+        if R2_RE.search(code):
+            report("R2", "wall-clock time; simulated time only")
+        if R4_RE.search(code):
+            report("R4", "pointer-keyed ordered container "
+                         "(orders by address)")
+        m = RANGED_FOR_RE.search(code)
+        if m:
+            target = m.group(1)
+            base = target.split(".")[-1].split("->")[-1]
+            if base in names or UNORDERED_DECL_RE.search(code):
+                report(
+                    "R3",
+                    "iteration over unordered container '%s'; order "
+                    "is implementation-defined -- use an ordered "
+                    "container or annotate det-lint: ordered-ok"
+                    % target,
+                )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("roots", nargs="*", default=["src"],
+                    help="directories to scan (default: src)")
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: parent of tools/)")
+    args = ap.parse_args()
+
+    repo = pathlib.Path(
+        args.repo or pathlib.Path(__file__).resolve().parent.parent
+    )
+    roots = args.roots or ["src"]
+
+    files = []
+    for root in roots:
+        base = repo / root
+        if not base.is_dir():
+            print("lint_determinism: no such directory: %s" % base,
+                  file=sys.stderr)
+            return 2
+        files += sorted(base.rglob("*.hh"))
+        files += sorted(base.rglob("*.cc"))
+
+    findings = []
+    for f in files:
+        lint_file(f, f.relative_to(repo).as_posix(), findings)
+
+    for rel, line, rule, msg, src in findings:
+        print("%s:%d: [%s] %s\n    %s" % (rel, line, rule, msg, src))
+    print(
+        "lint_determinism: %d file(s) scanned, %d finding(s)"
+        % (len(files), len(findings))
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
