@@ -53,17 +53,28 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (auto bits : kBits)
+        sweep.add(keyFor(bits), specFor(bits));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Ablation", "Bloom filter size (HADES, BTree-wA); "
                             "Table III uses 1024-bit read filters");
@@ -71,13 +82,14 @@ main(int argc, char **argv)
                 "squash/att", "BF false-pos");
     for (auto bits : kBits) {
         const auto &res =
-            RunCache::instance().get(keyFor(bits), specFor(bits));
+            Sweep::instance().get(keyFor(bits), specFor(bits));
         std::printf("%-10u %14.0f %11.1f%% %13.4f%%\n", bits,
                     res.throughputTps, 100.0 * res.squashRate,
                     100.0 * res.bfFalsePositiveRate);
     }
     std::printf("(expected: small filters inflate false positives and "
                 "squashes; 1Kbit is already in the flat region)\n");
+    sweep.finish("ablate_bloom_geometry");
     benchmark::Shutdown();
     return 0;
 }

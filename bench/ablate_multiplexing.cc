@@ -76,24 +76,37 @@ BENCHMARK(runBuffers)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (auto m : kSlots)
+        sweep.add("ablate_m/" + std::to_string(m), specSlots(m));
+    for (auto b : kBuffers)
+        sweep.add("ablate_lb/" + std::to_string(b), specBuffers(b));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Ablation", "multiplexed transactions per core "
                             "(HADES, TPC-C; paper default m=2)");
     std::printf("%-6s %14s %14s  %14s\n", "m", "txn/s", "per-context",
                 "mean lat");
     for (auto m : kSlots) {
-        const auto &res = RunCache::instance().get(
+        const auto &res = Sweep::instance().get(
             "ablate_m/" + std::to_string(m), specSlots(m));
         std::printf("%-6u %14.0f %14.0f %12.1fus\n", m,
                     res.throughputTps,
@@ -105,11 +118,12 @@ main(int argc, char **argv)
                             "(HADES, Smallbank; 0 = auto-size)");
     std::printf("%-8s %14s %12s\n", "buffers", "txn/s", "squash/att");
     for (auto b : kBuffers) {
-        const auto &res = RunCache::instance().get(
+        const auto &res = Sweep::instance().get(
             "ablate_lb/" + std::to_string(b), specBuffers(b));
         std::printf("%-8u %14.0f %11.1f%%\n", b, res.throughputTps,
                     100.0 * res.squashRate);
     }
+    sweep.finish("ablate_multiplexing");
     benchmark::Shutdown();
     return 0;
 }

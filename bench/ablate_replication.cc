@@ -57,17 +57,28 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &c : kCases)
+        sweep.add(std::string("ablate_repl/") + c.label, specFor(c));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Ablation",
                 "replication & durability (HADES, Smallbank; "
@@ -76,7 +87,7 @@ main(int argc, char **argv)
                 "replicated txns");
     double base = 0;
     for (const auto &c : kCases) {
-        const auto &res = RunCache::instance().get(
+        const auto &res = Sweep::instance().get(
             std::string("ablate_repl/") + c.label, specFor(c));
         if (c.degree == 0)
             base = res.throughputTps;
@@ -85,6 +96,7 @@ main(int argc, char **argv)
                     (unsigned long)res.replicatedCommits,
                     res.throughputTps / base);
     }
+    sweep.finish("ablate_replication");
     benchmark::Shutdown();
     return 0;
 }

@@ -15,11 +15,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "core/runner.hh"
+#include "sweep.hh"
 
 namespace hades::bench
 {
@@ -70,41 +70,18 @@ allEngines()
             protocol::EngineKind::Hades};
 }
 
-/** Run one spec, caching by a key so google-benchmark re-runs and the
- *  summary table share results. */
-class RunCache
-{
-  public:
-    const core::RunResult &
-    get(const std::string &key, const core::RunSpec &spec)
-    {
-        auto it = results_.find(key);
-        if (it == results_.end())
-            it = results_.emplace(key, core::runOne(spec)).first;
-        return it->second;
-    }
-
-    static RunCache &
-    instance()
-    {
-        static RunCache cache;
-        return cache;
-    }
-
-  private:
-    std::map<std::string, core::RunResult> results_;
-};
-
-/** Register a google-benchmark case that runs @p spec once. */
+/** Register a google-benchmark case that runs @p spec once. Results
+ *  come from the shared Sweep, so the parallel prefill in main() and
+ *  the summary tables all observe the same runs. */
 inline void
 reportRun(benchmark::State &state, const std::string &key,
           const core::RunSpec &spec)
 {
     for (auto _ : state) {
-        const auto &res = RunCache::instance().get(key, spec);
+        const auto &res = Sweep::instance().get(key, spec);
         benchmark::DoNotOptimize(res.stats.committed);
     }
-    const auto &res = RunCache::instance().get(key, spec);
+    const auto &res = Sweep::instance().get(key, spec);
     state.counters["txn_per_s"] = res.throughputTps;
     state.counters["mean_us"] = res.meanLatencyUs;
     state.counters["p95_us"] = res.p95LatencyUs;

@@ -75,17 +75,34 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &entry : apps()) {
+        sweep.add(keyFor(protocol::EngineKind::Hades, entry, true),
+                  specFor(protocol::EngineKind::Hades, entry, true));
+        for (auto engine : {protocol::EngineKind::HadesHybrid,
+                            protocol::EngineKind::Hades})
+            sweep.add(keyFor(engine, entry, false),
+                      specFor(engine, entry, false));
+    }
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Section VIII-C (1)",
                 "LLC speculative-eviction squash rate, all requests "
@@ -94,7 +111,7 @@ main(int argc, char **argv)
     std::printf("%-12s %16s\n", "workload", "evict squash/txn");
     double sum = 0;
     for (const auto &entry : apps()) {
-        const auto &res = RunCache::instance().get(
+        const auto &res = Sweep::instance().get(
             keyFor(protocol::EngineKind::Hades, entry, true),
             specFor(protocol::EngineKind::Hades, entry, true));
         std::printf("%-12s %15.3f%%\n", entryLabel(entry).c_str(),
@@ -110,10 +127,10 @@ main(int argc, char **argv)
     std::printf("%-12s %14s %14s\n", "workload", "HADES-H", "HADES");
     double s_h = 0, s_hh = 0;
     for (const auto &entry : apps()) {
-        const auto &rh = RunCache::instance().get(
+        const auto &rh = Sweep::instance().get(
             keyFor(protocol::EngineKind::Hades, entry, false),
             specFor(protocol::EngineKind::Hades, entry, false));
-        const auto &rhh = RunCache::instance().get(
+        const auto &rhh = Sweep::instance().get(
             keyFor(protocol::EngineKind::HadesHybrid, entry, false),
             specFor(protocol::EngineKind::HadesHybrid, entry, false));
         std::printf("%-12s %13.4f%% %13.4f%%\n",
@@ -126,6 +143,7 @@ main(int argc, char **argv)
     std::printf("%-12s %13.4f%% %13.4f%%\n", "average",
                 100.0 * s_hh / double(apps().size()),
                 100.0 * s_h / double(apps().size()));
+    sweep.finish("char_evictions_fpr");
     benchmark::Shutdown();
     return 0;
 }

@@ -55,17 +55,28 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (auto app : fig3Workloads())
+        sweep.add(keyFor(app), specFor(app));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 3",
                 "SW-Impl execution time breakdown (4 nodes); "
@@ -78,7 +89,7 @@ main(int argc, char **argv)
          c < std::size_t(txn::Overhead::NumCategories); ++c) {
         std::printf("%-14s", txn::overheadName(txn::Overhead(c)));
         for (auto app : fig3Workloads()) {
-            const auto &res = RunCache::instance().get(keyFor(app),
+            const auto &res = Sweep::instance().get(keyFor(app),
                                                        specFor(app));
             std::printf(" %13.1f%%", 100.0 * res.overheadShare[c]);
         }
@@ -87,7 +98,7 @@ main(int argc, char **argv)
     std::printf("%-14s", "OverheadTotal");
     for (auto app : fig3Workloads()) {
         const auto &res =
-            RunCache::instance().get(keyFor(app), specFor(app));
+            Sweep::instance().get(keyFor(app), specFor(app));
         double total = 0;
         for (double s : res.overheadShare)
             total += s;
@@ -96,10 +107,11 @@ main(int argc, char **argv)
     std::printf("\n%-14s", "OtherTime");
     for (auto app : fig3Workloads()) {
         const auto &res =
-            RunCache::instance().get(keyFor(app), specFor(app));
+            Sweep::instance().get(keyFor(app), specFor(app));
         std::printf(" %13.1f%%", 100.0 * res.otherShare);
     }
     std::printf("\n");
+    sweep.finish("fig03_sw_overheads");
     benchmark::Shutdown();
     return 0;
 }

@@ -43,17 +43,31 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &entry : figure9Workloads())
+        for (auto engine : allEngines())
+            sweep.add("fig9/" + entryLabel(entry) + "/" +
+                          protocol::engineKindName(engine),
+                      specFor(engine, entry));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 9", "throughput normalized to Baseline "
                             "(N=5, C=5, m=2)");
@@ -67,7 +81,7 @@ main(int argc, char **argv)
         for (auto engine : allEngines()) {
             std::string key = "fig9/" + entryLabel(entry) + "/" +
                               protocol::engineKindName(engine);
-            tps[i++] = RunCache::instance()
+            tps[i++] = Sweep::instance()
                            .get(key, specFor(engine, entry))
                            .throughputTps;
         }
@@ -82,6 +96,7 @@ main(int argc, char **argv)
                 "(paper: 2.3x / 2.7x)\n",
                 "geomean", "", "", "", std::exp(geo_hh / n),
                 std::exp(geo_h / n));
+    sweep.finish("fig09_throughput");
     benchmark::Shutdown();
     return 0;
 }

@@ -50,17 +50,29 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &entry : figure9Workloads())
+        for (auto engine : allEngines())
+            sweep.add(keyFor(engine, entry), specFor(engine, entry));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 10",
                 "mean txn latency (us) with phase breakdown, and the "
@@ -74,7 +86,7 @@ main(int argc, char **argv)
         const core::RunResult *r[3];
         int i = 0;
         for (auto engine : allEngines())
-            r[i++] = &RunCache::instance().get(
+            r[i++] = &Sweep::instance().get(
                 keyFor(engine, entry), specFor(engine, entry));
         std::printf("%-12s | %7.1f %7.1f %7.1f    | %7.1f %7.1f %9s | "
                     "%7.1f %7.1f %9s | %6.2f %6.2f\n",
@@ -91,6 +103,7 @@ main(int argc, char **argv)
     std::printf("mean latency reduction: HADES-H %.0f%%, HADES %.0f%%  "
                 "(paper: 54%% / 60%%)\n",
                 100.0 * (1.0 - red_hh / n), 100.0 * (1.0 - red_h / n));
+    sweep.finish("fig10_latency");
     benchmark::Shutdown();
     return 0;
 }

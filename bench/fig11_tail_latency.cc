@@ -46,17 +46,29 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &entry : figure9Workloads())
+        for (auto engine : allEngines())
+            sweep.add(keyFor(engine, entry), specFor(engine, entry));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 11",
                 "95th-percentile tail latency (us), normalized to "
@@ -67,7 +79,7 @@ main(int argc, char **argv)
         double p95[3] = {};
         int i = 0;
         for (auto engine : allEngines())
-            p95[i++] = RunCache::instance()
+            p95[i++] = Sweep::instance()
                            .get(keyFor(engine, entry),
                                 specFor(engine, entry))
                            .p95LatencyUs;
@@ -75,6 +87,7 @@ main(int argc, char **argv)
                     entryLabel(entry).c_str(), p95[0], p95[1], p95[2],
                     p95[1] / p95[0], p95[2] / p95[0]);
     }
+    sweep.finish("fig11_tail_latency");
     benchmark::Shutdown();
     return 0;
 }

@@ -73,17 +73,31 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &entry : sweepApps())
+        for (auto engine : allEngines())
+            for (Tick rt : kLatencies)
+                sweep.add(keyFor(engine, entry, rt),
+                          specFor(engine, entry, rt));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 12a", "throughput vs network RT latency, "
                               "normalized to Baseline @ 2us "
@@ -99,12 +113,12 @@ main(int argc, char **argv)
             int n = 0;
             for (const auto &entry : sweepApps()) {
                 double tps =
-                    RunCache::instance()
+                    Sweep::instance()
                         .get(keyFor(engine, entry, rt),
                              specFor(engine, entry, rt))
                         .throughputTps;
                 double base =
-                    RunCache::instance()
+                    Sweep::instance()
                         .get(keyFor(protocol::EngineKind::Baseline,
                                     entry, us(2)),
                              specFor(protocol::EngineKind::Baseline,
@@ -118,6 +132,7 @@ main(int argc, char **argv)
         std::printf("\n");
     }
     std::printf("(paper: HADES's advantage grows as latency drops)\n");
+    sweep.finish("fig12a_net_latency");
     benchmark::Shutdown();
     return 0;
 }

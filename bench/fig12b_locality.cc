@@ -71,17 +71,31 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &entry : sweepApps())
+        for (auto engine : allEngines())
+            for (double frac : kFractions)
+                sweep.add(keyFor(engine, entry, frac),
+                          specFor(engine, entry, frac));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 12b",
                 "throughput vs fraction of local requests, normalized "
@@ -94,12 +108,12 @@ main(int argc, char **argv)
             double geo = 0;
             int n = 0;
             for (const auto &entry : sweepApps()) {
-                double tps = RunCache::instance()
+                double tps = Sweep::instance()
                                  .get(keyFor(engine, entry, frac),
                                       specFor(engine, entry, frac))
                                  .throughputTps;
                 double base =
-                    RunCache::instance()
+                    Sweep::instance()
                         .get(keyFor(protocol::EngineKind::Baseline,
                                     entry, 0.2),
                              specFor(protocol::EngineKind::Baseline,
@@ -114,6 +128,7 @@ main(int argc, char **argv)
     }
     std::printf("(paper: HADES gains with locality; HADES-H's relative "
                 "speedup shrinks)\n");
+    sweep.finish("fig12b_locality");
     benchmark::Shutdown();
     return 0;
 }

@@ -48,17 +48,29 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &entry : figure9Workloads())
+        for (auto engine : allEngines())
+            sweep.add(keyFor(engine, entry), specFor(engine, entry));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 13",
                 "throughput normalized to Baseline, N=10 nodes x C=5 "
@@ -71,7 +83,7 @@ main(int argc, char **argv)
         double tps[3] = {};
         int i = 0;
         for (auto engine : allEngines())
-            tps[i++] = RunCache::instance()
+            tps[i++] = Sweep::instance()
                            .get(keyFor(engine, entry),
                                 specFor(engine, entry))
                            .throughputTps;
@@ -85,6 +97,7 @@ main(int argc, char **argv)
     std::printf("%-12s %38s | %8.2f %8.2f  (compare to Figure 9)\n",
                 "geomean", "", std::exp(geo_hh / n),
                 std::exp(geo_h / n));
+    sweep.finish("fig13_scale_n10");
     benchmark::Shutdown();
     return 0;
 }

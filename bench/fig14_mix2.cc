@@ -76,17 +76,29 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (std::size_t m = 0; m < mixes().size(); ++m)
+        for (auto engine : allEngines())
+            sweep.add(keyFor(engine, m), specFor(engine, m));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 14", "two-workload mixes, N=5 x C=10 "
                              "(normalized to Baseline)");
@@ -96,13 +108,14 @@ main(int argc, char **argv)
         double tps[3] = {};
         int i = 0;
         for (auto engine : allEngines())
-            tps[i++] = RunCache::instance()
+            tps[i++] = Sweep::instance()
                            .get(keyFor(engine, m), specFor(engine, m))
                            .throughputTps;
         std::printf("%-24s %12.0f %12.0f %12.0f | %8.2f %8.2f\n",
                     mixLabel(m).c_str(), tps[0], tps[1], tps[2],
                     tps[1] / tps[0], tps[2] / tps[0]);
     }
+    sweep.finish("fig14_mix2");
     benchmark::Shutdown();
     return 0;
 }

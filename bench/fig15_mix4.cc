@@ -100,17 +100,29 @@ BENCHMARK(runCase)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+registerRuns(Sweep &sweep)
+{
+    for (std::size_t m = 0; m < tableVMixes().size(); ++m)
+        for (auto engine : allEngines())
+            sweep.add(keyFor(engine, m), specFor(engine, m));
+}
+
 } // namespace
 } // namespace hades::bench
 
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-
     using namespace hades;
     using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Figure 15 / Table V",
                 "four-workload mixes, N=8 x C=25 (200 cores), "
@@ -122,7 +134,7 @@ main(int argc, char **argv)
         double tps[3] = {};
         int i = 0;
         for (auto engine : allEngines())
-            tps[i++] = RunCache::instance()
+            tps[i++] = Sweep::instance()
                            .get(keyFor(engine, m), specFor(engine, m))
                            .throughputTps;
         std::printf("mix%-3zu %12.0f %12.0f %12.0f | %8.2f %8.2f\n",
@@ -133,6 +145,7 @@ main(int argc, char **argv)
     }
     std::printf("%-6s %38s | %8.2f %8.2f  (paper: 2.1x / 2.9x)\n",
                 "mean", "", sum_hh / 8.0, sum_h / 8.0);
+    sweep.finish("fig15_mix4");
     benchmark::Shutdown();
     return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "core/hw_cost.hh"
+#include "sweep.hh"
 
 namespace
 {
@@ -48,6 +49,10 @@ printRow(const char *name, const hades::ClusterConfig &cfg,
 int
 main(int argc, char **argv)
 {
+    // Pure arithmetic, no simulation runs: the sweep flags are accepted
+    // for a uniform bench-binary interface but only --json matters.
+    auto &sweep = hades::bench::Sweep::instance();
+    sweep.parseArgs(&argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -69,6 +74,7 @@ main(int argc, char **argv)
     std::printf("%-22s %9s %10s %25s %11s %10s %10s\n", "  (paper)",
                 "0.70KB", "0.25KB", "", "5 bits", "22.4KB", "43.1KB");
 
+    sweep.finish("hwcost_storage");
     benchmark::Shutdown();
     return 0;
 }

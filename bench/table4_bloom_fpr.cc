@@ -22,6 +22,7 @@
 #include "bloom/split_write_bloom.hh"
 #include "common/config.hh"
 #include "common/rng.hh"
+#include "sweep.hh"
 
 namespace hades::bench
 {
@@ -136,11 +137,18 @@ BENCHMARK(bmProbeSplit);
 int
 main(int argc, char **argv)
 {
+    using namespace hades;
+    using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
-    using namespace hades;
-    using namespace hades::bench;
+    // No RunSpec sweep here: the table is pure Monte-Carlo over the
+    // filter implementations. Smoke mode just cuts the trial count.
+    const int trials = sweep.smoke() ? 10 : 120;
+    const int probes = sweep.smoke() ? 1000 : 8000;
 
     const std::uint32_t line_counts[] = {10, 20, 50, 100};
     const double paper_1k[] = {0.04, 0.138, 0.877, 3.26};
@@ -154,7 +162,7 @@ main(int argc, char **argv)
     for (auto n : line_counts)
         std::printf(" %9.3f%%",
                     100.0 * measureFpr([] { return makeNicFilter(); },
-                                       n, 120, 8000, 99));
+                                       n, trials, probes, 99));
     std::printf("\n%-16s", "  (paper)");
     for (double p : paper_1k)
         std::printf(" %9.3f%%", p);
@@ -163,11 +171,12 @@ main(int argc, char **argv)
         std::printf(" %9.3f%%",
                     100.0 * measureFpr(
                                 [] { return makeCoreWriteFilter(); }, n,
-                                120, 8000, 7));
+                                trials, probes, 7));
     std::printf("\n%-16s", "  (paper)");
     for (double p : paper_split)
         std::printf(" %9.3f%%", p);
     std::printf("\n");
+    sweep.finish("table4_bloom_fpr");
     benchmark::Shutdown();
     return 0;
 }

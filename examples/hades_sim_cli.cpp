@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/runner.hh"
+#include "sweep.hh"
 
 namespace
 {
@@ -45,7 +46,12 @@ usage(const char *argv0)
         "  --fault-seed S                    fault RNG seed\n"
         "  --audit | --no-audit              correctness auditor\n"
         "                                    (default: on in debug "
-        "builds)\n",
+        "builds)\n"
+        "  --all-engines                     run the config under all\n"
+        "                                    three engines, in parallel\n"
+        "  --jobs N                          sweep worker threads\n"
+        "  --smoke                           shrink to a smoke run\n"
+        "  --json PATH                       hades-sweep-v1 report\n",
         argv0);
     std::exit(1);
 }
@@ -101,12 +107,16 @@ main(int argc, char **argv)
 {
     using namespace hades;
 
+    auto &sweep = bench::Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+
     core::RunSpec spec;
     spec.engine = protocol::EngineKind::Hades;
     spec.txnsPerContext = 100;
     spec.scaleKeys = 150'000;
     core::MixEntry entry{workload::AppKind::YcsbA,
                          kvs::StoreKind::HashTable};
+    bool all_engines = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string opt = argv[i];
@@ -162,6 +172,8 @@ main(int argc, char **argv)
             spec.audit = true;
         else if (opt == "--no-audit")
             spec.audit = false;
+        else if (opt == "--all-engines")
+            all_engines = true;
         else
             usage(argv[0]);
     }
@@ -169,8 +181,46 @@ main(int argc, char **argv)
         spec.cluster.slotsPerCore < 1)
         usage(argv[0]);
     spec.mix = {entry};
+    if (sweep.smoke())
+        spec = bench::Sweep::applySmoke(spec);
 
-    auto res = core::runOne(spec);
+    auto keyFor = [](protocol::EngineKind e) {
+        return std::string("cli/") + protocol::engineKindName(e);
+    };
+
+    if (all_engines) {
+        const protocol::EngineKind engines[] = {
+            protocol::EngineKind::Baseline,
+            protocol::EngineKind::HadesHybrid,
+            protocol::EngineKind::Hades,
+        };
+        for (auto e : engines) {
+            core::RunSpec s = spec;
+            s.engine = e;
+            sweep.add(keyFor(e), s);
+        }
+        sweep.runAll();
+        std::printf("%-10s %14s %12s %12s %12s\n", "engine", "txn/s",
+                    "mean lat", "p95 lat", "vs Baseline");
+        double base = 0;
+        for (auto e : engines) {
+            core::RunSpec s = spec;
+            s.engine = e;
+            const auto &r = sweep.get(keyFor(e), s);
+            if (e == protocol::EngineKind::Baseline)
+                base = r.throughputTps;
+            std::printf("%-10s %14.0f %10.2fus %10.2fus %11.2fx\n",
+                        protocol::engineKindName(e), r.throughputTps,
+                        r.meanLatencyUs, r.p95LatencyUs,
+                        r.throughputTps / base);
+        }
+        sweep.finish("hades_sim_cli");
+        return 0;
+    }
+
+    sweep.add(keyFor(spec.engine), spec);
+    sweep.runAll();
+    const auto &res = sweep.get(keyFor(spec.engine), spec);
 
     std::printf("workload      %s\n", res.label.c_str());
     std::printf("engine        %s\n",
@@ -238,5 +288,6 @@ main(int argc, char **argv)
                     (unsigned long)res.auditedAborts,
                     (unsigned long)res.auditGraphEdges,
                     (unsigned long)res.auditChecks);
+    sweep.finish("hades_sim_cli");
     return 0;
 }

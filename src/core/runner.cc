@@ -122,8 +122,13 @@ runOne(const RunSpec &spec)
     }
 
     // Launch one driver per hardware context. Cores are split into
-    // contiguous blocks, one block per mix entry.
+    // contiguous blocks, one block per mix entry. Pre-size the event
+    // queue for the steady state: a handful of in-flight events per
+    // context plus protocol fan-out headroom.
     const auto &cc = spec.cluster;
+    sys.kernel.reserve(std::size_t{cc.numNodes} * cc.contextsPerNode() *
+                           8 +
+                       64);
     for (NodeId n = 0; n < cc.numNodes; ++n) {
         for (CoreId c = 0; c < cc.coresPerNode; ++c) {
             std::size_t w = (std::size_t(c) * gens.size()) /

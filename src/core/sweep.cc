@@ -1,0 +1,76 @@
+#include "core/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace hades::core
+{
+
+std::string
+validateSpec(const RunSpec &spec)
+{
+    if (spec.mix.empty())
+        return "run needs at least one workload";
+    if (spec.cluster.numNodes < 2)
+        return "cluster needs at least two nodes";
+    if (spec.cluster.coresPerNode < 1 || spec.cluster.slotsPerCore < 1)
+        return "cluster needs at least one core and one slot per core";
+    if (spec.replication.degree >= spec.cluster.numNodes)
+        return "replication degree must be below the node count";
+    return {};
+}
+
+std::vector<RunOutcome>
+runMany(const std::vector<RunSpec> &specs, const SweepOptions &opts)
+{
+    std::vector<RunOutcome> out(specs.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i].index = i;
+
+    // Each worker claims the next unclaimed spec index and writes its
+    // outcome into the slot for that index: result order is a function
+    // of the input alone, never of thread scheduling.
+    std::atomic<std::size_t> next{0};
+    auto work = [&specs, &out, &next] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            RunOutcome &o = out[i];
+            o.error = validateSpec(specs[i]);
+            if (!o.error.empty())
+                continue;
+            try {
+                o.result = runOne(specs[i]);
+                o.ok = true;
+            } catch (const std::exception &e) {
+                o.error = e.what();
+            } catch (...) {
+                o.error = "unknown exception escaped runOne";
+            }
+        }
+    };
+
+    unsigned jobs = opts.jobs != 0
+                        ? opts.jobs
+                        : std::max(1u, std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, std::max<std::size_t>(specs.size(), 1)));
+
+    if (jobs <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned j = 0; j < jobs; ++j)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+    return out;
+}
+
+} // namespace hades::core

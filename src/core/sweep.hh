@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parallel experiment execution: run a vector of RunSpecs across a
+ * thread pool, one fully isolated simulation per run.
+ *
+ * Determinism contract (DESIGN.md section 8): runOne() builds every piece
+ * of mutable state a simulation touches -- Kernel, System, workload
+ * generators, RNGs, fault plan, auditor -- from the RunSpec alone, and
+ * shares nothing mutable across runs. runMany() therefore produces
+ * RunResults that are bit-identical to serial runOne() calls, for any
+ * worker count, and returns them ordered by spec index. The golden-run
+ * regression suite (tests/test_golden.cc) enforces this.
+ */
+
+#ifndef HADES_CORE_SWEEP_HH_
+#define HADES_CORE_SWEEP_HH_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace hades::core
+{
+
+/** Knobs for one runMany() invocation. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means one per available hardware thread.
+     *  Never affects results, only wall-clock time. */
+    unsigned jobs = 1;
+};
+
+/** Result of one sweep entry: a RunResult or a captured failure. */
+struct RunOutcome
+{
+    std::size_t index = 0; //!< position of the spec in the input vector
+    bool ok = false;
+    RunResult result;      //!< valid only when ok
+    std::string error;     //!< failure description when !ok
+};
+
+/** Reject obviously malformed specs before a worker dies on them.
+ *  @return empty string if the spec is runnable. */
+std::string validateSpec(const RunSpec &spec);
+
+/**
+ * Run every spec to completion across @p opts.jobs worker threads.
+ *
+ * Outcomes are ordered by spec index regardless of completion order.
+ * A malformed spec or a run that throws yields a failed outcome (ok ==
+ * false, error set) without disturbing the other runs.
+ */
+std::vector<RunOutcome> runMany(const std::vector<RunSpec> &specs,
+                                const SweepOptions &opts = {});
+
+} // namespace hades::core
+
+#endif // HADES_CORE_SWEEP_HH_

@@ -6,18 +6,25 @@
  * in (time, insertion-sequence) order, so runs are bit-reproducible for a
  * fixed seed. All protocol engines, NIC models, and core contexts express
  * time by scheduling closures (usually coroutine resumptions) here.
+ *
+ * Hot-path layout: the priority queue is a hand-managed binary heap of
+ * 24-byte POD entries (when, seq, slot) over a contiguous arena of
+ * small-buffer-optimized callbacks. Sift operations move only the POD
+ * entries -- never the closures -- and closures small enough for the
+ * inline buffer (the coroutine-resumption common case) are stored
+ * without any heap allocation. The arena, free list, and heap are
+ * bulk-reserved so steady-state scheduling allocates nothing.
  */
 
 #ifndef HADES_SIM_KERNEL_HH_
 #define HADES_SIM_KERNEL_HH_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "sim/callback.hh"
 
 namespace hades::sim
 {
@@ -26,13 +33,38 @@ namespace hades::sim
 class Kernel
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
+
+    /** Default bulk reservation (events); see reserve(). */
+    static constexpr std::size_t kDefaultReserve = 256;
+
+    Kernel() { reserve(kDefaultReserve); }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** Number of events executed so far (for progress accounting). */
     std::uint64_t eventsRun() const { return eventsRun_; }
+
+    /** Number of events scheduled so far. */
+    std::uint64_t eventsScheduled() const { return nextSeq_; }
+
+    /** Callbacks too large for the inline buffer (heap spills). A
+     *  well-behaved hot path keeps this at (or near) zero. */
+    std::uint64_t callbackHeapAllocs() const { return heapSpills_; }
+
+    /** High-water mark of pending events. */
+    std::size_t peakQueueDepth() const { return peakDepth_; }
+
+    /** Pre-size the heap and callback arena for @p events pending
+     *  events, so steady-state scheduling performs no allocation. */
+    void
+    reserve(std::size_t events)
+    {
+        heap_.reserve(events);
+        slots_.reserve(events);
+        freeSlots_.reserve(events);
+    }
 
     /** Schedule @p fn to run @p delay ticks from now. @pre delay >= 0. */
     void
@@ -47,7 +79,21 @@ class Kernel
     scheduleAt(Tick when, Callback fn)
     {
         always_assert(when >= now_, "event scheduled in the past");
-        queue_.push(Event{when, nextSeq_++, std::move(fn)});
+        if (fn.onHeap())
+            ++heapSpills_;
+        std::uint32_t slot;
+        if (!freeSlots_.empty()) {
+            slot = freeSlots_.back();
+            freeSlots_.pop_back();
+            slots_[slot] = std::move(fn);
+        } else {
+            slot = static_cast<std::uint32_t>(slots_.size());
+            slots_.push_back(std::move(fn));
+        }
+        heap_.push_back(HeapEntry{when, nextSeq_++, slot});
+        siftUp(heap_.size() - 1);
+        if (heap_.size() > peakDepth_)
+            peakDepth_ = heap_.size();
     }
 
     /**
@@ -58,48 +104,101 @@ class Kernel
     run(Tick maxTime = -1)
     {
         stopped_ = false;
-        while (!queue_.empty() && !stopped_) {
-            const Event &top = queue_.top();
+        while (!heap_.empty() && !stopped_) {
+            const HeapEntry &top = heap_.front();
             if (maxTime >= 0 && top.when > maxTime) {
                 now_ = maxTime;
                 return false;
             }
-            // Move the callback out before popping: pop invalidates top.
-            Event ev = std::move(const_cast<Event &>(top));
-            queue_.pop();
-            now_ = ev.when;
+            const Tick when = top.when;
+            const std::uint32_t slot = top.slot;
+            popTop();
+            // Move the closure out of the arena before invoking it:
+            // the callback may schedule new events, which can grow the
+            // arena and invalidate references into it.
+            Callback fn = std::move(slots_[slot]);
+            freeSlots_.push_back(slot);
+            now_ = when;
             ++eventsRun_;
-            ev.fn();
+            fn();
         }
-        return queue_.empty();
+        return heap_.empty();
     }
 
     /** Request that run() return after the current event completes. */
     void stop() { stopped_ = true; }
 
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return heap_.empty(); }
 
   private:
-    struct Event
+    /** POD heap entry; closures stay put in the arena while entries
+     *  sift, so reordering is three 8-byte stores per level. */
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        Callback fn;
-
-        /** priority_queue is a max-heap; invert for earliest-first. */
-        bool
-        operator<(const Event &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
-        }
+        std::uint32_t slot;
     };
 
-    std::priority_queue<Event> queue_;
+    /** Earliest-first strict weak ordering: (when, seq) lexicographic. */
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        const HeapEntry e = heap_[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!earlier(e, heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = e;
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        const HeapEntry e = heap_[i];
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && earlier(heap_[child + 1], heap_[child]))
+                ++child;
+            if (!earlier(heap_[child], e))
+                break;
+            heap_[i] = heap_[child];
+            i = child;
+        }
+        heap_[i] = e;
+    }
+
+    void
+    popTop()
+    {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+    }
+
+    std::vector<HeapEntry> heap_;       //!< binary heap of pending events
+    std::vector<Callback> slots_;       //!< contiguous closure arena
+    std::vector<std::uint32_t> freeSlots_; //!< recycled arena slots
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t eventsRun_ = 0;
+    std::uint64_t heapSpills_ = 0;
+    std::size_t peakDepth_ = 0;
     bool stopped_ = false;
 };
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Golden-run determinism regression (PR 3 tentpole contract).
+ *
+ * Every simulation must be a pure function of its RunSpec: re-running
+ * the same spec serially, through runMany() with one worker, or through
+ * runMany() with eight workers must reproduce every RunResult field
+ * bit-for-bit. The matrix spans the three engines, two workloads, fault
+ * injection on/off, and the correctness auditor on/off, so a
+ * determinism regression in any of those layers trips this test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+#include "core/sweep.hh"
+
+namespace
+{
+
+using namespace hades;
+
+/** FNV-1a over every observable RunResult field. Doubles are hashed by
+ *  bit pattern: "close" is not "equal" for a determinism contract. */
+class ResultHasher
+{
+  public:
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void d(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        for (unsigned char c : s) {
+            h_ ^= c;
+            h_ *= 0x100000001b3ULL;
+        }
+        u64(s.size());
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t
+hashResult(const core::RunResult &r)
+{
+    ResultHasher h;
+    h.str(r.label);
+    h.u64(r.stats.committed);
+    h.u64(r.stats.attempts);
+    h.u64(r.stats.lockModeFallbacks);
+    for (auto s : r.stats.squashes)
+        h.u64(s);
+    for (auto t : r.stats.overheadTicks)
+        h.u64(static_cast<std::uint64_t>(t));
+    h.u64(static_cast<std::uint64_t>(r.stats.totalBusyTicks));
+    h.u64(r.stats.bfConflictChecks);
+    h.u64(r.stats.bfFalsePositives);
+    h.u64(r.stats.maxLinesRead);
+    h.u64(r.stats.maxLinesWritten);
+    h.u64(r.stats.netMessages);
+    h.u64(r.stats.netBytes);
+    h.u64(r.stats.timeoutResends);
+    h.u64(r.stats.reliableResends);
+    h.u64(static_cast<std::uint64_t>(r.simTime));
+    h.d(r.throughputTps);
+    h.d(r.meanLatencyUs);
+    h.d(r.p95LatencyUs);
+    h.d(r.p50LatencyUs);
+    h.d(r.execUs);
+    h.d(r.validationUs);
+    h.d(r.commitUs);
+    for (double s : r.overheadShare)
+        h.d(s);
+    h.d(r.otherShare);
+    h.d(r.squashRate);
+    h.d(r.evictionSquashRate);
+    h.d(r.bfFalsePositiveRate);
+    h.u64(r.replicatedCommits);
+    h.u64(r.replicationAborts);
+    h.u64(r.lostReplicaMessages);
+    h.u64(r.faultDrops);
+    h.u64(r.faultDuplicates);
+    h.u64(r.faultDelays);
+    h.u64(r.faultNicStalls);
+    h.u64(r.faultCrashDrops);
+    h.u64(r.netRetransmits);
+    h.u64(r.timeoutResends);
+    h.u64(r.reliableResends);
+    h.u64(r.timeoutSquashes);
+    h.u64(r.audited ? 1 : 0);
+    h.u64(r.auditedCommits);
+    h.u64(r.auditedAborts);
+    h.u64(r.auditGraphEdges);
+    h.u64(r.auditChecks);
+    return h.value();
+}
+
+/** The golden matrix: engines x workloads x faults x audit, sized to
+ *  finish in seconds while still exercising every protocol path. */
+std::vector<core::RunSpec>
+goldenSpecs()
+{
+    const protocol::EngineKind engines[] = {
+        protocol::EngineKind::Baseline,
+        protocol::EngineKind::HadesHybrid,
+        protocol::EngineKind::Hades,
+    };
+    const core::MixEntry workloads[] = {
+        {workload::AppKind::YcsbA, kvs::StoreKind::HashTable},
+        {workload::AppKind::Tpcc, kvs::StoreKind::HashTable},
+    };
+
+    std::vector<core::RunSpec> specs;
+    for (auto engine : engines) {
+        for (const auto &entry : workloads) {
+            for (bool faults : {false, true}) {
+                for (bool audit : {false, true}) {
+                    core::RunSpec spec;
+                    spec.engine = engine;
+                    spec.mix = {entry};
+                    spec.cluster.numNodes = 3;
+                    spec.cluster.coresPerNode = 2;
+                    spec.cluster.slotsPerCore = 2;
+                    spec.txnsPerContext = 10;
+                    spec.scaleKeys = 4000;
+                    spec.audit = audit;
+                    if (faults) {
+                        spec.cluster.faults.enabled = true;
+                        spec.cluster.faults.dropAll(0.02);
+                        spec.cluster.faults.dupAll(0.01);
+                        spec.cluster.faults.delayAll(0.02);
+                    }
+                    specs.push_back(spec);
+                }
+            }
+        }
+    }
+    return specs;
+}
+
+TEST(Golden, SerialRerunIsBitIdentical)
+{
+    for (const auto &spec : goldenSpecs()) {
+        const auto first = hashResult(core::runOne(spec));
+        const auto second = hashResult(core::runOne(spec));
+        EXPECT_EQ(first, second)
+            << "engine=" << int(spec.engine)
+            << " app=" << int(spec.mix[0].app)
+            << " faults=" << spec.cluster.faults.enabled
+            << " audit=" << spec.audit;
+    }
+}
+
+TEST(Golden, RunManyMatchesSerialAtAnyJobCount)
+{
+    const auto specs = goldenSpecs();
+
+    std::vector<std::uint64_t> serial;
+    serial.reserve(specs.size());
+    for (const auto &spec : specs)
+        serial.push_back(hashResult(core::runOne(spec)));
+
+    for (unsigned jobs : {1u, 8u}) {
+        core::SweepOptions opts;
+        opts.jobs = jobs;
+        const auto outcomes = core::runMany(specs, opts);
+        ASSERT_EQ(outcomes.size(), specs.size());
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            ASSERT_TRUE(outcomes[i].ok)
+                << "jobs=" << jobs << " i=" << i << ": "
+                << outcomes[i].error;
+            EXPECT_EQ(outcomes[i].index, i);
+            EXPECT_EQ(hashResult(outcomes[i].result), serial[i])
+                << "jobs=" << jobs << " spec " << i
+                << " diverged from the serial run";
+        }
+    }
+}
+
+} // namespace

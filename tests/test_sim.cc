@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <stdexcept>
 #include <vector>
 
@@ -78,6 +79,118 @@ TEST(Kernel, StopRequest)
     EXPECT_EQ(fired, 1);
     k.run();
     EXPECT_EQ(fired, 2);
+}
+
+// --- queue-rewrite semantic pins -------------------------------------------
+// These lock in the (time, insertion-sequence) contract the protocol
+// engines rely on, so the event-queue implementation can change freely.
+
+TEST(Kernel, ZeroDelaySelfReschedulingRunsAfterSameTickEvents)
+{
+    // An event that reschedules itself with delay 0 gets a fresh
+    // sequence number, so every event already pending at that tick runs
+    // first; the rescheduled event does not starve or jump the queue.
+    Kernel k;
+    std::vector<int> order;
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        order.push_back(100 + hops);
+        if (++hops < 3)
+            k.schedule(0, hop);
+    };
+    k.schedule(5, hop);
+    k.schedule(5, [&] { order.push_back(1); });
+    k.schedule(5, [&] { order.push_back(2); });
+    EXPECT_TRUE(k.run());
+    EXPECT_EQ(order, (std::vector<int>{100, 1, 2, 101, 102}));
+    EXPECT_EQ(k.now(), 5);
+}
+
+TEST(Kernel, StopInsideEventPreservesSameTickRemainder)
+{
+    // stop() from inside an event must return after that event, leaving
+    // later same-tick events queued; a subsequent run() resumes them in
+    // the original insertion order at the same timestamp.
+    Kernel k;
+    std::vector<int> order;
+    k.schedule(7, [&] {
+        order.push_back(0);
+        k.stop();
+    });
+    k.schedule(7, [&] { order.push_back(1); });
+    k.schedule(7, [&] { order.push_back(2); });
+    EXPECT_FALSE(k.run());
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    EXPECT_EQ(k.now(), 7);
+    EXPECT_FALSE(k.empty());
+    EXPECT_TRUE(k.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(k.now(), 7);
+}
+
+TEST(Kernel, HorizonExactlyOnEventTickRunsTheEvent)
+{
+    // maxTime is inclusive: an event AT the horizon still fires; only
+    // events strictly beyond it are deferred, and now() parks exactly at
+    // the horizon.
+    Kernel k;
+    std::vector<Tick> fired;
+    k.schedule(50, [&] { fired.push_back(k.now()); });
+    k.schedule(51, [&] { fired.push_back(k.now()); });
+    EXPECT_FALSE(k.run(50));
+    EXPECT_EQ(fired, (std::vector<Tick>{50}));
+    EXPECT_EQ(k.now(), 50);
+    EXPECT_TRUE(k.run(51));
+    EXPECT_EQ(fired, (std::vector<Tick>{50, 51}));
+}
+
+TEST(Kernel, HorizonOnDrainedQueueReportsDrained)
+{
+    Kernel k;
+    int fired = 0;
+    k.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(k.run(10));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(k.now(), 10);
+}
+
+TEST(Kernel, ScheduleAndScheduleAtShareOneSequenceSpace)
+{
+    // Ties between schedule(delay) and scheduleAt(when) resolve by
+    // global insertion order, regardless of which entry point was used.
+    Kernel k;
+    std::vector<int> order;
+    k.schedule(9, [&] { order.push_back(0); });
+    k.scheduleAt(9, [&] { order.push_back(1); });
+    k.schedule(9, [&] { order.push_back(2); });
+    k.scheduleAt(9, [&] { order.push_back(3); });
+    EXPECT_TRUE(k.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Kernel, InterleavedNestedTieBreaking)
+{
+    // Events scheduled from inside an event at the current tick queue
+    // behind everything already pending at that tick, in issue order.
+    Kernel k;
+    std::vector<int> order;
+    k.schedule(3, [&] {
+        order.push_back(0);
+        k.scheduleAt(3, [&] { order.push_back(10); });
+        k.schedule(0, [&] { order.push_back(11); });
+    });
+    k.scheduleAt(3, [&] { order.push_back(1); });
+    EXPECT_TRUE(k.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11}));
+}
+
+TEST(Kernel, EventCountersAdvance)
+{
+    Kernel k;
+    for (int i = 0; i < 5; ++i)
+        k.schedule(i, [] {});
+    EXPECT_TRUE(k.run());
+    EXPECT_EQ(k.eventsRun(), 5u);
 }
 
 // --- coroutine machinery ---------------------------------------------------
