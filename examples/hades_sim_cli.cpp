@@ -44,6 +44,10 @@ usage(const char *argv0)
         "  --fault-dup P                     duplicate-delivery prob\n"
         "  --fault-delay P                   reorder-delay prob\n"
         "  --fault-seed S                    fault RNG seed\n"
+        "  --crash-forever N@T               node N permanently fail-\n"
+        "                                    stops at T microseconds\n"
+        "  --recovery                        leases + view changes +\n"
+        "                                    backup promotion\n"
         "  --audit | --no-audit              correctness auditor\n"
         "                                    (default: on in debug "
         "builds)\n"
@@ -168,6 +172,21 @@ main(int argc, char **argv)
         } else if (opt == "--fault-seed")
             spec.cluster.faults.seed =
                 std::uint64_t(std::atoll(next().c_str()));
+        else if (opt == "--crash-forever") {
+            std::string v = next();
+            auto at = v.find('@');
+            if (at == std::string::npos || at == 0 ||
+                at + 1 >= v.size())
+                usage(argv[0]);
+            FaultConfig::NodeEvent ev;
+            ev.node = NodeId(std::atoi(v.substr(0, at).c_str()));
+            ev.at = us(std::atoll(v.substr(at + 1).c_str()));
+            ev.crash = true;
+            ev.forever = true;
+            spec.cluster.faults.enabled = true;
+            spec.cluster.faults.nodeEvents.push_back(ev);
+        } else if (opt == "--recovery")
+            spec.cluster.recovery.enabled = true;
         else if (opt == "--audit")
             spec.audit = true;
         else if (opt == "--no-audit")
@@ -281,6 +300,18 @@ main(int argc, char **argv)
                     (unsigned long)res.reliableResends,
                     (unsigned long)res.timeoutSquashes);
     }
+    if (res.recoveryEnabled)
+        std::printf("crash-recov   %lu view changes, %lu records "
+                    "re-homed, %lu in-doubt committed + %lu aborted, "
+                    "%lu writes replayed, %lu images resynced, "
+                    "%lu stale msgs fenced\n",
+                    (unsigned long)res.viewChanges,
+                    (unsigned long)res.promotedRecords,
+                    (unsigned long)res.inDoubtCommitted,
+                    (unsigned long)res.inDoubtAborted,
+                    (unsigned long)res.replayedWrites,
+                    (unsigned long)res.resyncedImages,
+                    (unsigned long)res.fencedStaleMessages);
     if (res.audited)
         std::printf("audit         PASS: %lu commits + %lu aborts, "
                     "%lu graph edges, %lu hardware checks\n",

@@ -103,7 +103,7 @@ struct FaultConfig
 {
     /** Must mirror net::MsgType::NumTypes (static_assert'd in
      *  src/fault/fault_plan.cc). */
-    static constexpr std::size_t kNumVerbs = 7;
+    static constexpr std::size_t kNumVerbs = 9;
 
     bool enabled = false;
     /** Mixed with ClusterConfig::seed to seed the fault RNG. */
@@ -134,7 +134,12 @@ struct FaultConfig
      * message arrivals to the window end. A *crash* additionally drops
      * every message into or out of the node during the window
      * (fail-stop with message amnesia; the node restarts warm at
-     * `until` -- see DESIGN.md).
+     * `until` -- see DESIGN.md). A *permanent crash* (`forever`) never
+     * restarts: the window extends to the end of the run, the node's
+     * cores and NIC are frozen, and -- when RecoveryConfig::enabled --
+     * lease expiry at the configuration manager triggers an
+     * epoch-numbered view change that fails the node over to its
+     * replicas (see DESIGN.md section 9).
      */
     struct NodeEvent
     {
@@ -142,6 +147,9 @@ struct FaultConfig
         Tick at = 0;
         Tick until = 0;
         bool crash = false;
+        /** Permanent fail-stop: `until` is ignored (treated as +inf)
+         *  and `crash` semantics are implied. */
+        bool forever = false;
     };
     std::vector<NodeEvent> nodeEvents;
 
@@ -154,11 +162,58 @@ struct FaultConfig
     anyNodeEventCovers(NodeId node, Tick t, bool crash_only) const
     {
         for (const auto &ev : nodeEvents)
-            if (ev.node == node && t >= ev.at && t < ev.until &&
-                (!crash_only || ev.crash))
+            if (ev.node == node && t >= ev.at &&
+                (ev.forever || t < ev.until) &&
+                (!crash_only || ev.crash || ev.forever))
                 return true;
         return false;
     }
+
+    /** First permanent-crash instant for `node`, or kTickMax if the
+     *  plan never kills it for good. */
+    Tick
+    crashForeverAt(NodeId node) const
+    {
+        Tick best = kTickMax;
+        for (const auto &ev : nodeEvents)
+            if (ev.forever && ev.node == node && ev.at < best)
+                best = ev.at;
+        return best;
+    }
+
+    bool
+    anyForever() const
+    {
+        for (const auto &ev : nodeEvents)
+            if (ev.forever)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Crash-recovery / reconfiguration knobs (src/recovery/). A
+ * configuration-manager node grants per-node leases over the simulated
+ * network; a lease that expires (because the holder is permanently
+ * crashed and stops renewing) triggers an epoch-numbered view change
+ * that promotes replica images, re-homes the placement ring, drains the
+ * dead node's protocol footprint and resolves in-doubt transactions.
+ * Disabled by default: fault-free runs construct no recovery state and
+ * stay bit-identical to builds without the subsystem.
+ */
+struct RecoveryConfig
+{
+    bool enabled = false;
+    /** Node that acts as configuration manager / lease grantor. Pick a
+     *  node the fault plan never kills (the CM itself is assumed
+     *  reliable, as in FaRM's external configuration store). */
+    NodeId managerNode = 0;
+    /** Lease renewal period (manager -> holder probe cadence). */
+    Tick leaseInterval = us(20);
+    /** Expiry horizon: a node whose last renewal is older than this is
+     *  declared dead and a view change begins. Must comfortably exceed
+     *  leaseInterval plus one network round-trip. */
+    Tick leaseTimeout = us(50);
 };
 
 /** Top-level cluster configuration (defaults reproduce Table III). */
@@ -221,6 +276,9 @@ struct ClusterConfig
 
     /** Fault-injection plan (disabled by default: zero-cost when off). */
     FaultConfig faults;
+
+    /** Crash recovery / reconfiguration (disabled by default). */
+    RecoveryConfig recovery;
 
     // --- Workload placement --------------------------------------------------
     /** Fraction of requests whose home is the coordinator's node. The

@@ -19,6 +19,9 @@ namespace hades
 /** Simulated time in picoseconds. */
 using Tick = std::int64_t;
 
+/** "Never" sentinel for Tick deadlines (e.g. permanent crashes). */
+inline constexpr Tick kTickMax = INT64_MAX;
+
 /** Physical (simulated) byte address within a node's address space. */
 using Addr = std::uint64_t;
 

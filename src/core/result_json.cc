@@ -120,6 +120,7 @@ runSpecJson(const RunSpec &spec)
     field(out, "record_payload_bytes", cc.recordPayloadBytes);
     field(out, "replication_degree", spec.replication.degree);
     fieldB(out, "faults_enabled", cc.faults.enabled);
+    fieldB(out, "recovery_enabled", cc.recovery.enabled);
     fieldB(out, "audit", spec.audit);
     out += '}';
     return out;
@@ -163,6 +164,15 @@ runResultJson(const RunResult &res)
     field(out, "timeout_resends", res.timeoutResends);
     field(out, "reliable_resends", res.reliableResends);
     field(out, "timeout_squashes", res.timeoutSquashes);
+    fieldB(out, "recovery_enabled", res.recoveryEnabled);
+    field(out, "lease_probes", res.leaseProbes);
+    field(out, "view_changes", res.viewChanges);
+    field(out, "promoted_records", res.promotedRecords);
+    field(out, "indoubt_committed", res.inDoubtCommitted);
+    field(out, "indoubt_aborted", res.inDoubtAborted);
+    field(out, "replayed_writes", res.replayedWrites);
+    field(out, "resynced_images", res.resyncedImages);
+    field(out, "fenced_stale_messages", res.fencedStaleMessages);
     fieldB(out, "audited", res.audited);
     field(out, "audited_commits", res.auditedCommits);
     field(out, "audited_aborts", res.auditedAborts);

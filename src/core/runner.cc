@@ -9,6 +9,8 @@
 #include "protocol/hades.hh"
 #include "protocol/hades_hybrid.hh"
 #include "protocol/system.hh"
+#include "recovery/recovery_manager.hh"
+#include "sim/resource.hh"
 #include "sim/task.hh"
 
 namespace hades::core
@@ -47,15 +49,26 @@ makeEngine(EngineKind kind, System &sys, std::uint32_t payload_bytes)
 namespace
 {
 
-/** One hardware context's driver loop. */
+/** One hardware context's driver loop. A permanent fail-stop of the
+ *  context's node unwinds the in-flight transaction with NodeDead; the
+ *  driver stops issuing (the node no longer executes). Either way it
+ *  reports in to the recovery manager, which stops its background
+ *  lease probes once every driver has finished. */
 sim::DetachedTask
 driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
-             ExecCtx ctx, Rng rng, std::uint64_t txns)
+             ExecCtx ctx, Rng rng, std::uint64_t txns,
+             recovery::RecoveryManager *recovery)
 {
     for (std::uint64_t i = 0; i < txns; ++i) {
         txn::TxnProgram prog = gen.next(rng, ctx.node);
-        co_await engine.run(ctx, prog);
+        try {
+            co_await engine.run(ctx, prog);
+        } catch (const sim::NodeDead &) {
+            break;
+        }
     }
+    if (recovery)
+        recovery->driverDone();
 }
 
 } // namespace
@@ -121,6 +134,19 @@ runOne(const RunSpec &spec)
         faults->scheduleNodeEvents(sys.network, cores_by_node);
     }
 
+    // Crash-recovery subsystem (leases, view changes, backup
+    // promotion). Opt-in: fault-free runs and plain fault-injection
+    // runs never construct it, so they stay bit-identical.
+    std::unique_ptr<recovery::RecoveryManager> recov;
+    if (spec.cluster.recovery.enabled) {
+        always_assert(!spec.cluster.faults.anyForever() ||
+                          spec.replication.enabled(),
+                      "permanent crashes with recovery enabled need "
+                      "replication degree >= 1");
+        recov = std::make_unique<recovery::RecoveryManager>(sys,
+                                                            *engine);
+    }
+
     // Launch one driver per hardware context. Cores are split into
     // contiguous blocks, one block per mix entry. Pre-size the event
     // queue for the steady state: a handful of in-flight events per
@@ -129,6 +155,8 @@ runOne(const RunSpec &spec)
     sys.kernel.reserve(std::size_t{cc.numNodes} * cc.contextsPerNode() *
                            8 +
                        64);
+    if (recov)
+        recov->start(std::uint64_t{cc.numNodes} * cc.contextsPerNode());
     for (NodeId n = 0; n < cc.numNodes; ++n) {
         for (CoreId c = 0; c < cc.coresPerNode; ++c) {
             std::size_t w = (std::size_t(c) * gens.size()) /
@@ -138,7 +166,7 @@ runOne(const RunSpec &spec)
                 Rng rng{cc.seed ^ (std::uint64_t(n) << 40) ^
                         (std::uint64_t(c) << 20) ^ s};
                 driveContext(*engine, *gens[w], ctx, rng,
-                             spec.txnsPerContext);
+                             spec.txnsPerContext, recov.get());
             }
         }
     }
@@ -152,6 +180,11 @@ runOne(const RunSpec &spec)
         // End-of-run drain: every piece of speculative hardware state
         // must be gone once the event queue is empty.
         for (NodeId n = 0; n < spec.cluster.numNodes; ++n) {
+            // A permanently crashed node's frozen speculative state is
+            // unreachable, not leaked: recovery drains the dead node's
+            // footprint from the *survivors*, which are still checked.
+            if (sys.network.nodeDead(n))
+                continue;
             auto &node = sys.node(n);
             auditor->noteDrained(
                 "llc-wrtx-tags", n,
@@ -238,6 +271,18 @@ runOne(const RunSpec &spec)
         res.faultNicStalls = fs.totalNicStalls();
         res.faultCrashDrops = fs.crashDrops;
     }
+    if (recov) {
+        const auto &rs = recov->stats();
+        res.recoveryEnabled = true;
+        res.leaseProbes = rs.leaseProbes;
+        res.viewChanges = rs.viewChanges;
+        res.promotedRecords = rs.promotedRecords;
+        res.inDoubtCommitted = rs.inDoubtCommitted;
+        res.inDoubtAborted = rs.inDoubtAborted;
+        res.replayedWrites = rs.replayedWrites;
+        res.resyncedImages = rs.resyncedImages;
+    }
+    res.fencedStaleMessages = sys.network.fencedStaleMessages();
     res.netRetransmits = sys.network.totalRetransmits();
     res.timeoutResends = st.timeoutResends;
     res.reliableResends = st.reliableResends;

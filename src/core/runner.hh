@@ -104,6 +104,18 @@ struct RunResult
     std::uint64_t reliableResends = 0; //!< reliable one-way resends
     std::uint64_t timeoutSquashes = 0; //!< CommitTimeout squash-and-retries
 
+    /** Crash-recovery outcome (src/recovery/; all zero unless
+     *  ClusterConfig::recovery.enabled and a node permanently died). */
+    bool recoveryEnabled = false;       //!< recovery subsystem was on
+    std::uint64_t leaseProbes = 0;      //!< lease renewal round trips
+    std::uint64_t viewChanges = 0;      //!< view changes executed
+    std::uint64_t promotedRecords = 0;  //!< records re-homed to a backup
+    std::uint64_t inDoubtCommitted = 0; //!< in-doubt txns committed
+    std::uint64_t inDoubtAborted = 0;   //!< in-doubt txns aborted
+    std::uint64_t replayedWrites = 0;   //!< journaled writes replayed
+    std::uint64_t resyncedImages = 0;   //!< backup images re-replicated
+    std::uint64_t fencedStaleMessages = 0; //!< old-epoch copies dropped
+
     /** Correctness-audit outcome (all zero when auditing is off). */
     bool audited = false;
     std::uint64_t auditedCommits = 0;  //!< committed txns audited

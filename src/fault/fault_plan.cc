@@ -72,8 +72,8 @@ FaultPlan::judge(net::MsgType t, NodeId src, NodeId dst)
         return d;
     }
     for (const auto &ev : f_.nodeEvents) {
-        if (!ev.crash && ev.node == dst && arrive >= ev.at &&
-            arrive < ev.until) {
+        if (!ev.crash && !ev.forever && ev.node == dst &&
+            arrive >= ev.at && arrive < ev.until) {
             // The destination NIC buffers the copy until the pause ends.
             d.delay = ev.until - arrive;
             stats_.pausedDeferrals += 1;
@@ -126,11 +126,24 @@ FaultPlan::scheduleNodeEvents(
     const std::vector<std::vector<sim::ComputeResource *>> &cores_by_node)
 {
     for (const auto &ev : f_.nodeEvents) {
-        always_assert(ev.until > ev.at, "empty node-outage window");
-        const Tick duration = ev.until - ev.at;
         std::vector<sim::ComputeResource *> cores;
         if (ev.node < cores_by_node.size())
             cores = cores_by_node[ev.node];
+        if (ev.forever) {
+            // Permanent fail-stop: freeze the node's cores and NIC at
+            // the crash instant. The message-drop side is handled by
+            // judge() (anyNodeEventCovers treats the window as
+            // extending to the end of the run).
+            kernel_.scheduleAt(
+                ev.at, [&network, cores, node = ev.node] {
+                    network.markNodeDead(node);
+                    for (auto *core : cores)
+                        core->freeze();
+                });
+            continue;
+        }
+        always_assert(ev.until > ev.at, "empty node-outage window");
+        const Tick duration = ev.until - ev.at;
         kernel_.scheduleAt(
             ev.at, [&network, cores, node = ev.node, duration] {
                 network.stallNode(node, duration);

@@ -11,15 +11,28 @@
  * generator in a fixed per-message order, a faulty run is exactly as
  * bit-reproducible as a fault-free one.
  *
- * Semantics of a node-outage window [at, until):
- *  - pause: the node's cores and NIC TX port stall for the window;
- *    message copies that would arrive inside the window are deferred to
- *    its end (the NIC buffers them).
- *  - crash: additionally, every message copy into or out of the node
- *    during the window is dropped (fail-stop with message amnesia). The
- *    node restarts warm at `until`; peers recover via their protocol
- *    timeouts. See DESIGN.md for why warm restart is the right model
- *    for a DES without persistent state.
+ * Semantics of a node-outage window:
+ *  - pause [at, until): the node's cores and NIC TX port stall for the
+ *    window; message copies that would arrive inside the window are
+ *    deferred to its end (the NIC buffers them).
+ *  - crash [at, until): additionally, every message copy into or out of
+ *    the node during the window is dropped (fail-stop with message
+ *    amnesia). The node restarts warm at `until`; peers recover via
+ *    their protocol timeouts. Warm restart only models *transient*
+ *    outages: the node returns with its memory intact, which no real
+ *    crash does.
+ *  - crash_forever [at, inf) (`forever` flag; `until` ignored): the
+ *    node never restarts. Its cores and NIC freeze at `at` (in-flight
+ *    coroutines on the node unwind with sim::NodeDead instead of
+ *    continuing to execute), every message to or from it is dropped for
+ *    the rest of the run, and -- when RecoveryConfig::enabled -- lease
+ *    expiry at the configuration manager triggers an epoch-numbered
+ *    view change that promotes replica images, re-homes the placement
+ *    ring, drains the dead node's protocol footprint and resolves its
+ *    in-doubt transactions. This is the default chaos mode for
+ *    durability claims: unlike warm restart it actually tests that
+ *    committed data survives the permanent loss of a machine. See
+ *    DESIGN.md section 9.
  */
 
 #ifndef HADES_FAULT_FAULT_PLAN_HH_

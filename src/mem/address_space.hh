@@ -132,10 +132,16 @@ class Placement
         return a;
     }
 
-    /** Home node of record @p r. */
+    /** Home node of record @p r: the re-homing overlay (crash
+     *  recovery) wins over the static hash placement. */
     NodeId
     homeOf(std::uint64_t r) const
     {
+        if (!rehomedHome_.empty()) {
+            auto it = rehomedHome_.find(r);
+            if (it != rehomedHome_.end())
+                return it->second;
+        }
         if (r & kRegisteredBit)
             return static_cast<NodeId>((r >> 48) & 0xff);
         return static_cast<NodeId>(mix64(r) %
@@ -146,6 +152,11 @@ class Placement
     Addr
     addrOf(std::uint64_t r) const
     {
+        if (!rehomedAddr_.empty()) {
+            auto it = rehomedAddr_.find(r);
+            if (it != rehomedAddr_.end())
+                return it->second;
+        }
         if (r & kRegisteredBit) {
             auto it = registered_.find(r);
             always_assert(it != registered_.end(),
@@ -154,6 +165,22 @@ class Placement
         }
         return recordAddr_[r];
     }
+
+    /**
+     * Crash recovery: move record @p r to @p node, allocating fresh
+     * backing storage from the new home's heap (the dead node's memory
+     * is unreachable). All subsequent homeOf/addrOf lookups resolve to
+     * the new location; the static hash placement of every other
+     * record is untouched.
+     */
+    void
+    rehome(std::uint64_t r, NodeId node, std::uint32_t bytes)
+    {
+        rehomedHome_[r] = node;
+        rehomedAddr_[r] = heaps_[node].allocate(roundUp(bytes));
+    }
+
+    std::size_t rehomedRecords() const { return rehomedHome_.size(); }
 
     std::uint32_t recordBytes() const { return recordBytes_; }
     std::uint64_t numRecords() const { return numRecords_; }
@@ -175,6 +202,10 @@ class Placement
     std::vector<std::uint64_t> slotWithinNode_;
     std::vector<Addr> recordAddr_;
     std::unordered_map<std::uint64_t, Addr> registered_;
+    /** Crash-recovery overlay: records moved off a dead home. Lookups
+     *  are point queries, so the unordered maps stay deterministic. */
+    std::unordered_map<std::uint64_t, NodeId> rehomedHome_;
+    std::unordered_map<std::uint64_t, Addr> rehomedAddr_;
 };
 
 } // namespace hades::mem

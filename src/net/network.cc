@@ -25,16 +25,39 @@ msgTypeName(MsgType t)
         return "Validation";
       case MsgType::Squash:
         return "Squash";
+      case MsgType::Lease:
+        return "Lease";
+      case MsgType::ViewChange:
+        return "ViewChange";
       default:
         return "?";
     }
 }
 
 Network::Network(sim::Kernel &kernel, const ClusterConfig &cfg)
-    : kernel_(kernel), cfg_(cfg)
+    : kernel_(kernel), cfg_(cfg), dead_(cfg.numNodes, 0)
 {
     for (std::uint32_t n = 0; n < cfg.numNodes; ++n)
         txPort_.push_back(std::make_unique<sim::ComputeResource>(kernel));
+}
+
+void
+Network::markNodeDead(NodeId node)
+{
+    dead_[node] = 1;
+    anyDead_ = true;
+    txPort_[node]->freeze();
+}
+
+bool
+Network::fenceStale(MsgType t, std::uint64_t sent_epoch)
+{
+    if (sent_epoch >= epoch_)
+        return false;
+    if (t == MsgType::Lease || t == MsgType::ViewChange)
+        return false;
+    fencedStale_ += 1;
+    return true;
 }
 
 Tick
@@ -114,10 +137,12 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
 
     const Tick half = cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
 
-    // Delivery of one request copy: run the handler, then send the
-    // response (which is itself subject to faults).
-    auto deliver = [this, st, type, src, dst, resp_bytes, half] {
-        if (!st->active)
+    // Delivery of one request copy (stamped with the epoch of its send
+    // instant): run the handler, then send the response (which is
+    // itself subject to faults and carries its own epoch stamp).
+    auto deliver = [this, st, type, src, dst, resp_bytes,
+                    half](std::uint64_t sent_epoch) {
+        if (!st->active || fenceStale(type, sent_epoch))
             return;
         Tick work = st->work ? st->work() : 0;
         kernel_.schedule(work, [this, st, type, src, dst, resp_bytes,
@@ -130,8 +155,9 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
             FaultDecision fd = fault_->judge(type, dst, src);
             if (fd.stall > 0)
                 txPort_[dst]->reserve(fd.stall);
-            auto arrive = [this, st] {
-                if (!st->active)
+            const std::uint64_t resp_epoch = epoch_;
+            auto arrive = [this, st, type, resp_epoch] {
+                if (!st->active || fenceStale(type, resp_epoch))
                     return;
                 st->respArrived = true;
                 st->wake.notify(kernel_);
@@ -146,6 +172,16 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
 
     Tick rto = cfg_.retryTimeoutBase;
     for (std::uint32_t attempt = 0;; ++attempt) {
+        // Fail-stop: a crashed requester unwinds its caller (the dead
+        // node stops executing); a crashed responder makes the NIC give
+        // up -- the protocol layer above owns recovery.
+        if (dead_[src])
+            throw sim::NodeDead{};
+        if (dead_[dst]) {
+            st->active = false;
+            st->work = nullptr;
+            co_return;
+        }
         if (attempt > 0)
             retransmits_[static_cast<std::size_t>(type)] += 1;
         account(type, req_bytes);
@@ -156,10 +192,17 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
         FaultDecision fd = fault_->judge(type, src, dst);
         if (fd.stall > 0)
             txPort_[src]->reserve(fd.stall);
+        const std::uint64_t sent_epoch = epoch_;
         if (!fd.drop)
-            kernel_.schedule(half + fd.delay, deliver);
+            kernel_.schedule(half + fd.delay,
+                             [deliver, sent_epoch] {
+                                 deliver(sent_epoch);
+                             });
         if (fd.duplicate)
-            kernel_.schedule(half + fd.duplicateDelay, deliver);
+            kernel_.schedule(half + fd.duplicateDelay,
+                             [deliver, sent_epoch] {
+                                 deliver(sent_epoch);
+                             });
 
         // Wait for the response or the retransmission timeout,
         // whichever comes first.
@@ -192,23 +235,32 @@ Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
     }
     // One-way messages carry no NIC-level reliability: a dropped copy is
     // simply gone (recovery is the protocol's job), a duplicated copy
-    // runs the handler twice.
+    // runs the handler twice. Copies are stamped with the send-instant
+    // epoch and fenced at delivery if a view change overtook them.
     FaultDecision fd = fault_->judge(type, src, dst);
     if (fd.stall > 0)
         txPort_[src]->reserve(fd.stall);
     if (fd.drop && !fd.duplicate)
         return;
+    const std::uint64_t sent_epoch = epoch_;
     if (fd.drop || !fd.duplicate) {
         kernel_.scheduleAt(arrive + (fd.drop ? fd.duplicateDelay
                                              : fd.delay),
-                           std::move(at_dst));
+                           [this, type, sent_epoch,
+                            h = std::move(at_dst)] {
+                               if (!fenceStale(type, sent_epoch))
+                                   h();
+                           });
         return;
     }
     auto handler =
         std::make_shared<std::function<void()>>(std::move(at_dst));
-    kernel_.scheduleAt(arrive + fd.delay, [handler] { (*handler)(); });
-    kernel_.scheduleAt(arrive + fd.duplicateDelay,
-                       [handler] { (*handler)(); });
+    auto copy = [this, type, sent_epoch, handler] {
+        if (!fenceStale(type, sent_epoch))
+            (*handler)();
+    };
+    kernel_.scheduleAt(arrive + fd.delay, copy);
+    kernel_.scheduleAt(arrive + fd.duplicateDelay, copy);
 }
 
 void

@@ -46,6 +46,8 @@ enum class MsgType : std::uint8_t
     Ack,
     Validation,
     Squash,
+    Lease,      //!< configuration-manager lease renewal probe
+    ViewChange, //!< epoch-numbered reconfiguration broadcast
     NumTypes,
 };
 
@@ -122,6 +124,31 @@ class Network
     /** Stall @p node's TX port for @p duration (node pause/crash). */
     void stallNode(NodeId node, Tick duration);
 
+    // --- permanent crashes and epoch fencing --------------------------------
+    /**
+     * Mark @p node permanently crashed (crash_forever window opened).
+     * Its TX port freezes, round trips from it unwind their caller with
+     * sim::NodeDead, and round trips *to* it are abandoned -- the NIC
+     * gives up retransmitting to a peer that will never respond. The
+     * fault injector independently drops every in-flight copy whose
+     * window covers the endpoint, so the two mechanisms agree.
+     */
+    void markNodeDead(NodeId node);
+    bool nodeDead(NodeId node) const { return dead_[node] != 0; }
+    bool anyNodeDead() const { return anyDead_; }
+
+    /**
+     * Current configuration epoch. Every transmitted copy is stamped
+     * with the epoch at its send instant while faults are attached;
+     * advanceEpoch() (called by the recovery manager at a view change)
+     * fences all still-in-flight older-epoch copies: they are dropped
+     * at delivery and counted, so delayed pre-crash messages cannot
+     * corrupt the new view. Lease/ViewChange control traffic is exempt.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+    void advanceEpoch() { epoch_ += 1; }
+    std::uint64_t fencedStaleMessages() const { return fencedStale_; }
+
     // --- statistics ---------------------------------------------------------
     std::uint64_t messageCount(MsgType t) const
     {
@@ -144,6 +171,10 @@ class Network
     Tick serialize(std::uint32_t bytes) const;
     void account(MsgType t, std::uint32_t bytes);
 
+    /** True (and counted) if a copy stamped @p sent_epoch must be
+     *  fenced at delivery time. */
+    bool fenceStale(MsgType t, std::uint64_t sent_epoch);
+
     /** roundTrip() body used while a fault injector is attached. */
     sim::Task faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
                               std::uint32_t req_bytes,
@@ -159,6 +190,10 @@ class Network
     std::uint64_t retransmits_[static_cast<std::size_t>(
         MsgType::NumTypes)] = {};
     std::uint64_t totalBytes_ = 0;
+    std::vector<char> dead_;
+    bool anyDead_ = false;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t fencedStale_ = 0;
 };
 
 } // namespace hades::net

@@ -1,6 +1,7 @@
 #include "protocol/baseline.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "common/log.hh"
 
@@ -136,14 +137,35 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     auto &kernel = sys_.kernel;
     auto &core = coreOf(ctx);
     const auto &costs = sys_.config.costs;
-    // Faults on: tag the lock-owner id with a per-attempt epoch so a
-    // replayed unlock/commit-write of attempt N can never touch the
-    // locks of attempt N+1. Fault-free the bare id is used, as before.
+    // Faults (or recovery) on: tag the lock-owner id with a per-attempt
+    // epoch so a replayed unlock/commit-write of attempt N can never
+    // touch the locks of attempt N+1, and so recovery's per-transaction
+    // state never aliases across attempts. Fault-free the bare id is
+    // used, as before.
     std::uint64_t self = ctx.packed();
-    if (faultsOn())
+    if (faultsOn() || recoveryOn())
         self |= (epochs_[ctx.packed()]++ & 0x3fff) << kEpochShift;
     const std::uint64_t audit_id =
         sys_.audit ? sys_.audit->begin(self) : 0;
+
+    // Recovery on: register a control block with the squash router so
+    // a view change can find this attempt (and resolve it in-doubt) if
+    // this node dies mid-flight. The NodeDead unwind skips retire(), on
+    // purpose: recovery owns the entry from that point.
+    std::shared_ptr<AttemptControl> ctrl;
+    if (recoveryOn()) {
+        ctrl = std::make_shared<AttemptControl>();
+        ctrl->auditId = audit_id;
+        sys_.router.add(self, ctrl.get());
+        attempts_[self] = ctrl;
+    }
+    auto retire = [this, self, ctrl] {
+        if (!ctrl)
+            return;
+        ctrl->finished = true;
+        sys_.router.remove(self);
+        attempts_.erase(self);
+    };
 
     // The sets are shared with the message handlers below: under
     // injected faults a delayed or duplicated delivery can outlive this
@@ -266,6 +288,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             releaseLocks(ctx, self, write_set);
             if (sys_.audit)
                 sys_.audit->noteAbort(audit_id);
+            retire();
             co_return;
         }
 
@@ -404,6 +427,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         releaseLocks(ctx, self, write_set);
         if (sys_.audit)
             sys_.audit->noteAbort(audit_id);
+        retire();
         co_return;
     }
 
@@ -495,7 +519,115 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         releaseLocks(ctx, self, write_set);
         if (sys_.audit)
             sys_.audit->noteAbort(audit_id);
+        retire();
         co_return;
+    }
+
+    // ---------------- Replica staging (recovery configured only) ------------
+    // Section V-A adapted to SW-Impl: with the write set locked and the
+    // read set validated, stage every write at its backups and wait for
+    // their persistence Acks before deciding. A missing Ack (lost
+    // message or dead backup) aborts the attempt. Gated on the recovery
+    // subsystem: the Baseline had no replication before crash recovery
+    // existed, and recovery-off runs keep their original timing.
+    std::set<NodeId> replica_nodes;
+    if (sys_.replicas && recoveryOn() && !write_set.empty()) {
+        Tick t0 = kernel.now();
+        std::map<NodeId,
+                 std::vector<std::pair<std::uint64_t, std::int64_t>>>
+            plan;
+        for (const auto &w : write_set)
+            for (NodeId b : sys_.replicas->backupsOf(w.record, w.home))
+                plan[b].emplace_back(w.record, w.value);
+        if (!plan.empty()) {
+            const Tick persist =
+                sys_.replicas->config().persistLatency();
+            auto pending = std::make_shared<std::uint32_t>(
+                std::uint32_t(plan.size()));
+            auto acked = std::make_shared<std::set<NodeId>>();
+            auto timed_out = std::make_shared<bool>(false);
+            auto c = ctrl; // keep-alive for the handlers below
+            auto ack = [this, pending, acked, c](NodeId b) {
+                if (c->finished || *pending == 0)
+                    return;
+                if (!acked->insert(b).second)
+                    return; // replayed staging Ack
+                *pending -= 1;
+                if (*pending == 0)
+                    c->wake.notify(sys_.kernel);
+            };
+            for (auto &[b, updates] : plan) {
+                replica_nodes.insert(b);
+                if (sys_.replicas->injectLoss())
+                    continue; // the update never arrives: no Ack
+                const std::uint64_t id_c = self;
+                auto payload = updates;
+                if (b == ctx.node) {
+                    kernel.schedule(persist, [this, id_c, payload, ack,
+                                              b] {
+                        auto &store = sys_.replicas->store(b);
+                        for (const auto &[rec, val] : payload)
+                            store.stage(id_c, rec, val);
+                        ack(b);
+                    });
+                } else {
+                    NodeId x = ctx.node;
+                    sys_.network.post(
+                        MsgType::RdmaWrite, ctx.node, b,
+                        std::uint32_t(payload.size() *
+                                      (layout_.payloadBytes() + 16)),
+                        [this, id_c, payload, ack, persist, b, x] {
+                            auto &store = sys_.replicas->store(b);
+                            for (const auto &[rec, val] : payload)
+                                store.stage(id_c, rec, val);
+                            sys_.kernel.schedule(
+                                persist, [this, ack, b, x] {
+                                    sys_.network.post(
+                                        MsgType::Ack, b, x, 16,
+                                        [ack, b] { ack(b); });
+                                });
+                        });
+                }
+            }
+            kernel.schedule(4 * sys_.config.netRoundTrip + 2 * persist +
+                                us(2),
+                            [this, c, pending, timed_out] {
+                                if (*pending > 0) {
+                                    *timed_out = true;
+                                    c->wake.notify(sys_.kernel);
+                                }
+                            });
+            while (*pending > 0 && !*timed_out) {
+                co_await ctrl->wake.wait();
+                if (sys_.network.nodeDead(ctx.node))
+                    throw sim::NodeDead{};
+            }
+            stats_.addOverhead(Overhead::ConflictDetection,
+                               kernel.now() - t0);
+            if (*pending > 0) {
+                // Staging incomplete: abort and drop whatever landed.
+                sys_.replicas->noteAbort();
+                for (const auto &[b, updates] : plan) {
+                    (void)updates;
+                    if (b == ctx.node) {
+                        sys_.replicas->store(b).discard(self);
+                    } else {
+                        const std::uint64_t id_c = self;
+                        reliablePost(MsgType::RdmaWrite, ctx.node, b, 16,
+                                     [this, b, id_c] {
+                                         sys_.replicas->store(b)
+                                             .discard(id_c);
+                                     });
+                    }
+                }
+                stats_.addSquash(SquashReason::ReplicaTimeout);
+                releaseLocks(ctx, self, write_set);
+                if (sys_.audit)
+                    sys_.audit->noteAbort(audit_id);
+                retire();
+                co_return;
+            }
+        }
     }
     const Tick validation_end = kernel.now();
 
@@ -503,6 +635,45 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     // Local writes: apply value + bump version + unlock atomically (one
     // simulated instant), then charge the time.
     {
+        // Serialization point (recovery on): the decision record, the
+        // local applies below, the staged-image promotions and the
+        // remote-write journal all land in this one resumption, so
+        // recovery observes either no decision (safe to abort -- the
+        // client was never acked) or a fully recorded one.
+        if (recoveryOn()) {
+            std::uint64_t commit_seq = 0;
+            if (sys_.replicas) {
+                commit_seq = sys_.replicas->nextCommitSeq();
+                ctrl->commitSeq = commit_seq;
+                sys_.decisionLog[self] = commit_seq;
+            }
+            ctrl->decisionRecorded = true;
+            if (sys_.replicas && !replica_nodes.empty()) {
+                sys_.replicas->noteCommit();
+                for (NodeId b : replica_nodes) {
+                    if (b == ctx.node) {
+                        sys_.replicas->store(b).promote(self,
+                                                        commit_seq);
+                    } else {
+                        // promote() is idempotent and max-seq-wins
+                        // absorbs reordered deliveries.
+                        const std::uint64_t id_c = self;
+                        reliablePost(MsgType::RdmaWrite, ctx.node, b,
+                                     16, [this, b, id_c, commit_seq] {
+                                         sys_.replicas->store(b).promote(
+                                             id_c, commit_seq);
+                                     });
+                    }
+                }
+            }
+            // Journal the decided remote writes: if a commit-write
+            // message below never lands (either endpoint crashes
+            // permanently), the view change replays the entry.
+            for (const auto &w : write_set)
+                if (w.home != ctx.node)
+                    sys_.pendingApplies[{self, w.record}] =
+                        PendingApply{w.home, w.value, audit_id};
+        }
         std::int64_t local_cycles = 0;
         Tick mem_ticks = 0;
         Tick t_manage = 0, t_version = 0;
@@ -577,6 +748,9 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                             home, sys_.placement.addrOf(w.record),
                             txn::RecordLayout{w.payloadBytes}
                                 .payloadLines());
+                        if (recoveryOn())
+                            sys_.pendingApplies.erase(
+                                {self, w.record});
                     }
                 });
         }
@@ -589,6 +763,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     committed = true;
     if (sys_.audit)
         sys_.audit->noteCommit(audit_id);
+    retire();
 }
 
 sim::Task
@@ -599,14 +774,30 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
     auto &core = coreOf(ctx);
     const auto &costs = sys_.config.costs;
     std::uint64_t self = ctx.packed();
-    if (faultsOn())
+    if (faultsOn() || recoveryOn())
         self |= (epochs_[ctx.packed()]++ & 0x3fff) << kEpochShift;
     const std::uint64_t audit_id =
         sys_.audit ? sys_.audit->begin(self) : 0;
 
-    while (tokenBusy_)
+    // Recovery on: register with the squash router so a view change
+    // can abort this attempt (and drain its locks) if this node dies.
+    std::shared_ptr<AttemptControl> ctrl;
+    if (recoveryOn()) {
+        ctrl = std::make_shared<AttemptControl>();
+        ctrl->auditId = audit_id;
+        sys_.router.add(self, ctrl.get());
+        attempts_[self] = ctrl;
+    }
+
+    while (tokenBusy_) {
         co_await sim::Delay{kernel, us(1)};
+        // Fail-stop: the pure-Delay wait has no occupy() to throw for
+        // us, so check for our own death explicitly.
+        if (sys_.network.nodeDead(ctx.node))
+            throw sim::NodeDead{};
+    }
     tokenBusy_ = true;
+    tokenOwner_ = ctx.node;
 
     // Lock every data record the transaction touches, in record-id
     // order (deadlock-free), waiting rather than aborting. Index
@@ -620,8 +811,10 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
                   records.end());
 
     for (auto rec : records) {
-        NodeId home = sys_.placement.homeOf(rec);
         for (;;) {
+            // Re-resolve the home every round: a view change may have
+            // re-homed the record away from a dead node mid-wait.
+            NodeId home = sys_.placement.homeOf(rec);
             bool got = false;
             if (home == ctx.node) {
                 co_await core.occupy(cycles(costs.localCasCycles));
@@ -642,10 +835,25 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
                 break;
             }
             co_await sim::Delay{kernel, cycles(500)};
+            if (sys_.network.nodeDead(ctx.node))
+                throw sim::NodeDead{};
         }
     }
 
-    // Execute with all permissions held.
+    // Execute with all permissions held. Recovery on: writes are
+    // buffered and applied in one atomic instant at the end (below), so
+    // a crash mid-execution leaves ground truth untouched and recovery
+    // can abort the attempt cleanly -- incremental applies would be
+    // unrecoverable, as the not-yet-computed tail of the write set only
+    // exists in this (dead) coroutine frame. Recovery off keeps the
+    // original incremental applies.
+    struct BufferedWrite
+    {
+        std::uint64_t record;
+        NodeId home;
+        std::int64_t value;
+    };
+    std::vector<BufferedWrite> buffered;
     std::vector<std::int64_t> read_vals;
     for (const auto &req : prog.requests) {
         co_await core.occupy(cycles(prog.computeCyclesPerRequest));
@@ -673,16 +881,62 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
                     ? read_vals[std::size_t(req.derivedFromReadIdx)] +
                           req.delta
                     : req.delta;
-            std::uint64_t v = sys_.data.write(req.record, value);
-            if (sys_.audit)
-                sys_.audit->noteWrite(audit_id, req.record, v);
-            sys_.node(home).versions.bumpVersion(req.record);
+            if (recoveryOn()) {
+                buffered.push_back(
+                    BufferedWrite{req.record, home, value});
+            } else {
+                std::uint64_t v = sys_.data.write(req.record, value);
+                if (sys_.audit)
+                    sys_.audit->noteWrite(audit_id, req.record, v);
+                sys_.node(home).versions.bumpVersion(req.record);
+            }
         } else {
-            read_vals.push_back(sys_.data.read(req.record));
-            if (sys_.audit)
-                sys_.audit->noteRead(audit_id, req.record,
-                                     sys_.data.version(req.record));
+            // Read-your-own-write: a buffered value shadows ground
+            // truth (which has not been updated yet in buffered mode).
+            auto bit = std::find_if(buffered.rbegin(), buffered.rend(),
+                                    [&](const BufferedWrite &w) {
+                                        return w.record == req.record;
+                                    });
+            if (bit != buffered.rend()) {
+                read_vals.push_back(bit->value);
+            } else {
+                read_vals.push_back(sys_.data.read(req.record));
+                if (sys_.audit)
+                    sys_.audit->noteRead(audit_id, req.record,
+                                         sys_.data.version(req.record));
+            }
         }
+    }
+
+    // Recovery on: serialization point. The decision record, all
+    // ground-truth applies, version bumps and backup images land in one
+    // kernel event -- the record-level equivalents of the messages this
+    // saves are a model shortcut the lock-all fallback already takes
+    // for its incremental remote applies.
+    if (recoveryOn() && !buffered.empty()) {
+        std::uint64_t commit_seq = 0;
+        if (sys_.replicas) {
+            commit_seq = sys_.replicas->nextCommitSeq();
+            sys_.decisionLog[self] = commit_seq;
+        }
+        if (ctrl) {
+            ctrl->commitSeq = commit_seq;
+            ctrl->decisionRecorded = true;
+        }
+        for (const auto &w : buffered) {
+            std::uint64_t v = sys_.data.write(w.record, w.value);
+            if (sys_.audit)
+                sys_.audit->noteWrite(audit_id, w.record, v);
+            sys_.node(w.home).versions.bumpVersion(w.record);
+            if (sys_.replicas) {
+                for (NodeId b :
+                     sys_.replicas->backupsOf(w.record, w.home))
+                    sys_.replicas->store(b).installDurable(
+                        w.record, w.value, commit_seq);
+            }
+        }
+        if (sys_.replicas)
+            sys_.replicas->noteCommit();
     }
 
     // Unlock everything (batched per node, unserialized).
@@ -710,6 +964,11 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
     tokenBusy_ = false;
     if (sys_.audit)
         sys_.audit->noteCommit(audit_id);
+    if (ctrl) {
+        ctrl->finished = true;
+        sys_.router.remove(self);
+        attempts_.erase(self);
+    }
 }
 
 } // namespace hades::protocol

@@ -42,6 +42,15 @@ class BaselineEngine : public TxnEngine
 
     EngineKind kind() const override { return EngineKind::Baseline; }
 
+    /** Release the pessimistic-fallback token if the dead node held
+     *  it, so surviving fallback transactions make progress. */
+    void
+    onNodeDead(NodeId node) override
+    {
+        if (tokenBusy_ && tokenOwner_ == node)
+            tokenBusy_ = false;
+    }
+
     std::uint32_t
     recordBytes(std::uint32_t payload_bytes) const override
     {
@@ -101,14 +110,27 @@ class BaselineEngine : public TxnEngine
 
     /** Serializes pessimistic fallbacks: running several lock-all
      *  transactions concurrently creates lock convoys on skewed
-     *  workloads (each holds hot locks while waiting for the next). */
+     *  workloads (each holds hot locks while waiting for the next).
+     *  The holder is tracked so recovery can release a dead holder's
+     *  token (see onNodeDead). */
     bool tokenBusy_ = false;
+    NodeId tokenOwner_ = 0;
 
-    /** Next per-context attempt epoch (faults-on only): makes lock
-     *  owner ids unique across attempts, so a replayed unlock or
-     *  commit write from an earlier attempt can never touch the locks
-     *  of a later one. Fault-free the bare packed context id is used,
-     *  as before. */
+    /** Recovery only: control blocks of in-flight attempts, keyed by
+     *  the epoch-tagged lock-owner id and registered with the
+     *  SquashRouter. Keeps the control block the router points to
+     *  alive after a NodeDead unwind destroys the coroutine frame (the
+     *  unwind skips the normal retire), so recovery's in-doubt scan
+     *  reads valid state. Ordered for deterministic enumeration. */
+    std::map<std::uint64_t, std::shared_ptr<AttemptControl>> attempts_;
+
+    /** Next per-context attempt epoch (faults-on or recovery-on):
+     *  makes lock owner ids unique across attempts, so a replayed
+     *  unlock or commit write from an earlier attempt can never touch
+     *  the locks of a later one -- and so recovery's per-transaction
+     *  state (staged replica images, pending-apply journal entries)
+     *  never aliases across attempts. Fault-free the bare packed
+     *  context id is used, as before. */
     std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
 
     txn::RecordLayout layout_;

@@ -109,6 +109,17 @@ class TxnEngine
     txn::EngineStats &stats() { return stats_; }
     const txn::EngineStats &stats() const { return stats_; }
 
+    /** The system this engine runs against (recovery operates on it). */
+    System &system() { return sys_; }
+
+    /**
+     * Crash-recovery hook: @p node was declared permanently dead by a
+     * view change. Engines release any cluster-wide resource the dead
+     * node may hold (e.g. the pessimistic-fallback token) so survivors
+     * make progress. Default: nothing to release.
+     */
+    virtual void onNodeDead(NodeId node) { (void)node; }
+
   protected:
     /** Core compute resource of a context. */
     sim::ComputeResource &
@@ -240,6 +251,11 @@ class TxnEngine
      *  fault-free runs stay bit-identical to the pre-fault simulator. */
     bool faultsOn() const { return sys_.config.faults.enabled; }
 
+    /** True when the crash-recovery subsystem is configured; the
+     *  engines mirror write sets / participants into AttemptControl
+     *  only under this gate (fault-free runs stay untouched). */
+    bool recoveryOn() const { return sys_.config.recovery.enabled; }
+
     /**
      * Protocol-level resend timeout for attempt @p attempt: capped
      * exponential in retryTimeoutBase..retryTimeoutCap plus up to 25%
@@ -302,6 +318,12 @@ class TxnEngine
     reliableAttempt(std::shared_ptr<ReliableSend> st, std::uint32_t n)
     {
         if (st->confirmed)
+            return;
+        // Fail-stop: a permanently dead endpoint ends the resend chain
+        // (the message can never be confirmed; recovery owns whatever
+        // the post was trying to accomplish).
+        if (sys_.network.nodeDead(st->src) ||
+            sys_.network.nodeDead(st->dst))
             return;
         if (n > 0)
             stats_.reliableResends += 1;

@@ -488,6 +488,20 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
 
     // --- Step 4: clear local speculative state ------------------------------
     co_await core.occupy(findTagsLatency());
+    // Serialization point. Everything from here through the Validation
+    // and promote posts of step 5 runs in this one resumption (no
+    // simulated time passes), so drawing the commit sequence here makes
+    // the decision record atomic with the applies: recovery observes
+    // either no decision (safe to abort -- the client was never acked)
+    // or a decision whose local writes are already in ground truth.
+    std::uint64_t commit_seq = 0;
+    if (sys_.replicas) {
+        commit_seq = sys_.replicas->nextCommitSeq();
+        at->ctrl.commitSeq = commit_seq;
+        at->ctrl.decisionRecorded = true;
+        if (recoveryOn())
+            sys_.decisionLog[id] = commit_seq;
+    }
     for (const auto &[record, hv] : at->writeBuffer) {
         if (hv.first == ctx.node) {
             std::uint64_t v = sys_.data.write(record, hv.second);
@@ -508,6 +522,14 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
             }
         }
         const std::uint64_t aid = at->auditId;
+        // Journal the decided remote writes: if this Validation never
+        // lands (either endpoint crashes permanently), the view change
+        // replays the entry so the committed write is not lost.
+        if (recoveryOn()) {
+            for (const auto &[record, value] : updates)
+                sys_.pendingApplies[{id, record}] =
+                    PendingApply{y, value, aid};
+        }
         reliablePost(
             MsgType::Validation, ctx.node, y, bytes,
             [this, y, id, aid, updates] {
@@ -523,6 +545,8 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                         sys_.audit->noteWrite(aid, record, v);
                     nicAccessLines(y, sys_.placement.addrOf(record),
                                    layout_.payloadLines());
+                    if (recoveryOn())
+                        sys_.pendingApplies.erase({id, record});
                 }
                 ynode.lockBank.release(id);
                 ynode.nic.clearRemoteFilters(id);
@@ -535,12 +559,14 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
         sys_.replicas->noteCommit();
         for (NodeId b : at->replicaNodes) {
             if (b == ctx.node) {
-                sys_.replicas->store(b).promote(id);
+                sys_.replicas->store(b).promote(id, commit_seq);
             } else {
-                // promote() is idempotent: replayed copies are no-ops.
+                // promote() is idempotent: replayed copies are no-ops,
+                // and max-seq-wins absorbs reordered deliveries.
                 reliablePost(MsgType::Validation, ctx.node, b, 16,
-                             [this, b, id] {
-                                 sys_.replicas->store(b).promote(id);
+                             [this, b, id, commit_seq] {
+                                 sys_.replicas->store(b).promote(
+                                     id, commit_seq);
                              });
             }
         }
@@ -768,8 +794,10 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     at->homeNode = ctx.node;
     sys_.router.add(id, &at->ctrl);
     localTxns_[ctx.node][id] = at;
-    if (sys_.audit)
+    if (sys_.audit) {
         at->auditId = sys_.audit->begin(id);
+        at->ctrl.auditId = at->auditId;
+    }
 
     const Tick exec_start = kernel.now();
     Tick exec_end = exec_start;
@@ -841,14 +869,20 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         co_await commit(ctx, at);
         ok = true;
     } catch (const Squashed &sq) {
-        stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
-                                                  : sq.reason);
-        cleanupAborted(ctx, at);
-        if (sys_.audit)
-            sys_.audit->noteAbort(at->auditId);
+        // A recovery-resolved attempt was already cleaned up (and its
+        // audit fate decided) by the view change; its unwind must not
+        // double-count.
+        if (!at->ctrl.resolvedByRecovery) {
+            stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
+                                                      : sq.reason);
+            cleanupAborted(ctx, at);
+            if (sys_.audit)
+                sys_.audit->noteAbort(at->auditId);
+        }
     }
 
     at->finished = true;
+    at->ctrl.finished = true;
     sys_.router.remove(id);
     localTxns_[ctx.node].erase(id);
 
@@ -883,9 +917,16 @@ HadesEngine::attemptPessimistic(ExecCtx ctx, const txn::TxnProgram &prog)
     // fallback transactions, then retries without the squash cap. The
     // paper instead pre-locks all data; the token models the same
     // "guaranteed progress" property with the hardware we already have.
-    while (tokenBusy_)
+    while (tokenBusy_) {
         co_await sim::Delay{sys_.kernel, us(1)};
+        // Fail-stop: a dead node must not spin here forever (the wait
+        // has no occupy to throw for it), and onNodeDead frees the
+        // token if its holder died.
+        if (sys_.network.nodeDead(ctx.node))
+            throw sim::NodeDead{};
+    }
     tokenBusy_ = true;
+    tokenOwner_ = ctx.node;
     for (;;) {
         stats_.attempts += 1;
         std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);

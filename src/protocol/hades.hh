@@ -63,6 +63,15 @@ class HadesEngine : public TxnEngine
 
     sim::Task run(ExecCtx ctx, const txn::TxnProgram &prog) override;
 
+    /** Release the pessimistic-fallback token if the dead node held
+     *  it, so surviving fallback transactions make progress. */
+    void
+    onNodeDead(NodeId node) override
+    {
+        if (tokenBusy_ && tokenOwner_ == node)
+            tokenBusy_ = false;
+    }
+
   private:
     /** Live hardware state of one attempt. */
     struct Attempt
@@ -144,10 +153,14 @@ class HadesEngine : public TxnEngine
     void armCommitResend(ExecCtx ctx, AttemptPtr at,
                          std::uint32_t round);
 
-    /** Throw Squashed if the attempt has a pending squash request. */
-    static void
-    checkSquash(const AttemptPtr &at)
+    /** Throw sim::NodeDead if the attempt's node crashed permanently
+     *  (fail-stop: the coroutine stack unwinds instead of executing
+     *  on), else Squashed if a squash request is pending. */
+    void
+    checkSquash(const AttemptPtr &at) const
     {
+        if (sys_.network.nodeDead(at->homeNode))
+            throw sim::NodeDead{};
         if (at->ctrl.squashRequested)
             throw Squashed{at->ctrl.reason};
     }
@@ -173,8 +186,10 @@ class HadesEngine : public TxnEngine
     /** Next per-context attempt epoch (keys WrTX IDs uniquely). */
     std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
 
-    /** Cluster-wide pessimistic-fallback token (Section VI). */
+    /** Cluster-wide pessimistic-fallback token (Section VI), with its
+     *  holder so recovery can release it when the holder dies. */
     bool tokenBusy_ = false;
+    NodeId tokenOwner_ = 0;
 
     txn::RecordLayout layout_;
 };

@@ -407,6 +407,82 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 handleIntendToCommit(y, at, itc_lines);
             });
     }
+    // --- Section V-A: replica updates ride the two-phase commit -----------
+    // Same flow as HADES: each backup stages the update in temporary
+    // durable storage, persists it, and Acks; a lost update leaves the
+    // Ack count short and the deadline below aborts the transaction.
+    // Gated on the recovery subsystem: the hybrid engine had no
+    // replication before crash recovery existed, and keeping the extra
+    // round trip out of recovery-off runs preserves their timing.
+    if (sys_.replicas && recoveryOn() &&
+        (!at->localWrites.empty() || !at->remoteWriteBuffer.empty())) {
+        std::map<NodeId,
+                 std::vector<std::pair<std::uint64_t, std::int64_t>>>
+            plan;
+        for (const auto &w : at->localWrites)
+            for (NodeId b : sys_.replicas->backupsOf(w.record, ctx.node))
+                plan[b].emplace_back(w.record, w.value);
+        for (const auto &[rec, hv] : at->remoteWriteBuffer)
+            for (NodeId b : sys_.replicas->backupsOf(rec, hv.first))
+                plan[b].emplace_back(rec, hv.second);
+        at->acksPending += std::uint32_t(plan.size());
+        const Tick persist = sys_.replicas->config().persistLatency();
+        auto ack = [this, at](NodeId b) {
+            if (at->finished || at->ctrl.squashRequested)
+                return;
+            if (!at->replicaAckedBy.insert(b).second)
+                return; // replayed staging Ack
+            if (at->acksPending > 0) {
+                at->acksPending -= 1;
+                if (at->acksPending == 0)
+                    at->ctrl.wake.notify(sys_.kernel);
+            }
+        };
+        for (auto &[b, updates] : plan) {
+            at->replicaNodes.insert(b);
+            if (sys_.replicas->injectLoss())
+                continue; // the update never arrives: no Ack
+            const std::uint64_t id_c = id;
+            auto payload = updates;
+            if (b == ctx.node) {
+                sys_.kernel.schedule(persist, [this, at, id_c, payload,
+                                               ack, b] {
+                    auto &store = sys_.replicas->store(b);
+                    for (const auto &[rec, val] : payload)
+                        store.stage(id_c, rec, val);
+                    ack(b);
+                });
+            } else {
+                NodeId x = ctx.node;
+                sys_.network.post(
+                    MsgType::RdmaWrite, ctx.node, b,
+                    std::uint32_t(payload.size() *
+                                  (layout_.payloadBytes() + 16)),
+                    [this, at, id_c, payload, ack, persist, b, x] {
+                        auto &store = sys_.replicas->store(b);
+                        for (const auto &[rec, val] : payload)
+                            store.stage(id_c, rec, val);
+                        sys_.kernel.schedule(persist, [this, at, ack,
+                                                       b, x] {
+                            sys_.network.post(MsgType::Ack, b, x, 16,
+                                              [ack, b] { ack(b); });
+                        });
+                    });
+            }
+        }
+        if (!plan.empty()) {
+            Tick deadline = 4 * sys_.config.netRoundTrip +
+                            2 * persist + us(2);
+            sys_.kernel.schedule(deadline, [this, at] {
+                if (!at->finished && !at->ctrl.uncommittable &&
+                    at->acksPending > 0) {
+                    sys_.router.squash(sys_.kernel, at->id,
+                                       SquashReason::ReplicaTimeout);
+                }
+            });
+        }
+    }
+
     // Faults on: recover from lost Intend-to-commit/Ack messages.
     if (faultsOn() && at->acksPending > 0)
         armCommitResend(ctx, at, 0);
@@ -452,8 +528,44 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
             throw Squashed{SquashReason::ValidationFailure};
     }
 
-    // Serialization point: the transaction can no longer fail.
+    // Serialization point: the transaction can no longer fail. With
+    // replication on, the commit decision record (sequence draw), the
+    // local ground-truth applies below and the staged-image promotions
+    // all land in this one resumption, so recovery observes either no
+    // decision or a fully recorded one.
     at->ctrl.uncommittable = true;
+    std::uint64_t commit_seq = 0;
+    if (sys_.replicas) {
+        commit_seq = sys_.replicas->nextCommitSeq();
+        at->ctrl.commitSeq = commit_seq;
+        at->ctrl.decisionRecorded = true;
+        if (recoveryOn())
+            sys_.decisionLog[id] = commit_seq;
+    }
+    // Journal the decided remote writes now, atomically with the
+    // decision record: the Validation posts below run in a *later*
+    // resumption, and a crash in between must not lose them.
+    if (recoveryOn()) {
+        for (const auto &[record, hv] : at->remoteWriteBuffer)
+            sys_.pendingApplies[{id, record}] =
+                PendingApply{hv.first, hv.second, at->auditId};
+    }
+    if (sys_.replicas && !at->replicaNodes.empty()) {
+        sys_.replicas->noteCommit();
+        for (NodeId b : at->replicaNodes) {
+            if (b == ctx.node) {
+                sys_.replicas->store(b).promote(id, commit_seq);
+            } else {
+                // promote() is idempotent and max-seq-wins absorbs
+                // reordered deliveries.
+                reliablePost(MsgType::Validation, ctx.node, b, 16,
+                             [this, b, id, commit_seq] {
+                                 sys_.replicas->store(b).promote(
+                                     id, commit_seq);
+                             });
+            }
+        }
+    }
 
     // --- Apply local updates (atomic instant), then charge the time ----------
     {
@@ -504,6 +616,8 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                     ynode.versions.bumpVersion(record);
                     nicAccessLines(y, sys_.placement.addrOf(record),
                                    layout_.payloadLines());
+                    if (recoveryOn())
+                        sys_.pendingApplies.erase({id, record});
                 }
                 ynode.lockBank.release(id);
                 ynode.nic.clearRemoteFilters(id);
@@ -659,6 +773,22 @@ HadesHybridEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
     at->localDirLocked = false;
     node.nic.clearLocalState(id);
 
+    // Abort message to replica nodes: drop staged images (V-A).
+    if (sys_.replicas && !at->replicaNodes.empty()) {
+        sys_.replicas->noteAbort();
+        for (NodeId b : at->replicaNodes) {
+            if (b == ctx.node) {
+                sys_.replicas->store(b).discard(id);
+            } else {
+                reliablePost(
+                    MsgType::Squash, ctx.node, b, 16,
+                    [this, b, id] {
+                        sys_.replicas->store(b).discard(id);
+                    });
+            }
+        }
+    }
+
     // Reliable: a lost cleanup would leak a remote Locking Buffer entry
     // and the NIC filters forever. Both operations are idempotent.
     for (NodeId y : at->nodesInvolved) {
@@ -681,8 +811,11 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     at->id = id;
     at->homeNode = ctx.node;
     sys_.router.add(id, &at->ctrl);
-    if (sys_.audit)
+    attempts_[id] = at;
+    if (sys_.audit) {
         at->auditId = sys_.audit->begin(id);
+        at->ctrl.auditId = at->auditId;
+    }
 
     const Tick exec_start = kernel.now();
     Tick exec_end = exec_start;
@@ -764,15 +897,21 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         co_await commit(ctx, at);
         ok = true;
     } catch (const Squashed &sq) {
-        stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
-                                                  : sq.reason);
-        cleanupAborted(ctx, at);
-        if (sys_.audit)
-            sys_.audit->noteAbort(at->auditId);
+        // A recovery-resolved attempt was already cleaned up (and its
+        // audit fate decided) by the view change.
+        if (!at->ctrl.resolvedByRecovery) {
+            stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
+                                                      : sq.reason);
+            cleanupAborted(ctx, at);
+            if (sys_.audit)
+                sys_.audit->noteAbort(at->auditId);
+        }
     }
 
     at->finished = true;
+    at->ctrl.finished = true;
     sys_.router.remove(id);
+    attempts_.erase(id);
 
     if (ok) {
         sys_.node(ctx.node).nic.clearLocalState(id);
@@ -798,9 +937,15 @@ sim::Task
 HadesHybridEngine::attemptPessimistic(ExecCtx ctx,
                                       const txn::TxnProgram &prog)
 {
-    while (tokenBusy_)
+    while (tokenBusy_) {
         co_await sim::Delay{sys_.kernel, us(1)};
+        // Fail-stop: a dead node must not spin here forever; onNodeDead
+        // frees the token if its holder died.
+        if (sys_.network.nodeDead(ctx.node))
+            throw sim::NodeDead{};
+    }
     tokenBusy_ = true;
+    tokenOwner_ = ctx.node;
     for (;;) {
         stats_.attempts += 1;
         std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);

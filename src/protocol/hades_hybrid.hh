@@ -50,6 +50,15 @@ class HadesHybridEngine : public TxnEngine
 
     sim::Task run(ExecCtx ctx, const txn::TxnProgram &prog) override;
 
+    /** Release the pessimistic-fallback token if the dead node held
+     *  it, so surviving fallback transactions make progress. */
+    void
+    onNodeDead(NodeId node) override
+    {
+        if (tokenBusy_ && tokenOwner_ == node)
+            tokenBusy_ = false;
+    }
+
   private:
     struct LocalReadEntry
     {
@@ -87,10 +96,14 @@ class HadesHybridEngine : public TxnEngine
         bloom::BloomFilter nicLocalWriteBf;
         std::unordered_set<Addr> localReadLinesExact;
         std::unordered_set<Addr> localWriteLinesExact;
+        /** Backup nodes holding staged replica updates (Section V-A). */
+        std::set<NodeId> replicaNodes;
         std::uint32_t acksPending = 0;
         /** Nodes whose commit Ack arrived (dedupes replayed Acks and
          *  selects the targets of a timeout resend). */
         std::set<NodeId> ackedBy;
+        /** Backups whose replica-staging Ack arrived. */
+        std::set<NodeId> replicaAckedBy;
         /** Intend-to-commit address list per node, kept for resends. */
         std::map<NodeId, std::vector<Addr>> itcLines;
         bool localDirLocked = false;
@@ -137,9 +150,13 @@ class HadesHybridEngine : public TxnEngine
     void armCommitResend(ExecCtx ctx, AttemptPtr at,
                          std::uint32_t round);
 
-    static void
-    checkSquash(const AttemptPtr &at)
+    /** Throw sim::NodeDead if the attempt's node crashed permanently,
+     *  else Squashed if a squash request is pending. */
+    void
+    checkSquash(const AttemptPtr &at) const
     {
+        if (sys_.network.nodeDead(at->homeNode))
+            throw sim::NodeDead{};
         if (at->ctrl.squashRequested)
             throw Squashed{at->ctrl.reason};
     }
@@ -153,8 +170,15 @@ class HadesHybridEngine : public TxnEngine
     /** All sw-layout cache lines of a record (header + payload). */
     std::vector<Addr> recordLines(std::uint64_t record) const;
 
+    /** All in-flight attempts by id. Keeps the AttemptControl the
+     *  SquashRouter points to alive after a NodeDead unwind (which
+     *  skips the normal epilogue), so recovery's in-doubt scan reads
+     *  valid control blocks. Ordered for deterministic enumeration. */
+    std::map<std::uint64_t, AttemptPtr> attempts_;
+
     std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
     bool tokenBusy_ = false;
+    NodeId tokenOwner_ = 0;
     txn::RecordLayout layout_;
 };
 

@@ -10,6 +10,7 @@
 #ifndef HADES_PROTOCOL_SYSTEM_HH_
 #define HADES_PROTOCOL_SYSTEM_HH_
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -62,6 +63,26 @@ struct AttemptControl
     bool uncommittable = false;
     /** Wakes the attempt's wait loop (ack progress or squash). */
     sim::AutoResetEvent wake;
+
+    // ---- Crash-recovery bookkeeping (see src/recovery/). ----
+    /** Correctness-audit id of this attempt (0 when auditing is off). */
+    std::uint64_t auditId = 0;
+    /** Commit/abort fully processed; recovery leaves it alone. */
+    bool finished = false;
+    /** The coordinator reached its serialization point: the commit
+     *  sequence was drawn and the writes applied to ground truth,
+     *  atomically in one kernel event (models a durable commit record).
+     *  An in-doubt transaction whose coordinator died permanently is
+     *  committed by recovery iff this is set, else aborted -- the
+     *  paper's all-Acks rule made checkable at a single instant. */
+    bool decisionRecorded = false;
+    /** Commit sequence drawn at the serialization point (see
+     *  replica::ReplicaManager::nextCommitSeq). */
+    std::uint64_t commitSeq = 0;
+    /** Recovery committed/aborted this attempt on the (dead)
+     *  coordinator's behalf; the attempt's NodeDead unwind must not
+     *  double-count stats or re-touch protocol state. */
+    bool resolvedByRecovery = false;
 
     // Exact footprints (oracle for false-positive accounting).
     std::unordered_set<Addr> localReadLines;
@@ -137,8 +158,18 @@ class SquashRouter
         return SquashOutcome::Delivered;
     }
 
+    /** All registered attempts, keyed by packed GlobalTxId. Recovery's
+     *  in-doubt scan iterates this; std::map (point-ops only, so the
+     *  container swap is behavior-neutral) keeps the iteration -- and
+     *  with it every recovery action -- deterministic. */
+    const std::map<std::uint64_t, AttemptControl *> &
+    active() const
+    {
+        return active_;
+    }
+
   private:
-    std::unordered_map<std::uint64_t, AttemptControl *> active_;
+    std::map<std::uint64_t, AttemptControl *> active_;
     sim::Tracer *tracer_ = nullptr;
 };
 
@@ -163,6 +194,27 @@ struct NodeCtx
     net::HadesNicState nic;
     txn::VersionTable versions;
     std::vector<std::unique_ptr<sim::ComputeResource>> cores;
+};
+
+/**
+ * One decided-but-not-yet-applied remote write (crash recovery only).
+ *
+ * A coordinator applies *local* writes to ground truth atomically at
+ * its serialization point, but each *remote* write only lands when the
+ * Validation / commit-write message reaches the record's home node. If
+ * either endpoint dies permanently in that window the message never
+ * arrives, yet the transaction is committed (the client was acked) --
+ * the write must not be lost. With recovery enabled, coordinators
+ * journal every remote write here in the same kernel event that records
+ * the commit decision, and the home node's apply handler retires the
+ * entry when (and only when) it actually installs the write. A view
+ * change replays whatever is left for dead endpoints.
+ */
+struct PendingApply
+{
+    NodeId home = 0;          //!< record's home at decision time
+    std::int64_t value = 0;   //!< committed value to install
+    std::uint64_t auditId = 0; //!< observation to note the write under
 };
 
 /** The complete simulated cluster an engine runs against. */
@@ -216,6 +268,18 @@ class System
      *  reads/writes/commits and hardware invariant checks into it;
      *  purely observational, so it cannot perturb the simulation. */
     audit::Auditor *audit = nullptr;
+    /** Decided remote writes still in flight, keyed (txn id, record);
+     *  only populated when config.recovery.enabled (see PendingApply).
+     *  Ordered so recovery's replay pass is deterministic. */
+    std::map<std::pair<std::uint64_t, std::uint64_t>, PendingApply>
+        pendingApplies;
+    /** Durable commit-decision log: txn id -> commit sequence, written
+     *  at each coordinator's serialization point (recovery only). A
+     *  view change uses it to finish the promotion of staged replica
+     *  images whose coordinator died after deciding but whose promote
+     *  message was lost -- and, conversely, to discard staged images
+     *  of transactions that never decided. */
+    std::map<std::uint64_t, std::uint64_t> decisionLog;
 };
 
 } // namespace hades::protocol

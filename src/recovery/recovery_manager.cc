@@ -1,0 +1,240 @@
+#include "recovery/recovery_manager.hh"
+
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "net/network.hh"
+#include "sim/resource.hh"
+
+namespace hades::recovery
+{
+
+using protocol::AttemptControl;
+
+void
+RecoveryManager::start(std::uint64_t expected_drivers)
+{
+    driversLeft_ = expected_drivers;
+    done_ = expected_drivers == 0;
+    for (NodeId n = 0; n < sys_.config.numNodes; ++n)
+        if (n != cfg_.managerNode)
+            probeLoop(n);
+    monitorLoop();
+}
+
+sim::DetachedTask
+RecoveryManager::probeLoop(NodeId node)
+{
+    // The manager's lease probe to one node: a small round trip per
+    // leaseInterval. A permanently crashed holder stops answering
+    // (faultyRoundTrip gives up on a dead destination), so its renewal
+    // timestamp freezes and the lease expires. The renewal itself
+    // consults the fail-stop oracle: the lease machinery models
+    // *detection latency*, never false positives.
+    try {
+        while (!done_ && !handled_[node]) {
+            stats_.leaseProbes += 1;
+            co_await sys_.network.roundTrip(net::MsgType::Lease,
+                                            cfg_.managerNode, node, 16,
+                                            8);
+            if (!sys_.network.nodeDead(node))
+                lastRenewal_[node] = sys_.kernel.now();
+            co_await sim::Delay{sys_.kernel, cfg_.leaseInterval};
+        }
+    } catch (const sim::NodeDead &) {
+        // The manager itself was killed: probing stops and no view
+        // change will ever be declared (the CM is assumed reliable;
+        // fault plans are expected not to kill it).
+    }
+}
+
+sim::DetachedTask
+RecoveryManager::monitorLoop()
+{
+    while (!done_) {
+        co_await sim::Delay{sys_.kernel, cfg_.leaseInterval};
+        if (done_)
+            break;
+        const Tick now = sys_.kernel.now();
+        for (NodeId n = 0; n < sys_.config.numNodes; ++n) {
+            if (n == cfg_.managerNode || handled_[n])
+                continue;
+            if (sys_.network.nodeDead(n) &&
+                now - lastRenewal_[n] > cfg_.leaseTimeout)
+                viewChange(n);
+        }
+    }
+}
+
+void
+RecoveryManager::applyPending(std::uint64_t record,
+                              const protocol::PendingApply &pa)
+{
+    std::uint64_t v = sys_.data.write(record, pa.value);
+    if (sys_.audit && pa.auditId)
+        sys_.audit->noteWrite(pa.auditId, record, v);
+    sys_.node(sys_.placement.homeOf(record))
+        .versions.bumpVersion(record);
+    stats_.replayedWrites += 1;
+}
+
+void
+RecoveryManager::replayLedgerOf(std::uint64_t tx)
+{
+    auto it = sys_.pendingApplies.lower_bound({tx, 0});
+    while (it != sys_.pendingApplies.end() && it->first.first == tx) {
+        applyPending(it->first.second, it->second);
+        it = sys_.pendingApplies.erase(it);
+    }
+}
+
+void
+RecoveryManager::viewChange(NodeId dead)
+{
+    if (handled_[dead])
+        return;
+    handled_[dead] = 1;
+
+    auto &net = sys_.network;
+    always_assert(net.nodeDead(dead),
+                  "view change declared for a live node");
+    always_assert(sys_.replicas != nullptr,
+                  "crash recovery requires replication degree >= 1 "
+                  "(no backup to promote a dead node's records from)");
+
+    stats_.viewChanges += 1;
+
+    // --- 1. New configuration epoch: fence the old view's traffic. ----------
+    net.advanceEpoch();
+    sys_.replicas->markDead(dead);
+
+    // --- 2. Notify the survivors (timing/accounting only: the state
+    // transition below is atomic within this kernel event, modeling a
+    // coordinated reconfiguration barrier). -----------------------------------
+    for (NodeId n = 0; n < sys_.config.numNodes; ++n)
+        if (n != cfg_.managerNode && !net.nodeDead(n))
+            net.post(net::MsgType::ViewChange, cfg_.managerNode, n, 32,
+                     [] {});
+
+    // --- 3. Re-home every record the dead node was primary for to its
+    // first live backup; record metadata migrates with it (the dead
+    // owner's locks do not). --------------------------------------------------
+    const std::uint32_t record_bytes = sys_.placement.recordBytes();
+    std::vector<std::pair<std::uint64_t, NodeId>> rehomed;
+    for (std::uint64_t r = 0; r < sys_.placement.numRecords(); ++r) {
+        if (sys_.placement.homeOf(r) != dead)
+            continue;
+        auto backups = sys_.replicas->backupsOf(r, dead);
+        always_assert(!backups.empty(),
+                      "record lost: no live backup to promote");
+        const NodeId new_primary = backups.front();
+        const txn::RecordMeta meta = sys_.node(dead).versions.peek(r);
+        sys_.placement.rehome(r, new_primary, record_bytes);
+        sys_.node(new_primary).versions.installMigrated(r, meta);
+        rehomed.emplace_back(r, new_primary);
+        stats_.promotedRecords += 1;
+    }
+
+    // --- 4. Resolve in-doubt transactions coordinated by the dead
+    // node, by the paper's all-Acks rule: the durable decision record
+    // says whether the coordinator passed its serialization point.
+    // Decided -> commit (replay the journaled remote writes; staged
+    // replica images are promoted in step 6). Undecided -> abort (the
+    // client was never acked). ------------------------------------------------
+    std::vector<std::pair<std::uint64_t, AttemptControl *>> victims;
+    for (const auto &[id, ctrl] : sys_.router.active())
+        if (coordinatorOf(id) == dead && !ctrl->finished)
+            victims.emplace_back(id, ctrl);
+    for (auto &[id, ctrl] : victims) {
+        if (ctrl->decisionRecorded) {
+            replayLedgerOf(id);
+            if (sys_.audit && ctrl->auditId)
+                sys_.audit->noteCommit(ctrl->auditId);
+            stats_.inDoubtCommitted += 1;
+        } else {
+            if (sys_.audit && ctrl->auditId)
+                sys_.audit->noteAbort(ctrl->auditId);
+            stats_.inDoubtAborted += 1;
+        }
+        ctrl->resolvedByRecovery = true;
+        ctrl->squashRequested = true;
+        ctrl->reason = txn::SquashReason::NodeFailure;
+        ctrl->finished = true;
+        ctrl->wake.notify(sys_.kernel);
+        sys_.router.remove(id);
+    }
+
+    // --- 5. Apply decided writes stranded by a dead *home*: a live
+    // coordinator's commit-write to the dead node can never land, but
+    // the transaction is committed. The journal entry is applied at the
+    // record's new home (re-homed in step 3). ---------------------------------
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> stranded;
+    for (const auto &[key, pa] : sys_.pendingApplies)
+        if (pa.home == dead)
+            stranded.push_back(key);
+    for (const auto &key : stranded) {
+        applyPending(key.second, sys_.pendingApplies.at(key));
+        sys_.pendingApplies.erase(key);
+    }
+
+    // --- 6. Settle staged replica images of the dead coordinator's
+    // transactions at every live store: decided transactions (durable
+    // decision record exists) finish their promotion -- this also
+    // repairs a decided-then-crashed coordinator whose promote message
+    // was lost -- and undecided ones are rolled back. -------------------------
+    for (NodeId n = 0; n < sys_.config.numNodes; ++n) {
+        if (net.nodeDead(n))
+            continue;
+        auto &store = sys_.replicas->store(n);
+        for (std::uint64_t tx : store.stagedTxIds()) {
+            if (coordinatorOf(tx) != dead)
+                continue;
+            auto it = sys_.decisionLog.find(tx);
+            if (it != sys_.decisionLog.end())
+                store.promote(tx, it->second);
+            else
+                store.discard(tx);
+        }
+    }
+
+    // --- 6b. Restore the replication factor of the re-homed records:
+    // the backup ring under the new primary skips a different node, so
+    // a node that never held a record's image can enter its window.
+    // Copy the promoted primary's durable image (now settled by step 6)
+    // to any live backup missing it or holding an older one;
+    // max-seq-wins makes redundant copies harmless. ---------------------------
+    for (const auto &[r, np] : rehomed) {
+        const auto img = sys_.replicas->store(np).durableImage(r);
+        if (!img)
+            continue;
+        for (NodeId b : sys_.replicas->backupsOf(r, np)) {
+            const auto cur = sys_.replicas->store(b).durableImage(r);
+            if (cur && cur->seq >= img->seq)
+                continue;
+            sys_.replicas->store(b).installDurable(r, img->value,
+                                                   img->seq);
+            stats_.resyncedImages += 1;
+        }
+    }
+
+    // --- 7. Drain the dead node's footprint from every survivor:
+    // Locking-Buffer entries, NIC remote Bloom filters, and record
+    // locks its attempts held remotely. ---------------------------------------
+    for (auto &[id, ctrl] : victims) {
+        for (NodeId n = 0; n < sys_.config.numNodes; ++n) {
+            if (net.nodeDead(n))
+                continue;
+            auto &node = sys_.node(n);
+            node.lockBank.release(id);
+            node.nic.clearRemoteFilters(id);
+            stats_.locksReleased += node.versions.releaseOwnedBy(id);
+        }
+    }
+
+    // --- 8. Cluster-wide resources the dead node may hold (e.g. the
+    // pessimistic-fallback token). --------------------------------------------
+    engine_.onNodeDead(dead);
+}
+
+} // namespace hades::recovery

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Crash recovery and reconfiguration (Section V-A's failure model made
+ * operational).
+ *
+ * A configuration-manager node (RecoveryConfig::managerNode) grants
+ * per-node leases over the simulated network: a probe round trip per
+ * leaseInterval renews the holder's lease. A node that permanently
+ * fail-stops (FaultsConfig::NodeEvent::forever) stops answering, its
+ * lease expires, and the manager runs an epoch-numbered *view change*:
+ *
+ *  1. the configuration epoch advances; every in-flight message copy
+ *     stamped with an older epoch is fenced (dropped and counted) at
+ *     delivery, so delayed pre-crash traffic cannot corrupt the new
+ *     view (Lease/ViewChange control traffic is exempt);
+ *  2. the dead node leaves every backup ring (its replica images are
+ *     unreachable) and survivors are notified;
+ *  3. every record homed at the dead node is re-homed to its first
+ *     live backup, whose durable ReplicaStore image is the recovery
+ *     source; record metadata migrates with the record (locks cleared),
+ *     and the replication factor is restored by copying the promoted
+ *     image to any node the new primary's backup ring pulls in that
+ *     never held one;
+ *  4. in-doubt transactions whose coordinator died are resolved by the
+ *     paper's all-Acks rule, checkable at one instant via the durable
+ *     decision record (AttemptControl::decisionRecorded): decided
+ *     attempts commit -- their journaled remote writes are replayed and
+ *     their staged replica images promoted -- and undecided attempts
+ *     abort;
+ *  5. decided remote writes stranded by a dead *home* (journaled in
+ *     System::pendingApplies by live coordinators) are applied at the
+ *     record's new home;
+ *  6. the dead node's footprint is drained from every survivor:
+ *     Locking-Buffer entries, NIC remote Bloom filters, record locks,
+ *     and staged replica images of its aborted attempts;
+ *  7. the engine releases cluster-wide resources the dead node held
+ *     (TxnEngine::onNodeDead, e.g. the pessimistic-fallback token).
+ *
+ * The whole view change executes in a single kernel event, modeling a
+ * coordinated reconfiguration barrier; the lease machinery models
+ * *detection latency* only (the declare-dead decision itself consults
+ * the simulator's fail-stop oracle, so a slow-but-alive node is never
+ * falsely killed).
+ *
+ * The manager node is assumed reliable, like FaRM's external
+ * configuration store: if the fault plan kills it anyway, probing stops
+ * and no view change ever happens.
+ */
+
+#ifndef HADES_RECOVERY_RECOVERY_MANAGER_HH_
+#define HADES_RECOVERY_RECOVERY_MANAGER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "protocol/engine.hh"
+#include "protocol/system.hh"
+#include "sim/task.hh"
+
+namespace hades::recovery
+{
+
+/** Outcome counters of the recovery subsystem (RunResult surfaces
+ *  them; all zero when no node dies). */
+struct RecoveryStats
+{
+    std::uint64_t leaseProbes = 0;      //!< lease renewal round trips
+    std::uint64_t viewChanges = 0;      //!< view changes executed
+    std::uint64_t promotedRecords = 0;  //!< records re-homed to a backup
+    std::uint64_t inDoubtCommitted = 0; //!< in-doubt txns committed
+    std::uint64_t inDoubtAborted = 0;   //!< in-doubt txns aborted
+    std::uint64_t replayedWrites = 0;   //!< journaled writes replayed
+    std::uint64_t resyncedImages = 0;   //!< backup images re-replicated
+    std::uint64_t locksReleased = 0;    //!< dead owners' record locks freed
+};
+
+/** Lease-based failure detector plus view-change executor. */
+class RecoveryManager
+{
+  public:
+    RecoveryManager(protocol::System &sys, protocol::TxnEngine &engine)
+        : sys_(sys), engine_(engine), cfg_(sys.config.recovery),
+          lastRenewal_(sys.config.numNodes, 0),
+          handled_(sys.config.numNodes, 0)
+    {}
+
+    RecoveryManager(const RecoveryManager &) = delete;
+    RecoveryManager &operator=(const RecoveryManager &) = delete;
+
+    /**
+     * Launch the lease probe loops and the expiry monitor.
+     * @p expected_drivers is the number of driver coroutines the run
+     * starts; each one reports in via driverDone() when it finishes
+     * (normally or by fail-stop unwind), and the loops stop once all
+     * have -- otherwise the background probes would keep the event
+     * queue alive forever.
+     */
+    void start(std::uint64_t expected_drivers);
+
+    /** One driver coroutine finished (committed its quota or died). */
+    void
+    driverDone()
+    {
+        if (driversLeft_ > 0 && --driversLeft_ == 0)
+            done_ = true;
+    }
+
+    /**
+     * Execute the view change for @p dead immediately (also the entry
+     * point the monitor uses once a lease expires). Idempotent per
+     * node. Runs atomically within the current kernel event.
+     */
+    void viewChange(NodeId dead);
+
+    const RecoveryStats &stats() const { return stats_; }
+
+  private:
+    sim::DetachedTask probeLoop(NodeId node);
+    sim::DetachedTask monitorLoop();
+
+    /** Apply one journaled remote write at the record's current home. */
+    void applyPending(std::uint64_t record,
+                      const protocol::PendingApply &pa);
+
+    /** Replay and retire every journal entry of transaction @p tx. */
+    void replayLedgerOf(std::uint64_t tx);
+
+    /** Coordinator node encoded in a packed (epoch-tagged) txn id. */
+    static NodeId
+    coordinatorOf(std::uint64_t tx)
+    {
+        return NodeId((tx >> 32) & 0xfff);
+    }
+
+    protocol::System &sys_;
+    protocol::TxnEngine &engine_;
+    RecoveryConfig cfg_;
+    RecoveryStats stats_;
+    std::vector<Tick> lastRenewal_;
+    std::vector<char> handled_; //!< view change already ran for node
+    std::uint64_t driversLeft_ = 0;
+    bool done_ = false;
+};
+
+} // namespace hades::recovery
+
+#endif // HADES_RECOVERY_RECOVERY_MANAGER_HH_

@@ -24,15 +24,19 @@
 #ifndef HADES_REPLICA_REPLICATION_HH_
 #define HADES_REPLICA_REPLICATION_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.hh"
+#include "common/log.hh"
 #include "common/rng.hh"
 #include "common/time.hh"
 #include "common/types.hh"
+#include "txn/ground_truth.hh"
 
 namespace hades::replica
 {
@@ -72,6 +76,17 @@ struct ReplicationConfig
 class ReplicaStore
 {
   public:
+    /** A permanently stored image: the value plus the commit sequence
+     *  number of the transaction that wrote it. Promotions apply
+     *  max-seq-wins, so reordered/replayed promote deliveries (message
+     *  delay, duplication, recovery re-promotion) can never roll a
+     *  record back to an older committed value. */
+    struct DurableImage
+    {
+        std::int64_t value = 0;
+        std::uint64_t seq = 0;
+    };
+
     /** Stage a value for @p record written by transaction @p tx. */
     void
     stage(std::uint64_t tx, std::uint64_t record, std::int64_t value)
@@ -79,27 +94,64 @@ class ReplicaStore
         staged_[tx].emplace_back(record, value);
     }
 
-    /** Promote a transaction's staged images to permanent storage. */
+    /**
+     * Promote a transaction's staged images to permanent storage with
+     * the commit sequence the coordinator assigned at its serialization
+     * point. Idempotent: replayed copies find no staged entry, and
+     * max-seq-wins makes re-promotion harmless.
+     */
     void
-    promote(std::uint64_t tx)
+    promote(std::uint64_t tx, std::uint64_t seq)
     {
         auto it = staged_.find(tx);
         if (it == staged_.end())
             return;
         for (auto &[record, value] : it->second)
-            durable_[record] = value;
+            installDurable(record, value, seq);
         staged_.erase(it);
+    }
+
+    /** Install one durable image directly (recovery re-replication and
+     *  in-doubt promotion), max-seq-wins. */
+    void
+    installDurable(std::uint64_t record, std::int64_t value,
+                   std::uint64_t seq)
+    {
+        auto &img = durable_[record];
+        if (img.seq <= seq) {
+            always_assert(img.seq != seq || img.value == value ||
+                              img.seq == 0,
+                          "conflicting durable images with equal seq");
+            img = DurableImage{value, seq};
+        }
     }
 
     /** Drop a transaction's staged images (abort path). */
     void discard(std::uint64_t tx) { staged_.erase(tx); }
 
-    /** Durable value of @p record (recovery reads this). */
-    std::int64_t
+    /**
+     * Durable value of @p record, or nullopt if this store never
+     * promoted an image for it. "Missing" is distinct from value 0:
+     * recovery must never fabricate a zero image for a record that was
+     * never replicated here.
+     */
+    std::optional<std::int64_t>
     durableValue(std::uint64_t record) const
     {
         auto it = durable_.find(record);
-        return it == durable_.end() ? 0 : it->second;
+        if (it == durable_.end())
+            return std::nullopt;
+        return it->second.value;
+    }
+
+    /** Full durable image (value + commit seq), or nullopt. */
+    std::optional<DurableImage>
+    durableImage(std::uint64_t record) const
+    {
+        auto it = durable_.find(record);
+        if (it == durable_.end())
+            return std::nullopt;
+        return it->second;
     }
 
     bool hasDurable(std::uint64_t record) const
@@ -110,12 +162,35 @@ class ReplicaStore
     std::size_t stagedTxns() const { return staged_.size(); }
     std::size_t durableRecords() const { return durable_.size(); }
 
+    /** Ids of transactions with staged (un-promoted, un-discarded)
+     *  images, sorted -- the in-doubt scan of recovery iterates this. */
+    std::vector<std::uint64_t>
+    stagedTxIds() const
+    {
+        std::vector<std::uint64_t> out;
+        out.reserve(staged_.size());
+        for (const auto &kv : staged_) // det-lint: ordered-ok (sorted)
+            out.push_back(kv.first);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    /** Staged writes of @p tx (empty if none). */
+    std::vector<std::pair<std::uint64_t, std::int64_t>>
+    stagedWrites(std::uint64_t tx) const
+    {
+        auto it = staged_.find(tx);
+        if (it == staged_.end())
+            return {};
+        return it->second;
+    }
+
   private:
     std::unordered_map<
         std::uint64_t,
         std::vector<std::pair<std::uint64_t, std::int64_t>>>
         staged_;
-    std::unordered_map<std::uint64_t, std::int64_t> durable_;
+    std::unordered_map<std::uint64_t, DurableImage> durable_;
 };
 
 /**
@@ -129,7 +204,7 @@ class ReplicaManager
     ReplicaManager(const ReplicationConfig &cfg, std::uint32_t num_nodes,
                    std::uint64_t seed = 0xfee1)
         : cfg_(cfg), numNodes_(num_nodes), rng_(seed),
-          stores_(num_nodes)
+          stores_(num_nodes), dead_(num_nodes, 0)
     {}
 
     const ReplicationConfig &config() const { return cfg_; }
@@ -137,6 +212,16 @@ class ReplicaManager
     /**
      * Backup nodes of a record homed at @p primary: the next K nodes
      * in a hash-rotated ring, skipping the primary (chain placement).
+     * Ring *positions* are fixed for the lifetime of the cluster: a
+     * node marked dead (permanent crash) leaves its slot empty rather
+     * than pulling the next live node in, so the backup set after a
+     * failure is always a subset of the original set. (Growing the
+     * ring would hand a slot to a node that never received the
+     * in-flight promotes of earlier commits, leaving it with a stale
+     * image no protocol message will ever correct; effective
+     * redundancy instead degrades by one until an out-of-band
+     * re-replication -- out of scope for the single-failure model --
+     * restores it.)
      */
     std::vector<NodeId>
     backupsOf(std::uint64_t record, NodeId primary) const
@@ -144,16 +229,42 @@ class ReplicaManager
         std::vector<NodeId> out;
         if (!cfg_.enabled() || numNodes_ < 2)
             return out;
-        std::uint32_t k =
-            std::min(cfg_.degree, numNodes_ - 1);
+        std::uint32_t k = std::min(cfg_.degree, numNodes_ - 1);
         std::uint64_t start = mix64(record ^ 0xb4c4) % numNodes_;
-        for (std::uint32_t i = 0; out.size() < k; ++i) {
+        std::uint32_t slots = 0;
+        for (std::uint32_t i = 0; slots < k && i < numNodes_; ++i) {
             NodeId n = NodeId((start + i) % numNodes_);
-            if (n != primary)
+            if (n == primary)
+                continue;
+            slots += 1;
+            if (dead_[n] == 0)
                 out.push_back(n);
         }
         return out;
     }
+
+    /** Permanently remove @p node from every backup ring (and from the
+     *  divergence scan): its store's images are unreachable. */
+    void
+    markDead(NodeId node)
+    {
+        if (dead_[node] == 0) {
+            dead_[node] = 1;
+            liveNodes_ -= 1;
+        }
+    }
+
+    bool nodeDead(NodeId node) const { return dead_[node] != 0; }
+    std::uint32_t liveNodes() const { return liveNodes_; }
+
+    /**
+     * Commit sequence numbers. A coordinator draws one at its
+     * serialization point (atomically with applying its writes) and
+     * stamps every promote of the transaction with it; max-seq-wins at
+     * the stores then reconstructs commit order no matter how promote
+     * deliveries reorder. Models the LSN of a durable commit record.
+     */
+    std::uint64_t nextCommitSeq() { return ++commitSeq_; }
 
     ReplicaStore &store(NodeId n) { return stores_[n]; }
     const ReplicaStore &store(NodeId n) const { return stores_[n]; }
@@ -170,25 +281,28 @@ class ReplicaManager
     }
 
     /**
-     * Recovery check: every record in @p records must have identical
-     * durable images on all of its backups.
-     * @return number of records whose replicas diverge.
+     * Recovery check: for every record the workload ever committed,
+     * every *live* backup must hold a durable image equal to the
+     * ground-truth committed value -- not merely agree with the other
+     * backups (replicas that agree on a stale value are still lost
+     * data), and a single-backup ring is checked like any other.
+     * @p home_of maps a record to its current primary.
+     * @return number of records with a missing or wrong backup image.
      */
+    template <typename HomeOf>
     std::uint64_t
-    divergentRecords(const std::vector<std::uint64_t> &records,
-                     const std::vector<NodeId> &primaries) const
+    divergentRecords(const txn::GroundTruth &gt, HomeOf &&home_of) const
     {
         std::uint64_t bad = 0;
-        for (std::size_t i = 0; i < records.size(); ++i) {
-            auto backups = backupsOf(records[i], primaries[i]);
-            if (backups.size() < 2)
-                continue;
-            std::int64_t first =
-                stores_[backups[0]].durableValue(records[i]);
-            for (std::size_t b = 1; b < backups.size(); ++b)
-                if (stores_[backups[b]].durableValue(records[i]) !=
-                    first)
+        for (std::uint64_t rec : gt.touchedRecords()) {
+            const std::int64_t want = gt.read(rec);
+            for (NodeId b : backupsOf(rec, home_of(rec))) {
+                auto got = stores_[b].durableValue(rec);
+                if (!got || *got != want) {
                     ++bad;
+                    break;
+                }
+            }
         }
         return bad;
     }
@@ -205,6 +319,9 @@ class ReplicaManager
     std::uint32_t numNodes_;
     Rng rng_;
     std::vector<ReplicaStore> stores_;
+    std::vector<char> dead_;
+    std::uint32_t liveNodes_ = numNodes_;
+    std::uint64_t commitSeq_ = 0;
     std::uint64_t lostMessages_ = 0;
     std::uint64_t commits_ = 0;
     std::uint64_t aborts_ = 0;

@@ -21,6 +21,18 @@ namespace hades::sim
 {
 
 /**
+ * Thrown into a coroutine that tries to make progress on a permanently
+ * crashed node (frozen core, dead NIC endpoint). It unwinds the whole
+ * protocol stack of the affected hardware context -- Task propagates it
+ * through every co_await -- until the per-context driver loop catches it
+ * and retires the context. This is how fail-stop is modeled: crashed
+ * nodes stop executing, they do not keep simulating.
+ */
+struct NodeDead
+{
+};
+
+/**
  * A pipelined FCFS resource. occupy(d) returns an awaitable that resumes
  * the caller once the resource has been held for d ticks starting at the
  * earliest time the resource is free.
@@ -50,6 +62,15 @@ class ComputeResource
         return freeAt_;
     }
 
+    /**
+     * Permanently crash the resource. Occupancies still suspended when
+     * the freeze lands (their wake-up events are already in the kernel
+     * queue) resume only to throw NodeDead, and so do all later
+     * occupy() calls: code running on a crashed core cannot advance.
+     */
+    void freeze() { frozen_ = true; }
+    bool frozen() const { return frozen_; }
+
     /** Hold the resource for @p duration ticks (FCFS). */
     auto
     occupy(Tick duration)
@@ -59,16 +80,29 @@ class ComputeResource
             ComputeResource &res;
             Tick duration;
 
-            bool await_ready() const noexcept { return duration == 0; }
+            bool
+            await_ready() const noexcept
+            {
+                return duration == 0 && !res.frozen_;
+            }
 
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                Tick done = res.reserve(duration);
+                // A frozen resource resumes immediately; await_resume
+                // then throws into the caller. Not reserving keeps the
+                // dead core's counters at their crash-instant values.
+                Tick done = res.frozen_ ? res.kernel_.now()
+                                        : res.reserve(duration);
                 res.kernel_.scheduleAt(done, [h] { h.resume(); });
             }
 
-            void await_resume() const noexcept {}
+            void
+            await_resume() const
+            {
+                if (res.frozen_)
+                    throw NodeDead{};
+            }
         };
         return Awaiter{*this, duration};
     }
@@ -77,6 +111,7 @@ class ComputeResource
     Kernel &kernel_;
     Tick freeAt_ = 0;
     Tick busyTime_ = 0;
+    bool frozen_ = false;
 };
 
 } // namespace hades::sim

@@ -18,8 +18,10 @@
 #ifndef HADES_TXN_GROUND_TRUTH_HH_
 #define HADES_TXN_GROUND_TRUTH_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 namespace hades::txn
 {
@@ -62,6 +64,19 @@ class GroundTruth
     }
 
     std::size_t touched() const { return values_.size(); }
+
+    /** All records ever written, in sorted (deterministic) order.
+     *  Recovery and the replica-divergence check iterate this. */
+    std::vector<std::uint64_t>
+    touchedRecords() const
+    {
+        std::vector<std::uint64_t> out;
+        out.reserve(values_.size());
+        for (const auto &kv : values_) // det-lint: ordered-ok (sorted)
+            out.push_back(kv.first);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
 
   private:
     std::unordered_map<std::uint64_t, std::int64_t> values_;

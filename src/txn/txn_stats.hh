@@ -60,6 +60,7 @@ enum class SquashReason : std::uint8_t
     LlcEviction,        //!< speculative line evicted from the LLC
     ReplicaTimeout,     //!< a replica update was lost / not acked
     CommitTimeout,      //!< commit-phase Acks never arrived (faults)
+    NodeFailure,        //!< a participant crashed permanently (recovery)
     NumReasons,
 };
 
@@ -83,6 +84,8 @@ squashReasonName(SquashReason r)
         return "ReplicaTimeout";
       case SquashReason::CommitTimeout:
         return "CommitTimeout";
+      case SquashReason::NodeFailure:
+        return "NodeFailure";
       default:
         return "?";
     }

@@ -12,8 +12,10 @@
 #ifndef HADES_TXN_VERSION_TABLE_HH_
 #define HADES_TXN_VERSION_TABLE_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -69,6 +71,35 @@ class VersionTable
 
     /** Bump the record's version (commit applies the write). */
     void bumpVersion(std::uint64_t record) { of(record).version += 1; }
+
+    /**
+     * Crash recovery: release every lock held by @p owner (a dead
+     * transaction that will never send its unlocks). Deterministic:
+     * matching records are collected and released in sorted order.
+     * @return number of locks released.
+     */
+    std::uint64_t
+    releaseOwnedBy(std::uint64_t owner)
+    {
+        std::vector<std::uint64_t> held;
+        // det-lint: ordered-ok (collected then sorted below)
+        for (const auto &[record, m] : meta_)
+            if (m.lockOwner == owner)
+                held.push_back(record);
+        std::sort(held.begin(), held.end());
+        for (std::uint64_t r : held)
+            meta_[r].lockOwner = 0;
+        return held.size();
+    }
+
+    /** Crash recovery: install migrated metadata for @p record (lock
+     *  cleared -- a dead owner's lock must not travel to the new
+     *  home). */
+    void
+    installMigrated(std::uint64_t record, const RecordMeta &m)
+    {
+        meta_[record] = RecordMeta{m.version, 0, m.incarnation};
+    }
 
     std::size_t touched() const { return meta_.size(); }
 

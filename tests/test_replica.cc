@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <vector>
+
 #include "core/runner.hh"
 #include "protocol/system.hh"
 #include "replica/replication.hh"
@@ -59,7 +62,7 @@ TEST(ReplicaStore, StagePromoteDiscard)
     EXPECT_EQ(store.stagedTxns(), 2u);
     EXPECT_FALSE(store.hasDurable(100));
 
-    store.promote(1);
+    store.promote(1, /*seq=*/1);
     EXPECT_EQ(store.durableValue(100), 42);
     EXPECT_EQ(store.durableValue(101), 43);
     EXPECT_EQ(store.stagedTxns(), 1u);
@@ -70,8 +73,58 @@ TEST(ReplicaStore, StagePromoteDiscard)
     EXPECT_EQ(store.stagedTxns(), 0u);
 
     // Promoting an unknown transaction is a no-op.
-    store.promote(77);
+    store.promote(77, /*seq=*/2);
     EXPECT_EQ(store.durableRecords(), 2u);
+}
+
+TEST(ReplicaStore, MissingImageIsDistinctFromZero)
+{
+    ReplicaStore store;
+    EXPECT_EQ(store.durableValue(5), std::nullopt);
+    store.installDurable(5, 0, /*seq=*/1);
+    EXPECT_EQ(store.durableValue(5), std::int64_t{0});
+    EXPECT_TRUE(store.hasDurable(5));
+}
+
+TEST(ReplicaStore, MaxSeqWinsAbsorbsReordering)
+{
+    ReplicaStore store;
+    store.installDurable(9, 30, /*seq=*/3);
+    // A delayed older promote must not roll the record back.
+    store.installDurable(9, 10, /*seq=*/1);
+    EXPECT_EQ(store.durableValue(9), 30);
+    ASSERT_TRUE(store.durableImage(9).has_value());
+    EXPECT_EQ(store.durableImage(9)->seq, 3u);
+    // A newer commit wins as usual.
+    store.installDurable(9, 50, /*seq=*/5);
+    EXPECT_EQ(store.durableValue(9), 50);
+    // Re-delivery of the same (seq, value) is idempotent.
+    store.installDurable(9, 50, /*seq=*/5);
+    EXPECT_EQ(store.durableValue(9), 50);
+}
+
+TEST(ReplicaPlacement, DeadNodeLeavesItsRingSlotEmpty)
+{
+    ReplicationConfig cfg;
+    cfg.degree = 2;
+    ReplicaManager mgr{cfg, 5};
+    std::vector<std::vector<NodeId>> before;
+    for (std::uint64_t r = 0; r < 64; ++r) {
+        before.push_back(mgr.backupsOf(r, /*primary=*/0));
+        ASSERT_EQ(before.back().size(), 2u);
+    }
+    mgr.markDead(3);
+    EXPECT_TRUE(mgr.nodeDead(3));
+    EXPECT_EQ(mgr.liveNodes(), 4u);
+    for (std::uint64_t r = 0; r < 64; ++r) {
+        // The dead node's slot stays empty: the set only shrinks, it
+        // never gains a member that missed earlier in-flight promotes.
+        std::vector<NodeId> expect;
+        for (NodeId b : before[r])
+            if (b != 3)
+                expect.push_back(b);
+        EXPECT_EQ(mgr.backupsOf(r, 0), expect);
+    }
 }
 
 TEST(ReplicationConfig, MediumLatencies)
@@ -179,13 +232,14 @@ TEST(ReplicatedCommit, DurableImagesMatchCommittedValues)
     for (NodeId n = 0; n < cfg.numNodes; ++n)
         EXPECT_EQ(sys.replicas->store(n).stagedTxns(), 0u);
 
-    std::vector<std::uint64_t> records;
-    std::vector<NodeId> primaries;
-    for (std::uint64_t rec = 0; rec < 8; ++rec) {
-        records.push_back(rec);
-        primaries.push_back(sys.placement.homeOf(rec));
-    }
-    EXPECT_EQ(sys.replicas->divergentRecords(records, primaries), 0u);
+    // Every live backup of every committed record must hold the
+    // ground-truth value (not merely agree with its peers).
+    EXPECT_EQ(sys.replicas->divergentRecords(
+                  sys.data,
+                  [&](std::uint64_t r) {
+                      return sys.placement.homeOf(r);
+                  }),
+              0u);
 }
 
 } // namespace
