@@ -43,11 +43,25 @@ usage(const char *argv0)
         "  --fault-drop P                    per-message loss prob\n"
         "  --fault-dup P                     duplicate-delivery prob\n"
         "  --fault-delay P                   reorder-delay prob\n"
+        "  --fault-corrupt P                 payload-corruption prob\n"
+        "                                    (NIC CRC drops the copy)\n"
         "  --fault-seed S                    fault RNG seed\n"
         "  --crash-forever N@T               node N permanently fail-\n"
         "                                    stops at T microseconds\n"
+        "  --partition A-B@T1:T2             drop A->B traffic in\n"
+        "                                    [T1,T2) us (directed)\n"
+        "  --partition-sym A-B@T1:T2         same, both directions\n"
+        "  --isolate N@T1:T2                 cut node N from everyone\n"
+        "                                    for [T1,T2) us\n"
         "  --recovery                        leases + view changes +\n"
         "                                    backup promotion\n"
+        "  --retry-base-us T --retry-cap-us T  retransmit/resend RTO\n"
+        "  --max-commit-resends N            commit Ack-timeout budget\n"
+        "  --max-reliable-resends N          reliable-channel budget\n"
+        "                                    (0 = unbounded)\n"
+        "  --lease-interval-us T --lease-timeout-us T\n"
+        "  --backoff-cycles N                squash-retry backoff base\n"
+        "  --max-squashes N                  lock-mode fallback bound\n"
         "  --audit | --no-audit              correctness auditor\n"
         "                                    (default: on in debug "
         "builds)\n"
@@ -104,6 +118,37 @@ parseStore(const std::string &s, const char *argv0)
     usage(argv0);
 }
 
+/** Parse "T1:T2" (microseconds) into a [at, until) window. */
+bool
+parseWindow(const std::string &s, Tick &at, Tick &until)
+{
+    auto colon = s.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= s.size())
+        return false;
+    at = us(std::atoll(s.substr(0, colon).c_str()));
+    until = us(std::atoll(s.substr(colon + 1).c_str()));
+    return until > at;
+}
+
+/** Parse "A-B@T1:T2" into a one-edge partition window. */
+bool
+parsePartition(const std::string &v, bool symmetric,
+               FaultConfig::PartitionWindow &w)
+{
+    auto dash = v.find('-');
+    auto sep = v.find('@');
+    if (dash == std::string::npos || sep == std::string::npos ||
+        dash == 0 || dash + 1 >= sep || sep + 1 >= v.size())
+        return false;
+    w = FaultConfig::PartitionWindow{};
+    w.edges.emplace_back(
+        NodeId(std::atoi(v.substr(0, dash).c_str())),
+        NodeId(std::atoi(v.substr(dash + 1, sep - dash - 1).c_str())));
+    w.symmetric = symmetric;
+    return parseWindow(v.substr(sep + 1), w.at, w.until);
+}
+
 } // namespace
 
 int
@@ -121,6 +166,13 @@ main(int argc, char **argv)
     core::MixEntry entry{workload::AppKind::YcsbA,
                          kvs::StoreKind::HashTable};
     bool all_engines = false;
+    // --isolate requests, materialized once numNodes is final.
+    struct Isolate
+    {
+        NodeId node;
+        Tick at, until;
+    };
+    std::vector<Isolate> isolates;
 
     for (int i = 1; i < argc; ++i) {
         std::string opt = argv[i];
@@ -169,6 +221,27 @@ main(int argc, char **argv)
         } else if (opt == "--fault-delay") {
             spec.cluster.faults.enabled = true;
             spec.cluster.faults.delayAll(std::atof(next().c_str()));
+        } else if (opt == "--fault-corrupt") {
+            spec.cluster.faults.enabled = true;
+            spec.cluster.faults.corruptAll(std::atof(next().c_str()));
+        } else if (opt == "--partition" || opt == "--partition-sym") {
+            FaultConfig::PartitionWindow w;
+            if (!parsePartition(next(), opt == "--partition-sym", w))
+                usage(argv[0]);
+            spec.cluster.faults.enabled = true;
+            spec.cluster.faults.partitions.push_back(w);
+        } else if (opt == "--isolate") {
+            std::string v = next();
+            auto sep = v.find('@');
+            Tick at = 0, until = 0;
+            if (sep == std::string::npos || sep == 0 ||
+                sep + 1 >= v.size() ||
+                !parseWindow(v.substr(sep + 1), at, until))
+                usage(argv[0]);
+            spec.cluster.faults.enabled = true;
+            isolates.push_back(
+                {NodeId(std::atoi(v.substr(0, sep).c_str())), at,
+                 until});
         } else if (opt == "--fault-seed")
             spec.cluster.faults.seed =
                 std::uint64_t(std::atoll(next().c_str()));
@@ -187,6 +260,30 @@ main(int argc, char **argv)
             spec.cluster.faults.nodeEvents.push_back(ev);
         } else if (opt == "--recovery")
             spec.cluster.recovery.enabled = true;
+        else if (opt == "--retry-base-us")
+            spec.cluster.tuning.retryTimeoutBase =
+                us(std::atoll(next().c_str()));
+        else if (opt == "--retry-cap-us")
+            spec.cluster.tuning.retryTimeoutCap =
+                us(std::atoll(next().c_str()));
+        else if (opt == "--max-commit-resends")
+            spec.cluster.tuning.maxCommitResends =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--max-reliable-resends")
+            spec.cluster.tuning.maxReliableResends =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--lease-interval-us")
+            spec.cluster.tuning.leaseInterval =
+                us(std::atoll(next().c_str()));
+        else if (opt == "--lease-timeout-us")
+            spec.cluster.tuning.leaseTimeout =
+                us(std::atoll(next().c_str()));
+        else if (opt == "--backoff-cycles")
+            spec.cluster.tuning.retryBackoffBaseCycles =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--max-squashes")
+            spec.cluster.tuning.maxSquashesBeforeLockMode =
+                std::uint32_t(std::atoi(next().c_str()));
         else if (opt == "--audit")
             spec.audit = true;
         else if (opt == "--no-audit")
@@ -199,6 +296,13 @@ main(int argc, char **argv)
     if (spec.cluster.numNodes < 2 || spec.cluster.coresPerNode < 1 ||
         spec.cluster.slotsPerCore < 1)
         usage(argv[0]);
+    for (const auto &iso : isolates) {
+        if (iso.node >= spec.cluster.numNodes)
+            usage(argv[0]);
+        spec.cluster.faults.partitions.push_back(
+            FaultConfig::PartitionWindow::isolate(
+                iso.node, spec.cluster.numNodes, iso.at, iso.until));
+    }
     spec.mix = {entry};
     if (sweep.smoke())
         spec = bench::Sweep::applySmoke(spec);
@@ -285,13 +389,25 @@ main(int argc, char **argv)
                     (unsigned long)res.replicationAborts,
                     (unsigned long)res.lostReplicaMessages);
     if (spec.cluster.faults.enabled) {
-        std::printf("faults        %lu drops (%lu crash), %lu dups, "
-                    "%lu delays, %lu nic stalls\n",
+        std::printf("faults        %lu drops (%lu crash, %lu "
+                    "partition), %lu dups, %lu delays, %lu nic "
+                    "stalls\n",
                     (unsigned long)res.faultDrops,
                     (unsigned long)res.faultCrashDrops,
+                    (unsigned long)res.partitionDrops,
                     (unsigned long)res.faultDuplicates,
                     (unsigned long)res.faultDelays,
                     (unsigned long)res.faultNicStalls);
+        if (!spec.cluster.faults.partitions.empty())
+            std::printf("partitions    %lu windows, %lu healed "
+                        "in-run\n",
+                        (unsigned long)spec.cluster.faults.partitions
+                            .size(),
+                        (unsigned long)res.partitionHeals);
+        if (res.corruptDrops)
+            std::printf("corruption    %lu copies CRC-rejected at the "
+                        "NIC\n",
+                        (unsigned long)res.corruptDrops);
         std::printf("recovery      %lu nic retransmits, %lu commit "
                     "resends, %lu reliable resends, %lu timeout "
                     "squashes\n",
@@ -300,7 +416,7 @@ main(int argc, char **argv)
                     (unsigned long)res.reliableResends,
                     (unsigned long)res.timeoutSquashes);
     }
-    if (res.recoveryEnabled)
+    if (res.recoveryEnabled) {
         std::printf("crash-recov   %lu view changes, %lu records "
                     "re-homed, %lu in-doubt committed + %lu aborted, "
                     "%lu writes replayed, %lu images resynced, "
@@ -312,6 +428,14 @@ main(int argc, char **argv)
                     (unsigned long)res.replayedWrites,
                     (unsigned long)res.resyncedImages,
                     (unsigned long)res.fencedStaleMessages);
+        std::printf("cm group      %lu failovers, %lu quorum "
+                    "refusals, %lu stale lease grants, %lu divergent "
+                    "records\n",
+                    (unsigned long)res.cmFailovers,
+                    (unsigned long)res.quorumRefusals,
+                    (unsigned long)res.staleLeaseGrants,
+                    (unsigned long)res.divergentRecords);
+    }
     if (res.audited)
         std::printf("audit         PASS: %lu commits + %lu aborts, "
                     "%lu graph edges, %lu hardware checks\n",

@@ -1,5 +1,7 @@
 #include "bloom/locking_buffer.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace hades::bloom
@@ -127,6 +129,19 @@ LockingBufferBank::activeCount() const
     for (const auto &b : buffers_)
         n += b.active ? 1 : 0;
     return n;
+}
+
+std::vector<std::uint64_t>
+LockingBufferBank::activeOwners() const
+{
+    std::vector<std::uint64_t> owners;
+    for (const auto &b : buffers_)
+        if (b.active)
+            owners.push_back(b.owner);
+    std::sort(owners.begin(), owners.end());
+    owners.erase(std::unique(owners.begin(), owners.end()),
+                 owners.end());
+    return owners;
 }
 
 } // namespace hades::bloom

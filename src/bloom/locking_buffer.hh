@@ -93,6 +93,10 @@ class LockingBufferBank
     /** Number of active buffers. */
     std::uint32_t activeCount() const;
 
+    /** Owners of the active buffers, sorted and deduplicated (crash
+     *  recovery scans these for a dead coordinator's stranded state). */
+    std::vector<std::uint64_t> activeOwners() const;
+
     std::uint32_t capacity() const
     {
         return static_cast<std::uint32_t>(buffers_.size());

@@ -93,6 +93,48 @@ struct SoftwareCostModel
 };
 
 /**
+ * Robustness tuning: every retry / resend / lease timing constant of
+ * the fault-recovery machinery (PRs 1 and 4) in one documented place,
+ * so chaos tests and fuzzer genomes can vary them coherently instead
+ * of poking scattered magic numbers. Defaults are the values the
+ * subsystems shipped with; changing none of them keeps every run
+ * bit-identical.
+ */
+struct RobustnessTuning
+{
+    // --- optimistic-retry policy (all engines) -------------------------------
+    /** FaRM-style livelock escape: after this many squashes of the same
+     *  transaction, fall back to lock-all pessimistic execution. */
+    std::uint32_t maxSquashesBeforeLockMode = 48;
+    /** Exponential backoff base applied between retries (cycles). */
+    std::uint32_t retryBackoffBaseCycles = 200;
+
+    // --- message-loss recovery (only active when faults.enabled) -------------
+    /** Initial per-verb retransmission/resend timeout. Doubles per
+     *  attempt (capped at retryTimeoutCap) with jitter on the
+     *  protocol-level resends. */
+    Tick retryTimeoutBase = us(8);
+    Tick retryTimeoutCap = us(128);
+    /** Commit-phase Intend-to-commit resend budget: after this many
+     *  timeout-triggered resend rounds without a full Ack set the
+     *  committer squashes itself (CommitTimeout) and retries. */
+    std::uint32_t maxCommitResends = 10;
+    /** reliablePost resend budget; 0 means unbounded (the PR-1
+     *  semantics: resend until confirmed or an endpoint dies). A bound
+     *  keeps runs finite under never-healing partitions, where an Ack
+     *  may be unreachable forever. */
+    std::uint32_t maxReliableResends = 0;
+
+    // --- lease-based failure detection (recovery.enabled) --------------------
+    /** Lease renewal period (manager -> holder probe cadence). */
+    Tick leaseInterval = us(20);
+    /** Expiry horizon: a node whose last renewal is older than this is
+     *  declared dead and a view change begins. Must comfortably exceed
+     *  leaseInterval plus one network round-trip. */
+    Tick leaseTimeout = us(50);
+};
+
+/**
  * Fault-injection plan knobs (src/fault/). All perturbations are drawn
  * from a dedicated seeded RNG, so a faulty run is exactly as
  * bit-reproducible as a fault-free one. With enabled == false the
@@ -115,6 +157,12 @@ struct FaultConfig
     std::array<double, kNumVerbs> dupProb{};
     /** Per-verb reorder-delay probability. */
     std::array<double, kNumVerbs> delayProb{};
+    /** Per-verb payload-corruption probability: the copy is delivered
+     *  but fails the destination NIC's CRC check and is discarded, so
+     *  at the protocol layer a corrupted Intend-to-commit or Validation
+     *  is indistinguishable from a drop and the RC-retransmission /
+     *  reliablePost machinery recovers it. */
+    std::array<double, kNumVerbs> corruptProb{};
     /** Deterministically drop the first N sends of a verb (phase-
      *  targeted chaos tests; probabilistic knobs are skipped for a
      *  message dropped this way). */
@@ -153,10 +201,83 @@ struct FaultConfig
     };
     std::vector<NodeEvent> nodeEvents;
 
+    /**
+     * Link-level network partition: every message copy sent on a listed
+     * directed src->dst edge inside [at, until) is dropped on the wire
+     * (asymmetric by default -- the reverse direction keeps working
+     * unless `symmetric` adds it). Healing is scheduled, not magic: at
+     * `until` the edges simply carry traffic again and the endpoints'
+     * retransmission / resend timers recover whatever was lost. A
+     * window that never heals (until == kTickMax) models a permanent
+     * partition; use with care, since a round trip across it
+     * retransmits forever and the run only drains if no coroutine is
+     * stuck on such a link when the drivers finish.
+     */
+    struct PartitionWindow
+    {
+        /** Directed src->dst edges the window blocks. */
+        std::vector<std::pair<NodeId, NodeId>> edges;
+        Tick at = 0;
+        Tick until = 0;
+        /** Also block every reverse edge (full bidirectional cut). */
+        bool symmetric = false;
+
+        bool
+        blocks(NodeId src, NodeId dst, Tick t) const
+        {
+            if (t < at || t >= until)
+                return false;
+            for (const auto &e : edges)
+                if ((e.first == src && e.second == dst) ||
+                    (symmetric && e.first == dst && e.second == src))
+                    return true;
+            return false;
+        }
+
+        /** Convenience: isolate @p node from every other node in both
+         *  directions. */
+        static PartitionWindow
+        isolate(NodeId node, std::uint32_t num_nodes, Tick at, Tick until)
+        {
+            PartitionWindow w;
+            w.at = at;
+            w.until = until;
+            w.symmetric = true;
+            for (NodeId n = 0; n < num_nodes; ++n)
+                if (n != node)
+                    w.edges.emplace_back(node, n);
+            return w;
+        }
+    };
+    std::vector<PartitionWindow> partitions;
+
+    /** True if any window blocks the directed edge src->dst at @p t. */
+    bool
+    linkBlocked(NodeId src, NodeId dst, Tick t) const
+    {
+        for (const auto &w : partitions)
+            if (w.blocks(src, dst, t))
+                return true;
+        return false;
+    }
+
+    /** Number of partition windows whose scheduled healing instant has
+     *  passed by @p t (computed lazily so healing needs no kernel
+     *  event and never extends the simulated run). */
+    std::uint64_t
+    partitionsHealedBy(Tick t) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &w : partitions)
+            n += w.until != kTickMax && w.until <= t;
+        return n;
+    }
+
     // Convenience setters: apply one probability to every verb.
     void dropAll(double p) { dropProb.fill(p); }
     void dupAll(double p) { dupProb.fill(p); }
     void delayAll(double p) { delayProb.fill(p); }
+    void corruptAll(double p) { corruptProb.fill(p); }
 
     bool
     anyNodeEventCovers(NodeId node, Tick t, bool crash_only) const
@@ -192,28 +313,37 @@ struct FaultConfig
 };
 
 /**
- * Crash-recovery / reconfiguration knobs (src/recovery/). A
- * configuration-manager node grants per-node leases over the simulated
- * network; a lease that expires (because the holder is permanently
- * crashed and stops renewing) triggers an epoch-numbered view change
- * that promotes replica images, re-homes the placement ring, drains the
- * dead node's protocol footprint and resolves in-doubt transactions.
- * Disabled by default: fault-free runs construct no recovery state and
- * stay bit-identical to builds without the subsystem.
+ * Crash-recovery / reconfiguration knobs (src/recovery/). A replica
+ * group of configuration-manager nodes grants per-node leases over the
+ * simulated network; a lease that expires (because the holder is
+ * permanently crashed and stops renewing) triggers an epoch-numbered
+ * view change that promotes replica images, re-homes the placement
+ * ring, drains the dead node's protocol footprint and resolves
+ * in-doubt transactions. Lease/lease-timing constants live in
+ * RobustnessTuning. Disabled by default: fault-free runs construct no
+ * recovery state and stay bit-identical to builds without the
+ * subsystem.
  */
 struct RecoveryConfig
 {
     bool enabled = false;
-    /** Node that acts as configuration manager / lease grantor. Pick a
-     *  node the fault plan never kills (the CM itself is assumed
-     *  reliable, as in FaRM's external configuration store). */
+    /** First slot of the configuration-manager replica group: the group
+     *  occupies cmGroupSize consecutive node slots starting here
+     *  (mod numNodes), and the lowest-slot live member acts as primary
+     *  lease grantor. */
     NodeId managerNode = 0;
-    /** Lease renewal period (manager -> holder probe cadence). */
-    Tick leaseInterval = us(20);
-    /** Expiry horizon: a node whose last renewal is older than this is
-     *  declared dead and a view change begins. Must comfortably exceed
-     *  leaseInterval plus one network round-trip. */
-    Tick leaseTimeout = us(50);
+    /** Fixed-slot CM replica group size (clamped to numNodes). A
+     *  crashed primary is detected by its standbys through the same
+     *  lease mechanism and deterministically succeeded by the next
+     *  live slot; a CM that cannot reach a majority of the live group
+     *  members refuses to advance the epoch (no split-brain). */
+    std::uint32_t cmGroupSize = 3;
+    /** TEST-ONLY seeded bug: skip view-change step 6b (re-replication
+     *  of promoted images to ring newcomers), leaving stale backups
+     *  behind a crash. Exists so the chaos fuzzer's shrinking can be
+     *  demonstrated against a known injected defect; never set it in
+     *  real experiments. */
+    bool testSkipImageResync = false;
 };
 
 /** Top-level cluster configuration (defaults reproduce Table III). */
@@ -256,23 +386,9 @@ struct ClusterConfig
     /** Payload bytes per database record (excluding SW-Impl metadata). */
     std::uint32_t recordPayloadBytes = 256;
 
-    // --- Protocol policy -----------------------------------------------------
-    /** FaRM-style livelock escape: after this many squashes of the same
-     *  transaction, fall back to lock-all pessimistic execution. */
-    std::uint32_t maxSquashesBeforeLockMode = 48;
-    /** Exponential backoff base applied between retries (cycles). */
-    std::uint32_t retryBackoffBaseCycles = 200;
-
-    // --- Message-loss recovery (only active when faults.enabled) -------------
-    /** Initial per-verb retransmission/resend timeout. Doubles per
-     *  attempt (capped at retryTimeoutCap) with jitter on the
-     *  protocol-level resends. */
-    Tick retryTimeoutBase = us(8);
-    Tick retryTimeoutCap = us(128);
-    /** Commit-phase Intend-to-commit resend budget: after this many
-     *  timeout-triggered resend rounds without a full Ack set the
-     *  committer squashes itself (CommitTimeout) and retries. */
-    std::uint32_t maxCommitResends = 10;
+    // --- Protocol retry / recovery timing ------------------------------------
+    /** Consolidated retry/resend/lease tuning (see RobustnessTuning). */
+    RobustnessTuning tuning;
 
     /** Fault-injection plan (disabled by default: zero-cost when off). */
     FaultConfig faults;

@@ -10,14 +10,54 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace hades
 {
 
-/** Abort: a condition that indicates a bug in the simulator itself. */
+/** What panic() threw when throw-mode is on (see setPanicThrows). */
+struct PanicError : std::runtime_error
+{
+    explicit PanicError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+/** Process-wide panic mode flag. Written once before worker threads
+ *  start (the chaos fuzzer sets it up front), read on the cold panic
+ *  path only. */
+inline bool &
+panicThrowsFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+} // namespace detail
+
+/**
+ * Select panic() behavior: abort (default; a violated invariant is a
+ * simulator bug and the core dump is the artifact) or throw PanicError
+ * (the chaos fuzzer's mode: a violation inside one runMany() slot is
+ * caught by the sweep's per-slot exception barrier and reported as a
+ * failed outcome, so the campaign can shrink it instead of dying).
+ * Call it before any worker thread exists.
+ */
+inline void
+setPanicThrows(bool throws)
+{
+    detail::panicThrowsFlag() = throws;
+}
+
+/** Abort (or throw PanicError in throw-mode): a condition that
+ *  indicates a bug in the simulator itself. Never returns normally. */
 [[noreturn]] inline void
 panic(const char *msg)
 {
+    if (detail::panicThrowsFlag())
+        throw PanicError(std::string("panic: ") + msg);
     std::fprintf(stderr, "panic: %s\n", msg);
     std::abort();
 }

@@ -160,6 +160,9 @@ runResultJson(const RunResult &res)
     field(out, "fault_delays", res.faultDelays);
     field(out, "fault_nic_stalls", res.faultNicStalls);
     field(out, "fault_crash_drops", res.faultCrashDrops);
+    field(out, "partition_drops", res.partitionDrops);
+    field(out, "partition_heals", res.partitionHeals);
+    field(out, "corrupt_drops", res.corruptDrops);
     field(out, "net_retransmits", res.netRetransmits);
     field(out, "timeout_resends", res.timeoutResends);
     field(out, "reliable_resends", res.reliableResends);
@@ -173,6 +176,10 @@ runResultJson(const RunResult &res)
     field(out, "replayed_writes", res.replayedWrites);
     field(out, "resynced_images", res.resyncedImages);
     field(out, "fenced_stale_messages", res.fencedStaleMessages);
+    field(out, "cm_failovers", res.cmFailovers);
+    field(out, "quorum_refusals", res.quorumRefusals);
+    field(out, "stale_lease_grants", res.staleLeaseGrants);
+    field(out, "divergent_records", res.divergentRecords);
     fieldB(out, "audited", res.audited);
     field(out, "audited_commits", res.auditedCommits);
     field(out, "audited_aborts", res.auditedAborts);

@@ -265,12 +265,19 @@ runOne(const RunSpec &spec)
     }
     if (faults) {
         const auto &fs = faults->stats();
-        res.faultDrops = fs.totalDrops() + fs.crashDrops;
+        res.faultDrops =
+            fs.totalDrops() + fs.crashDrops + fs.partitionDrops;
         res.faultDuplicates = fs.totalDuplicates();
         res.faultDelays = fs.totalDelays() + fs.pausedDeferrals;
         res.faultNicStalls = fs.totalNicStalls();
         res.faultCrashDrops = fs.crashDrops;
+        res.partitionDrops = fs.partitionDrops;
+        // Healing is lazy (no kernel event), so count the windows whose
+        // scheduled heal instant the run actually reached.
+        res.partitionHeals =
+            faults->partitionsHealedBy(sys.kernel.now());
     }
+    res.corruptDrops = sys.network.corruptDrops();
     if (recov) {
         const auto &rs = recov->stats();
         res.recoveryEnabled = true;
@@ -281,6 +288,19 @@ runOne(const RunSpec &spec)
         res.inDoubtAborted = rs.inDoubtAborted;
         res.replayedWrites = rs.replayedWrites;
         res.resyncedImages = rs.resyncedImages;
+        res.cmFailovers = rs.cmFailovers;
+        res.quorumRefusals = rs.quorumRefusals;
+        res.staleLeaseGrants = rs.staleLeaseGrants;
+        // End-of-run durability check against ground truth: every live
+        // backup of every record must hold the committed value. This
+        // is the chaos fuzzer's primary predicate, and any crash /
+        // partition / corruption scenario that leaves a stale backup
+        // behind shows up here as a nonzero count.
+        if (sys.replicas)
+            res.divergentRecords = sys.replicas->divergentRecords(
+                sys.data, [&](std::uint64_t r) {
+                    return sys.placement.homeOf(r);
+                });
     }
     res.fencedStaleMessages = sys.network.fencedStaleMessages();
     res.netRetransmits = sys.network.totalRetransmits();

@@ -99,6 +99,9 @@ struct RunResult
     std::uint64_t faultDelays = 0;     //!< message copies delayed
     std::uint64_t faultNicStalls = 0;  //!< injected NIC stalls
     std::uint64_t faultCrashDrops = 0; //!< drops due to crash windows
+    std::uint64_t partitionDrops = 0;  //!< drops on partitioned links
+    std::uint64_t partitionHeals = 0;  //!< partition windows healed in-run
+    std::uint64_t corruptDrops = 0;    //!< NIC CRC-rejected deliveries
     std::uint64_t netRetransmits = 0;  //!< NIC-level RC retransmissions
     std::uint64_t timeoutResends = 0;  //!< commit-phase Ack-timeout resends
     std::uint64_t reliableResends = 0; //!< reliable one-way resends
@@ -115,6 +118,13 @@ struct RunResult
     std::uint64_t replayedWrites = 0;   //!< journaled writes replayed
     std::uint64_t resyncedImages = 0;   //!< backup images re-replicated
     std::uint64_t fencedStaleMessages = 0; //!< old-epoch copies dropped
+    std::uint64_t cmFailovers = 0;      //!< CM primary successions
+    std::uint64_t quorumRefusals = 0;   //!< CM epoch advances refused
+    std::uint64_t staleLeaseGrants = 0; //!< CM-epoch-fenced lease grants
+    /** Live-backup images that disagree with ground truth at end of
+     *  run (computed when replication and recovery are both on; the
+     *  chaos fuzzer's primary durability predicate). */
+    std::uint64_t divergentRecords = 0;
 
     /** Correctness-audit outcome (all zero when auditing is off). */
     bool audited = false;

@@ -47,6 +47,12 @@ FaultStats::totalNicStalls() const
     return sumArray(nicStalls);
 }
 
+std::uint64_t
+FaultStats::totalCorrupted() const
+{
+    return sumArray(corrupted);
+}
+
 FaultPlan::FaultPlan(sim::Kernel &kernel, const ClusterConfig &cfg)
     : kernel_(kernel), cfg_(cfg), f_(cfg.faults),
       rng_(cfg.seed ^ cfg.faults.seed)
@@ -60,14 +66,22 @@ FaultPlan::judge(net::MsgType t, NodeId src, NodeId dst)
     net::FaultDecision d;
     const std::uint64_t nth = seen_[v]++;
 
-    // Node-outage windows come first and are purely deterministic (no
-    // RNG draw), so adding windows does not shift the probabilistic
-    // draw sequence of unrelated messages.
+    // Node-outage and partition windows come first and are purely
+    // deterministic (no RNG draw), so adding windows does not shift
+    // the probabilistic draw sequence of unrelated messages.
     const Tick now = kernel_.now();
     const Tick arrive = now + cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
     if (f_.anyNodeEventCovers(src, now, /*crash_only=*/true) ||
         f_.anyNodeEventCovers(dst, arrive, /*crash_only=*/true)) {
         stats_.crashDrops += 1;
+        d.drop = true;
+        return d;
+    }
+    // A copy on a partitioned directed link is lost on the wire. The
+    // check is at the send instant: a copy that departs just before
+    // the window opens still lands (it was already in flight).
+    if (!f_.partitions.empty() && f_.linkBlocked(src, dst, now)) {
+        stats_.partitionDrops += 1;
         d.drop = true;
         return d;
     }
@@ -112,6 +126,14 @@ FaultPlan::judge(net::MsgType t, NodeId src, NodeId dst)
                 static_cast<std::uint64_t>(f_.maxDelay))) +
             1;
         stats_.duplicates[v] += 1;
+    }
+    if (f_.corruptProb[v] > 0 && rng_.chance(f_.corruptProb[v])) {
+        // In-flight payload corruption of the primary copy: it is
+        // delivered, fails the destination NIC's CRC check, and is
+        // discarded there -- indistinguishable from a drop at the
+        // protocol layer, but visible in Network::corruptDrops().
+        d.corrupt = true;
+        stats_.corrupted[v] += 1;
     }
     if (f_.nicStallProb > 0 && rng_.chance(f_.nicStallProb)) {
         d.stall = f_.nicStallTicks;

@@ -60,15 +60,22 @@ struct FaultStats
     std::array<std::uint64_t, kNumVerbs> duplicates{};
     std::array<std::uint64_t, kNumVerbs> delays{};
     std::array<std::uint64_t, kNumVerbs> nicStalls{};
+    /** Copies whose payload was corrupted in flight (the destination
+     *  NIC CRC check discards them; Network counts the discards). */
+    std::array<std::uint64_t, kNumVerbs> corrupted{};
     /** Copies deferred to the end of a pause window. */
     std::uint64_t pausedDeferrals = 0;
     /** Copies dropped because an endpoint was inside a crash window. */
     std::uint64_t crashDrops = 0;
+    /** Copies dropped because their directed link was inside a
+     *  partition window at the send instant. */
+    std::uint64_t partitionDrops = 0;
 
     std::uint64_t totalDrops() const;
     std::uint64_t totalDuplicates() const;
     std::uint64_t totalDelays() const;
     std::uint64_t totalNicStalls() const;
+    std::uint64_t totalCorrupted() const;
 };
 
 /** The fault injector (see file comment). */
@@ -80,6 +87,21 @@ class FaultPlan : public net::FaultInjector
     /** Decide the fate of one transmitted message copy. */
     net::FaultDecision judge(net::MsgType t, NodeId src,
                              NodeId dst) override;
+
+    /** Partition oracle for control planes (CM quorum checks):
+     *  delegates to the configured partition windows. */
+    bool
+    linkBlocked(NodeId src, NodeId dst, Tick t) const override
+    {
+        return f_.linkBlocked(src, dst, t);
+    }
+
+    /** Partition windows whose healing instant has passed by @p now. */
+    std::uint64_t
+    partitionsHealedBy(Tick now) const
+    {
+        return f_.partitionsHealedBy(now);
+    }
 
     /**
      * Schedule the configured node pause/crash windows: at each window

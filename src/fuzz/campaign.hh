@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Chaos-fuzzing campaign: run seeded genomes audited across all three
+ * protocol engines, detect failures (audit violation, invariant panic,
+ * or divergent replica images), and shrink a failing genome to a
+ * minimal repro by delta-debugging over its fault events.
+ *
+ * Everything here is a pure function of its inputs -- genomes come from
+ * seeds, runs go through core::runMany (bit-identical at any job
+ * count), and shrinking re-runs candidate genomes deterministically --
+ * so a campaign, its failures, and its shrunken repros are exactly
+ * reproducible from the command line that produced them.
+ */
+
+#ifndef HADES_FUZZ_CAMPAIGN_HH_
+#define HADES_FUZZ_CAMPAIGN_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/genome.hh"
+
+namespace hades::fuzz
+{
+
+/** How to execute one genome (shared by campaign, shrink, replay). */
+struct FuzzRunOptions
+{
+    bool smoke = false; //!< cap txns/context for CI-speed scenarios
+    unsigned jobs = 1;  //!< runMany workers (never affects results)
+};
+
+/** Outcome of running one genome across the three engines. */
+struct FuzzVerdict
+{
+    bool failed = false;
+    std::string engine; //!< first failing engine ("" when clean)
+    std::string error;  //!< captured panic/exception or divergence note
+    std::uint64_t divergentRecords = 0;
+};
+
+/** Run @p g once per engine (Baseline, HADES, HADES-H), audited, with
+ *  panics converted to failed outcomes. First failure wins. */
+FuzzVerdict runGenome(const Genome &g, const FuzzRunOptions &opt);
+
+/**
+ * Delta-debug @p g down to a locally minimal failing genome: greedily
+ * remove event chunks (halving chunk size down to single events) while
+ * the failure persists, then try reducing txnsPerContext. Uses at most
+ * @p max_runs re-executions; @p runs_used reports how many were spent.
+ * @pre runGenome(g, opt).failed
+ */
+Genome shrinkGenome(const Genome &g, const FuzzRunOptions &opt,
+                    std::uint32_t max_runs, std::uint32_t &runs_used);
+
+/** Campaign knobs (the hades_fuzz CLI is a thin wrapper over this). */
+struct CampaignOptions
+{
+    std::uint64_t seedBase = 1;
+    std::uint32_t genomes = 16;
+    std::uint32_t maxEvents = 12; //!< generation bound per genome
+    bool smoke = false;
+    unsigned jobs = 1;
+    /** Arm the TEST-ONLY skip-resync defect in every genome (and make
+     *  sure each has a permanent crash to trigger it): the shrinking
+     *  demo. Never used for real robustness campaigns. */
+    bool bugHook = false;
+    std::uint32_t shrinkRuns = 64; //!< shrink budget (genome re-runs)
+    std::string outPath;  //!< repro artifact path ("" = don't write)
+    bool quiet = false;   //!< suppress per-seed progress lines
+};
+
+/** Campaign outcome. */
+struct CampaignReport
+{
+    std::uint32_t genomesRun = 0;
+    std::uint32_t failures = 0;
+    bool haveRepro = false;
+    Genome repro;        //!< shrunken first failure (when haveRepro)
+    FuzzVerdict verdict; //!< its verdict (when haveRepro)
+};
+
+/** Run the seed matrix; stop at (and shrink) the first failure. */
+CampaignReport runCampaign(const CampaignOptions &opt);
+
+} // namespace hades::fuzz
+
+#endif // HADES_FUZZ_CAMPAIGN_HH_

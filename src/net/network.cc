@@ -135,14 +135,35 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
     auto st = std::make_shared<RtState>();
     st->work = std::move(at_dst);
 
+    // The handler typically holds references into the caller's
+    // coroutine frame, so it must never run after this round trip ends
+    // -- on *any* exit: completion, the NodeDead throw of a crashed
+    // requester (the unwind destroys the caller frame while request
+    // copies are still in flight), or destruction of this suspended
+    // frame. An RAII guard covers all three; in-flight deliveries then
+    // see active == false and do nothing.
+    struct Deactivate
+    {
+        std::shared_ptr<RtState> st;
+        ~Deactivate()
+        {
+            st->active = false;
+            st->work = nullptr;
+        }
+    } guard{st};
+
     const Tick half = cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
 
     // Delivery of one request copy (stamped with the epoch of its send
-    // instant): run the handler, then send the response (which is
-    // itself subject to faults and carries its own epoch stamp).
+    // instant): CRC-check the payload, run the handler, then send the
+    // response (which is itself subject to faults and carries its own
+    // epoch stamp). A corrupted copy dies at the destination NIC and
+    // the requester's retransmission timer recovers it, exactly like a
+    // wire drop.
     auto deliver = [this, st, type, src, dst, resp_bytes,
-                    half](std::uint64_t sent_epoch) {
-        if (!st->active || fenceStale(type, sent_epoch))
+                    half](std::uint64_t sent_epoch, bool corrupt) {
+        if (!st->active || fenceStale(type, sent_epoch) ||
+            crcReject(corrupt))
             return;
         Tick work = st->work ? st->work() : 0;
         kernel_.schedule(work, [this, st, type, src, dst, resp_bytes,
@@ -156,32 +177,34 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
             if (fd.stall > 0)
                 txPort_[dst]->reserve(fd.stall);
             const std::uint64_t resp_epoch = epoch_;
-            auto arrive = [this, st, type, resp_epoch] {
-                if (!st->active || fenceStale(type, resp_epoch))
+            auto arrive = [this, st, type,
+                           resp_epoch](bool resp_corrupt) {
+                if (!st->active || fenceStale(type, resp_epoch) ||
+                    crcReject(resp_corrupt))
                     return;
                 st->respArrived = true;
                 st->wake.notify(kernel_);
             };
             if (!fd.drop)
-                kernel_.scheduleAt(depart + half + fd.delay, arrive);
+                kernel_.scheduleAt(depart + half + fd.delay,
+                                   [arrive, corrupt = fd.corrupt] {
+                                       arrive(corrupt);
+                                   });
             if (fd.duplicate)
                 kernel_.scheduleAt(depart + half + fd.duplicateDelay,
-                                   arrive);
+                                   [arrive] { arrive(false); });
         });
     };
 
-    Tick rto = cfg_.retryTimeoutBase;
+    Tick rto = cfg_.tuning.retryTimeoutBase;
     for (std::uint32_t attempt = 0;; ++attempt) {
         // Fail-stop: a crashed requester unwinds its caller (the dead
         // node stops executing); a crashed responder makes the NIC give
         // up -- the protocol layer above owns recovery.
         if (dead_[src])
             throw sim::NodeDead{};
-        if (dead_[dst]) {
-            st->active = false;
-            st->work = nullptr;
-            co_return;
-        }
+        if (dead_[dst])
+            co_return; // the guard deactivates pending deliveries
         if (attempt > 0)
             retransmits_[static_cast<std::size_t>(type)] += 1;
         account(type, req_bytes);
@@ -195,13 +218,14 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
         const std::uint64_t sent_epoch = epoch_;
         if (!fd.drop)
             kernel_.schedule(half + fd.delay,
-                             [deliver, sent_epoch] {
-                                 deliver(sent_epoch);
+                             [deliver, sent_epoch,
+                              corrupt = fd.corrupt] {
+                                 deliver(sent_epoch, corrupt);
                              });
         if (fd.duplicate)
             kernel_.schedule(half + fd.duplicateDelay,
                              [deliver, sent_epoch] {
-                                 deliver(sent_epoch);
+                                 deliver(sent_epoch, false);
                              });
 
         // Wait for the response or the retransmission timeout,
@@ -214,10 +238,8 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
         co_await st->wake.wait();
         if (st->respArrived)
             break;
-        rto = std::min(rto * 2, cfg_.retryTimeoutCap);
+        rto = std::min(rto * 2, cfg_.tuning.retryTimeoutCap);
     }
-    st->active = false;
-    st->work = nullptr; // drop captured references to the caller frame
 }
 
 void
@@ -244,23 +266,30 @@ Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
         return;
     const std::uint64_t sent_epoch = epoch_;
     if (fd.drop || !fd.duplicate) {
+        // The surviving copy is the duplicate when the primary was
+        // dropped on the wire; only the primary carries the injected
+        // corruption, so a dropped-primary survivor passes CRC.
+        const bool corrupt = !fd.drop && fd.corrupt;
         kernel_.scheduleAt(arrive + (fd.drop ? fd.duplicateDelay
                                              : fd.delay),
-                           [this, type, sent_epoch,
+                           [this, type, sent_epoch, corrupt,
                             h = std::move(at_dst)] {
-                               if (!fenceStale(type, sent_epoch))
+                               if (!fenceStale(type, sent_epoch) &&
+                                   !crcReject(corrupt))
                                    h();
                            });
         return;
     }
     auto handler =
         std::make_shared<std::function<void()>>(std::move(at_dst));
-    auto copy = [this, type, sent_epoch, handler] {
-        if (!fenceStale(type, sent_epoch))
+    auto copy = [this, type, sent_epoch, handler](bool corrupt) {
+        if (!fenceStale(type, sent_epoch) && !crcReject(corrupt))
             (*handler)();
     };
-    kernel_.scheduleAt(arrive + fd.delay, copy);
-    kernel_.scheduleAt(arrive + fd.duplicateDelay, copy);
+    kernel_.scheduleAt(arrive + fd.delay,
+                       [copy, corrupt = fd.corrupt] { copy(corrupt); });
+    kernel_.scheduleAt(arrive + fd.duplicateDelay,
+                       [copy] { copy(false); });
 }
 
 void

@@ -62,6 +62,11 @@ struct FaultDecision
     bool duplicate = false;   //!< deliver a second copy
     Tick duplicateDelay = 0;  //!< extra delay of the duplicate copy
     Tick stall = 0;           //!< source NIC pipeline stall after send
+    /** The primary copy's payload is corrupted in flight: it arrives,
+     *  fails the destination NIC's CRC check, and is discarded there
+     *  (counted in Network::corruptDrops). A duplicate copy is an
+     *  independent transmission and is delivered intact. */
+    bool corrupt = false;
 };
 
 /**
@@ -74,6 +79,22 @@ class FaultInjector
   public:
     virtual ~FaultInjector() = default;
     virtual FaultDecision judge(MsgType t, NodeId src, NodeId dst) = 0;
+
+    /**
+     * Partition oracle: is the directed link src->dst inside a blocked
+     * partition window at instant @p t? judge() already drops blocked
+     * copies; this read-only view exists for control planes (the
+     * recovery manager's CM quorum check) that must reason about
+     * reachability without sending anything.
+     */
+    virtual bool
+    linkBlocked(NodeId src, NodeId dst, Tick t) const
+    {
+        (void)src;
+        (void)dst;
+        (void)t;
+        return false;
+    }
 };
 
 /** The cluster interconnect. */
@@ -149,6 +170,10 @@ class Network
     void advanceEpoch() { epoch_ += 1; }
     std::uint64_t fencedStaleMessages() const { return fencedStale_; }
 
+    /** Copies delivered with a corrupted payload and discarded by the
+     *  destination NIC's CRC check (see FaultDecision::corrupt). */
+    std::uint64_t corruptDrops() const { return corruptDrops_; }
+
     // --- statistics ---------------------------------------------------------
     std::uint64_t messageCount(MsgType t) const
     {
@@ -175,6 +200,16 @@ class Network
      *  fenced at delivery time. */
     bool fenceStale(MsgType t, std::uint64_t sent_epoch);
 
+    /** True (and counted) if a delivered copy fails the destination
+     *  NIC's CRC check and must be discarded. */
+    bool
+    crcReject(bool corrupt)
+    {
+        if (corrupt)
+            corruptDrops_ += 1;
+        return corrupt;
+    }
+
     /** roundTrip() body used while a fault injector is attached. */
     sim::Task faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
                               std::uint32_t req_bytes,
@@ -194,6 +229,7 @@ class Network
     bool anyDead_ = false;
     std::uint64_t epoch_ = 0;
     std::uint64_t fencedStale_ = 0;
+    std::uint64_t corruptDrops_ = 0;
 };
 
 } // namespace hades::net

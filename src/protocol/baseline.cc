@@ -45,7 +45,7 @@ BaselineEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
         if (committed)
             break;
         squash_count += 1;
-        if (squash_count >= sys_.config.maxSquashesBeforeLockMode) {
+        if (squash_count >= sys_.config.tuning.maxSquashesBeforeLockMode) {
             stats_.lockModeFallbacks += 1;
             co_await attemptPessimistic(ctx, prog);
             break;
@@ -116,7 +116,7 @@ BaselineEngine::awaitFanout(
         co_await fo->wake.wait();
         if (fo->pending.empty())
             break;
-        if (round >= sys_.config.maxCommitResends) {
+        if (round >= sys_.config.tuning.maxCommitResends) {
             // Give up on the unresponsive nodes and fail the batch;
             // `closed` below makes any late deliveries inert.
             fo->anyFail = true;
@@ -646,6 +646,9 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                 commit_seq = sys_.replicas->nextCommitSeq();
                 ctrl->commitSeq = commit_seq;
                 sys_.decisionLog[self] = commit_seq;
+                for (const auto &w : write_set)
+                    sys_.replicas->noteCommittedWrite(w.record,
+                                                      commit_seq);
             }
             ctrl->decisionRecorded = true;
             if (sys_.replicas && !replica_nodes.empty()) {
@@ -918,6 +921,8 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
         if (sys_.replicas) {
             commit_seq = sys_.replicas->nextCommitSeq();
             sys_.decisionLog[self] = commit_seq;
+            for (const auto &w : buffered)
+                sys_.replicas->noteCommittedWrite(w.record, commit_seq);
         }
         if (ctrl) {
             ctrl->commitSeq = commit_seq;

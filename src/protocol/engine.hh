@@ -177,7 +177,7 @@ class TxnEngine
     {
         std::uint32_t shift = std::min(attempt, 6u);
         std::int64_t base =
-            std::int64_t(sys_.config.retryBackoffBaseCycles) << shift;
+            std::int64_t(sys_.config.tuning.retryBackoffBaseCycles) << shift;
         return cycles(base + std::int64_t(sys_.rng.below(
                                  std::uint64_t(base) + 1)));
     }
@@ -265,9 +265,9 @@ class TxnEngine
     Tick
     resendTimeout(std::uint32_t attempt)
     {
-        Tick base = sys_.config.retryTimeoutBase
+        Tick base = sys_.config.tuning.retryTimeoutBase
                     << std::min(attempt, 4u);
-        base = std::min(base, sys_.config.retryTimeoutCap);
+        base = std::min(base, sys_.config.tuning.retryTimeoutCap);
         return base + Tick(sys_.rng.below(std::uint64_t(base / 4) + 1));
     }
 
@@ -324,6 +324,13 @@ class TxnEngine
         // the post was trying to accomplish).
         if (sys_.network.nodeDead(st->src) ||
             sys_.network.nodeDead(st->dst))
+            return;
+        // Optional resend budget (RobustnessTuning::maxReliableResends;
+        // 0 = unbounded): under a never-healing partition the Ack may
+        // be unreachable forever, and an exhausted chain simply stops
+        // -- the protocol-level timeouts above own further recovery.
+        const std::uint32_t cap = sys_.config.tuning.maxReliableResends;
+        if (cap > 0 && n > cap)
             return;
         if (n > 0)
             stats_.reliableResends += 1;

@@ -92,7 +92,7 @@ HadesEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
         if (committed)
             break;
         squash_count += 1;
-        if (squash_count >= sys_.config.maxSquashesBeforeLockMode) {
+        if (squash_count >= sys_.config.tuning.maxSquashesBeforeLockMode) {
             stats_.lockModeFallbacks += 1;
             co_await attemptPessimistic(ctx, prog);
             break;
@@ -501,6 +501,8 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
         at->ctrl.decisionRecorded = true;
         if (recoveryOn())
             sys_.decisionLog[id] = commit_seq;
+        for (const auto &[record, hv] : at->writeBuffer)
+            sys_.replicas->noteCommittedWrite(record, commit_seq);
     }
     for (const auto &[record, hv] : at->writeBuffer) {
         if (hv.first == ctx.node) {
@@ -715,7 +717,7 @@ HadesEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
         if (at->finished || at->ctrl.uncommittable ||
             at->ctrl.squashRequested || at->acksPending == 0)
             return;
-        if (round >= sys_.config.maxCommitResends) {
+        if (round >= sys_.config.tuning.maxCommitResends) {
             // Out of resend budget: a peer is unreachable (crashed or
             // partitioned). Squash-and-retry from a clean slate.
             sys_.router.squash(sys_.kernel, at->id,

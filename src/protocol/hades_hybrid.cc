@@ -85,7 +85,7 @@ HadesHybridEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
         if (committed)
             break;
         squash_count += 1;
-        if (squash_count >= sys_.config.maxSquashesBeforeLockMode) {
+        if (squash_count >= sys_.config.tuning.maxSquashesBeforeLockMode) {
             stats_.lockModeFallbacks += 1;
             co_await attemptPessimistic(ctx, prog);
             break;
@@ -541,6 +541,10 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
         at->ctrl.decisionRecorded = true;
         if (recoveryOn())
             sys_.decisionLog[id] = commit_seq;
+        for (const auto &w : at->localWrites)
+            sys_.replicas->noteCommittedWrite(w.record, commit_seq);
+        for (const auto &[record, hv] : at->remoteWriteBuffer)
+            sys_.replicas->noteCommittedWrite(record, commit_seq);
     }
     // Journal the decided remote writes now, atomically with the
     // decision record: the Validation posts below run in a *later*
@@ -742,7 +746,7 @@ HadesHybridEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
         if (at->finished || at->ctrl.uncommittable ||
             at->ctrl.squashRequested || at->acksPending == 0)
             return;
-        if (round >= sys_.config.maxCommitResends) {
+        if (round >= sys_.config.tuning.maxCommitResends) {
             sys_.router.squash(sys_.kernel, at->id,
                                SquashReason::CommitTimeout);
             return;

@@ -3,11 +3,16 @@
  * Crash recovery and reconfiguration (Section V-A's failure model made
  * operational).
  *
- * A configuration-manager node (RecoveryConfig::managerNode) grants
- * per-node leases over the simulated network: a probe round trip per
- * leaseInterval renews the holder's lease. A node that permanently
- * fail-stops (FaultsConfig::NodeEvent::forever) stops answering, its
- * lease expires, and the manager runs an epoch-numbered *view change*:
+ * A fixed-slot *replica group* of configuration-manager nodes
+ * (RecoveryConfig::managerNode .. managerNode+cmGroupSize-1, mod N)
+ * grants per-node leases over the simulated network; the lowest-slot
+ * live member acts as primary grantor. A probe round trip per
+ * RobustnessTuning::leaseInterval renews the holder's lease, and every
+ * grant carries the *CM epoch* -- the failover counter of the group --
+ * so a grant issued by a deposed primary can never renew anything. A
+ * node that permanently fail-stops (FaultConfig::NodeEvent::forever)
+ * stops answering, its lease expires, and the acting primary runs an
+ * epoch-numbered *view change*:
  *
  *  1. the configuration epoch advances; every in-flight message copy
  *     stamped with an older epoch is fenced (dropped and counted) at
@@ -16,11 +21,13 @@
  *  2. the dead node leaves every backup ring (its replica images are
  *     unreachable) and survivors are notified;
  *  3. every record homed at the dead node is re-homed to its first
- *     live backup, whose durable ReplicaStore image is the recovery
- *     source; record metadata migrates with the record (locks cleared),
- *     and the replication factor is restored by copying the promoted
- *     image to any node the new primary's backup ring pulls in that
- *     never held one;
+ *     *live* backup (a backup that has itself crashed -- possibly not
+ *     yet declared -- is skipped, so a second crash landing mid-window
+ *     cannot receive promotions), whose durable ReplicaStore image is
+ *     the recovery source; record metadata migrates with the record
+ *     (locks cleared), and the replication factor is restored by
+ *     copying the promoted image to any live node the new primary's
+ *     backup ring pulls in that never held one;
  *  4. in-doubt transactions whose coordinator died are resolved by the
  *     paper's all-Acks rule, checkable at one instant via the durable
  *     decision record (AttemptControl::decisionRecorded): decided
@@ -42,9 +49,23 @@
  * the simulator's fail-stop oracle, so a slow-but-alive node is never
  * falsely killed).
  *
- * The manager node is assumed reliable, like FaRM's external
- * configuration store: if the fault plan kills it anyway, probing stops
- * and no view change ever happens.
+ * CM failover: each standby slot probes the acting primary with the
+ * same lease mechanism. When the primary is oracle-dead and silent
+ * past leaseTimeout, the lowest live slot succeeds it
+ * deterministically: the CM epoch advances, stale in-flight grants are
+ * discarded, and the new primary restarts the per-node probe loops.
+ * The dead ex-primary's own records are then recovered by an ordinary
+ * view change. Cascading crashes are handled the same way: a second
+ * crash_forever is just another expired lease, declared in node order
+ * once its own timeout passes.
+ *
+ * Split-brain rule: before declaring any death, the acting primary
+ * must reach a *majority of the live CM group members* through the
+ * partition oracle (FaultInjector::linkBlocked, both directions). A
+ * minority-partitioned CM therefore refuses to advance the epoch
+ * (counted in RecoveryStats::quorumRefusals) until the partition
+ * heals; crashed group members are non-voting, consistent with the
+ * fail-stop oracle the declare-dead decision already consults.
  */
 
 #ifndef HADES_RECOVERY_RECOVERY_MANAGER_HH_
@@ -74,23 +95,23 @@ struct RecoveryStats
     std::uint64_t replayedWrites = 0;   //!< journaled writes replayed
     std::uint64_t resyncedImages = 0;   //!< backup images re-replicated
     std::uint64_t locksReleased = 0;    //!< dead owners' record locks freed
+    std::uint64_t cmFailovers = 0;      //!< CM primary successions
+    std::uint64_t quorumRefusals = 0;   //!< epoch advances refused (minority)
+    std::uint64_t staleLeaseGrants = 0; //!< grants discarded by CM-epoch fence
 };
 
 /** Lease-based failure detector plus view-change executor. */
 class RecoveryManager
 {
   public:
-    RecoveryManager(protocol::System &sys, protocol::TxnEngine &engine)
-        : sys_(sys), engine_(engine), cfg_(sys.config.recovery),
-          lastRenewal_(sys.config.numNodes, 0),
-          handled_(sys.config.numNodes, 0)
-    {}
+    RecoveryManager(protocol::System &sys, protocol::TxnEngine &engine);
 
     RecoveryManager(const RecoveryManager &) = delete;
     RecoveryManager &operator=(const RecoveryManager &) = delete;
 
     /**
-     * Launch the lease probe loops and the expiry monitor.
+     * Launch the lease probe loops (acting primary), the standby
+     * probes of the CM group, and the expiry monitor.
      * @p expected_drivers is the number of driver coroutines the run
      * starts; each one reports in via driverDone() when it finishes
      * (normally or by fail-stop unwind), and the loops stop once all
@@ -109,16 +130,49 @@ class RecoveryManager
 
     /**
      * Execute the view change for @p dead immediately (also the entry
-     * point the monitor uses once a lease expires). Idempotent per
-     * node. Runs atomically within the current kernel event.
+     * point the monitor uses once a lease expires and the CM quorum
+     * holds). Idempotent per node. Runs atomically within the current
+     * kernel event.
      */
     void viewChange(NodeId dead);
+
+    /** The node currently acting as CM primary / lease grantor. */
+    NodeId cmPrimary() const { return actingPrimary_; }
+
+    /**
+     * True once the background loops may stop: every driver finished
+     * AND every permanent crash the fault plan schedules has been
+     * declared and failed over. Recovery outlives the workload -- a
+     * crash landing near the end of the run (after the last commit,
+     * before lease expiry) is still detected and repaired before the
+     * simulation drains, so end-of-run durability checks see the
+     * post-recovery state, never the detection-latency window. The one
+     * exception: if the plan eventually kills the whole CM group,
+     * recovery is impossible by design and the loops stop at driver
+     * drain (whatever the last crash broke stays broken and visible).
+     */
+    bool finished() const;
+
+    /** CM failover counter; every lease grant is stamped with it. */
+    std::uint64_t cmEpoch() const { return cmEpoch_; }
+
+    /**
+     * True when the acting primary can reach a majority of the live CM
+     * group members at instant @p now (partition oracle, both
+     * directions; crashed members are non-voting). Exposed for tests.
+     */
+    bool cmQuorum(Tick now) const;
 
     const RecoveryStats &stats() const { return stats_; }
 
   private:
-    sim::DetachedTask probeLoop(NodeId node);
+    sim::DetachedTask probeLoop(NodeId node, NodeId primary,
+                                std::uint32_t gen);
+    sim::DetachedTask standbyLoop(NodeId self);
     sim::DetachedTask monitorLoop();
+
+    /** Relaunch the per-node probe loops from the acting primary. */
+    void startPrimaryLoops();
 
     /** Apply one journaled remote write at the record's current home. */
     void applyPending(std::uint64_t record,
@@ -137,7 +191,12 @@ class RecoveryManager
     protocol::System &sys_;
     protocol::TxnEngine &engine_;
     RecoveryConfig cfg_;
+    RobustnessTuning tun_;
     RecoveryStats stats_;
+    std::vector<NodeId> cmGroup_; //!< fixed slots, succession order
+    NodeId actingPrimary_ = 0;
+    std::uint64_t cmEpoch_ = 0;
+    std::uint32_t primaryGen_ = 0; //!< bumped per failover; stale loops exit
     std::vector<Tick> lastRenewal_;
     std::vector<char> handled_; //!< view change already ran for node
     std::uint64_t driversLeft_ = 0;

@@ -266,6 +266,35 @@ class ReplicaManager
      */
     std::uint64_t nextCommitSeq() { return ++commitSeq_; }
 
+    /**
+     * Record, atomically with a coordinator's serialization point, that
+     * @p record's ground-truth value is now the one stamped @p seq.
+     * This is the durable part of the commit record that names the
+     * written records (the promotes themselves may still be in flight
+     * arbitrarily long after the decision). Recovery's re-replication
+     * of a re-homed record reads the committed value from the new
+     * primary and needs this seq to stamp the copies, so late promote
+     * deliveries on either side of the view change resolve correctly
+     * under max-seq-wins.
+     */
+    void
+    noteCommittedWrite(std::uint64_t record, std::uint64_t seq)
+    {
+        auto &s = recordSeq_[record];
+        s = std::max(s, seq);
+    }
+
+    /** Commit seq of the last serialized write of @p record, or
+     *  nullopt if no committed transaction ever wrote it. */
+    std::optional<std::uint64_t>
+    lastCommittedSeq(std::uint64_t record) const
+    {
+        auto it = recordSeq_.find(record);
+        if (it == recordSeq_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
     ReplicaStore &store(NodeId n) { return stores_[n]; }
     const ReplicaStore &store(NodeId n) const { return stores_[n]; }
 
@@ -322,6 +351,9 @@ class ReplicaManager
     std::vector<char> dead_;
     std::uint32_t liveNodes_ = numNodes_;
     std::uint64_t commitSeq_ = 0;
+    /** record -> commit seq of its last serialized write. Lookup only,
+     *  never iterated (iteration order would be nondeterministic). */
+    std::unordered_map<std::uint64_t, std::uint64_t> recordSeq_;
     std::uint64_t lostMessages_ = 0;
     std::uint64_t commits_ = 0;
     std::uint64_t aborts_ = 0;

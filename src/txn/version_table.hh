@@ -103,6 +103,22 @@ class VersionTable
 
     std::size_t touched() const { return meta_.size(); }
 
+    /** Owners currently holding record locks, sorted and deduplicated
+     *  (crash recovery scans these for a dead coordinator's locks). */
+    std::vector<std::uint64_t>
+    lockOwners() const
+    {
+        std::vector<std::uint64_t> owners;
+        // det-lint: ordered-ok (collected then sorted below)
+        for (const auto &[record, m] : meta_)
+            if (m.lockOwner != 0)
+                owners.push_back(m.lockOwner);
+        std::sort(owners.begin(), owners.end());
+        owners.erase(std::unique(owners.begin(), owners.end()),
+                     owners.end());
+        return owners;
+    }
+
     /** Number of records currently lock-held (leak checks). */
     std::size_t
     lockedCount() const

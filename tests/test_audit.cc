@@ -335,9 +335,9 @@ smallSpec(EngineKind kind, bool faulty)
         spec.cluster.faults.dropAll(0.02);
         spec.cluster.faults.dupAll(0.05);
         spec.cluster.faults.delayAll(0.10);
-        spec.cluster.retryTimeoutBase = us(4);
-        spec.cluster.retryTimeoutCap = us(32);
-        spec.cluster.maxCommitResends = 6;
+        spec.cluster.tuning.retryTimeoutBase = us(4);
+        spec.cluster.tuning.retryTimeoutCap = us(32);
+        spec.cluster.tuning.maxCommitResends = 6;
     }
     return spec;
 }

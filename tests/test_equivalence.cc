@@ -108,8 +108,8 @@ lightFaults(ClusterConfig &cfg)
     cfg.faults.dropAll(0.02);
     cfg.faults.dupAll(0.05);
     cfg.faults.delayAll(0.10);
-    cfg.retryTimeoutBase = us(4);
-    cfg.retryTimeoutCap = us(32);
+    cfg.tuning.retryTimeoutBase = us(4);
+    cfg.tuning.retryTimeoutCap = us(32);
 }
 
 /** Wire a FaultPlan the way the runner does (no-op when disabled). */

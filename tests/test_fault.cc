@@ -64,9 +64,9 @@ chaosCluster(std::uint32_t nodes = 2, std::uint32_t cores = 2)
     cfg.slotsPerCore = 1;
     cfg.seed = 7;
     // Tight recovery knobs keep faulty simulated time short.
-    cfg.retryTimeoutBase = us(4);
-    cfg.retryTimeoutCap = us(32);
-    cfg.maxCommitResends = 6;
+    cfg.tuning.retryTimeoutBase = us(4);
+    cfg.tuning.retryTimeoutCap = us(32);
+    cfg.tuning.maxCommitResends = 6;
     return cfg;
 }
 
@@ -366,9 +366,9 @@ TEST_P(NodeOutage, PauseAndCrashWindowsRecover)
 {
     auto cfg = chaosCluster(3, 2);
     cfg.faults.enabled = true;
-    cfg.retryTimeoutBase = us(4);
-    cfg.retryTimeoutCap = us(16);
-    cfg.maxCommitResends = 3;
+    cfg.tuning.retryTimeoutBase = us(4);
+    cfg.tuning.retryTimeoutCap = us(16);
+    cfg.tuning.maxCommitResends = 3;
     // Node 1 pauses, then node 2 fail-stops (message amnesia) and
     // restarts warm; peers must ride their timeouts through both.
     cfg.faults.nodeEvents.push_back({1, us(30), us(70), false});
@@ -504,8 +504,8 @@ TEST(FaultNetwork, DroppedPostStillAccountsTheSend)
 TEST(FaultNetwork, RoundTripRetransmitsThroughDrops)
 {
     ClusterConfig cfg = chaosCluster(2, 1);
-    cfg.retryTimeoutBase = us(4);
-    cfg.retryTimeoutCap = us(16);
+    cfg.tuning.retryTimeoutBase = us(4);
+    cfg.tuning.retryTimeoutCap = us(16);
     sim::Kernel kernel;
     net::Network net(kernel, cfg);
     StubInjector inj;

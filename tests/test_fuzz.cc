@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the chaos fuzzer (src/fuzz/): genome generation and decode
+ * clamps, the `hades-fuzz-repro-v1` JSON round trip, the clean-matrix
+ * property on small seeds, and the shrinking demo against the seeded
+ * skip-resync defect (a failing genome must shrink to a handful of
+ * events whose replay reproduces the same failure).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/campaign.hh"
+#include "fuzz/genome.hh"
+
+namespace hades::fuzz
+{
+namespace
+{
+
+TEST(Genome_, GenerationIsAPureFunctionOfTheSeed)
+{
+    auto a = randomGenome(7);
+    auto b = randomGenome(7);
+    EXPECT_TRUE(a == b) << "same seed must yield the same genome";
+    EXPECT_FALSE(a.events.empty());
+    auto c = randomGenome(8);
+    EXPECT_FALSE(a == c) << "different seeds should differ";
+}
+
+TEST(Genome_, GenerationHonorsTheEventBound)
+{
+    GenomeLimits lim;
+    lim.maxEvents = 3;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        auto g = randomGenome(seed, lim);
+        EXPECT_GE(g.events.size(), 1u);
+        EXPECT_LE(g.events.size(), 3u);
+    }
+}
+
+TEST(Genome_, EventKindNamesRoundTrip)
+{
+    for (std::uint32_t k = 0;
+         k < std::uint32_t(EventKind::NumKinds); ++k) {
+        auto kind = EventKind(k);
+        EventKind back = EventKind::NumKinds;
+        ASSERT_TRUE(eventKindFromName(eventKindName(kind), back))
+            << eventKindName(kind);
+        EXPECT_EQ(back, kind);
+    }
+    EventKind out;
+    EXPECT_FALSE(eventKindFromName("not_a_kind", out));
+}
+
+TEST(Genome_, JsonRoundTripsBitIdentically)
+{
+    for (std::uint64_t seed : {1ull, 5ull, 23ull, 0xdeadull}) {
+        auto g = randomGenome(seed);
+        g.bugHook = (seed & 1) != 0;
+        Genome back;
+        std::string err;
+        ASSERT_TRUE(parseGenomeJson(genomeJson(g), back, err)) << err;
+        EXPECT_TRUE(g == back) << "round trip lost data for seed "
+                               << seed;
+    }
+}
+
+TEST(Genome_, JsonNoteAnnotationIsIgnoredByTheParser)
+{
+    auto g = randomGenome(3);
+    Genome back;
+    std::string err;
+    ASSERT_TRUE(parseGenomeJson(
+        genomeJson(g, "divergent_records=1 on HADES"), back, err))
+        << err;
+    EXPECT_TRUE(g == back);
+}
+
+TEST(Genome_, ParserRejectsGarbageAndWrongSchema)
+{
+    Genome out;
+    std::string err;
+    EXPECT_FALSE(parseGenomeJson("not json at all", out, err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(parseGenomeJson(
+        R"({"schema":"something-else-v9","seed":1})", out, err));
+    EXPECT_FALSE(parseGenomeJson(R"({"seed":)", out, err));
+}
+
+TEST(Genome_, DecodeClampsKeepEverySubsetSafe)
+{
+    // Hostile genome: saturated probabilities, a never-healing
+    // partition, four distinct permanent-crash victims. Decode must
+    // clamp all of it -- the property that makes ddmin subsets valid.
+    Genome g;
+    g.nodes = 6;
+    FuzzEvent drop;
+    drop.kind = EventKind::DropVerb;
+    drop.verb = 1;
+    drop.prob = 0.999;
+    g.events.push_back(drop);
+    FuzzEvent part;
+    part.kind = EventKind::Partition;
+    part.a = 0;
+    part.b = 0; // a == b decodes as full isolation
+    part.at = us(10);
+    part.until = kTickMax; // must be clamped to a healing window
+    g.events.push_back(part);
+    for (std::uint32_t victim = 0; victim < 4; ++victim) {
+        FuzzEvent crash;
+        crash.kind = EventKind::CrashForever;
+        crash.a = victim;
+        crash.at = us(20) + us(victim);
+        g.events.push_back(crash);
+    }
+
+    ClusterConfig cc;
+    cc.numNodes = g.nodes;
+    applyEvents(g, cc);
+    EXPECT_TRUE(cc.faults.enabled);
+    EXPECT_TRUE(cc.recovery.enabled);
+    EXPECT_LE(cc.faults.dropProb[1], 0.35);
+    ASSERT_EQ(cc.faults.partitions.size(), 1u);
+    EXPECT_LT(cc.faults.partitions[0].until, kTickMax)
+        << "fuzzer partitions must always heal";
+    std::uint32_t forever = 0;
+    for (const auto &ev : cc.faults.nodeEvents)
+        forever += ev.forever ? 1 : 0;
+    EXPECT_LE(forever, 2u)
+        << "at most two distinct permanent-crash victims may decode";
+}
+
+TEST(Campaign, SmallSeedMatrixRunsClean)
+{
+    FuzzRunOptions opt;
+    opt.smoke = true;
+    opt.jobs = 4;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto v = runGenome(randomGenome(seed), opt);
+        EXPECT_FALSE(v.failed)
+            << "seed " << seed << " failed on " << v.engine << ": "
+            << v.error;
+    }
+}
+
+TEST(Campaign, VerdictIsReproducible)
+{
+    FuzzRunOptions opt;
+    opt.smoke = true;
+    opt.jobs = 2;
+    auto g = randomGenome(2);
+    auto a = runGenome(g, opt);
+    auto b = runGenome(g, opt);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.engine, b.engine);
+    EXPECT_EQ(a.error, b.error);
+}
+
+TEST(Campaign, SeededDefectIsFoundShrunkAndReplayable)
+{
+    // The acceptance demo end-to-end: arm the TEST-ONLY skip-resync
+    // defect, find the failure, ddmin it to <= 8 events, and replay
+    // the shrunken repro to the same verdict -- all in-process (the
+    // hades_fuzz CLI is a thin wrapper over these calls).
+    CampaignOptions opt;
+    opt.seedBase = 1;
+    opt.genomes = 4;
+    opt.smoke = true;
+    opt.jobs = 4;
+    opt.bugHook = true;
+    opt.quiet = true;
+    auto report = runCampaign(opt);
+    ASSERT_EQ(report.failures, 1u)
+        << "the armed defect was never detected";
+    ASSERT_TRUE(report.haveRepro);
+    EXPECT_LE(report.repro.events.size(), 8u)
+        << "shrinking left too many events in the repro";
+    EXPECT_TRUE(report.repro.bugHook);
+
+    // Replay through the JSON artifact, exactly as `--replay` does.
+    Genome replay;
+    std::string err;
+    ASSERT_TRUE(parseGenomeJson(genomeJson(report.repro), replay, err))
+        << err;
+    FuzzRunOptions run;
+    run.smoke = true;
+    run.jobs = 4;
+    auto v = runGenome(replay, run);
+    EXPECT_TRUE(v.failed) << "shrunken repro no longer reproduces";
+    EXPECT_EQ(v.engine, report.verdict.engine);
+    EXPECT_EQ(v.error, report.verdict.error);
+}
+
+} // namespace
+} // namespace hades::fuzz

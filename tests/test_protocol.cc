@@ -293,7 +293,7 @@ TEST(AllEngines, PessimisticFallbackGuaranteesProgress)
     for (auto kind : {EngineKind::Baseline, EngineKind::Hades,
                       EngineKind::HadesHybrid}) {
         auto cfg = smallCluster(2);
-        cfg.maxSquashesBeforeLockMode = 2; // engage quickly
+        cfg.tuning.maxSquashesBeforeLockMode = 2; // engage quickly
         System sys(cfg, 16,
                    core::engineRecordBytes(kind,
                                            cfg.recordPayloadBytes));

@@ -60,9 +60,9 @@ crashSpec(EngineKind engine, NodeId victim, Tick crash_at)
     spec.cluster.coresPerNode = 2;
     spec.cluster.slotsPerCore = 2;
     spec.cluster.seed = 42;
-    spec.cluster.retryTimeoutBase = us(4);
-    spec.cluster.retryTimeoutCap = us(32);
-    spec.cluster.maxCommitResends = 6;
+    spec.cluster.tuning.retryTimeoutBase = us(4);
+    spec.cluster.tuning.retryTimeoutCap = us(32);
+    spec.cluster.tuning.maxCommitResends = 6;
     spec.mix = {core::MixEntry{workload::AppKind::Smallbank,
                                kvs::StoreKind::HashTable}};
     spec.txnsPerContext = 8;

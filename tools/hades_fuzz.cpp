@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Seeded chaos fuzzer for the HADES simulator.
+ *
+ * Campaign mode generates `--seeds` genomes from `--seed-base`, decodes
+ * each into an audited, recovery-enabled fault scenario, and runs it
+ * across all three protocol engines. Any audit violation, invariant
+ * failure, or end-of-run replica divergence stops the matrix, shrinks
+ * the genome to a minimal repro (delta debugging over its fault
+ * events), and writes a replayable `hades-fuzz-repro-v1` JSON artifact.
+ *
+ *   hades_fuzz --seeds 64 --smoke --jobs 8 --out repro.json
+ *   hades_fuzz --replay repro.json
+ *   hades_fuzz --seeds 4 --bug-hook skip-resync --out repro.json
+ *
+ * Exit codes: 0 clean matrix / clean replay, 1 usage or I/O error,
+ * 2 failure found (campaign) or reproduced (replay).
+ *
+ * Everything is deterministic: the same command line produces the same
+ * genomes, the same failures, and the same shrunken repro, at any
+ * --jobs value.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/campaign.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --seeds N            genomes in the campaign matrix (default 16)\n"
+        "  --seed-base S        first genome seed (default 1)\n"
+        "  --jobs J             runMany worker threads (default 1)\n"
+        "  --smoke              cap txns/context for CI-speed runs\n"
+        "  --events-max K       max fault events per genome (default 12)\n"
+        "  --shrink-runs R      shrink budget in genome re-runs (default 64)\n"
+        "  --out PATH           write the shrunken repro JSON here\n"
+        "  --replay PATH        re-run one repro artifact instead\n"
+        "  --bug-hook skip-resync  arm the TEST-ONLY injected defect\n"
+        "  --quiet              suppress per-seed progress lines\n",
+        argv0);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hades;
+
+    fuzz::CampaignOptions opt;
+    std::string replay_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            opt.genomes = std::uint32_t(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--seed-base") {
+            opt.seedBase = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            opt.jobs = unsigned(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--events-max") {
+            opt.maxEvents =
+                std::uint32_t(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--shrink-runs") {
+            opt.shrinkRuns =
+                std::uint32_t(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--out") {
+            opt.outPath = next();
+        } else if (arg == "--replay") {
+            replay_path = next();
+        } else if (arg == "--bug-hook") {
+            const std::string hook = next();
+            if (hook != "skip-resync") {
+                std::fprintf(stderr, "unknown --bug-hook \"%s\"\n",
+                             hook.c_str());
+                return 1;
+            }
+            opt.bugHook = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else {
+            usage(argv[0]);
+            return 1;
+        }
+    }
+
+    if (!replay_path.empty()) {
+        std::string text;
+        if (!readFile(replay_path, text)) {
+            std::fprintf(stderr, "cannot read %s\n", replay_path.c_str());
+            return 1;
+        }
+        fuzz::Genome g;
+        std::string err;
+        if (!fuzz::parseGenomeJson(text, g, err)) {
+            std::fprintf(stderr, "bad repro %s: %s\n",
+                         replay_path.c_str(), err.c_str());
+            return 1;
+        }
+        fuzz::FuzzRunOptions run{opt.smoke, opt.jobs};
+        fuzz::FuzzVerdict v = fuzz::runGenome(g, run);
+        if (v.failed) {
+            std::printf("replay seed=%llu events=%zu FAILED (%s: %s)\n",
+                        static_cast<unsigned long long>(g.seed),
+                        g.events.size(), v.engine.c_str(),
+                        v.error.c_str());
+            return 2;
+        }
+        std::printf("replay seed=%llu events=%zu ok\n",
+                    static_cast<unsigned long long>(g.seed),
+                    g.events.size());
+        return 0;
+    }
+
+    fuzz::CampaignReport report = fuzz::runCampaign(opt);
+    std::printf("fuzz campaign: %u genomes, %u failure(s)\n",
+                report.genomesRun, report.failures);
+    return report.failures == 0 ? 0 : 2;
+}
