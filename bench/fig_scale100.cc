@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Scale experiment beyond the paper: N=100 nodes x C=50 cores, the
+ * cluster size the sharded parallel kernel exists for.
+ *
+ * Two questions, one binary:
+ *
+ *  1. Model scale: TPC-C and YCSB-A throughput at 100 nodes under
+ *     HADES, swept through the ordinary (model-parallel) sweep and
+ *     reported in the JSON snapshot (CI's BENCH_scale.json).
+ *
+ *  2. Executor speed: wall-clock of the *same* all-local TPC-C run at
+ *     --shards 1/2/4/8, timed back-to-back on an otherwise idle
+ *     process. The acceptance target is >= 3x at 8 shards on an
+ *     unloaded machine; every point is checked bit-identical to the
+ *     serial oracle before its timing is believed.
+ *
+ * --smoke shrinks both parts to a seconds-scale run (the bench_smoke
+ * ctest lane and the CI perf snapshot both use it).
+ */
+
+#include <chrono>
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+/** The big cluster: N=100 x C=50 x m=2 (10'000 hardware contexts).
+ *  Smoke keeps the node count high -- the point of this figure -- and
+ *  strips everything else. */
+core::RunSpec
+scaleSpec(const core::MixEntry &entry, bool smoke)
+{
+    core::RunSpec spec;
+    spec.engine = protocol::EngineKind::Hades;
+    spec.mix = {entry};
+    spec.cluster.numNodes = smoke ? 20 : 100;
+    spec.cluster.coresPerNode = smoke ? 2 : 50;
+    spec.cluster.slotsPerCore = 2;
+    spec.txnsPerContext = smoke ? 3 : 10;
+    spec.scaleKeys = smoke ? 20'000 : 1'000'000;
+    spec.audit = false; // the auditor's graph is quadratic-ish at 100N
+    return spec;
+}
+
+/** The executor-speedup spec: all-local TPC-C qualifies for the
+ *  threaded executor, so shard counts translate into worker threads
+ *  over disjoint node lanes. Lock-mode fallback is effectively
+ *  disabled: at C=50 the home-warehouse contention trips the
+ *  48-squash livelock escape, and lock mode's global ordering forces
+ *  a deterministic serial re-run -- which would silently turn this
+ *  into a measurement of the non-threaded executor. Optimistic
+ *  retries converge fine here; only the retry count grows. */
+core::RunSpec
+speedupSpec(bool smoke)
+{
+    auto spec = scaleSpec(
+        {workload::AppKind::Tpcc, kvs::StoreKind::HashTable}, smoke);
+    spec.cluster.forcedLocalFraction = 1.0;
+    spec.cluster.tuning.maxSquashesBeforeLockMode = 1'000'000;
+    return spec;
+}
+
+std::string
+keyFor(const core::MixEntry &entry, std::uint32_t shards)
+{
+    return "scale100/" + entryLabel(entry) + "/shards" +
+           std::to_string(shards);
+}
+
+void
+registerRuns(Sweep &sweep, bool smoke)
+{
+    // Model-scale rows (uniform placement, so the deterministic
+    // sharded executor carries them): serial oracle plus 8 lanes,
+    // which the sweep cross-checks below.
+    const std::vector<core::MixEntry> entries = {
+        {workload::AppKind::Tpcc, kvs::StoreKind::HashTable},
+        {workload::AppKind::YcsbA, kvs::StoreKind::HashTable},
+    };
+    for (const auto &entry : entries)
+        for (std::uint32_t shards : {1u, 8u}) {
+            auto spec = scaleSpec(entry, smoke);
+            spec.shards = shards;
+            sweep.add(keyFor(entry, shards), spec);
+        }
+}
+
+/** Fields that must agree for two runs to count as "the same run". */
+bool
+sameRun(const core::RunResult &a, const core::RunResult &b)
+{
+    return a.simTime == b.simTime &&
+           a.stats.committed == b.stats.committed &&
+           a.stats.attempts == b.stats.attempts &&
+           a.stats.netMessages == b.stats.netMessages &&
+           a.throughputTps == b.throughputTps &&
+           a.meanLatencyUs == b.meanLatencyUs &&
+           a.p95LatencyUs == b.p95LatencyUs;
+}
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    using namespace hades;
+    using namespace hades::bench;
+    using Clock = std::chrono::steady_clock;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    const bool smoke = sweep.smoke();
+    registerRuns(sweep, smoke);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
+
+    printHeader("Scale-100",
+                smoke ? "N=20 x C=2 smoke of the 100-node experiment"
+                      : "N=100 nodes x C=50 cores, HADES engine");
+
+    // --- Part 1: model scale (and the sharded cross-check) ---------------
+    std::printf("%-10s %14s %12s %12s %10s\n", "workload", "txn/s",
+                "mean lat", "p95 lat", "sharded?");
+    const std::vector<core::MixEntry> entries = {
+        {workload::AppKind::Tpcc, kvs::StoreKind::HashTable},
+        {workload::AppKind::YcsbA, kvs::StoreKind::HashTable},
+    };
+    bool all_match = true;
+    for (const auto &entry : entries) {
+        auto serial_spec = scaleSpec(entry, smoke);
+        auto sharded_spec = serial_spec;
+        sharded_spec.shards = 8;
+        const auto &serial =
+            sweep.get(keyFor(entry, 1), serial_spec);
+        const auto &sharded =
+            sweep.get(keyFor(entry, 8), sharded_spec);
+        const bool match = sameRun(serial, sharded);
+        all_match &= match;
+        std::printf("%-10s %14.0f %10.2fus %10.2fus %10s\n",
+                    entryLabel(entry).c_str(), serial.throughputTps,
+                    serial.meanLatencyUs, serial.p95LatencyUs,
+                    match ? "match" : "DIVERGED");
+    }
+    if (!all_match) {
+        std::fprintf(stderr, "FATAL: sharded runs diverged from the "
+                             "serial oracle\n");
+        return 1;
+    }
+
+    // --- Part 2: executor wall-clock speedup ------------------------------
+    // Timed back-to-back with runOne (not the sweep) so each point has
+    // the machine to itself. The serial oracle runs first; every
+    // sharded point is verified bit-identical before its time counts.
+    std::printf("\n%-8s %12s %10s %12s %10s\n", "shards", "wall s",
+                "speedup", "windows", "threaded");
+    double serial_s = 0;
+    core::RunResult oracle;
+    for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+        auto spec = speedupSpec(smoke);
+        spec.shards = shards;
+        const auto t0 = Clock::now();
+        const auto res = core::runOne(spec);
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (shards == 1) {
+            serial_s = secs;
+            oracle = res;
+        } else if (!sameRun(oracle, res)) {
+            std::fprintf(stderr,
+                         "FATAL: shards=%u diverged from the serial "
+                         "oracle\n",
+                         shards);
+            return 1;
+        }
+        std::printf("%-8u %12.2f %9.2fx %12llu %10s\n", shards, secs,
+                    serial_s / secs,
+                    static_cast<unsigned long long>(res.shardWindows),
+                    res.shardsThreaded ? "yes" : "no");
+    }
+
+    sweep.finish("fig_scale100");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -65,6 +65,12 @@ usage(const char *argv0)
         "  --audit | --no-audit              correctness auditor\n"
         "                                    (default: on in debug "
         "builds)\n"
+        "  --shards N                        kernel shard count\n"
+        "                                    (default 1 = serial;\n"
+        "                                    any N is bit-identical)\n"
+        "  --shard-window-us T               override the sync window\n"
+        "  --shards-det                      force the deterministic\n"
+        "                                    (non-threaded) executor\n"
         "  --all-engines                     run the config under all\n"
         "                                    three engines, in parallel\n"
         "  --jobs N                          sweep worker threads\n"
@@ -284,6 +290,13 @@ main(int argc, char **argv)
         else if (opt == "--max-squashes")
             spec.cluster.tuning.maxSquashesBeforeLockMode =
                 std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--shards")
+            spec.shards = std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--shard-window-us")
+            spec.cluster.sharding.windowTicksOverride =
+                us(std::atoll(next().c_str()));
+        else if (opt == "--shards-det")
+            spec.cluster.sharding.forceDeterministic = true;
         else if (opt == "--audit")
             spec.audit = true;
         else if (opt == "--no-audit")
@@ -378,6 +391,14 @@ main(int argc, char **argv)
     std::printf("network       %lu messages, %.1f MB\n",
                 (unsigned long)res.stats.netMessages,
                 double(res.stats.netBytes) / 1e6);
+    if (res.shardsUsed > 1)
+        std::printf("kernel        %u shards (%s), %lu window "
+                    "barriers, %lu cross-shard events%s\n",
+                    res.shardsUsed,
+                    res.shardsThreaded ? "threaded" : "deterministic",
+                    (unsigned long)res.shardWindows,
+                    (unsigned long)res.crossShardEvents,
+                    res.serialRerun ? ", lock-mode serial re-run" : "");
     if (res.stats.bfConflictChecks)
         std::printf("bloom         %lu checks, %.4f%% false positive\n",
                     (unsigned long)res.stats.bfConflictChecks,

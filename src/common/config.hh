@@ -346,6 +346,34 @@ struct RecoveryConfig
     bool testSkipImageResync = false;
 };
 
+/**
+ * Sharded parallel-kernel knobs (src/sim/kernel.hh). The shard *count*
+ * lives on core::RunSpec (it selects an executor, not a model
+ * parameter); this struct tunes how the sharded executors behave.
+ * Defaults keep every run bit-identical to the serial oracle.
+ */
+struct ShardingConfig
+{
+    /** Conservative synchronization window width. 0 means "use the
+     *  lookahead": netRoundTrip / 2, the NIC round-trip floor below
+     *  which no cross-node event can land (DESIGN.md section 11).
+     *  Must not exceed the lookahead when threaded execution is on. */
+    Tick windowTicksOverride = 0;
+    /** Force the single-threaded deterministic merge even for specs
+     *  the runner would certify for threaded execution (debugging and
+     *  the differential tests use this to pin down which executor
+     *  diverged). */
+    bool forceDeterministic = false;
+
+    /** Effective window width for a given network round trip. */
+    Tick
+    windowFor(Tick net_round_trip) const
+    {
+        return windowTicksOverride > 0 ? windowTicksOverride
+                                       : net_round_trip / 2;
+    }
+};
+
 /** Top-level cluster configuration (defaults reproduce Table III). */
 struct ClusterConfig
 {
@@ -395,6 +423,10 @@ struct ClusterConfig
 
     /** Crash recovery / reconfiguration (disabled by default). */
     RecoveryConfig recovery;
+
+    /** Sharded parallel-kernel tuning (RunSpec::shards selects the
+     *  executor; this only tunes it). */
+    ShardingConfig sharding;
 
     // --- Workload placement --------------------------------------------------
     /** Fraction of requests whose home is the coordinator's node. The

@@ -122,6 +122,7 @@ runSpecJson(const RunSpec &spec)
     fieldB(out, "faults_enabled", cc.faults.enabled);
     fieldB(out, "recovery_enabled", cc.recovery.enabled);
     fieldB(out, "audit", spec.audit);
+    field(out, "shards", spec.shards);
     out += '}';
     return out;
 }
@@ -185,6 +186,11 @@ runResultJson(const RunResult &res)
     field(out, "audited_aborts", res.auditedAborts);
     field(out, "audit_graph_edges", res.auditGraphEdges);
     field(out, "audit_checks", res.auditChecks);
+    field(out, "shards_used", res.shardsUsed);
+    fieldB(out, "shards_threaded", res.shardsThreaded);
+    field(out, "shard_windows", res.shardWindows);
+    field(out, "cross_shard_events", res.crossShardEvents);
+    fieldB(out, "serial_rerun", res.serialRerun);
 
     out += ",\"stats\":{";
     field(out, "committed", st.committed, true);

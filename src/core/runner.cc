@@ -59,11 +59,21 @@ driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
              ExecCtx ctx, Rng rng, std::uint64_t txns,
              recovery::RecoveryManager *recovery)
 {
+    // Execute in this context's node context: under sharded execution
+    // the transactions then run on the node's own lane (the prologue
+    // up to here runs at t=0 before kernel.run(), single-threaded).
+    co_await sim::HopTo{engine.system().kernel, ctx.node};
     for (std::uint64_t i = 0; i < txns; ++i) {
         txn::TxnProgram prog = gen.next(rng, ctx.node);
         try {
             co_await engine.run(ctx, prog);
         } catch (const sim::NodeDead &) {
+            break;
+        } catch (const sim::SerialRerunNeeded &) {
+            // The threaded executor cannot run the lock-mode fallback;
+            // the kernel flag is already set and runOne() redoes the
+            // whole spec deterministically. Just retire this driver so
+            // the doomed run drains quickly.
             break;
         }
     }
@@ -71,10 +81,62 @@ driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
         recovery->driverDone();
 }
 
+/**
+ * True when @p spec qualifies for threaded sharded execution: every
+ * model event must stay on its node's lane. Forced-full-locality OLTP
+ * mixes access only node-local records (and the OLTP generators emit
+ * pure data requests -- no cross-node index traversals), and none of
+ * the cross-node subsystems (faults, recovery, replication) or the
+ * process-global auditor may be active. Everything else still shards
+ * deterministically on one thread.
+ */
+bool
+certifiedForThreads(const RunSpec &spec)
+{
+    if (spec.cluster.faults.enabled || spec.cluster.recovery.enabled ||
+        spec.replication.enabled() || spec.audit)
+        return false;
+    if (spec.cluster.forcedLocalFraction < 1.0)
+        return false;
+    if (spec.cluster.sharding.forceDeterministic)
+        return false;
+    // Only apps whose fully-local runs are message-free qualify. YCSB
+    // is out (remote KV index reads), and so is Smallbank: its
+    // send-payment pairs accounts across nodes even when record picks
+    // are forced local. This list is advisory -- Network refuses
+    // cross-node traffic under the threaded executor and bails to the
+    // deterministic one -- but a wrong entry here wastes a partial run.
+    for (const auto &m : spec.mix)
+        if (m.app != workload::AppKind::Tpcc &&
+            m.app != workload::AppKind::Tatp)
+            return false;
+    return true;
+}
+
+RunResult runOneImpl(const RunSpec &spec, bool force_deterministic);
+
 } // namespace
 
 RunResult
 runOne(const RunSpec &spec)
+{
+    RunResult res = runOneImpl(spec, false);
+    if (res.serialRerun) {
+        // The threaded executor bailed out (lock-mode fallback): redo
+        // the spec on the deterministic sharded executor, which
+        // handles every path, and report its (bit-identical-to-serial)
+        // results.
+        res = runOneImpl(spec, true);
+        res.serialRerun = true;
+    }
+    return res;
+}
+
+namespace
+{
+
+RunResult
+runOneImpl(const RunSpec &spec, bool force_deterministic)
 {
     always_assert(!spec.mix.empty(), "run needs at least one workload");
 
@@ -98,6 +160,27 @@ runOne(const RunSpec &spec)
                engineRecordBytes(spec.engine,
                                  spec.cluster.recordPayloadBytes),
                spec.replication);
+
+    // Select the execution mode before the first event is scheduled.
+    // The window width is the conservative lookahead: no cross-node
+    // event can land sooner than half the NIC round trip.
+    const std::uint32_t shards =
+        std::max(1u, std::min(spec.shards, spec.cluster.numNodes));
+    if (shards > 1) {
+        sim::ShardPlan plan;
+        plan.shards = shards;
+        plan.numNodes = spec.cluster.numNodes;
+        plan.windowTicks = spec.cluster.sharding.windowFor(
+            spec.cluster.netRoundTrip);
+        plan.threaded =
+            !force_deterministic && certifiedForThreads(spec);
+        if (plan.threaded) {
+            always_assert(
+                plan.windowTicks <= spec.cluster.netRoundTrip / 2,
+                "threaded window exceeds the network lookahead");
+        }
+        sys.kernel.configureSharding(plan);
+    }
 
     std::uint64_t base = 0;
     for (auto &gen : gens) {
@@ -173,6 +256,15 @@ runOne(const RunSpec &spec)
 
     bool drained = sys.kernel.run();
     always_assert(drained, "simulation did not drain its event queue");
+
+    if (sys.kernel.serialRerunRequested()) {
+        // Threaded execution hit a path it cannot reproduce; the
+        // caller redoes the spec deterministically. Results of this
+        // doomed run are meaningless -- return only the flag.
+        RunResult bail;
+        bail.serialRerun = true;
+        return bail;
+    }
 
     // ---- Correctness audit --------------------------------------------------
     RunResult res;
@@ -308,7 +400,13 @@ runOne(const RunSpec &spec)
     res.reliableResends = st.reliableResends;
     res.timeoutSquashes =
         st.squashes[std::size_t(txn::SquashReason::CommitTimeout)];
+    res.shardsUsed = sys.kernel.shards();
+    res.shardsThreaded = sys.kernel.threaded();
+    res.shardWindows = sys.kernel.windowBarriers();
+    res.crossShardEvents = sys.kernel.crossShardEvents();
     return res;
 }
+
+} // namespace
 
 } // namespace hades::core

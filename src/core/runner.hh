@@ -55,6 +55,15 @@ struct RunSpec
      *  default in debug/audit builds. Purely observational: audited
      *  and unaudited runs produce identical results. */
     bool audit = audit::kDefaultEnabled;
+    /**
+     * Kernel shard count (1 = the serial oracle). Any value produces
+     * bit-identical results: shards > 1 selects the sharded
+     * deterministic executor, upgraded to one worker thread per shard
+     * when the spec qualifies for threaded execution (all-local OLTP
+     * mix, no faults / recovery / replication / audit -- see DESIGN.md
+     * section 11). Tuning knobs live in ClusterConfig::sharding.
+     */
+    std::uint32_t shards = 1;
 };
 
 /** Metrics extracted from one simulation. */
@@ -132,6 +141,18 @@ struct RunResult
     std::uint64_t auditedAborts = 0;   //!< aborted attempts audited
     std::uint64_t auditGraphEdges = 0; //!< dependency edges checked
     std::uint64_t auditChecks = 0;     //!< structural checks performed
+
+    /** Sharded-execution metadata (purely observational: these
+     *  describe *how* the run executed, never *what* it computed, and
+     *  are excluded from determinism hashes). */
+    std::uint32_t shardsUsed = 1;        //!< kernel lanes of the run
+    bool shardsThreaded = false;         //!< worker threads were used
+    std::uint64_t shardWindows = 0;      //!< window barriers crossed
+    std::uint64_t crossShardEvents = 0;  //!< events that changed lanes
+    /** The threaded executor hit the pessimistic lock-mode fallback and
+     *  the run was transparently redone on the deterministic sharded
+     *  executor (the reported results are from that re-run). */
+    bool serialRerun = false;
 };
 
 /** Run one configuration to completion. */

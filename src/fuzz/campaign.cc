@@ -66,6 +66,18 @@ shrinkGenome(const Genome &g, const FuzzRunOptions &opt,
         return runGenome(candidate, opt).failed;
     };
 
+    // Executor first: a failure that survives at shards = 1 replays on
+    // the plain serial kernel, the simplest possible repro. (Sharding
+    // is bit-identical by contract, so this only "fails" to shrink
+    // when the bug itself lives in the sharded executor -- exactly the
+    // case where keeping the shard count in the artifact matters.)
+    if (best.shards > 1) {
+        Genome candidate = best;
+        candidate.shards = 1;
+        if (stillFails(candidate))
+            best = candidate;
+    }
+
     // ddmin over the event list: drop [start, start+chunk), keep the
     // removal when the failure survives, restart with big chunks after
     // any progress so freshly adjacent events can go in one bite.

@@ -97,6 +97,7 @@ randomGenome(std::uint64_t seed, const GenomeLimits &lim)
     g.seed = seed;
     g.nodes = 5 + std::uint32_t(rng.below(2));
     g.txnsPerContext = 4 + std::uint32_t(rng.below(5));
+    g.shards = 1u << rng.below(4); // 1, 2, 4, or 8 kernel lanes
     const std::uint32_t n =
         1 + std::uint32_t(rng.below(std::max<std::uint32_t>(lim.maxEvents, 1)));
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -232,6 +233,7 @@ specFor(const Genome &g, protocol::EngineKind engine, bool smoke)
     spec.scaleKeys = 2000;
     spec.replication.degree = 2;
     spec.audit = true;
+    spec.shards = std::max<std::uint32_t>(g.shards, 1);
     return spec;
 }
 
@@ -306,6 +308,7 @@ genomeJson(const Genome &g, const std::string &note)
     jsonU64(out, "seed", g.seed);
     jsonU64(out, "nodes", g.nodes);
     jsonU64(out, "txns_per_context", g.txnsPerContext);
+    jsonU64(out, "shards", g.shards);
     jsonB(out, "bug_hook", g.bugHook);
     out += ",\"events\":[";
     for (std::size_t i = 0; i < g.events.size(); ++i) {
@@ -591,6 +594,9 @@ parseGenomeJson(const std::string &text, Genome &out, std::string &err)
         } else if (key == "txns_per_context") {
             ok = numU64(sc, u);
             out.txnsPerContext = std::uint32_t(u);
+        } else if (key == "shards") {
+            ok = numU64(sc, u);
+            out.shards = std::uint32_t(u);
         } else if (key == "bug_hook") {
             ok = sc.parseBool(out.bugHook);
         } else if (key == "events") {

@@ -142,6 +142,16 @@ class Placement
             if (it != rehomedHome_.end())
                 return it->second;
         }
+        return staticHomeOf(r);
+    }
+
+    /** Static (pre-re-homing) home of record @p r: a pure function of
+     *  the id, stable for the whole run even across view changes.
+     *  GroundTruth buckets by this, so a re-homed record's committed
+     *  state stays findable. */
+    NodeId
+    staticHomeOf(std::uint64_t r) const
+    {
         if (r & kRegisteredBit)
             return static_cast<NodeId>((r >> 48) & 0xff);
         return static_cast<NodeId>(mix64(r) %

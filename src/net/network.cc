@@ -88,6 +88,7 @@ Network::roundTrip(MsgType type, NodeId src, NodeId dst,
                    RemoteWork at_dst)
 {
     always_assert(src != dst, "round trip to self");
+    refuseIfThreaded();
     if (fault_) {
         co_await faultyRoundTrip(type, src, dst, req_bytes, resp_bytes,
                                  std::move(at_dst));
@@ -186,13 +187,13 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
                 st->wake.notify(kernel_);
             };
             if (!fd.drop)
-                kernel_.scheduleAt(depart + half + fd.delay,
-                                   [arrive, corrupt = fd.corrupt] {
-                                       arrive(corrupt);
-                                   });
+                kernel_.scheduleAtAs(depart + half + fd.delay, src,
+                                     [arrive, corrupt = fd.corrupt] {
+                                         arrive(corrupt);
+                                     });
             if (fd.duplicate)
-                kernel_.scheduleAt(depart + half + fd.duplicateDelay,
-                                   [arrive] { arrive(false); });
+                kernel_.scheduleAtAs(depart + half + fd.duplicateDelay,
+                                     src, [arrive] { arrive(false); });
         });
     };
 
@@ -217,16 +218,16 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
             txPort_[src]->reserve(fd.stall);
         const std::uint64_t sent_epoch = epoch_;
         if (!fd.drop)
-            kernel_.schedule(half + fd.delay,
-                             [deliver, sent_epoch,
-                              corrupt = fd.corrupt] {
-                                 deliver(sent_epoch, corrupt);
-                             });
+            kernel_.scheduleAs(dst, half + fd.delay,
+                               [deliver, sent_epoch,
+                                corrupt = fd.corrupt] {
+                                   deliver(sent_epoch, corrupt);
+                               });
         if (fd.duplicate)
-            kernel_.schedule(half + fd.duplicateDelay,
-                             [deliver, sent_epoch] {
-                                 deliver(sent_epoch, false);
-                             });
+            kernel_.scheduleAs(dst, half + fd.duplicateDelay,
+                               [deliver, sent_epoch] {
+                                   deliver(sent_epoch, false);
+                               });
 
         // Wait for the response or the retransmission timeout,
         // whichever comes first.
@@ -247,12 +248,13 @@ Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
               std::function<void()> at_dst)
 {
     always_assert(src != dst, "post to self");
+    refuseIfThreaded();
     account(type, bytes);
     Tick depart =
         txPort_[src]->reserve(serialize(bytes + cfg_.messageHeaderBytes));
     Tick arrive = depart + cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
     if (!fault_) {
-        kernel_.scheduleAt(arrive, std::move(at_dst));
+        kernel_.scheduleAtAs(arrive, dst, std::move(at_dst));
         return;
     }
     // One-way messages carry no NIC-level reliability: a dropped copy is
@@ -270,14 +272,15 @@ Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
         // dropped on the wire; only the primary carries the injected
         // corruption, so a dropped-primary survivor passes CRC.
         const bool corrupt = !fd.drop && fd.corrupt;
-        kernel_.scheduleAt(arrive + (fd.drop ? fd.duplicateDelay
-                                             : fd.delay),
-                           [this, type, sent_epoch, corrupt,
-                            h = std::move(at_dst)] {
-                               if (!fenceStale(type, sent_epoch) &&
-                                   !crcReject(corrupt))
-                                   h();
-                           });
+        kernel_.scheduleAtAs(arrive + (fd.drop ? fd.duplicateDelay
+                                               : fd.delay),
+                             dst,
+                             [this, type, sent_epoch, corrupt,
+                              h = std::move(at_dst)] {
+                                 if (!fenceStale(type, sent_epoch) &&
+                                     !crcReject(corrupt))
+                                     h();
+                             });
         return;
     }
     auto handler =
@@ -286,10 +289,10 @@ Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
         if (!fenceStale(type, sent_epoch) && !crcReject(corrupt))
             (*handler)();
     };
-    kernel_.scheduleAt(arrive + fd.delay,
-                       [copy, corrupt = fd.corrupt] { copy(corrupt); });
-    kernel_.scheduleAt(arrive + fd.duplicateDelay,
-                       [copy] { copy(false); });
+    kernel_.scheduleAtAs(arrive + fd.delay, dst,
+                         [copy, corrupt = fd.corrupt] { copy(corrupt); });
+    kernel_.scheduleAtAs(arrive + fd.duplicateDelay, dst,
+                         [copy] { copy(false); });
 }
 
 void

@@ -216,6 +216,25 @@ class Network
                               std::uint32_t resp_bytes,
                               RemoteWork at_dst);
 
+    /**
+     * The hard gate behind the runner's threaded-executor
+     * certification: cross-node traffic under worker threads would
+     * read the remote NIC's port state from this lane's thread, so any
+     * message in a threaded run aborts the attempt and re-runs the
+     * spec on the deterministic sharded executor (which handles every
+     * model path bit-identically). Only reachable when the static
+     * certification in runner.cc admits a spec that turns out to send
+     * messages; the run is redone, never silently wrong.
+     */
+    void
+    refuseIfThreaded()
+    {
+        if (kernel_.threadedActive()) [[unlikely]] {
+            kernel_.requestSerialRerun();
+            throw sim::SerialRerunNeeded{};
+        }
+    }
+
     sim::Kernel &kernel_;
     const ClusterConfig &cfg_;
     FaultInjector *fault_ = nullptr;

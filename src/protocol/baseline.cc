@@ -39,21 +39,21 @@ BaselineEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
                     ctx.node);
     std::uint32_t squash_count = 0;
     for (;;) {
-        stats_.attempts += 1;
+        st().attempts += 1;
         bool committed = false;
         co_await attempt(ctx, prog, committed);
         if (committed)
             break;
         squash_count += 1;
         if (squash_count >= sys_.config.tuning.maxSquashesBeforeLockMode) {
-            stats_.lockModeFallbacks += 1;
+            st().lockModeFallbacks += 1;
             co_await attemptPessimistic(ctx, prog);
             break;
         }
         co_await sim::Delay{sys_.kernel, backoff(squash_count)};
     }
-    stats_.committed += 1;
-    stats_.latency.add(std::uint64_t(sys_.kernel.now() - start));
+    st().committed += 1;
+    st().latency.add(std::uint64_t(sys_.kernel.now() - start));
     sys_.tracer.log(sys_.kernel.now(), sim::TraceEvent::TxnCommit,
                     ctx.packed(), ctx.node);
 }
@@ -123,7 +123,7 @@ BaselineEngine::awaitFanout(
             break;
         }
         for (NodeId n : fo->pending) {
-            stats_.timeoutResends += 1;
+            st().timeoutResends += 1;
             repost(n, by_node.at(n));
         }
     }
@@ -144,7 +144,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     // used, as before.
     std::uint64_t self = ctx.packed();
     if (faultsOn() || recoveryOn())
-        self |= (epochs_[ctx.packed()]++ & 0x3fff) << kEpochShift;
+        self |= (nextEpoch(ctx) & 0x3fff) << kEpochShift;
     const std::uint64_t audit_id =
         sys_.audit ? sys_.audit->begin(self) : 0;
 
@@ -156,14 +156,14 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     if (recoveryOn()) {
         ctrl = std::make_shared<AttemptControl>();
         ctrl->auditId = audit_id;
-        sys_.router.add(self, ctrl.get());
+        sys_.routerFor(self).add(self, ctrl.get());
         attempts_[self] = ctrl;
     }
     auto retire = [this, self, ctrl] {
         if (!ctrl)
             return;
         ctrl->finished = true;
-        sys_.router.remove(self);
+        sys_.routerFor(self).remove(self);
         attempts_.erase(self);
     };
 
@@ -240,7 +240,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             co_await core.occupy(cycles(
                 std::int64_t(costs.atomicityCheckPerLineCycles) *
                 lay.payloadLines()));
-            stats_.addOverhead(Overhead::ReadAtomicity,
+            st().addOverhead(Overhead::ReadAtomicity,
                                kernel.now() - ti);
             continue;
         }
@@ -282,9 +282,9 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             co_await sim::Delay{kernel, ns(400)};
         }
         if (req.isWrite)
-            stats_.addOverhead(Overhead::RdBeforeWr, kernel.now() - t0);
+            st().addOverhead(Overhead::RdBeforeWr, kernel.now() - t0);
         if (gave_up) {
-            stats_.addSquash(SquashReason::LockBusy);
+            st().addSquash(SquashReason::LockBusy);
             releaseLocks(ctx, self, write_set);
             if (sys_.audit)
                 sys_.audit->noteAbort(audit_id);
@@ -303,7 +303,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             co_await core.occupy(
                 cycles(costs.setInsertCycles +
                        copyCycles(lay.payloadBytes())));
-            stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
+            st().addOverhead(Overhead::ManageSets, kernel.now() - t0);
             write_set.push_back(WriteEntry{req.record, home, value,
                                            lay.payloadBytes(), false});
         } else {
@@ -315,7 +315,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                 std::int64_t(costs.atomicityCheckPerLineCycles) *
                     payload_lines +
                 copyCycles(lay.payloadBytes())));
-            stats_.addOverhead(Overhead::ReadAtomicity,
+            st().addOverhead(Overhead::ReadAtomicity,
                                kernel.now() - t0);
 
             // Index traversal reads are atomic but unvalidated (see
@@ -323,7 +323,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             if (!req.isIndex) {
                 t0 = kernel.now();
                 co_await core.occupy(cycles(costs.setInsertCycles));
-                stats_.addOverhead(Overhead::ManageSets,
+                st().addOverhead(Overhead::ManageSets,
                                    kernel.now() - t0);
                 read_set.push_back(
                     ReadEntry{req.record, snap.version, home});
@@ -418,11 +418,11 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             lock_failed = fo->anyFail;
             lock_timed_out = !fo->pending.empty();
         }
-        stats_.addOverhead(Overhead::ConflictDetection,
+        st().addOverhead(Overhead::ConflictDetection,
                            kernel.now() - t0);
     }
     if (lock_failed) {
-        stats_.addSquash(lock_timed_out ? SquashReason::CommitTimeout
+        st().addSquash(lock_timed_out ? SquashReason::CommitTimeout
                                         : SquashReason::LockBusy);
         releaseLocks(ctx, self, write_set);
         if (sys_.audit)
@@ -509,11 +509,11 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             validation_failed = fo->anyFail;
             validation_timed_out = !fo->pending.empty();
         }
-        stats_.addOverhead(Overhead::ConflictDetection,
+        st().addOverhead(Overhead::ConflictDetection,
                            kernel.now() - t0);
     }
     if (validation_failed) {
-        stats_.addSquash(validation_timed_out
+        st().addSquash(validation_timed_out
                              ? SquashReason::CommitTimeout
                              : SquashReason::ValidationFailure);
         releaseLocks(ctx, self, write_set);
@@ -602,7 +602,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                 if (sys_.network.nodeDead(ctx.node))
                     throw sim::NodeDead{};
             }
-            stats_.addOverhead(Overhead::ConflictDetection,
+            st().addOverhead(Overhead::ConflictDetection,
                                kernel.now() - t0);
             if (*pending > 0) {
                 // Staging incomplete: abort and drop whatever landed.
@@ -620,7 +620,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                                      });
                     }
                 }
-                stats_.addSquash(SquashReason::ReplicaTimeout);
+                st().addSquash(SquashReason::ReplicaTimeout);
                 releaseLocks(ctx, self, write_set);
                 if (sys_.audit)
                     sys_.audit->noteAbort(audit_id);
@@ -697,8 +697,8 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                 w.home, ctx.core, sys_.placement.addrOf(w.record),
                 txn::RecordLayout{w.payloadBytes}.payloadLines());
         }
-        stats_.addOverhead(Overhead::ManageSets, t_manage);
-        stats_.addOverhead(Overhead::UpdateVersion, t_version);
+        st().addOverhead(Overhead::ManageSets, t_manage);
+        st().addOverhead(Overhead::UpdateVersion, t_version);
         co_await core.occupy(t_manage + t_version +
                              cycles(local_cycles) + mem_ticks);
 
@@ -724,7 +724,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                        std::int64_t(costs.setWalkCycles) *
                            std::int64_t(idxs.size()) +
                        copyCycles(batch_bytes)));
-            stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
+            st().addOverhead(Overhead::ManageSets, kernel.now() - t0);
             // Faults on: the commit write must eventually arrive (it
             // both applies the data and releases the locks), so it
             // rides the reliable channel. The first delivered copy
@@ -760,9 +760,9 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     }
     const Tick commit_end = kernel.now();
 
-    stats_.execPhase.add(double(exec_end - exec_start));
-    stats_.validationPhase.add(double(validation_end - exec_end));
-    stats_.commitPhase.add(double(commit_end - validation_end));
+    st().execPhase.add(double(exec_end - exec_start));
+    st().validationPhase.add(double(validation_end - exec_end));
+    st().commitPhase.add(double(commit_end - validation_end));
     committed = true;
     if (sys_.audit)
         sys_.audit->noteCommit(audit_id);
@@ -773,12 +773,13 @@ sim::Task
 BaselineEngine::attemptPessimistic(ExecCtx ctx,
                                    const txn::TxnProgram &prog)
 {
+    ensureSerialForLockMode();
     auto &kernel = sys_.kernel;
     auto &core = coreOf(ctx);
     const auto &costs = sys_.config.costs;
     std::uint64_t self = ctx.packed();
     if (faultsOn() || recoveryOn())
-        self |= (epochs_[ctx.packed()]++ & 0x3fff) << kEpochShift;
+        self |= (nextEpoch(ctx) & 0x3fff) << kEpochShift;
     const std::uint64_t audit_id =
         sys_.audit ? sys_.audit->begin(self) : 0;
 
@@ -788,7 +789,7 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
     if (recoveryOn()) {
         ctrl = std::make_shared<AttemptControl>();
         ctrl->auditId = audit_id;
-        sys_.router.add(self, ctrl.get());
+        sys_.routerFor(self).add(self, ctrl.get());
         attempts_[self] = ctrl;
     }
 
@@ -971,7 +972,7 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
         sys_.audit->noteCommit(audit_id);
     if (ctrl) {
         ctrl->finished = true;
-        sys_.router.remove(self);
+        sys_.routerFor(self).remove(self);
         attempts_.erase(self);
     }
 }

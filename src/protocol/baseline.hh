@@ -131,7 +131,6 @@ class BaselineEngine : public TxnEngine
      *  state (staged replica images, pending-apply journal entries)
      *  never aliases across attempts. Fault-free the bare packed
      *  context id is used, as before. */
-    std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
 
     txn::RecordLayout layout_;
 };

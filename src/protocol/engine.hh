@@ -85,7 +85,11 @@ struct Fanout
 class TxnEngine
 {
   public:
-    explicit TxnEngine(System &sys) : sys_(sys) {}
+    explicit TxnEngine(System &sys)
+        : sys_(sys), statsByNode_(sys.config.numNodes + 1),
+          epochsByNode_(sys.config.numNodes)
+    {
+    }
     virtual ~TxnEngine() = default;
 
     virtual EngineKind kind() const = 0;
@@ -106,8 +110,20 @@ class TxnEngine
     virtual std::uint32_t recordBytes(std::uint32_t payload_bytes)
         const = 0;
 
-    txn::EngineStats &stats() { return stats_; }
-    const txn::EngineStats &stats() const { return stats_; }
+    /**
+     * Aggregate statistics over the whole run. Counters are kept in
+     * per-node buckets (so each shard lane only touches its own nodes'
+     * buckets) and merged on read; the merge is bit-exact because every
+     * accumulated sample is an integer-valued double far below 2^53.
+     */
+    txn::EngineStats
+    stats() const
+    {
+        txn::EngineStats out;
+        for (const auto &s : statsByNode_)
+            out.merge(s);
+        return out;
+    }
 
     /** The system this engine runs against (recovery operates on it). */
     System &system() { return sys_; }
@@ -178,7 +194,7 @@ class TxnEngine
         std::uint32_t shift = std::min(attempt, 6u);
         std::int64_t base =
             std::int64_t(sys_.config.tuning.retryBackoffBaseCycles) << shift;
-        return cycles(base + std::int64_t(sys_.rng.below(
+        return cycles(base + std::int64_t(sys_.rng().below(
                                  std::uint64_t(base) + 1)));
     }
 
@@ -190,7 +206,7 @@ class TxnEngine
         std::uint32_t span = cfg.findTagsMaxCycles -
                              cfg.findTagsMinCycles + 1;
         return cycles(cfg.findTagsMinCycles +
-                      std::int64_t(sys_.rng.below(span)));
+                      std::int64_t(sys_.rng().below(span)));
     }
 
     /**
@@ -268,7 +284,7 @@ class TxnEngine
         Tick base = sys_.config.tuning.retryTimeoutBase
                     << std::min(attempt, 4u);
         base = std::min(base, sys_.config.tuning.retryTimeoutCap);
-        return base + Tick(sys_.rng.below(std::uint64_t(base / 4) + 1));
+        return base + Tick(sys_.rng().below(std::uint64_t(base / 4) + 1));
     }
 
     /**
@@ -287,20 +303,64 @@ class TxnEngine
                               std::move(handler));
             return;
         }
-        auto st = std::make_shared<ReliableSend>();
-        st->type = type;
-        st->src = src;
-        st->dst = dst;
-        st->bytes = bytes;
-        st->handler = std::move(handler);
-        reliableAttempt(std::move(st), 0);
+        auto rs = std::make_shared<ReliableSend>();
+        rs->type = type;
+        rs->src = src;
+        rs->dst = dst;
+        rs->bytes = bytes;
+        rs->handler = std::move(handler);
+        reliableAttempt(std::move(rs), 0);
+    }
+
+    /**
+     * Stats bucket of the node whose context is currently executing
+     * (control bucket outside any node context). Engines charge every
+     * counter through this accessor so counting is lane-local under
+     * sharded execution and the merged totals are shard-invariant.
+     */
+    txn::EngineStats &
+    st()
+    {
+        NodeId n = sys_.kernel.currentNode();
+        return statsByNode_[n < sys_.config.numNodes ? n
+                                                     : sys_.config.numNodes];
+    }
+
+    /**
+     * The pessimistic lock-mode fallback serializes on a cluster-wide
+     * token, which the threaded sharded executor cannot reproduce
+     * bit-identically. Engines call this at the top of the fallback:
+     * under threaded execution it asks the runner for a transparent
+     * re-run on the (fully general) deterministic executor and unwinds
+     * the attempt. Every other execution mode is a no-op.
+     */
+    void
+    ensureSerialForLockMode()
+    {
+        if (sys_.kernel.threadedActive()) {
+            sys_.kernel.requestSerialRerun();
+            throw sim::SerialRerunNeeded{};
+        }
     }
 
     /** Per-line streaming cost after the first line of a bulk access. */
     static constexpr std::int64_t kStreamCycles = 4;
 
+    /** Next attempt epoch of context @p ctx (attempt ids embed it so a
+     *  retry is distinguishable from its squashed predecessor). Stored
+     *  per node so the bookkeeping stays lane-local. */
+    std::uint64_t
+    nextEpoch(const ExecCtx &ctx)
+    {
+        return epochsByNode_[ctx.node][ctx.packed()]++;
+    }
+
     System &sys_;
-    txn::EngineStats stats_;
+    /** Per-node stats buckets + control bucket (see st()). */
+    std::vector<txn::EngineStats> statsByNode_;
+    /** Per-node attempt-epoch counters (see nextEpoch()). */
+    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+        epochsByNode_;
 
   private:
     /** In-flight reliablePost state, owned by the kernel closures. */
@@ -315,15 +375,15 @@ class TxnEngine
     };
 
     void
-    reliableAttempt(std::shared_ptr<ReliableSend> st, std::uint32_t n)
+    reliableAttempt(std::shared_ptr<ReliableSend> rs, std::uint32_t n)
     {
-        if (st->confirmed)
+        if (rs->confirmed)
             return;
         // Fail-stop: a permanently dead endpoint ends the resend chain
         // (the message can never be confirmed; recovery owns whatever
         // the post was trying to accomplish).
-        if (sys_.network.nodeDead(st->src) ||
-            sys_.network.nodeDead(st->dst))
+        if (sys_.network.nodeDead(rs->src) ||
+            sys_.network.nodeDead(rs->dst))
             return;
         // Optional resend budget (RobustnessTuning::maxReliableResends;
         // 0 = unbounded): under a never-healing partition the Ack may
@@ -333,20 +393,20 @@ class TxnEngine
         if (cap > 0 && n > cap)
             return;
         if (n > 0)
-            stats_.reliableResends += 1;
-        sys_.network.post(st->type, st->src, st->dst, st->bytes,
-                          [this, st] {
-                              st->handler();
+            st().reliableResends += 1;
+        sys_.network.post(rs->type, rs->src, rs->dst, rs->bytes,
+                          [this, rs] {
+                              rs->handler();
                               // Confirm this delivered copy; the Ack is
                               // itself lossy, so the sender may resend
                               // (handler idempotency absorbs it).
                               sys_.network.post(
-                                  net::MsgType::Ack, st->dst, st->src, 8,
-                                  [st] { st->confirmed = true; });
+                                  net::MsgType::Ack, rs->dst, rs->src, 8,
+                                  [rs] { rs->confirmed = true; });
                           });
-        sys_.kernel.schedule(resendTimeout(n), [this, st, n] {
-            if (!st->confirmed)
-                reliableAttempt(st, n + 1);
+        sys_.kernel.schedule(resendTimeout(n), [this, rs, n] {
+            if (!rs->confirmed)
+                reliableAttempt(rs, n + 1);
         });
     }
 };

@@ -36,7 +36,7 @@ HadesEngine::HadesEngine(System &sys, std::uint32_t payload_bytes)
     // Evicting a speculatively-written LLC line squashes its owner.
     for (auto &node : sys_.nodes) {
         node->memory.llc().setSquashHook([this](std::uint64_t tx) {
-            sys_.router.squash(sys_.kernel, tx,
+            sys_.routerFor(tx).squash(sys_.kernel, tx,
                                SquashReason::LlcEviction);
         });
     }
@@ -52,10 +52,10 @@ bool
 HadesEngine::probeFilter(const bloom::AddressFilter &bf, Addr line,
                          bool truth)
 {
-    stats_.bfConflictChecks += 1;
+    st().bfConflictChecks += 1;
     bool hit = bf.mayContain(line);
     if (hit && !truth)
-        stats_.bfFalsePositives += 1;
+        st().bfFalsePositives += 1;
     if (sys_.audit)
         sys_.audit->noteFilterProbe(hit, truth, "hades-conflict-probe");
     return hit;
@@ -66,11 +66,11 @@ HadesEngine::squashOrSelfSquash(std::uint64_t victim,
                                 const AttemptPtr &fallback_self,
                                 txn::SquashReason why)
 {
-    auto outcome = sys_.router.squash(sys_.kernel, victim, why);
+    auto outcome = sys_.routerFor(victim).squash(sys_.kernel, victim, why);
     if (outcome == SquashOutcome::Uncommittable) {
         // The victim is past its serialization point; the only safe
         // resolution is to squash ourselves.
-        sys_.router.squash(sys_.kernel, fallback_self->id, why);
+        sys_.routerFor(fallback_self->id).squash(sys_.kernel, fallback_self->id, why);
         return false;
     }
     return true;
@@ -84,8 +84,8 @@ HadesEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
                     ctx.node);
     std::uint32_t squash_count = 0;
     for (;;) {
-        stats_.attempts += 1;
-        std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);
+        st().attempts += 1;
+        std::uint64_t epoch = (nextEpoch(ctx) & 0x3fff);
         std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
         bool committed = false;
         co_await attempt(ctx, prog, id, committed);
@@ -93,14 +93,14 @@ HadesEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
             break;
         squash_count += 1;
         if (squash_count >= sys_.config.tuning.maxSquashesBeforeLockMode) {
-            stats_.lockModeFallbacks += 1;
+            st().lockModeFallbacks += 1;
             co_await attemptPessimistic(ctx, prog);
             break;
         }
         co_await sim::Delay{sys_.kernel, backoff(squash_count)};
     }
-    stats_.committed += 1;
-    stats_.latency.add(std::uint64_t(sys_.kernel.now() - start));
+    st().committed += 1;
+    st().latency.add(std::uint64_t(sys_.kernel.now() - start));
     sys_.tracer.log(sys_.kernel.now(), sim::TraceEvent::TxnCommit,
                     ctx.packed(), ctx.node);
 }
@@ -355,7 +355,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
         for (const auto &[k, filters] : node.nic.remote()) {
             if (k == id)
                 continue;
-            AttemptControl *kc = sys_.router.find(k);
+            AttemptControl *kc = sys_.routerFor(k).find(k);
             if (!kc)
                 continue; // stale filters, cleanup message in flight
             bool truth_rd = kc->remoteReadsContain(ctx.node, line);
@@ -466,7 +466,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
             sys_.kernel.schedule(deadline, [this, at] {
                 if (!at->finished && !at->ctrl.uncommittable &&
                     at->acksPending > 0) {
-                    sys_.router.squash(sys_.kernel, at->id,
+                    sys_.routerFor(at->id).squash(sys_.kernel, at->id,
                                        SquashReason::ReplicaTimeout);
                 }
             });
@@ -622,7 +622,7 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
     auto acq = ynode.lockBank.tryAcquire(id, filters.readBf,
                                          write_filter, write_lines);
     if (acq == bloom::AcquireResult::Conflict) {
-        sys_.router.squash(kernel, id, SquashReason::LockFailure);
+        sys_.routerFor(id).squash(kernel, id, SquashReason::LockFailure);
         return;
     }
     if (acq == bloom::AcquireResult::NoBuffer) {
@@ -631,7 +631,7 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
         // waiting here, so unbounded retries could form a distributed
         // waits-for cycle between exhausted banks.
         if (tries >= 64) {
-            sys_.router.squash(kernel, id, SquashReason::LockFailure);
+            sys_.routerFor(id).squash(kernel, id, SquashReason::LockFailure);
             return;
         }
         kernel.schedule(ns(200), [this, y, at, write_lines, tries] {
@@ -649,7 +649,7 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
         for (const auto &[k, kf] : ynode.nic.remote()) {
             if (k == id)
                 continue;
-            AttemptControl *kc = sys_.router.find(k);
+            AttemptControl *kc = sys_.routerFor(k).find(k);
             if (!kc)
                 continue; // stale filters, cleanup message in flight
             bool hit =
@@ -720,14 +720,14 @@ HadesEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
         if (round >= sys_.config.tuning.maxCommitResends) {
             // Out of resend budget: a peer is unreachable (crashed or
             // partitioned). Squash-and-retry from a clean slate.
-            sys_.router.squash(sys_.kernel, at->id,
+            sys_.routerFor(at->id).squash(sys_.kernel, at->id,
                                SquashReason::CommitTimeout);
             return;
         }
         for (NodeId y : at->nodesInvolved) {
             if (at->ackedBy.contains(y))
                 continue;
-            stats_.timeoutResends += 1;
+            st().timeoutResends += 1;
             const std::vector<Addr> itc_lines = at->itcLines[y];
             sys_.network.post(
                 MsgType::IntendToCommit, ctx.node, y,
@@ -794,7 +794,7 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         sys_.config, sys_.node(ctx.node).memory.llc().numSets());
     at->id = id;
     at->homeNode = ctx.node;
-    sys_.router.add(id, &at->ctrl);
+    sys_.routerFor(id).add(id, &at->ctrl);
     localTxns_[ctx.node][id] = at;
     if (sys_.audit) {
         at->auditId = sys_.audit->begin(id);
@@ -863,10 +863,10 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
 
         // recordedRd/Wr span local and remote lines: they are the full
         // per-transaction footprint (Section VIII-C quotes <=76 / <=40).
-        stats_.maxLinesRead = std::max(
-            stats_.maxLinesRead, std::uint64_t(at->recordedRd.size()));
-        stats_.maxLinesWritten = std::max(
-            stats_.maxLinesWritten, std::uint64_t(at->recordedWr.size()));
+        st().maxLinesRead = std::max(
+            st().maxLinesRead, std::uint64_t(at->recordedRd.size()));
+        st().maxLinesWritten = std::max(
+            st().maxLinesWritten, std::uint64_t(at->recordedWr.size()));
 
         co_await commit(ctx, at);
         ok = true;
@@ -875,7 +875,7 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         // audit fate decided) by the view change; its unwind must not
         // double-count.
         if (!at->ctrl.resolvedByRecovery) {
-            stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
+            st().addSquash(at->ctrl.squashRequested ? at->ctrl.reason
                                                       : sq.reason);
             cleanupAborted(ctx, at);
             if (sys_.audit)
@@ -885,13 +885,13 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
 
     at->finished = true;
     at->ctrl.finished = true;
-    sys_.router.remove(id);
+    sys_.routerFor(id).remove(id);
     localTxns_[ctx.node].erase(id);
 
     if (ok) {
         sys_.node(ctx.node).nic.clearLocalState(id);
-        stats_.execPhase.add(double(exec_end - exec_start));
-        stats_.validationPhase.add(double(kernel.now() - exec_end));
+        st().execPhase.add(double(exec_end - exec_start));
+        st().validationPhase.add(double(kernel.now() - exec_end));
         committed = true;
         if (sys_.audit)
             sys_.audit->noteCommit(at->auditId);
@@ -919,6 +919,7 @@ HadesEngine::attemptPessimistic(ExecCtx ctx, const txn::TxnProgram &prog)
     // fallback transactions, then retries without the squash cap. The
     // paper instead pre-locks all data; the token models the same
     // "guaranteed progress" property with the hardware we already have.
+    ensureSerialForLockMode();
     while (tokenBusy_) {
         co_await sim::Delay{sys_.kernel, us(1)};
         // Fail-stop: a dead node must not spin here forever (the wait
@@ -930,8 +931,8 @@ HadesEngine::attemptPessimistic(ExecCtx ctx, const txn::TxnProgram &prog)
     tokenBusy_ = true;
     tokenOwner_ = ctx.node;
     for (;;) {
-        stats_.attempts += 1;
-        std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);
+        st().attempts += 1;
+        std::uint64_t epoch = (nextEpoch(ctx) & 0x3fff);
         std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
         bool committed = false;
         co_await attempt(ctx, prog, id, committed);

@@ -184,7 +184,6 @@ class HadesEngine : public TxnEngine
     std::vector<std::map<std::uint64_t, AttemptPtr>> localTxns_;
 
     /** Next per-context attempt epoch (keys WrTX IDs uniquely). */
-    std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
 
     /** Cluster-wide pessimistic-fallback token (Section VI), with its
      *  holder so recovery can release it when the holder dies. */

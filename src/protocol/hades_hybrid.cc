@@ -37,10 +37,10 @@ bool
 HadesHybridEngine::probeFilter(const bloom::AddressFilter &bf, Addr line,
                                bool truth)
 {
-    stats_.bfConflictChecks += 1;
+    st().bfConflictChecks += 1;
     bool hit = bf.mayContain(line);
     if (hit && !truth)
-        stats_.bfFalsePositives += 1;
+        st().bfFalsePositives += 1;
     if (sys_.audit)
         sys_.audit->noteFilterProbe(hit, truth, "hybrid-conflict-probe");
     return hit;
@@ -51,9 +51,9 @@ HadesHybridEngine::squashOrSelfSquash(std::uint64_t victim,
                                       const AttemptPtr &fallback_self,
                                       txn::SquashReason why)
 {
-    auto outcome = sys_.router.squash(sys_.kernel, victim, why);
+    auto outcome = sys_.routerFor(victim).squash(sys_.kernel, victim, why);
     if (outcome == SquashOutcome::Uncommittable) {
-        sys_.router.squash(sys_.kernel, fallback_self->id, why);
+        sys_.routerFor(fallback_self->id).squash(sys_.kernel, fallback_self->id, why);
         return false;
     }
     return true;
@@ -77,8 +77,8 @@ HadesHybridEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
                     ctx.node);
     std::uint32_t squash_count = 0;
     for (;;) {
-        stats_.attempts += 1;
-        std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);
+        st().attempts += 1;
+        std::uint64_t epoch = (nextEpoch(ctx) & 0x3fff);
         std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
         bool committed = false;
         co_await attempt(ctx, prog, id, committed);
@@ -86,14 +86,14 @@ HadesHybridEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
             break;
         squash_count += 1;
         if (squash_count >= sys_.config.tuning.maxSquashesBeforeLockMode) {
-            stats_.lockModeFallbacks += 1;
+            st().lockModeFallbacks += 1;
             co_await attemptPessimistic(ctx, prog);
             break;
         }
         co_await sim::Delay{sys_.kernel, backoff(squash_count)};
     }
-    stats_.committed += 1;
-    stats_.latency.add(std::uint64_t(sys_.kernel.now() - start));
+    st().committed += 1;
+    st().latency.add(std::uint64_t(sys_.kernel.now() - start));
     sys_.tracer.log(sys_.kernel.now(), sim::TraceEvent::TxnCommit,
                     ctx.packed(), ctx.node);
 }
@@ -143,14 +143,14 @@ HadesHybridEngine::localAccess(ExecCtx ctx, AttemptPtr at,
         Tick t0 = kernel.now();
         co_await core.occupy(
             accessLines(ctx.node, ctx.core, base, record_lines));
-        stats_.addOverhead(Overhead::RdBeforeWr, kernel.now() - t0);
+        st().addOverhead(Overhead::RdBeforeWr, kernel.now() - t0);
 
         const auto m = node.versions.peek(req.record);
         t0 = kernel.now();
         co_await core.occupy(
             cycles(costs.setInsertCycles +
                    copyCycles(lay.payloadBytes())));
-        stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
+        st().addOverhead(Overhead::ManageSets, kernel.now() - t0);
         at->localWrites.push_back(
             LocalWriteEntry{req.record, m.version, value});
     } else {
@@ -180,12 +180,12 @@ HadesHybridEngine::localAccess(ExecCtx ctx, AttemptPtr at,
             std::int64_t(costs.atomicityCheckPerLineCycles) *
                 lay.payloadLines() +
             copyCycles(lay.payloadBytes())));
-        stats_.addOverhead(Overhead::ReadAtomicity, kernel.now() - t0);
+        st().addOverhead(Overhead::ReadAtomicity, kernel.now() - t0);
 
         if (!req.isIndex) {
             t0 = kernel.now();
             co_await core.occupy(cycles(costs.setInsertCycles));
-            stats_.addOverhead(Overhead::ManageSets, kernel.now() - t0);
+            st().addOverhead(Overhead::ManageSets, kernel.now() - t0);
             at->localReads.push_back(
                 LocalReadEntry{req.record, m.version});
             read_vals.push_back(value);
@@ -360,7 +360,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
         for (const auto &[k, filters] : node.nic.remote()) {
             if (k == id)
                 continue;
-            AttemptControl *kc = sys_.router.find(k);
+            AttemptControl *kc = sys_.routerFor(k).find(k);
             if (!kc)
                 continue;
             bool hit =
@@ -476,7 +476,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
             sys_.kernel.schedule(deadline, [this, at] {
                 if (!at->finished && !at->ctrl.uncommittable &&
                     at->acksPending > 0) {
-                    sys_.router.squash(sys_.kernel, at->id,
+                    sys_.routerFor(at->id).squash(sys_.kernel, at->id,
                                        SquashReason::ReplicaTimeout);
                 }
             });
@@ -521,7 +521,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 }
             }
         }
-        stats_.addOverhead(Overhead::ConflictDetection,
+        st().addOverhead(Overhead::ConflictDetection,
                            kernel.now() - t0);
         checkSquash(at);
         if (failed)
@@ -586,7 +586,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
             apply_ticks += cycles(copyCycles(layout_.payloadBytes()));
             t_version += cycles(costs.versionUpdateCycles);
         }
-        stats_.addOverhead(Overhead::UpdateVersion, t_version);
+        st().addOverhead(Overhead::UpdateVersion, t_version);
         co_await core.occupy(apply_ticks + t_version);
     }
 
@@ -671,12 +671,12 @@ HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
     auto acq = ynode.lockBank.tryAcquire(id, filters.readBf,
                                          write_filter, write_lines);
     if (acq == bloom::AcquireResult::Conflict) {
-        sys_.router.squash(kernel, id, SquashReason::LockFailure);
+        sys_.routerFor(id).squash(kernel, id, SquashReason::LockFailure);
         return;
     }
     if (acq == bloom::AcquireResult::NoBuffer) {
         if (tries >= 64) {
-            sys_.router.squash(kernel, id, SquashReason::LockFailure);
+            sys_.routerFor(id).squash(kernel, id, SquashReason::LockFailure);
             return;
         }
         kernel.schedule(ns(200), [this, y, at, write_lines, tries] {
@@ -696,7 +696,7 @@ HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
         for (const auto &[k, kf] : ynode.nic.remote()) {
             if (k == id)
                 continue;
-            AttemptControl *kc = sys_.router.find(k);
+            AttemptControl *kc = sys_.routerFor(k).find(k);
             if (!kc)
                 continue;
             bool hit =
@@ -747,14 +747,14 @@ HadesHybridEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
             at->ctrl.squashRequested || at->acksPending == 0)
             return;
         if (round >= sys_.config.tuning.maxCommitResends) {
-            sys_.router.squash(sys_.kernel, at->id,
+            sys_.routerFor(at->id).squash(sys_.kernel, at->id,
                                SquashReason::CommitTimeout);
             return;
         }
         for (NodeId y : at->nodesInvolved) {
             if (at->ackedBy.contains(y))
                 continue;
-            stats_.timeoutResends += 1;
+            st().timeoutResends += 1;
             const std::vector<Addr> itc_lines = at->itcLines[y];
             sys_.network.post(
                 MsgType::IntendToCommit, ctx.node, y,
@@ -814,7 +814,7 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     auto at = std::make_shared<Attempt>(sys_.config);
     at->id = id;
     at->homeNode = ctx.node;
-    sys_.router.add(id, &at->ctrl);
+    sys_.routerFor(id).add(id, &at->ctrl);
     attempts_[id] = at;
     if (sys_.audit) {
         at->auditId = sys_.audit->begin(id);
@@ -849,7 +849,7 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         std::int64_t(sys_.config.costs
                                          .atomicityCheckPerLineCycles) *
                         lay.payloadLines()));
-                    stats_.addOverhead(Overhead::ReadAtomicity,
+                    st().addOverhead(Overhead::ReadAtomicity,
                                        kernel.now() - ti);
                 }
             } else if (home == ctx.node) {
@@ -893,10 +893,10 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         }
         exec_end = kernel.now();
 
-        stats_.maxLinesRead = std::max(
-            stats_.maxLinesRead, std::uint64_t(at->recordedRd.size()));
-        stats_.maxLinesWritten = std::max(
-            stats_.maxLinesWritten, std::uint64_t(at->recordedWr.size()));
+        st().maxLinesRead = std::max(
+            st().maxLinesRead, std::uint64_t(at->recordedRd.size()));
+        st().maxLinesWritten = std::max(
+            st().maxLinesWritten, std::uint64_t(at->recordedWr.size()));
 
         co_await commit(ctx, at);
         ok = true;
@@ -904,7 +904,7 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         // A recovery-resolved attempt was already cleaned up (and its
         // audit fate decided) by the view change.
         if (!at->ctrl.resolvedByRecovery) {
-            stats_.addSquash(at->ctrl.squashRequested ? at->ctrl.reason
+            st().addSquash(at->ctrl.squashRequested ? at->ctrl.reason
                                                       : sq.reason);
             cleanupAborted(ctx, at);
             if (sys_.audit)
@@ -914,13 +914,13 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
 
     at->finished = true;
     at->ctrl.finished = true;
-    sys_.router.remove(id);
+    sys_.routerFor(id).remove(id);
     attempts_.erase(id);
 
     if (ok) {
         sys_.node(ctx.node).nic.clearLocalState(id);
-        stats_.execPhase.add(double(exec_end - exec_start));
-        stats_.validationPhase.add(double(kernel.now() - exec_end));
+        st().execPhase.add(double(exec_end - exec_start));
+        st().validationPhase.add(double(kernel.now() - exec_end));
         committed = true;
         if (sys_.audit)
             sys_.audit->noteCommit(at->auditId);
@@ -941,6 +941,7 @@ sim::Task
 HadesHybridEngine::attemptPessimistic(ExecCtx ctx,
                                       const txn::TxnProgram &prog)
 {
+    ensureSerialForLockMode();
     while (tokenBusy_) {
         co_await sim::Delay{sys_.kernel, us(1)};
         // Fail-stop: a dead node must not spin here forever; onNodeDead
@@ -951,8 +952,8 @@ HadesHybridEngine::attemptPessimistic(ExecCtx ctx,
     tokenBusy_ = true;
     tokenOwner_ = ctx.node;
     for (;;) {
-        stats_.attempts += 1;
-        std::uint64_t epoch = (epochs_[ctx.packed()]++ & 0x3fff);
+        st().attempts += 1;
+        std::uint64_t epoch = (nextEpoch(ctx) & 0x3fff);
         std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
         bool committed = false;
         co_await attempt(ctx, prog, id, committed);

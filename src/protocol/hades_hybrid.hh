@@ -176,7 +176,6 @@ class HadesHybridEngine : public TxnEngine
      *  valid control blocks. Ordered for deterministic enumeration. */
     std::map<std::uint64_t, AttemptPtr> attempts_;
 
-    std::unordered_map<std::uint64_t, std::uint64_t> epochs_;
     bool tokenBusy_ = false;
     NodeId tokenOwner_ = 0;
     txn::RecordLayout layout_;

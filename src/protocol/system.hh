@@ -233,8 +233,7 @@ class System
         : config(cfg),
           clock(cfg.clock()),
           network(kernel, config),
-          placement(cfg.numNodes, num_records, record_bytes),
-          rng(cfg.seed ^ 0x5ca1ab1e)
+          placement(cfg.numNodes, num_records, record_bytes)
     {
         for (NodeId n = 0; n < cfg.numNodes; ++n)
             nodes.push_back(
@@ -242,7 +241,21 @@ class System
         if (repl.enabled())
             replicas = std::make_unique<replica::ReplicaManager>(
                 repl, cfg.numNodes, cfg.seed ^ 0xface);
-        router.setTracer(&tracer);
+        // One router and one RNG stream per node (plus a control
+        // bucket): protocol state touched on a transaction's
+        // coordinator node stays on that node's shard lane, and each
+        // node draws from its own deterministic stream regardless of
+        // how other nodes' draws interleave.
+        routers_.resize(cfg.numNodes + 1);
+        for (auto &r : routers_)
+            r.setTracer(&tracer);
+        rngs_.reserve(cfg.numNodes + 1);
+        for (NodeId n = 0; n <= cfg.numNodes; ++n)
+            rngs_.emplace_back(cfg.seed ^ 0x5ca1ab1e ^
+                               (std::uint64_t{n} + 1) * 0x9e3779b97f4a7c15ULL);
+        data.shard(cfg.numNodes, [this](std::uint64_t record) {
+            return placement.staticHomeOf(record);
+        });
     }
 
     System(const System &) = delete;
@@ -251,14 +264,50 @@ class System
     NodeCtx &node(NodeId n) { return *nodes[n]; }
     Tick cycles(std::int64_t n) const { return clock.cycles(n); }
 
+    /** Coordinator node encoded in a packed GlobalTxId (bits 32..47;
+     *  epoch restamping touches bits 48+ only, so this survives
+     *  recovery's epoch-stamped ids). */
+    static NodeId
+    txnNode(std::uint64_t tx)
+    {
+        return NodeId((tx >> 32) & 0xffff);
+    }
+
+    /** Squash router shard of @p tx's coordinator node. All register /
+     *  squash / find traffic for a transaction goes through its
+     *  coordinator's shard, which keeps the state lane-local under
+     *  sharded execution. */
+    SquashRouter &
+    routerFor(std::uint64_t tx)
+    {
+        NodeId n = txnNode(tx);
+        return routers_[n < config.numNodes ? n : config.numNodes];
+    }
+
+    /** Router shard of node @p n (recovery iterates per node). */
+    SquashRouter &routerForNode(NodeId n) { return routers_[n]; }
+    const SquashRouter &routerForNode(NodeId n) const { return routers_[n]; }
+
+    /**
+     * Deterministic RNG stream of the node whose context is currently
+     * executing (the control stream outside any node context). Keyed on
+     * the kernel's execution context so each node's draw sequence is
+     * independent of how other nodes' events interleave -- the property
+     * that makes results shard-count invariant.
+     */
+    Rng &
+    rng()
+    {
+        NodeId n = kernel.currentNode();
+        return rngs_[n < config.numNodes ? n : config.numNodes];
+    }
+
     sim::Kernel kernel;
     ClusterConfig config;
     Clock clock;
     net::Network network;
     mem::Placement placement;
     txn::GroundTruth data;
-    SquashRouter router;
-    Rng rng;
     std::vector<std::unique_ptr<NodeCtx>> nodes;
     /** Optional Section V-A fault-tolerance substrate. */
     std::unique_ptr<replica::ReplicaManager> replicas;
@@ -280,6 +329,14 @@ class System
      *  message was lost -- and, conversely, to discard staged images
      *  of transactions that never decided. */
     std::map<std::uint64_t, std::uint64_t> decisionLog;
+
+  private:
+    /** Per-node squash-router shards, indexed by coordinator node;
+     *  slot numNodes is the control bucket (never used by engines, it
+     *  exists so routerFor is total). */
+    std::vector<SquashRouter> routers_;
+    /** Per-node RNG streams + one control stream (see rng()). */
+    std::vector<Rng> rngs_;
 };
 
 } // namespace hades::protocol

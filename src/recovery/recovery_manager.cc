@@ -297,9 +297,13 @@ RecoveryManager::viewChange(NodeId dead)
     // replica images are promoted in step 6). Undecided -> abort (the
     // client was never acked). ------------------------------------------------
     std::vector<std::pair<std::uint64_t, AttemptControl *>> victims;
-    for (const auto &[id, ctrl] : sys_.router.active())
-        if (coordinatorOf(id) == dead && !ctrl->finished)
-            victims.emplace_back(id, ctrl);
+    // Router state is sharded by coordinator node; scanning the shards
+    // in node order (each one an ordered map) keeps the resolution
+    // order deterministic.
+    for (NodeId n = 0; n <= sys_.config.numNodes; ++n)
+        for (const auto &[id, ctrl] : sys_.routerForNode(n).active())
+            if (coordinatorOf(id) == dead && !ctrl->finished)
+                victims.emplace_back(id, ctrl);
     for (auto &[id, ctrl] : victims) {
         if (ctrl->decisionRecorded) {
             replayLedgerOf(id);
@@ -316,7 +320,7 @@ RecoveryManager::viewChange(NodeId dead)
         ctrl->reason = txn::SquashReason::NodeFailure;
         ctrl->finished = true;
         ctrl->wake.notify(sys_.kernel);
-        sys_.router.remove(id);
+        sys_.routerFor(id).remove(id);
     }
 
     // --- 5. Apply decided writes stranded by a dead *home*: a live

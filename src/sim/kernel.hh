@@ -1,25 +1,58 @@
 /**
  * @file
- * Discrete-event simulation kernel.
+ * Discrete-event simulation kernel, optionally sharded by node.
  *
- * A single-threaded event queue with deterministic ordering: events fire
- * in (time, insertion-sequence) order, so runs are bit-reproducible for a
- * fixed seed. All protocol engines, NIC models, and core contexts express
- * time by scheduling closures (usually coroutine resumptions) here.
+ * Event ordering is deterministic and *shard-count invariant*: every
+ * event is stamped at schedule time with the identity of the node
+ * context that scheduled it (the "source node") and a per-source-node
+ * sequence number, and events fire in (time, source-node, source-seq)
+ * lexicographic order. Because the per-node sequence streams do not
+ * depend on how the other nodes' events interleave, the total order --
+ * and therefore every simulation result -- is a pure function of the
+ * model, not of the shard count or of thread scheduling. This is the
+ * tie-break contract the parallel differential tests rely on.
+ *
+ * Three execution modes share that one total order:
+ *
+ *  - serial (shards == 1, the default and the oracle): a single binary
+ *    heap pops events in key order, exactly as before.
+ *  - sharded deterministic (shards > 1): nodes are partitioned into
+ *    lanes by the pure function laneOf(node) = node % shards; each lane
+ *    owns a heap, and a single thread merges the lane fronts in key
+ *    order while advancing conservative time windows. Cross-lane events
+ *    at or beyond the next window barrier travel through per-lane-pair
+ *    mailboxes drained at the barrier. Works for every model (faults,
+ *    recovery, audit included) because same-window cross-lane events
+ *    are simply executed in exact key order.
+ *  - sharded threaded (shards > 1, ShardPlan::threaded): one worker
+ *    thread per lane executes its lane's events inside the current
+ *    window concurrently with the other lanes. The window width is the
+ *    conservative lookahead (no cross-node message can arrive sooner
+ *    than the NIC round-trip floor allows), so lanes never need each
+ *    other mid-window; cross-lane events are exchanged only at window
+ *    barriers through the phase-separated mailboxes. A cross-lane
+ *    event scheduled *inside* the current window is a lookahead
+ *    violation and panics. Identical results to the serial oracle
+ *    follow from the shard-invariant key order plus lane-disjoint
+ *    model state (the runner certifies specs before enabling this
+ *    mode; see DESIGN.md section 11).
  *
  * Hot-path layout: the priority queue is a hand-managed binary heap of
- * 24-byte POD entries (when, seq, slot) over a contiguous arena of
- * small-buffer-optimized callbacks. Sift operations move only the POD
- * entries -- never the closures -- and closures small enough for the
- * inline buffer (the coroutine-resumption common case) are stored
- * without any heap allocation. The arena, free list, and heap are
- * bulk-reserved so steady-state scheduling allocates nothing.
+ * 24-byte POD entries (when, key, slot, exec-node) over a contiguous
+ * arena of small-buffer-optimized callbacks. Sift operations move only
+ * the POD entries -- never the closures -- and closures small enough
+ * for the inline buffer (the coroutine-resumption common case) are
+ * stored without any heap allocation.
  */
 
 #ifndef HADES_SIM_KERNEL_HH_
 #define HADES_SIM_KERNEL_HH_
 
+#include <atomic>
+#include <barrier>
 #include <cstdint>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/log.hh"
@@ -29,6 +62,38 @@
 namespace hades::sim
 {
 
+/**
+ * Pseudo-node identity for events scheduled outside any node's context
+ * (experiment setup, fault plans, recovery timers, driver launch).
+ * Control-context events sort *before* same-tick node events.
+ */
+inline constexpr NodeId kControlNode = 0xffffffffu;
+
+/**
+ * Thrown by protocol code that reaches a path the threaded executor
+ * cannot run bit-identically (today: the global pessimistic-token
+ * fallback). The per-context driver retires the context, the kernel
+ * drains, and the runner transparently re-runs the spec through the
+ * sharded deterministic executor, which handles every path.
+ */
+struct SerialRerunNeeded
+{
+};
+
+/** Sharding configuration handed to Kernel::configureSharding(). */
+struct ShardPlan
+{
+    /** Number of lanes; 1 keeps the serial oracle. */
+    std::uint32_t shards = 1;
+    /** Cluster size, for pre-sizing the per-node sequence streams. */
+    std::uint32_t numNodes = 0;
+    /** Conservative window width (the lookahead). @pre > 0 if
+     *  shards > 1. */
+    Tick windowTicks = 0;
+    /** Execute lanes on worker threads (certified specs only). */
+    bool threaded = false;
+};
+
 /** The DES scheduler. */
 class Kernel
 {
@@ -37,63 +102,231 @@ class Kernel
 
     /** Default bulk reservation (events); see reserve(). */
     static constexpr std::size_t kDefaultReserve = 256;
+    /** Bits of the per-source-node sequence counter inside the key. */
+    static constexpr unsigned kSeqBits = 48;
 
-    Kernel() { reserve(kDefaultReserve); }
+    Kernel() : lanes_(1) { reserve(kDefaultReserve); }
 
-    /** Current simulated time. */
-    Tick now() const { return now_; }
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /**
+     * Lane assignment: a pure function of the node id and the shard
+     * count only (the parallel property tests assert this).
+     */
+    static std::uint32_t
+    laneOf(NodeId node, std::uint32_t shards)
+    {
+        return node == kControlNode ? 0 : node % shards;
+    }
+
+    /**
+     * Select the sharded execution mode. Must be called before any
+     * event is scheduled (the runner configures right after building
+     * the System).
+     */
+    void
+    configureSharding(const ShardPlan &plan)
+    {
+        always_assert(totalScheduled() == 0 && eventsRun_ == 0,
+                      "configureSharding on a kernel already in use");
+        always_assert(plan.shards >= 1, "need at least one shard");
+        shards_ = plan.shards;
+        threaded_ = plan.threaded && shards_ > 1;
+        windowTicks_ = plan.windowTicks;
+        if (shards_ > 1) {
+            always_assert(windowTicks_ > 0,
+                          "sharded execution needs a positive window");
+            windowEnd_ = windowTicks_;
+        }
+        lanes_.clear();
+        lanes_.resize(shards_);
+        mail_.clear();
+        mail_.resize(shards_);
+        for (auto &row : mail_)
+            row.resize(shards_);
+        seqByRank_.assign(std::size_t{plan.numNodes} + 2, 0);
+        reserve(kDefaultReserve);
+    }
+
+    /** Current simulated time (lane-local while a sharded run is in
+     *  flight; the global clock otherwise). */
+    Tick
+    now() const
+    {
+        const ExecContext *c = tlsCtx_;
+        return c && c->kernel == this ? c->now : now_;
+    }
+
+    /** Node context of the currently executing event (kControlNode
+     *  outside any event, e.g. during experiment setup). */
+    NodeId
+    currentNode() const
+    {
+        const ExecContext *c = tlsCtx_;
+        return c && c->kernel == this ? c->node : kControlNode;
+    }
 
     /** Number of events executed so far (for progress accounting). */
-    std::uint64_t eventsRun() const { return eventsRun_; }
+    std::uint64_t
+    eventsRun() const
+    {
+        std::uint64_t n = eventsRun_;
+        for (const Lane &l : lanes_)
+            n += l.eventsRun;
+        return n;
+    }
 
     /** Number of events scheduled so far. */
-    std::uint64_t eventsScheduled() const { return nextSeq_; }
+    std::uint64_t eventsScheduled() const { return totalScheduled(); }
 
     /** Callbacks too large for the inline buffer (heap spills). A
      *  well-behaved hot path keeps this at (or near) zero. */
-    std::uint64_t callbackHeapAllocs() const { return heapSpills_; }
+    std::uint64_t
+    callbackHeapAllocs() const
+    {
+        std::uint64_t n = 0;
+        for (const Lane &l : lanes_)
+            n += l.heapSpills;
+        return n;
+    }
 
-    /** High-water mark of pending events. */
-    std::size_t peakQueueDepth() const { return peakDepth_; }
+    /** High-water mark of pending events (summed over lanes). */
+    std::size_t
+    peakQueueDepth() const
+    {
+        std::size_t n = 0;
+        for (const Lane &l : lanes_)
+            n += l.peakDepth;
+        return n;
+    }
 
-    /** Pre-size the heap and callback arena for @p events pending
-     *  events, so steady-state scheduling performs no allocation. */
+    // --- Sharded-execution observability ---------------------------------
+    std::uint32_t shards() const { return shards_; }
+    bool threaded() const { return threaded_; }
+    Tick windowTicks() const { return windowTicks_; }
+    /** Window barriers crossed (== windows entered beyond the first). */
+    std::uint64_t windowBarriers() const { return barriers_; }
+    /** Events that crossed a lane boundary (mailbox traffic). */
+    std::uint64_t
+    crossShardEvents() const
+    {
+        std::uint64_t n = 0;
+        for (const Lane &l : lanes_)
+            n += l.crossShardOut;
+        return n;
+    }
+
+    /** True while the threaded executor is running worker phases. */
+    bool
+    threadedActive() const
+    {
+        return threadedActive_.load(std::memory_order_relaxed);
+    }
+
+    /** Ask the runner to redo this simulation on the deterministic
+     *  executor (see SerialRerunNeeded). */
+    void
+    requestSerialRerun()
+    {
+        rerunRequested_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    serialRerunRequested() const
+    {
+        return rerunRequested_.load(std::memory_order_relaxed);
+    }
+
+    /** Pre-size the heap and callback arena of every lane for @p events
+     *  pending events, so steady-state scheduling performs no
+     *  allocation. */
     void
     reserve(std::size_t events)
     {
-        heap_.reserve(events);
-        slots_.reserve(events);
-        freeSlots_.reserve(events);
+        std::size_t per = events / lanes_.size() + 1;
+        for (Lane &l : lanes_) {
+            l.heap.reserve(per);
+            l.slots.reserve(per);
+            l.freeSlots.reserve(per);
+        }
     }
 
-    /** Schedule @p fn to run @p delay ticks from now. @pre delay >= 0. */
+    /** Schedule @p fn to run @p delay ticks from now in the scheduling
+     *  context's own node context. @pre delay >= 0. */
     void
     schedule(Tick delay, Callback fn)
     {
         always_assert(delay >= 0, "negative event delay");
-        scheduleAt(now_ + delay, std::move(fn));
+        scheduleAtAs(now() + delay, currentNode(), std::move(fn));
     }
 
     /** Schedule @p fn at absolute time @p when. @pre when >= now(). */
     void
     scheduleAt(Tick when, Callback fn)
     {
-        always_assert(when >= now_, "event scheduled in the past");
-        if (fn.onHeap())
-            ++heapSpills_;
-        std::uint32_t slot;
-        if (!freeSlots_.empty()) {
-            slot = freeSlots_.back();
-            freeSlots_.pop_back();
-            slots_[slot] = std::move(fn);
-        } else {
-            slot = static_cast<std::uint32_t>(slots_.size());
-            slots_.push_back(std::move(fn));
+        scheduleAtAs(when, currentNode(), std::move(fn));
+    }
+
+    /** Schedule @p fn to run in @p exec's node context @p delay ticks
+     *  from now (cross-node deliveries name their destination). */
+    void
+    scheduleAs(NodeId exec, Tick delay, Callback fn)
+    {
+        always_assert(delay >= 0, "negative event delay");
+        scheduleAtAs(now() + delay, exec, std::move(fn));
+    }
+
+    /**
+     * Schedule @p fn at absolute time @p when, to execute in node
+     * @p exec's context. The event's ordering key is stamped from the
+     * *scheduling* context: (when, source node, per-source-node seq).
+     */
+    void
+    scheduleAtAs(Tick when, NodeId exec, Callback fn)
+    {
+        ExecContext *c = current();
+        always_assert(when >= (c ? c->now : now_),
+                      "event scheduled in the past");
+        const std::uint32_t rank = rankOf(c ? c->node : kControlNode);
+        if (rank >= seqByRank_.size()) {
+            always_assert(!threadedActive(),
+                          "unplanned node rank in threaded mode");
+            seqByRank_.resize(rank + 1, 0);
         }
-        heap_.push_back(HeapEntry{when, nextSeq_++, slot});
-        siftUp(heap_.size() - 1);
-        if (heap_.size() > peakDepth_)
-            peakDepth_ = heap_.size();
+        const std::uint64_t seq = seqByRank_[rank]++;
+        always_assert(seq < (std::uint64_t{1} << kSeqBits),
+                      "per-node sequence overflow");
+        const std::uint64_t key =
+            (std::uint64_t{rank} << kSeqBits) | seq;
+
+        const std::uint32_t dstLane = laneOf(exec, shards_);
+        const std::uint32_t srcLane = c ? c->lane : dstLane;
+        if (shards_ > 1 && c && dstLane != srcLane) {
+            Lane &src = lanes_[srcLane];
+            ++src.crossShardOut;
+            if (threaded_) {
+                // Conservative lookahead: a cross-lane event may not
+                // land inside the window the lanes are executing.
+                always_assert(
+                    when >= windowEnd_,
+                    "lookahead violated: cross-shard event scheduled "
+                    "inside the current window");
+                mail_[srcLane][dstLane].push_back(
+                    Mail{when, key, exec, std::move(fn)});
+                return;
+            }
+            if (when >= windowEnd_) {
+                // Deterministic mode exercises the same barrier
+                // machinery for events beyond the window; same-window
+                // cross-lane events (legal here) go straight into the
+                // destination heap and execute in exact key order.
+                mail_[srcLane][dstLane].push_back(
+                    Mail{when, key, exec, std::move(fn)});
+                return;
+            }
+        }
+        pushLane(lanes_[dstLane], when, key, exec, std::move(fn));
     }
 
     /**
@@ -103,32 +336,25 @@ class Kernel
     bool
     run(Tick maxTime = -1)
     {
-        stopped_ = false;
-        while (!heap_.empty() && !stopped_) {
-            const HeapEntry &top = heap_.front();
-            if (maxTime >= 0 && top.when > maxTime) {
-                now_ = maxTime;
-                return false;
-            }
-            const Tick when = top.when;
-            const std::uint32_t slot = top.slot;
-            popTop();
-            // Move the closure out of the arena before invoking it:
-            // the callback may schedule new events, which can grow the
-            // arena and invalidate references into it.
-            Callback fn = std::move(slots_[slot]);
-            freeSlots_.push_back(slot);
-            now_ = when;
-            ++eventsRun_;
-            fn();
-        }
-        return heap_.empty();
+        stopped_.store(false, std::memory_order_relaxed);
+        if (shards_ <= 1)
+            return runSerial(maxTime);
+        if (threaded_)
+            return runThreaded(maxTime);
+        return runShardedDet(maxTime);
     }
 
     /** Request that run() return after the current event completes. */
-    void stop() { stopped_ = true; }
+    void stop() { stopped_.store(true, std::memory_order_relaxed); }
 
-    bool empty() const { return heap_.empty(); }
+    bool
+    empty() const
+    {
+        for (const Lane &l : lanes_)
+            if (!l.heap.empty())
+                return false;
+        return !anyMail();
+    }
 
   private:
     /** POD heap entry; closures stay put in the arena while entries
@@ -136,71 +362,364 @@ class Kernel
     struct HeapEntry
     {
         Tick when;
-        std::uint64_t seq;
+        std::uint64_t key; //!< (source-node rank << kSeqBits) | seq
         std::uint32_t slot;
+        NodeId exec; //!< node context the event executes in
     };
 
-    /** Earliest-first strict weak ordering: (when, seq) lexicographic. */
+    /** A cross-lane event in flight between window barriers. The
+     *  producing lane appends during an execution phase; the barrier
+     *  coordinator drains between phases, so the pair never accesses
+     *  the vector concurrently (single producer, single consumer,
+     *  phase-separated). */
+    struct Mail
+    {
+        Tick when;
+        std::uint64_t key;
+        NodeId exec;
+        Callback fn;
+    };
+
+    /** One shard: a heap + closure arena, owned by one worker thread
+     *  during threaded execution phases. */
+    struct Lane
+    {
+        std::vector<HeapEntry> heap;
+        std::vector<Callback> slots;
+        std::vector<std::uint32_t> freeSlots;
+        Tick lastNow = 0;
+        std::uint64_t eventsRun = 0;
+        std::uint64_t heapSpills = 0;
+        std::uint64_t crossShardOut = 0;
+        std::size_t peakDepth = 0;
+    };
+
+    /** Per-thread execution context: which kernel/lane is running and
+     *  the lane-local clock + node identity of the current event. */
+    struct ExecContext
+    {
+        const Kernel *kernel;
+        std::uint32_t lane;
+        Tick now;
+        NodeId node;
+    };
+
+    /** RAII guard installing an ExecContext for the calling thread. */
+    struct CtxScope
+    {
+        explicit CtxScope(ExecContext *c) : prev(tlsCtx_)
+        {
+            tlsCtx_ = c;
+        }
+        ~CtxScope() { tlsCtx_ = prev; }
+        ExecContext *prev;
+    };
+
+    ExecContext *
+    current() const
+    {
+        ExecContext *c = tlsCtx_;
+        return c && c->kernel == this ? c : nullptr;
+    }
+
+    static std::uint32_t
+    rankOf(NodeId node)
+    {
+        if (node == kControlNode)
+            return 0; // control context sorts first at equal time
+        always_assert(node < 0xfffeu, "node id exceeds key rank space");
+        return node + 1;
+    }
+
+    /** Earliest-first strict weak ordering:
+     *  (when, source-node, source-seq) lexicographic. */
     static bool
     earlier(const HeapEntry &a, const HeapEntry &b)
     {
         if (a.when != b.when)
             return a.when < b.when;
-        return a.seq < b.seq;
+        return a.key < b.key;
     }
 
     void
-    siftUp(std::size_t i)
+    pushLane(Lane &l, Tick when, std::uint64_t key, NodeId exec,
+             Callback fn)
     {
-        const HeapEntry e = heap_[i];
+        if (fn.onHeap())
+            ++l.heapSpills;
+        std::uint32_t slot;
+        if (!l.freeSlots.empty()) {
+            slot = l.freeSlots.back();
+            l.freeSlots.pop_back();
+            l.slots[slot] = std::move(fn);
+        } else {
+            slot = static_cast<std::uint32_t>(l.slots.size());
+            l.slots.push_back(std::move(fn));
+        }
+        l.heap.push_back(HeapEntry{when, key, slot, exec});
+        siftUp(l.heap, l.heap.size() - 1);
+        if (l.heap.size() > l.peakDepth)
+            l.peakDepth = l.heap.size();
+    }
+
+    static void
+    siftUp(std::vector<HeapEntry> &heap, std::size_t i)
+    {
+        const HeapEntry e = heap[i];
         while (i > 0) {
             const std::size_t parent = (i - 1) / 2;
-            if (!earlier(e, heap_[parent]))
+            if (!earlier(e, heap[parent]))
                 break;
-            heap_[i] = heap_[parent];
+            heap[i] = heap[parent];
             i = parent;
         }
-        heap_[i] = e;
+        heap[i] = e;
     }
 
-    void
-    siftDown(std::size_t i)
+    static void
+    siftDown(std::vector<HeapEntry> &heap, std::size_t i)
     {
-        const std::size_t n = heap_.size();
-        const HeapEntry e = heap_[i];
+        const std::size_t n = heap.size();
+        const HeapEntry e = heap[i];
         for (;;) {
             std::size_t child = 2 * i + 1;
             if (child >= n)
                 break;
-            if (child + 1 < n && earlier(heap_[child + 1], heap_[child]))
+            if (child + 1 < n && earlier(heap[child + 1], heap[child]))
                 ++child;
-            if (!earlier(heap_[child], e))
+            if (!earlier(heap[child], e))
                 break;
-            heap_[i] = heap_[child];
+            heap[i] = heap[child];
             i = child;
         }
-        heap_[i] = e;
+        heap[i] = e;
     }
 
-    void
-    popTop()
+    static void
+    popTop(std::vector<HeapEntry> &heap)
     {
-        heap_.front() = heap_.back();
-        heap_.pop_back();
-        if (!heap_.empty())
-            siftDown(0);
+        heap.front() = heap.back();
+        heap.pop_back();
+        if (!heap.empty())
+            siftDown(heap, 0);
     }
 
-    std::vector<HeapEntry> heap_;       //!< binary heap of pending events
-    std::vector<Callback> slots_;       //!< contiguous closure arena
-    std::vector<std::uint32_t> freeSlots_; //!< recycled arena slots
+    /** Pop and execute the front of @p l under context @p ctx. */
+    void
+    execTop(Lane &l, ExecContext &ctx)
+    {
+        const HeapEntry top = l.heap.front();
+        popTop(l.heap);
+        // Move the closure out of the arena before invoking it: the
+        // callback may schedule new events, which can grow the arena
+        // and invalidate references into it.
+        Callback fn = std::move(l.slots[top.slot]);
+        l.freeSlots.push_back(top.slot);
+        ctx.now = top.when;
+        ctx.node = top.exec;
+        ++l.eventsRun;
+        fn();
+    }
+
+    bool
+    stoppedNow() const
+    {
+        return stopped_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    totalScheduled() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t s : seqByRank_)
+            n += s;
+        return n;
+    }
+
+    bool
+    anyMail() const
+    {
+        for (const auto &row : mail_)
+            for (const auto &box : row)
+                if (!box.empty())
+                    return true;
+        return false;
+    }
+
+    /** Move every mailbox item into its destination lane heap. Runs
+     *  single-threaded (deterministic merge loop or the coordinator
+     *  between threaded phases). */
+    void
+    drainMailboxes()
+    {
+        for (auto &row : mail_) {
+            for (std::size_t dst = 0; dst < row.size(); ++dst) {
+                for (Mail &m : row[dst])
+                    pushLane(lanes_[dst], m.when, m.key, m.exec,
+                             std::move(m.fn));
+                row[dst].clear();
+            }
+        }
+    }
+
+    /** Cross one conservative window barrier. */
+    void
+    advanceWindow()
+    {
+        drainMailboxes();
+        windowEnd_ += windowTicks_;
+        ++barriers_;
+    }
+
+    // --- Serial oracle ----------------------------------------------------
+    bool
+    runSerial(Tick maxTime)
+    {
+        Lane &l = lanes_[0];
+        ExecContext ctx{this, 0, now_, kControlNode};
+        CtxScope scope(&ctx);
+        while (!l.heap.empty() && !stoppedNow()) {
+            if (maxTime >= 0 && l.heap.front().when > maxTime) {
+                now_ = maxTime;
+                return false;
+            }
+            execTop(l, ctx);
+        }
+        now_ = ctx.now;
+        return l.heap.empty();
+    }
+
+    // --- Sharded deterministic merge --------------------------------------
+    bool
+    runShardedDet(Tick maxTime)
+    {
+        ExecContext ctx{this, 0, now_, kControlNode};
+        CtxScope scope(&ctx);
+        while (!stoppedNow()) {
+            int best = -1;
+            for (std::size_t i = 0; i < lanes_.size(); ++i) {
+                if (lanes_[i].heap.empty())
+                    continue;
+                if (best < 0 || earlier(lanes_[i].heap.front(),
+                                        lanes_[best].heap.front()))
+                    best = int(i);
+            }
+            if (best < 0) {
+                if (!anyMail())
+                    break; // fully drained
+                // Conservative advance: one barrier per window, no
+                // skipping, so the barrier count matches the horizon.
+                advanceWindow();
+                continue;
+            }
+            const HeapEntry &top = lanes_[best].heap.front();
+            if (top.when >= windowEnd_) {
+                advanceWindow();
+                continue;
+            }
+            if (maxTime >= 0 && top.when > maxTime) {
+                now_ = maxTime;
+                return false;
+            }
+            ctx.lane = std::uint32_t(best);
+            execTop(lanes_[best], ctx);
+        }
+        now_ = ctx.now;
+        return empty();
+    }
+
+    // --- Sharded threaded execution ---------------------------------------
+    /** One lane's share of a window: execute own-heap events strictly
+     *  inside the window, in key order. */
+    void
+    runLaneWindow(std::uint32_t lane, ExecContext &ctx)
+    {
+        Lane &l = lanes_[lane];
+        while (!l.heap.empty() && l.heap.front().when < windowEnd_ &&
+               !stoppedNow())
+            execTop(l, ctx);
+        l.lastNow = ctx.now;
+    }
+
+    bool
+    runThreaded(Tick maxTime)
+    {
+        always_assert(maxTime < 0,
+                      "threaded sharded runs execute to completion");
+        threadedActive_.store(true, std::memory_order_release);
+        // Phase protocol per window: everyone meets at A, workers
+        // execute their lane inside [windowStart, windowEnd), everyone
+        // meets at B, then the coordinator alone drains mailboxes and
+        // either advances the window or declares the run finished.
+        // Workers waiting at the next A give the coordinator exclusive
+        // access between B and A; the barriers publish every write.
+        std::barrier<> sync(shards_ + 1);
+        std::atomic<bool> done{false};
+        std::vector<std::thread> workers;
+        workers.reserve(shards_);
+        for (std::uint32_t lane = 0; lane < shards_; ++lane) {
+            workers.emplace_back([this, lane, &sync, &done] {
+                ExecContext ctx{this, lane, lanes_[lane].lastNow,
+                                kControlNode};
+                CtxScope scope(&ctx);
+                for (;;) {
+                    sync.arrive_and_wait(); // A: window start
+                    if (done.load(std::memory_order_relaxed))
+                        break;
+                    runLaneWindow(lane, ctx);
+                    sync.arrive_and_wait(); // B: window end
+                }
+            });
+        }
+        for (;;) {
+            sync.arrive_and_wait(); // A
+            if (done.load(std::memory_order_relaxed))
+                break;
+            sync.arrive_and_wait(); // B
+            // Exclusive coordinator section.
+            drainMailboxes();
+            bool pending = false;
+            for (const Lane &l : lanes_)
+                pending |= !l.heap.empty();
+            if (!pending || stoppedNow()) {
+                done.store(true, std::memory_order_relaxed);
+            } else {
+                windowEnd_ += windowTicks_;
+                ++barriers_;
+            }
+        }
+        for (std::thread &w : workers)
+            w.join();
+        threadedActive_.store(false, std::memory_order_release);
+        Tick end = now_;
+        for (const Lane &l : lanes_)
+            end = std::max(end, l.lastNow);
+        now_ = end;
+        return empty();
+    }
+
+    static thread_local ExecContext *tlsCtx_;
+
+    std::vector<Lane> lanes_;
+    /** mail_[src][dst]: cross-lane events awaiting the next barrier. */
+    std::vector<std::vector<std::vector<Mail>>> mail_;
+    /** Per-source-node sequence streams, indexed by key rank. */
+    std::vector<std::uint64_t> seqByRank_;
+
+    std::uint32_t shards_ = 1;
+    bool threaded_ = false;
+    Tick windowTicks_ = 0;
+    Tick windowEnd_ = 0;
+    std::uint64_t barriers_ = 0;
+
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
-    std::uint64_t eventsRun_ = 0;
-    std::uint64_t heapSpills_ = 0;
-    std::size_t peakDepth_ = 0;
-    bool stopped_ = false;
+    std::uint64_t eventsRun_ = 0; //!< pre-sharding compatibility slot
+    std::atomic<bool> stopped_{false};
+    std::atomic<bool> threadedActive_{false};
+    std::atomic<bool> rerunRequested_{false};
 };
+
+inline thread_local Kernel::ExecContext *Kernel::tlsCtx_ = nullptr;
 
 } // namespace hades::sim
 

@@ -158,6 +158,37 @@ class Delay
 };
 
 /**
+ * Awaitable that re-enters the coroutine in @p node's execution
+ * context (at the current simulated time). The per-context transaction
+ * drivers hop to their node before running transaction bodies, so that
+ * under sharded execution each transaction executes on its node's
+ * lane; in serial mode it degenerates to a zero-delay reschedule.
+ */
+class HopTo
+{
+  public:
+    HopTo(Kernel &kernel, NodeId node) : kernel_(kernel), node_(node) {}
+
+    bool
+    await_ready() const noexcept
+    {
+        return kernel_.currentNode() == node_;
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        kernel_.scheduleAs(node_, 0, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    Kernel &kernel_;
+    NodeId node_;
+};
+
+/**
  * One-shot completion event: a coroutine waits on it, some other event
  * (e.g. a NIC delivering a response) fires it. Resumption is routed
  * through the kernel at the firing time so event ordering stays FIFO and

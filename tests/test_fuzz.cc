@@ -68,6 +68,29 @@ TEST(Genome_, JsonRoundTripsBitIdentically)
     }
 }
 
+TEST(Genome_, ReproArtifactsRecordTheShardCount)
+{
+    auto g = randomGenome(7);
+    g.shards = 4;
+    const auto json = genomeJson(g);
+    EXPECT_NE(json.find("\"shards\":4"), std::string::npos)
+        << "repro artifact dropped the executor dimension: " << json;
+    Genome back;
+    std::string err;
+    ASSERT_TRUE(parseGenomeJson(json, back, err)) << err;
+    EXPECT_EQ(back.shards, 4u);
+
+    // Legacy artifacts (written before the shard gene existed) carry
+    // no "shards" key and must replay on the serial oracle.
+    Genome legacy;
+    ASSERT_TRUE(parseGenomeJson(
+        R"({"schema":"hades-fuzz-repro-v1","seed":3,"nodes":5,)"
+        R"("txns_per_context":4,"bug_hook":false,"events":[]})",
+        legacy, err))
+        << err;
+    EXPECT_EQ(legacy.shards, 1u);
+}
+
 TEST(Genome_, JsonNoteAnnotationIsIgnoredByTheParser)
 {
     auto g = randomGenome(3);

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Differential and property tests for the sharded parallel DES kernel
+ * (PR 6 tentpole contract).
+ *
+ * The contract under test: RunSpec::shards selects an *executor*, not
+ * a model. Any shard count must reproduce the serial oracle's
+ * RunResult bit-for-bit -- across engines, workloads, fault plans,
+ * crash recovery, CM failover, and the correctness auditor. The first
+ * half of this file checks the window scheduler's own invariants on
+ * synthetic event graphs; the second half runs the differential matrix
+ * through the full simulator and compares FNV digests of the complete
+ * result (tests/result_hash.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/runner.hh"
+#include "result_hash.hh"
+#include "sim/kernel.hh"
+
+namespace
+{
+
+using namespace hades;
+using hades::testing::hashResult;
+
+// ===========================================================================
+// Window-scheduler property tests (synthetic kernels, no model)
+// ===========================================================================
+
+void
+configureSharded(sim::Kernel &k, std::uint32_t shards,
+                 std::uint32_t nodes, Tick window, bool threaded)
+{
+    sim::ShardPlan plan;
+    plan.shards = shards;
+    plan.numNodes = nodes;
+    plan.windowTicks = window;
+    plan.threaded = threaded;
+    k.configureSharding(plan);
+}
+
+TEST(ShardProperty, LaneAssignmentIsAPureFunctionOfNodeId)
+{
+    // Shard placement must not depend on anything but (node, shards):
+    // no hashing of pointers, no registration order, no thread ids.
+    for (std::uint32_t shards : {1u, 2u, 3u, 4u, 8u, 16u}) {
+        for (NodeId n = 0; n < 200; ++n) {
+            const auto lane = sim::Kernel::laneOf(n, shards);
+            EXPECT_EQ(lane, n % shards);
+            EXPECT_EQ(lane, sim::Kernel::laneOf(n, shards))
+                << "laneOf must be referentially transparent";
+            EXPECT_LT(lane, shards);
+        }
+        // The control rank (timers, drivers, harness events) always
+        // lives on lane 0 so every executor agrees where it runs.
+        EXPECT_EQ(sim::Kernel::laneOf(sim::kControlNode, shards), 0u);
+    }
+}
+
+TEST(ShardProperty, NoEventRunsBeforeALowerTimestampCrossShardEvent)
+{
+    // A pseudo-random event cascade that hops nodes (and therefore
+    // lanes) on every step, with deltas straddling the window size so
+    // both the same-window direct path and the mailbox path are
+    // exercised. The deterministic merge must still execute the
+    // global event set in nondecreasing time order.
+    constexpr Tick kWindow = 100;
+    constexpr std::uint32_t kNodes = 8;
+    sim::Kernel k;
+    configureSharded(k, 4, kNodes, kWindow, false);
+
+    std::vector<Tick> execTimes;
+    std::uint64_t lcg = 12345;
+    auto nextDelta = [&lcg]() {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        return Tick(1 + (lcg >> 33) % 250); // 1..250, window is 100
+    };
+
+    std::function<void(NodeId, int)> hop = [&](NodeId node, int depth) {
+        EXPECT_EQ(k.currentNode(), node);
+        execTimes.push_back(k.now());
+        if (depth >= 6)
+            return;
+        // Fan out to two other nodes; most hops change lanes.
+        for (int i = 1; i <= 2; ++i) {
+            NodeId dst = NodeId((node * 5 + i * 3 + depth) % kNodes);
+            k.scheduleAs(dst, nextDelta(),
+                         [&hop, dst, depth] { hop(dst, depth + 1); });
+        }
+    };
+
+    for (NodeId n = 0; n < kNodes; ++n)
+        k.scheduleAs(n, Tick(1 + n), [&hop, n] { hop(n, 0); });
+
+    EXPECT_TRUE(k.run());
+    ASSERT_GT(execTimes.size(), 100u);
+    for (std::size_t i = 1; i < execTimes.size(); ++i)
+        ASSERT_LE(execTimes[i - 1], execTimes[i])
+            << "event " << i << " ran before a lower-timestamp event "
+            << "(cross-shard merge violated global time order)";
+    EXPECT_GT(k.crossShardEvents(), 0u)
+        << "the cascade never actually changed lanes";
+    EXPECT_EQ(k.eventsRun(), execTimes.size());
+}
+
+TEST(ShardProperty, BarrierCountMatchesHorizonOverWindow)
+{
+    // Conservative no-skip advancement: the deterministic executor
+    // crosses every window boundary between 0 and the last event time
+    // exactly once, so windowBarriers() == floor(lastWhen / window)
+    // (equivalently, the final window end is the least multiple of the
+    // window strictly above the horizon).
+    for (Tick window : {Tick(64), Tick(100), Tick(1000)}) {
+        for (Tick step : {Tick(37), Tick(100), Tick(250)}) {
+            sim::Kernel k;
+            configureSharded(k, 2, 2, window, false);
+            constexpr int kHops = 25;
+            int hops = 0;
+            std::function<void()> ping = [&] {
+                if (++hops >= kHops)
+                    return;
+                NodeId dst = NodeId(hops % 2);
+                k.scheduleAs(dst, step, ping);
+            };
+            k.scheduleAs(0, step, ping);
+            EXPECT_TRUE(k.run());
+            const Tick last = Tick(kHops) * step;
+            EXPECT_EQ(k.now(), last);
+            EXPECT_EQ(k.windowBarriers(),
+                      std::uint64_t(last / window))
+                << "window=" << window << " step=" << step;
+        }
+    }
+}
+
+TEST(ShardProperty, ThreadedCrossShardDeliveryIsExactlyOnceAndOrdered)
+{
+    // A strict ping-pong across the two lanes, one hop per window, so
+    // every delivery crosses a mailbox and a barrier. Exactly-once,
+    // exact timestamps, alternating nodes.
+    constexpr Tick kWindow = 100;
+    constexpr int kHops = 12;
+    sim::Kernel k;
+    configureSharded(k, 2, 2, kWindow, true);
+
+    std::vector<std::pair<NodeId, Tick>> trace;
+    int hops = 0;
+    std::function<void()> ping = [&] {
+        trace.emplace_back(k.currentNode(), k.now());
+        if (++hops >= kHops)
+            return;
+        k.scheduleAs(NodeId(hops % 2), kWindow, ping);
+    };
+    k.scheduleAs(0, kWindow, ping);
+
+    EXPECT_TRUE(k.run());
+    ASSERT_EQ(trace.size(), std::size_t(kHops));
+    for (int i = 0; i < kHops; ++i) {
+        EXPECT_EQ(trace[i].first, NodeId(i % 2));
+        EXPECT_EQ(trace[i].second, Tick(i + 1) * kWindow);
+    }
+    EXPECT_GE(k.windowBarriers(), std::uint64_t(kHops - 1));
+    EXPECT_EQ(k.crossShardEvents(), std::uint64_t(kHops - 1));
+}
+
+TEST(ShardPropertyDeathTest, ThreadedLookaheadViolationIsRefused)
+{
+    // The 2us NIC round trip is the lookahead floor: a cross-shard
+    // event inside the current window would race the other lane's
+    // execution, so the kernel must refuse it loudly rather than
+    // silently diverge. (Only reachable through a model bug; the
+    // runner certifies window <= RT/2 before enabling threads.)
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            sim::Kernel k;
+            configureSharded(k, 2, 2, Tick(100), true);
+            k.scheduleAs(0, 10, [&k] {
+                // now=10, window end=100: a hop landing at 20 is
+                // inside the window -> lookahead violation.
+                k.scheduleAs(1, 10, [] {});
+            });
+            k.run();
+        },
+        "lookahead violated");
+}
+
+// ===========================================================================
+// Differential harness: serial oracle vs --shards {2,4,8}
+// ===========================================================================
+
+/** Run @p spec serially and at shard counts {2,4,8}; every result
+ *  must hash identical to the oracle. */
+void
+expectShardInvariant(const core::RunSpec &spec, const char *tag)
+{
+    const auto oracle = core::runOne(spec);
+    const auto want = hashResult(oracle);
+    EXPECT_EQ(oracle.shardsUsed, 1u);
+    for (std::uint32_t shards : {2u, 4u, 8u}) {
+        auto sharded = spec;
+        sharded.shards = shards;
+        const auto res = core::runOne(sharded);
+        EXPECT_EQ(hashResult(res), want)
+            << tag << ": shards=" << shards
+            << " diverged from the serial oracle (committed="
+            << res.stats.committed << " vs " << oracle.stats.committed
+            << ", simTime=" << res.simTime << " vs " << oracle.simTime
+            << ")";
+        EXPECT_EQ(res.shardsUsed,
+                  std::min(shards, spec.cluster.numNodes));
+        EXPECT_GT(res.shardWindows + res.crossShardEvents, 0u)
+            << tag << ": the sharded run never exercised the "
+            << "cross-shard machinery";
+    }
+}
+
+/** Small four-node spec sized like the golden matrix. */
+core::RunSpec
+matrixSpec(protocol::EngineKind engine, workload::AppKind app,
+           bool faults, bool audit)
+{
+    core::RunSpec spec;
+    spec.engine = engine;
+    spec.mix = {core::MixEntry{app, kvs::StoreKind::HashTable}};
+    spec.cluster.numNodes = 4;
+    spec.cluster.coresPerNode = 2;
+    spec.cluster.slotsPerCore = 2;
+    spec.txnsPerContext = 8;
+    spec.scaleKeys = 4000;
+    spec.audit = audit;
+    if (faults) {
+        spec.cluster.faults.enabled = true;
+        spec.cluster.faults.dropAll(0.02);
+        spec.cluster.faults.dupAll(0.01);
+        spec.cluster.faults.delayAll(0.02);
+    }
+    return spec;
+}
+
+class ShardDifferential
+    : public ::testing::TestWithParam<protocol::EngineKind>
+{};
+
+TEST_P(ShardDifferential, EngineWorkloadFaultAuditMatrix)
+{
+    for (auto app : {workload::AppKind::YcsbA, workload::AppKind::Tpcc})
+        for (bool faults : {false, true})
+            for (bool audit : {false, true})
+                expectShardInvariant(
+                    matrixSpec(GetParam(), app, faults, audit),
+                    "matrix");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, ShardDifferential,
+    ::testing::Values(protocol::EngineKind::Baseline,
+                      protocol::EngineKind::HadesHybrid,
+                      protocol::EngineKind::Hades),
+    [](const auto &info) {
+        switch (info.param) {
+          case protocol::EngineKind::Baseline:
+            return std::string("Baseline");
+          case protocol::EngineKind::Hades:
+            return std::string("Hades");
+          default:
+            return std::string("HadesH");
+        }
+    });
+
+/** Five-node replicated cluster with recovery armed (the spec family
+ *  the crash/partition/CM scenarios below perturb). */
+core::RunSpec
+recoverySpec(protocol::EngineKind engine)
+{
+    core::RunSpec spec;
+    spec.engine = engine;
+    spec.cluster.numNodes = 5;
+    spec.cluster.coresPerNode = 2;
+    spec.cluster.slotsPerCore = 2;
+    spec.cluster.tuning.retryTimeoutBase = us(4);
+    spec.cluster.tuning.retryTimeoutCap = us(32);
+    spec.cluster.tuning.maxCommitResends = 6;
+    spec.mix = {core::MixEntry{workload::AppKind::Smallbank,
+                               kvs::StoreKind::HashTable}};
+    spec.txnsPerContext = 8;
+    spec.scaleKeys = 4000;
+    spec.replication.degree = 2;
+    spec.cluster.faults.enabled = true;
+    spec.cluster.recovery.enabled = true;
+    return spec;
+}
+
+void
+addCrash(core::RunSpec &spec, NodeId victim, Tick at)
+{
+    FaultConfig::NodeEvent ev;
+    ev.node = victim;
+    ev.at = at;
+    ev.crash = true;
+    ev.forever = true;
+    spec.cluster.faults.nodeEvents.push_back(ev);
+}
+
+TEST(ShardDifferentialRecovery, CrashForeverViewChangeMatchesSerial)
+{
+    // A permanent mid-run crash drives the whole recovery pipeline --
+    // lease expiry, view change, backup promotion, in-doubt
+    // resolution -- and all of it must shard bit-identically.
+    auto spec = recoverySpec(protocol::EngineKind::Hades);
+    addCrash(spec, 2, us(30));
+    const auto oracle = core::runOne(spec);
+    EXPECT_EQ(oracle.viewChanges, 1u)
+        << "spec no longer exercises the view-change path";
+    expectShardInvariant(spec, "crash-forever");
+}
+
+TEST(ShardDifferentialRecovery, PartitionWindowMatchesSerial)
+{
+    // A healed symmetric partition: retransmits pile up against the
+    // window, then drain. The retry machinery is timer-heavy (control
+    // events against data-node events), a prime tie-break hazard.
+    auto spec = recoverySpec(protocol::EngineKind::Hades);
+    FaultConfig::PartitionWindow w;
+    w.edges.emplace_back(NodeId(1), NodeId(3));
+    w.symmetric = true;
+    w.at = us(20);
+    w.until = us(60);
+    spec.cluster.faults.partitions.push_back(w);
+    const auto oracle = core::runOne(spec);
+    EXPECT_GT(oracle.partitionDrops, 0u)
+        << "spec no longer exercises the partition path";
+    expectShardInvariant(spec, "partition-window");
+}
+
+TEST(ShardDifferentialRecovery, CmFailoverMatchesSerial)
+{
+    // Killing the acting CM primary (node 0) forces the standby
+    // succession before the ordinary view change; the CM group's
+    // control traffic all runs on the control rank, which every
+    // executor must order identically against data events.
+    auto spec = recoverySpec(protocol::EngineKind::Hades);
+    addCrash(spec, 0, us(25));
+    const auto oracle = core::runOne(spec);
+    EXPECT_EQ(oracle.cmFailovers, 1u)
+        << "spec no longer exercises the CM-failover path";
+    expectShardInvariant(spec, "cm-failover");
+}
+
+// ===========================================================================
+// Threaded-executor certification behavior
+// ===========================================================================
+
+/** All-local OLTP spec that qualifies for worker threads. */
+core::RunSpec
+certifiedSpec(workload::AppKind app)
+{
+    core::RunSpec spec;
+    spec.engine = protocol::EngineKind::Hades;
+    spec.mix = {core::MixEntry{app, kvs::StoreKind::HashTable}};
+    spec.cluster.numNodes = 8;
+    spec.cluster.coresPerNode = 2;
+    spec.cluster.slotsPerCore = 2;
+    spec.cluster.forcedLocalFraction = 1.0;
+    spec.txnsPerContext = 10;
+    spec.scaleKeys = 8000;
+    spec.audit = false;
+    return spec;
+}
+
+TEST(ShardThreaded, CertifiedRunUsesThreadsAndMatchesSerial)
+{
+    for (auto app : {workload::AppKind::Tpcc,
+                     workload::AppKind::Tatp}) {
+        auto spec = certifiedSpec(app);
+        const auto want = hashResult(core::runOne(spec));
+        for (std::uint32_t shards : {2u, 4u, 8u}) {
+            auto sharded = spec;
+            sharded.shards = shards;
+            const auto res = core::runOne(sharded);
+            EXPECT_TRUE(res.shardsThreaded)
+                << "all-local OLTP must certify for worker threads";
+            EXPECT_EQ(hashResult(res), want)
+                << "threaded shards=" << shards << " diverged";
+        }
+    }
+}
+
+TEST(ShardThreaded, ForceDeterministicDisablesWorkerThreads)
+{
+    auto spec = certifiedSpec(workload::AppKind::Tpcc);
+    const auto want = hashResult(core::runOne(spec));
+    spec.cluster.sharding.forceDeterministic = true;
+    spec.shards = 4;
+    const auto res = core::runOne(spec);
+    EXPECT_FALSE(res.shardsThreaded);
+    EXPECT_EQ(res.shardsUsed, 4u);
+    EXPECT_EQ(hashResult(res), want);
+}
+
+TEST(ShardThreaded, UncertifiedSpecsFallBackToDeterministicExecutor)
+{
+    // Remote traffic (uniform placement), the auditor, and fault
+    // injection each disqualify a spec from the threaded executor;
+    // results must still be bit-identical via the deterministic one.
+    auto spec = certifiedSpec(workload::AppKind::Tpcc);
+    spec.cluster.forcedLocalFraction = -1.0; // uniform -> remote txns
+    spec.shards = 4;
+    const auto res = core::runOne(spec);
+    EXPECT_FALSE(res.shardsThreaded);
+    spec.shards = 1;
+    EXPECT_EQ(hashResult(res), hashResult(core::runOne(spec)));
+}
+
+TEST(ShardThreaded, MessagingAppsAreNotCertifiedAndStillMatch)
+{
+    // Smallbank pairs accounts across nodes even when record picks are
+    // forced local, so it must not certify for worker threads; the
+    // deterministic executor still reproduces the oracle exactly.
+    auto spec = certifiedSpec(workload::AppKind::Smallbank);
+    const auto oracle = core::runOne(spec);
+    EXPECT_GT(oracle.stats.netMessages, 0u)
+        << "Smallbank stopped messaging; it may be certifiable now";
+    const auto want = hashResult(oracle);
+    spec.shards = 4;
+    const auto res = core::runOne(spec);
+    EXPECT_FALSE(res.shardsThreaded);
+    EXPECT_EQ(hashResult(res), want);
+}
+
+TEST(ShardThreaded, LockModeFallbackTriggersDeterministicRerun)
+{
+    // Brutal contention forces the pessimistic lock-mode path, which
+    // the threaded executor refuses: the run must be transparently
+    // redone on the deterministic executor and still match the oracle.
+    auto spec = certifiedSpec(workload::AppKind::Tpcc);
+    spec.scaleKeys = 64;
+    spec.cluster.tuning.maxSquashesBeforeLockMode = 1;
+    const auto oracle = core::runOne(spec);
+    ASSERT_GT(oracle.stats.lockModeFallbacks, 0u)
+        << "spec no longer reaches lock mode; tighten the contention";
+    const auto want = hashResult(oracle);
+    spec.shards = 4;
+    const auto res = core::runOne(spec);
+    EXPECT_TRUE(res.serialRerun)
+        << "the threaded executor silently ran the lock-mode path";
+    EXPECT_FALSE(res.shardsThreaded);
+    EXPECT_EQ(hashResult(res), want);
+}
+
+TEST(ShardThreaded, ShardCountClampsToClusterSize)
+{
+    auto spec = matrixSpec(protocol::EngineKind::Hades,
+                           workload::AppKind::YcsbA, false, false);
+    const auto want = hashResult(core::runOne(spec));
+    spec.shards = 64; // 4-node cluster
+    const auto res = core::runOne(spec);
+    EXPECT_EQ(res.shardsUsed, 4u);
+    EXPECT_EQ(hashResult(res), want);
+}
+
+} // namespace

@@ -121,6 +121,43 @@ TEST(Sweep, ResultsAreOrderedAndJobCountInvariant)
     }
 }
 
+TEST(Sweep, ShardDimensionIsResultInvariantAcrossTheMatrix)
+{
+    // The sweep matrix gained an executor dimension (RunSpec::shards):
+    // the same model spec at shards {1, 2, 4} must produce one result,
+    // regardless of how many sweep workers carry the runs. Kernel
+    // worker threads (inside a run) compose with sweep worker threads
+    // (across runs) here, which also makes this the TSan lane's probe
+    // for the combination.
+    std::vector<core::RunSpec> specs;
+    for (std::uint64_t s = 0; s < 4; ++s)
+        for (std::uint32_t shards : {1u, 2u, 4u}) {
+            auto spec = tinySpec(s);
+            spec.shards = shards;
+            specs.push_back(spec);
+        }
+
+    core::SweepOptions opts;
+    opts.jobs = 4;
+    const auto out = core::runMany(specs, opts);
+    ASSERT_EQ(out.size(), specs.size());
+    for (std::size_t base = 0; base < out.size(); base += 3) {
+        ASSERT_TRUE(out[base].ok) << out[base].error;
+        EXPECT_EQ(out[base].result.shardsUsed, 1u);
+        for (std::size_t j = 1; j < 3; ++j) {
+            const auto &ref = out[base].result;
+            ASSERT_TRUE(out[base + j].ok) << out[base + j].error;
+            const auto &res = out[base + j].result;
+            EXPECT_EQ(res.simTime, ref.simTime);
+            EXPECT_EQ(res.stats.committed, ref.stats.committed);
+            EXPECT_EQ(res.stats.netMessages, ref.stats.netMessages);
+            EXPECT_EQ(res.throughputTps, ref.throughputTps);
+            EXPECT_EQ(res.shardsUsed,
+                      std::min(specs[base + j].shards, 3u));
+        }
+    }
+}
+
 TEST(Sweep, JobsZeroMeansAllHardwareThreads)
 {
     std::vector<core::RunSpec> specs{tinySpec(7), tinySpec(8)};

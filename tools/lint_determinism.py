@@ -18,8 +18,17 @@ that historically break that contract:
       body feeds a protocol decision (squash victim choice, message
       emission order) the run is no longer reproducible. Benign
       aggregate loops are annotated with `det-lint: ordered-ok`.
-  R4  pointer-keyed ordered containers: std::map/std::set keyed by a
-      pointer type order by address, which varies run to run.
+  R4  pointer-keyed ordering: std::map/std::set keyed by a pointer
+      type, or a std::priority_queue of pointers, order by address,
+      which varies run to run. The sharded kernel's lane heaps and
+      cross-shard mailboxes must key on (when, rank, seq) -- never on
+      the address of the event they carry.
+  R5  thread identity as data: std::this_thread::get_id(),
+      pthread_self(), gettid(), or a stored std::thread::id. Under
+      the threaded shard executor the OS thread that runs a lane is
+      arbitrary; any ordering or decision keyed on it diverges from
+      the serial oracle. Lane identity comes from laneOf(node), not
+      from the thread.
 
 Suppression: append `// det-lint: ordered-ok` (any `det-lint:` marker)
 to the flagged line or the line directly above it.
@@ -63,8 +72,13 @@ DECL_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:;|=|\{|\()")
 RANGED_FOR_RE = re.compile(r"\bfor\s*\(.*?:\s*\*?([A-Za-z_][\w.\->]*)\s*\)")
 
 R4_RE = re.compile(
-    r"\bstd::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?"
-    r"[A-Za-z_][\w:]*\s*\*"
+    r"\bstd::(?:map|set|multimap|multiset|priority_queue)\s*<\s*"
+    r"(?:const\s+)?[A-Za-z_][\w:]*\s*\*"
+)
+
+R5_RE = re.compile(
+    r"\bstd::this_thread::get_id\s*\(|\bpthread_self\s*\(|"
+    r"(?<![\w:])gettid\s*\(|\bstd::thread::id\b"
 )
 
 
@@ -135,8 +149,11 @@ def lint_file(path, rel, findings):
         if R2_RE.search(code):
             report("R2", "wall-clock time; simulated time only")
         if R4_RE.search(code):
-            report("R4", "pointer-keyed ordered container "
+            report("R4", "pointer-keyed ordering "
                          "(orders by address)")
+        if R5_RE.search(code):
+            report("R5", "thread identity as data; lane identity "
+                         "comes from laneOf(node), not the OS thread")
         m = RANGED_FOR_RE.search(code)
         if m:
             target = m.group(1)
