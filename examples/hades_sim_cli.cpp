@@ -365,9 +365,11 @@ main(int argc, char **argv)
                 spec.cluster.numNodes, spec.cluster.coresPerNode,
                 spec.cluster.slotsPerCore,
                 (long long)(spec.cluster.netRoundTrip / kMicrosecond));
-    std::printf("committed     %lu txns in %.3f ms simulated\n",
+    std::printf("committed     %lu txns in %.3f ms simulated "
+                "(%lu attempts)\n",
                 (unsigned long)res.stats.committed,
-                double(res.simTime) / double(kMillisecond));
+                double(res.simTime) / double(kMillisecond),
+                (unsigned long)res.stats.attempts);
     std::printf("throughput    %.0f txn/s\n", res.throughputTps);
     std::printf("latency       mean %.2fus  p50 %.2fus  p95 %.2fus\n",
                 res.meanLatencyUs, res.p50LatencyUs, res.p95LatencyUs);
@@ -391,6 +393,13 @@ main(int argc, char **argv)
     std::printf("network       %lu messages, %.1f MB\n",
                 (unsigned long)res.stats.netMessages,
                 double(res.stats.netBytes) / 1e6);
+    std::printf("cpu           %.3f ms core-busy across the cluster\n",
+                double(res.stats.totalBusyTicks) /
+                    double(kMillisecond));
+    std::printf("footprint     max %lu lines read / %lu written per "
+                "txn\n",
+                (unsigned long)res.stats.maxLinesRead,
+                (unsigned long)res.stats.maxLinesWritten);
     if (res.shardsUsed > 1)
         std::printf("kernel        %u shards (%s), %lu window "
                     "barriers, %lu cross-shard events%s\n",
@@ -400,8 +409,10 @@ main(int argc, char **argv)
                     (unsigned long)res.crossShardEvents,
                     res.serialRerun ? ", lock-mode serial re-run" : "");
     if (res.stats.bfConflictChecks)
-        std::printf("bloom         %lu checks, %.4f%% false positive\n",
+        std::printf("bloom         %lu checks, %lu false positives "
+                    "(%.4f%%)\n",
                     (unsigned long)res.stats.bfConflictChecks,
+                    (unsigned long)res.stats.bfFalsePositives,
                     100.0 * res.bfFalsePositiveRate);
     if (spec.replication.degree)
         std::printf("replication   %lu replicated commits, %lu aborts, "
@@ -451,11 +462,12 @@ main(int argc, char **argv)
                     (unsigned long)res.fencedStaleMessages);
         std::printf("cm group      %lu failovers, %lu quorum "
                     "refusals, %lu stale lease grants, %lu divergent "
-                    "records\n",
+                    "records, %lu lease probes\n",
                     (unsigned long)res.cmFailovers,
                     (unsigned long)res.quorumRefusals,
                     (unsigned long)res.staleLeaseGrants,
-                    (unsigned long)res.divergentRecords);
+                    (unsigned long)res.divergentRecords,
+                    (unsigned long)res.leaseProbes);
     }
     if (res.audited)
         std::printf("audit         PASS: %lu commits + %lu aborts, "

@@ -350,6 +350,10 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
 
     res.stats.netMessages = sys.network.totalMessages();
     res.stats.netBytes = sys.network.totalBytes();
+    res.stats.totalBusyTicks = 0;
+    for (auto &node : sys.nodes)
+        for (auto &core : node->cores)
+            res.stats.totalBusyTicks += core->busyTime();
     if (sys.replicas) {
         res.replicatedCommits = sys.replicas->replicatedCommits();
         res.replicationAborts = sys.replicas->replicationAborts();

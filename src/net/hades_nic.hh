@@ -31,6 +31,7 @@ namespace hades::net
 {
 
 /** Module 4a entry: the BF pair of one remote transaction at this node. */
+// hades-analyze: lane-escape-ok (installed at a node only by remote transactions; threaded-certified specs are local-only per certifiedForThreads)
 struct RemoteTxFilters
 {
     bloom::BloomFilter readBf;
@@ -42,6 +43,7 @@ struct RemoteTxFilters
 };
 
 /** Module 4b: per-local-transaction remote-write bookkeeping. */
+// hades-analyze: lane-escape-ok (per-local-txn NIC bookkeeping reached via the owning node's nic.localState(id), always on that node's own lane)
 struct LocalTxRemoteState
 {
     /** Upper structure: remote node -> address ranges written there. */
@@ -59,6 +61,7 @@ struct LocalTxRemoteState
 };
 
 /** The HADES hardware state of one node's NIC. */
+// hades-analyze: lane-escape-ok (per-node NIC state; local_ is touched on the owning lane, and remote_ installs require remote transactions, which decertify threaded runs)
 class HadesNicState
 {
   public:

@@ -645,6 +645,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             if (sys_.replicas) {
                 commit_seq = sys_.replicas->nextCommitSeq();
                 ctrl->commitSeq = commit_seq;
+                // hades-analyze: epoch-fence-ok (coordinator's own-attempt journal entry; stale deliveries are fenced by Network::advanceEpoch, and the in-doubt scan resolves entries by attempt id)
                 sys_.decisionLog[self] = commit_seq;
                 for (const auto &w : write_set)
                     sys_.replicas->noteCommittedWrite(w.record,
@@ -674,6 +675,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             // permanently), the view change replays the entry.
             for (const auto &w : write_set)
                 if (w.home != ctx.node)
+                    // hades-analyze: epoch-fence-ok (coordinator's own-attempt journal entry; stale deliveries are fenced by Network::advanceEpoch and replay is idempotent per record)
                     sys_.pendingApplies[{self, w.record}] =
                         PendingApply{w.home, w.value, audit_id};
         }
@@ -752,6 +754,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                             txn::RecordLayout{w.payloadBytes}
                                 .payloadLines());
                         if (recoveryOn())
+                            // hades-analyze: epoch-fence-ok (journal retirement keyed by attempt id; a view change that already replayed the entry makes this erase a no-op)
                             sys_.pendingApplies.erase(
                                 {self, w.record});
                     }
@@ -921,6 +924,7 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
         std::uint64_t commit_seq = 0;
         if (sys_.replicas) {
             commit_seq = sys_.replicas->nextCommitSeq();
+            // hades-analyze: epoch-fence-ok (coordinator's own-attempt journal entry; stale deliveries are fenced by Network::advanceEpoch, and the in-doubt scan resolves entries by attempt id)
             sys_.decisionLog[self] = commit_seq;
             for (const auto &w : buffered)
                 sys_.replicas->noteCommittedWrite(w.record, commit_seq);

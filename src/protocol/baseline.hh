@@ -67,6 +67,7 @@ class BaselineEngine : public TxnEngine
         NodeId home;
     };
 
+    // hades-analyze: lane-escape-ok (entries live inside the owning attempt's coroutine-local write_set; never shared across lanes)
     struct WriteEntry
     {
         std::uint64_t record;
@@ -122,6 +123,7 @@ class BaselineEngine : public TxnEngine
      *  alive after a NodeDead unwind destroys the coroutine frame (the
      *  unwind skips the normal retire), so recovery's in-doubt scan
      *  reads valid state. Ordered for deterministic enumeration. */
+    // hades-analyze: lane-escape-ok (writes are recoveryOn()-gated; recovery specs never certify for threaded execution)
     std::map<std::uint64_t, std::shared_ptr<AttemptControl>> attempts_;
 
     /** Next per-context attempt epoch (faults-on or recovery-on):

@@ -60,6 +60,7 @@ engineKindName(EngineKind k)
  * when the pending set empties, mirroring CountdownLatch's fault-free
  * event sequence.
  */
+// hades-analyze: lane-escape-ok (fan-out tracker for remote round trips; threaded-certified specs are local-only, so reply() never runs under the threaded executor)
 struct Fanout
 {
     /** Ordered: resend paths iterate the survivors, and that order
@@ -364,6 +365,7 @@ class TxnEngine
 
   private:
     /** In-flight reliablePost state, owned by the kernel closures. */
+    // hades-analyze: lane-escape-ok (reliable-send slots serve remote and replication paths; faults and replication decertify threaded runs in certifiedForThreads)
     struct ReliableSend
     {
         net::MsgType type{};

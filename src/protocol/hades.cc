@@ -367,6 +367,9 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
             // Charge the squash notification to the victim's node.
             NodeId victim_node = NodeId((k >> 32) & 0xfff);
             if (victim_node != ctx.node) {
+                // Timing/accounting only: the squash takes effect via
+                // squashOrSelfSquash below, not via this message.
+                // hades-analyze: verb-reliability-ok (lossless copy models NIC wire cost; squash applied synchronously)
                 sys_.network.post(MsgType::Squash, ctx.node,
                                   victim_node, 16, [] {});
             }
@@ -396,6 +399,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                 itc_lines.end());
         }
         at->itcLines[y] = itc_lines; // kept for timeout resends
+        // hades-analyze: verb-reliability-ok (initial send; armCommitResend re-posts from itcLines until Ack or CommitTimeout squash)
         sys_.network.post(
             MsgType::IntendToCommit, ctx.node, y,
             std::uint32_t(8 * itc_lines.size() + 16),
@@ -500,6 +504,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
         at->ctrl.commitSeq = commit_seq;
         at->ctrl.decisionRecorded = true;
         if (recoveryOn())
+            // hades-analyze: epoch-fence-ok (coordinator's own-attempt journal entry; stale deliveries are fenced by Network::advanceEpoch, and the in-doubt scan resolves entries by attempt id)
             sys_.decisionLog[id] = commit_seq;
         for (const auto &[record, hv] : at->writeBuffer)
             sys_.replicas->noteCommittedWrite(record, commit_seq);
@@ -529,6 +534,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
         // replays the entry so the committed write is not lost.
         if (recoveryOn()) {
             for (const auto &[record, value] : updates)
+                // hades-analyze: epoch-fence-ok (coordinator's own-attempt journal entry; stale deliveries are fenced by Network::advanceEpoch and replay is idempotent per record)
                 sys_.pendingApplies[{id, record}] =
                     PendingApply{y, value, aid};
         }
@@ -548,6 +554,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                     nicAccessLines(y, sys_.placement.addrOf(record),
                                    layout_.payloadLines());
                     if (recoveryOn())
+                        // hades-analyze: epoch-fence-ok (journal retirement keyed by attempt id; a view change that already replayed the entry makes this erase a no-op)
                         sys_.pendingApplies.erase({id, record});
                 }
                 ynode.lockBank.release(id);

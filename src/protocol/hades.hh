@@ -74,6 +74,7 @@ class HadesEngine : public TxnEngine
 
   private:
     /** Live hardware state of one attempt. */
+    // hades-analyze: lane-escape-ok (per-attempt state; cross-lane mutation paths -- acks, remote squashes -- require remote transactions, and certifiedForThreads admits only forcedLocalFraction==1.0 specs)
     struct Attempt
     {
         Attempt(const ClusterConfig &cfg, std::uint64_t llc_sets)

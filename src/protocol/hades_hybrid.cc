@@ -372,6 +372,9 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 continue;
             NodeId victim_node = NodeId((k >> 32) & 0xfff);
             if (victim_node != ctx.node)
+                // Timing/accounting only: the squash takes effect via
+                // squashOrSelfSquash below, not via this message.
+                // hades-analyze: verb-reliability-ok (lossless copy models NIC wire cost; squash applied synchronously)
                 sys_.network.post(MsgType::Squash, ctx.node,
                                   victim_node, 16, [] {});
             if (!squashOrSelfSquash(k, at,
@@ -400,6 +403,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                 itc_lines.end());
         }
         at->itcLines[y] = itc_lines; // kept for timeout resends
+        // hades-analyze: verb-reliability-ok (initial send; armCommitResend re-posts from itcLines until Ack or CommitTimeout squash)
         sys_.network.post(
             MsgType::IntendToCommit, ctx.node, y,
             std::uint32_t(8 * itc_lines.size() + 16),
@@ -540,6 +544,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
         at->ctrl.commitSeq = commit_seq;
         at->ctrl.decisionRecorded = true;
         if (recoveryOn())
+            // hades-analyze: epoch-fence-ok (coordinator's own-attempt journal entry; stale deliveries are fenced by Network::advanceEpoch, and the in-doubt scan resolves entries by attempt id)
             sys_.decisionLog[id] = commit_seq;
         for (const auto &w : at->localWrites)
             sys_.replicas->noteCommittedWrite(w.record, commit_seq);
@@ -551,6 +556,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
     // resumption, and a crash in between must not lose them.
     if (recoveryOn()) {
         for (const auto &[record, hv] : at->remoteWriteBuffer)
+            // hades-analyze: epoch-fence-ok (coordinator's own-attempt journal entry; stale deliveries are fenced by Network::advanceEpoch and replay is idempotent per record)
             sys_.pendingApplies[{id, record}] =
                 PendingApply{hv.first, hv.second, at->auditId};
     }
@@ -621,6 +627,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
                     nicAccessLines(y, sys_.placement.addrOf(record),
                                    layout_.payloadLines());
                     if (recoveryOn())
+                        // hades-analyze: epoch-fence-ok (journal retirement keyed by attempt id; a view change that already replayed the entry makes this erase a no-op)
                         sys_.pendingApplies.erase({id, record});
                 }
                 ynode.lockBank.release(id);
@@ -815,7 +822,12 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     at->id = id;
     at->homeNode = ctx.node;
     sys_.routerFor(id).add(id, &at->ctrl);
-    attempts_[id] = at;
+    // The keep-alive registry only matters when recovery can observe
+    // an attempt after a NodeDead unwind; registering unconditionally
+    // would also mutate an engine-wide map from every coordinator lane
+    // under the threaded executor (hades-analyze: lane-escape).
+    if (recoveryOn())
+        attempts_[id] = at;
     if (sys_.audit) {
         at->auditId = sys_.audit->begin(id);
         at->ctrl.auditId = at->auditId;
@@ -915,7 +927,8 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     at->finished = true;
     at->ctrl.finished = true;
     sys_.routerFor(id).remove(id);
-    attempts_.erase(id);
+    if (recoveryOn())
+        attempts_.erase(id);
 
     if (ok) {
         sys_.node(ctx.node).nic.clearLocalState(id);

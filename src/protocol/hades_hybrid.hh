@@ -73,6 +73,7 @@ class HadesHybridEngine : public TxnEngine
         std::int64_t value;
     };
 
+    // hades-analyze: lane-escape-ok (per-attempt state; cross-lane mutation paths -- acks, remote squashes -- require remote transactions, and certifiedForThreads admits only forcedLocalFraction==1.0 specs)
     struct Attempt
     {
         explicit Attempt(const ClusterConfig &cfg)
@@ -174,6 +175,7 @@ class HadesHybridEngine : public TxnEngine
      *  SquashRouter points to alive after a NodeDead unwind (which
      *  skips the normal epilogue), so recovery's in-doubt scan reads
      *  valid control blocks. Ordered for deterministic enumeration. */
+    // hades-analyze: lane-escape-ok (writes are recoveryOn()-gated; recovery specs never certify for threaded execution)
     std::map<std::uint64_t, AttemptPtr> attempts_;
 
     bool tokenBusy_ = false;

@@ -54,6 +54,7 @@ struct ExecCtx
  * which is the measurement oracle for Bloom-filter false positives
  * (hardware would not have it; Section VIII-C reports the rates).
  */
+// hades-analyze: lane-escape-ok (cross-lane squash delivery requires a remote conflict; certifiedForThreads admits only forcedLocalFraction==1.0 specs, so threaded squashes are lane-local)
 struct AttemptControl
 {
     bool squashRequested = false;
@@ -115,6 +116,7 @@ enum class SquashOutcome
 };
 
 /** Delivers squashes to registered attempts by packed GlobalTxId. */
+// hades-analyze: lane-escape-ok (per-node shard indexed by coordinator; with forcedLocalFraction==1.0 -- the only threaded-certified specs -- every squash resolves to the caller's own shard)
 class SquashRouter
 {
   public:
@@ -321,13 +323,14 @@ class System
      *  only populated when config.recovery.enabled (see PendingApply).
      *  Ordered so recovery's replay pass is deterministic. */
     std::map<std::pair<std::uint64_t, std::uint64_t>, PendingApply>
-        pendingApplies;
+        pendingApplies; // hades-analyze: lane-escape-ok (recovery-only journal; recovery-enabled specs never certify for threaded execution)
     /** Durable commit-decision log: txn id -> commit sequence, written
      *  at each coordinator's serialization point (recovery only). A
      *  view change uses it to finish the promotion of staged replica
      *  images whose coordinator died after deciding but whose promote
      *  message was lost -- and, conversely, to discard staged images
      *  of transactions that never decided. */
+    // hades-analyze: lane-escape-ok (recovery-only journal; recovery-enabled specs never certify for threaded execution)
     std::map<std::uint64_t, std::uint64_t> decisionLog;
 
   private:

@@ -261,6 +261,7 @@ RecoveryManager::viewChange(NodeId dead)
     // coordinated reconfiguration barrier). -----------------------------------
     for (NodeId n = 0; n < sys_.config.numNodes; ++n)
         if (n != actingPrimary_ && !net.nodeDead(n))
+            // hades-analyze: verb-reliability-ok (timing/accounting copy; the view transition is applied atomically within this kernel event)
             net.post(net::MsgType::ViewChange, actingPrimary_, n, 32,
                      [] {});
 

@@ -1,0 +1,4 @@
+from .driver import main
+import sys
+
+sys.exit(main())

@@ -1,0 +1,524 @@
+"""clang AST JSON frontend.
+
+Parses `clang++ -Xclang -ast-dump=json -fsyntax-only` output into the
+shared IR, reusing the compile flags from build/compile_commands.json
+so every file is parsed exactly as it is built. Dumps are cached under
+--ast-cache keyed on sha256(source + flags + clang version); CI keys
+its cache restore on the same hashes.
+
+The dump is a delta-encoded document: `loc` objects omit `line` and
+`file` when unchanged from the previous location in serialization
+order, so the walker threads (cur_file, cur_line) state through the
+whole traversal and only materializes IR for nodes spelled in the
+translation unit's own file.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+
+from .model import (
+    Alias, CallSite, ClassInfo, Comparison, EnumInfo, FieldInfo, FileIR,
+    FunctionInfo, RangedFor, SwitchInfo, VarDecl, WriteSite,
+)
+from .parse_fallback import MUTATORS
+
+_COMPILE_DB = {}
+_CLANG_VERSION = None
+
+CMP_OPS = {"==", "!=", "<=", ">="}
+ASSIGN_OPS = {"=": "assign", "+=": "modify", "-=": "modify",
+              "*=": "modify", "/=": "modify", "%=": "modify",
+              "&=": "modify", "|=": "modify", "^=": "modify",
+              "<<=": "modify", ">>=": "modify"}
+
+
+def load_compile_db(repo):
+    if repo in _COMPILE_DB:
+        return _COMPILE_DB[repo]
+    db = {}
+    path = os.path.join(repo, "build", "compile_commands.json")
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            for ent in json.load(fh):
+                src = os.path.normpath(os.path.join(
+                    ent.get("directory", "."), ent["file"]))
+                db[src] = ent
+    _COMPILE_DB[repo] = db
+    return db
+
+
+def clang_version():
+    global _CLANG_VERSION
+    if _CLANG_VERSION is None:
+        try:
+            _CLANG_VERSION = subprocess.run(
+                ["clang++", "--version"], capture_output=True,
+                text=True, check=True).stdout.splitlines()[0]
+        except (OSError, subprocess.CalledProcessError):
+            _CLANG_VERSION = "unknown"
+    return _CLANG_VERSION
+
+
+def dump_args(entry):
+    """The compile command with -c/-o stripped and the AST dump
+    switches appended."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        import shlex
+        argv = shlex.split(entry["command"])
+    out = ["clang++"]
+    skip = False
+    for a in argv[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-c",):
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        out.append(a)
+    out += ["-fsyntax-only", "-Wno-everything",
+            "-Xclang", "-ast-dump=json"]
+    return out
+
+
+def cached_dump(full, rel, repo, cache_dir):
+    """AST JSON for @p full, via the sha256-keyed cache."""
+    db = load_compile_db(repo)
+    entry = db.get(os.path.normpath(full))
+    if entry is None:
+        return None
+    args = dump_args(entry)
+    with open(full, "rb") as fh:
+        src = fh.read()
+    key = hashlib.sha256(
+        src + "\0".join(args).encode() + clang_version().encode()
+    ).hexdigest()
+    cache_path = None
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+        cache_path = os.path.join(
+            cache_dir, "%s.%s.json" % (os.path.basename(rel), key[:16]))
+        if os.path.exists(cache_path):
+            with open(cache_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+    proc = subprocess.run(args, capture_output=True, text=True,
+                          cwd=entry.get("directory", repo))
+    if proc.returncode != 0 or not proc.stdout:
+        raise RuntimeError("clang AST dump failed for %s:\n%s"
+                           % (rel, proc.stderr[-2000:]))
+    if cache_path:
+        with open(cache_path, "w", encoding="utf-8") as fh:
+            fh.write(proc.stdout)
+    return json.loads(proc.stdout)
+
+
+class Walker:
+    def __init__(self, rel, full):
+        self.rel = rel
+        self.full = os.path.normpath(full)
+        self.ir = FileIR(path=rel)
+        self.cur_file = ""
+        self.cur_line = 0
+        self.ns = []
+        self.cls_stack = []
+        self.decl_ctx = {}      # node id -> qualified class name
+
+    # --- location state ---------------------------------------------------
+    def advance_loc(self, node):
+        loc = node.get("loc") or {}
+        for key in ("spellingLoc", "expansionLoc"):
+            if key in loc:
+                loc = loc[key]
+                break
+        if "file" in loc:
+            self.cur_file = os.path.normpath(loc["file"])
+        if "line" in loc:
+            self.cur_line = loc["line"]
+        rng = node.get("range", {}).get("begin", {})
+        for key in ("spellingLoc", "expansionLoc"):
+            if key in rng:
+                rng = rng[key]
+                break
+        if "file" in rng:
+            self.cur_file = os.path.normpath(rng["file"])
+        if "line" in rng:
+            self.cur_line = rng["line"]
+
+    def in_main_file(self):
+        return self.cur_file.endswith(self.rel) or \
+            self.cur_file == self.full or self.cur_file == ""
+
+    # --- rendering expressions back to spellings ---------------------------
+    def render(self, node):
+        if node is None:
+            return ""
+        kind = node.get("kind", "")
+        inner = [n for n in node.get("inner", []) if n]
+        if kind in ("ImplicitCastExpr", "ParenExpr", "ExprWithCleanups",
+                    "ConstantExpr", "MaterializeTemporaryExpr",
+                    "CXXBindTemporaryExpr", "FullComment"):
+            return self.render(inner[0]) if inner else ""
+        if kind == "DeclRefExpr":
+            ref = node.get("referencedDecl", {})
+            name = ref.get("name", "")
+            if ref.get("kind") == "EnumConstantDecl":
+                qt = ref.get("type", {}).get("qualType", "")
+                enum_short = qt.split("::")[-1] if qt else ""
+                return "%s::%s" % (enum_short, name) if enum_short \
+                    else name
+            return name
+        if kind == "MemberExpr":
+            base = self.render(inner[0]) if inner else ""
+            sep = "->" if node.get("isArrow") else "."
+            if base in ("", "this"):
+                return node.get("name", "")
+            return "%s%s%s" % (base, sep, node.get("name", ""))
+        if kind == "CXXThisExpr":
+            return "this"
+        if kind == "ArraySubscriptExpr":
+            return "%s[%s]" % (self.render(inner[0]),
+                               self.render(inner[1])
+                               if len(inner) > 1 else "")
+        if kind in ("CallExpr", "CXXMemberCallExpr",
+                    "CXXOperatorCallExpr"):
+            callee = self.render(inner[0]) if inner else ""
+            args = ",".join(self.render(a) for a in inner[1:])
+            return "%s(%s)" % (callee, args)
+        if kind in ("IntegerLiteral", "FloatingLiteral"):
+            return node.get("value", "")
+        if kind == "CXXBoolLiteralExpr":
+            return "true" if node.get("value") else "false"
+        if kind == "StringLiteral":
+            return node.get("value", '""')
+        if kind == "UnaryOperator":
+            op = node.get("opcode", "")
+            sub = self.render(inner[0]) if inner else ""
+            return "%s%s" % (op if op not in ("Deref", "*") else "*",
+                             sub)
+        if kind in ("BinaryOperator", "CompoundAssignOperator"):
+            return "%s %s %s" % (
+                self.render(inner[0]) if inner else "",
+                node.get("opcode", ""),
+                self.render(inner[1]) if len(inner) > 1 else "")
+        if kind in ("CXXStaticCastExpr", "CStyleCastExpr",
+                    "CXXFunctionalCastExpr"):
+            qt = node.get("type", {}).get("qualType", "")
+            return "static_cast<%s>(%s)" % (
+                qt, self.render(inner[0]) if inner else "")
+        if inner:
+            return self.render(inner[0])
+        return ""
+
+    # --- declaration traversal ---------------------------------------------
+    def walk(self, node):
+        self.advance_loc(node)
+        kind = node.get("kind", "")
+        if kind == "NamespaceDecl":
+            name = node.get("name", "")
+            self.ns.append(name) if name else None
+            for ch in node.get("inner", []):
+                self.walk(ch)
+            if name:
+                self.ns.pop()
+            return
+        if kind == "EnumDecl" and self.in_main_file() and \
+                node.get("name"):
+            members = [ch.get("name") for ch in node.get("inner", [])
+                       if ch.get("kind") == "EnumConstantDecl"]
+            self.ir.enums.append(EnumInfo(
+                name="::".join(self.ns + [node["name"]]),
+                members=members, file=self.rel, line=self.cur_line,
+                scoped=bool(node.get("scopedEnumTag"))))
+            return
+        if kind == "CXXRecordDecl":
+            if not node.get("completeDefinition") or \
+                    not node.get("name"):
+                return
+            qual = "::".join(
+                self.ns + [c.split("::")[-1]
+                           for c in self.cls_stack] + [node["name"]])
+            if node.get("id"):
+                self.decl_ctx[node["id"]] = qual
+            if not self.in_main_file():
+                # Still record context ids, but no IR.
+                return
+            ci = ClassInfo(name=qual, file=self.rel,
+                           line=self.cur_line,
+                           bases=[b.get("type", {}).get("qualType", "")
+                                  for b in node.get("bases", [])])
+            self.ir.classes.append(ci)
+            self.cls_stack.append(qual)
+            for ch in node.get("inner", []):
+                self.walk_member(ch, ci)
+            self.cls_stack.pop()
+            return
+        if kind == "TypeAliasDecl" and self.in_main_file():
+            self.ir.aliases.append(Alias(
+                name=node.get("name", ""),
+                target=node.get("type", {}).get("qualType", ""),
+                file=self.rel, line=self.cur_line))
+            return
+        if kind in ("FunctionDecl", "CXXMethodDecl",
+                    "CXXConstructorDecl"):
+            self.handle_function(node, cls=None)
+            return
+        if kind == "VarDecl" and self.in_main_file() and \
+                not self.cls_stack:
+            self.ir.file_vars.append(VarDecl(
+                name=node.get("name", ""),
+                type_spelling=node.get("type", {}).get("qualType", ""),
+                file=self.rel, line=self.cur_line))
+            return
+        for ch in node.get("inner", []):
+            if isinstance(ch, dict):
+                self.walk(ch)
+
+    def walk_member(self, node, ci):
+        self.advance_loc(node)
+        kind = node.get("kind", "")
+        if kind == "FieldDecl":
+            qt = node.get("type", {}).get("qualType", "")
+            ci.fields.append(FieldInfo(
+                name=node.get("name", ""), type_spelling=qt,
+                cls=ci.name, file=self.rel, line=self.cur_line,
+                is_const=qt.startswith("const "),
+                is_mutable=bool(node.get("mutable"))))
+            return
+        if kind == "VarDecl":   # static data member
+            qt = node.get("type", {}).get("qualType", "")
+            ci.fields.append(FieldInfo(
+                name=node.get("name", ""), type_spelling=qt,
+                cls=ci.name, file=self.rel, line=self.cur_line,
+                is_static=True, is_const=qt.startswith("const ")))
+            return
+        if kind in ("CXXMethodDecl", "CXXConstructorDecl",
+                    "FunctionDecl"):
+            self.handle_function(node, cls=ci)
+            return
+        self.walk(node)
+
+    def handle_function(self, node, cls):
+        self.advance_loc(node)
+        name = node.get("name", "")
+        if not name or name.startswith("operator"):
+            return
+        cls_name = cls.name if cls else \
+            self.decl_ctx.get(node.get("parentDeclContextId", ""), "")
+        qual = (cls_name + "::" + name) if cls_name else \
+            "::".join(self.ns + [name])
+        if cls:
+            cls.methods.append(name)
+        body = None
+        params = []
+        line = self.cur_line
+        for ch in node.get("inner", []):
+            self.advance_loc(ch)
+            if ch.get("kind") == "ParmVarDecl" and ch.get("name"):
+                params.append(VarDecl(
+                    name=ch["name"],
+                    type_spelling=ch.get("type", {}).get("qualType", ""),
+                    file=self.rel, line=self.cur_line, func=qual))
+            elif ch.get("kind") == "CompoundStmt":
+                body = ch
+        if body is None or not self.in_main_file():
+            return
+        fn = FunctionInfo(
+            name=qual, cls=cls_name, file=self.rel, line=line,
+            is_ctor=(node.get("kind") == "CXXConstructorDecl"),
+            return_type=node.get("type", {}).get("qualType", "")
+            .split("(")[0].strip(),
+            params=params)
+        self.ir.functions.append(fn)
+        self.walk_stmt(body, fn)
+
+    # --- statement traversal -----------------------------------------------
+    def walk_stmt(self, node, fn):
+        if not isinstance(node, dict):
+            return
+        self.advance_loc(node)
+        kind = node.get("kind", "")
+        line = self.cur_line
+        inner = [n for n in node.get("inner", []) if n]
+
+        if kind in ("CoawaitExpr", "CoreturnStmt", "CoyieldExpr",
+                    "CoroutineBodyStmt"):
+            fn.is_coro = True
+        if kind == "LambdaExpr":
+            child = FunctionInfo(
+                name="%s::<lambda:%d>" % (fn.name, line),
+                cls=fn.cls, file=self.rel, line=line,
+                is_lambda=True, parent_func=fn.name)
+            self.ir.functions.append(child)
+            for ch in inner:
+                if ch.get("kind") == "CompoundStmt":
+                    self.walk_stmt(ch, child)
+                else:
+                    self.walk_stmt(ch, fn)
+            return
+        if kind in ("BinaryOperator", "CompoundAssignOperator"):
+            op = node.get("opcode", "")
+            if op in ASSIGN_OPS and inner:
+                self.note_write(inner[0], ASSIGN_OPS[op], fn, line)
+            elif op in CMP_OPS and len(inner) >= 2:
+                fn.comparisons.append(Comparison(
+                    lhs=self.render(inner[0]),
+                    rhs=self.render(inner[1]),
+                    file=self.rel, line=line, func=fn.name))
+        if kind == "UnaryOperator" and \
+                node.get("opcode") in ("++", "--") and inner:
+            self.note_write(inner[0], "modify", fn, line)
+        if kind in ("CallExpr", "CXXMemberCallExpr"):
+            callee = self.render(inner[0]) if inner else ""
+            fn.calls.append(CallSite(
+                callee=callee,
+                args=[self.render(a) for a in inner[1:]],
+                file=self.rel, line=line, func=fn.name))
+            short = callee.replace("->", ".").split(".")[-1]
+            if short in MUTATORS and "." in callee.replace("->", "."):
+                recv = callee.replace("->", ".").rsplit(".", 1)[0]
+                fn.writes.append(WriteSite(
+                    field=recv.split(".")[-1].split("[")[0],
+                    cls="", expr=recv, kind="call", via_method=short,
+                    file=self.rel, line=line, func=fn.name))
+        if kind == "SwitchStmt":
+            self.handle_switch(node, fn, line)
+            return
+        if kind == "CXXForRangeStmt":
+            self.handle_ranged_for(node, fn, line)
+            return
+        if kind == "VarDecl" and node.get("name"):
+            fn.locals.append(VarDecl(
+                name=node["name"],
+                type_spelling=node.get("type", {}).get("qualType", ""),
+                file=self.rel, line=line, func=fn.name))
+        for ch in inner:
+            self.walk_stmt(ch, fn)
+
+    def note_write(self, lhs, kind, fn, line):
+        expr = self.render(lhs)
+        if not expr:
+            return
+        node = lhs
+        while node.get("kind") in ("ImplicitCastExpr", "ParenExpr") \
+                and node.get("inner"):
+            node = node["inner"][0]
+        idx = ""
+        if node.get("kind") == "ArraySubscriptExpr" and \
+                len(node.get("inner", [])) > 1:
+            idx = self.render(node["inner"][1])
+            node = node["inner"][0]
+            while node.get("kind") in ("ImplicitCastExpr", "ParenExpr") \
+                    and node.get("inner"):
+                node = node["inner"][0]
+        field = ""
+        cls = ""
+        if node.get("kind") == "MemberExpr":
+            field = node.get("name", "")
+            base = node.get("inner", [{}])[0]
+            while base.get("kind") in ("ImplicitCastExpr", "ParenExpr") \
+                    and base.get("inner"):
+                base = base["inner"][0]
+            if base.get("kind") == "CXXThisExpr":
+                cls = fn.cls
+        elif node.get("kind") == "DeclRefExpr":
+            ref = node.get("referencedDecl", {})
+            if ref.get("kind") == "FieldDecl":
+                field = ref.get("name", "")
+                cls = fn.cls
+            else:
+                return          # a local/param/global, not a field
+        else:
+            return
+        if field:
+            fn.writes.append(WriteSite(
+                field=field, cls=cls, expr=expr, kind=kind,
+                index_expr=idx, file=self.rel, line=line,
+                func=fn.name))
+
+    def handle_switch(self, node, fn, line):
+        inner = [n for n in node.get("inner", []) if n]
+        cond = inner[0] if inner else None
+        qt_node = cond
+        while qt_node and qt_node.get("kind") == "ImplicitCastExpr" \
+                and qt_node.get("inner"):
+            qt_node = qt_node["inner"][0]
+        sw = SwitchInfo(
+            cond=self.render(cond),
+            cond_enum=(qt_node or {}).get("type", {})
+            .get("qualType", ""),
+            file=self.rel, line=line, func=fn.name)
+        def visit(n):
+            if not isinstance(n, dict):
+                return
+            k = n.get("kind", "")
+            if k == "CaseStmt":
+                lbl = n.get("inner", [None])[0]
+                sw.cases.append(self.render(lbl))
+            if k == "DefaultStmt":
+                sw.has_default = True
+            if k == "SwitchStmt" and n is not node:
+                return          # nested switch handled on its own
+            for ch in n.get("inner", []):
+                visit(ch)
+        for ch in inner[1:]:
+            visit(ch)
+            self.walk_stmt(ch, fn)
+        fn.switches.append(sw)
+
+    def handle_ranged_for(self, node, fn, line):
+        inner = [n for n in node.get("inner", []) if n]
+        range_expr = ""
+        range_type = ""
+        for ch in inner:
+            if ch.get("kind") == "DeclStmt":
+                for v in ch.get("inner", []):
+                    if v.get("kind") != "VarDecl":
+                        continue
+                    nm = v.get("name", "")
+                    if nm == "__range1":
+                        init = [x for x in v.get("inner", [])
+                                if isinstance(x, dict)]
+                        range_expr = self.render(init[0]) if init else ""
+                        range_type = v.get("type", {}) \
+                            .get("qualType", "")
+                    elif nm and not nm.startswith("__"):
+                        fn.locals.append(VarDecl(
+                            name=nm,
+                            type_spelling=v.get("type", {})
+                            .get("qualType", ""),
+                            file=self.rel, line=line, func=fn.name))
+        fn.ranged_fors.append(RangedFor(
+            range_expr=range_expr, range_type=range_type,
+            file=self.rel, line=line, func=fn.name))
+        for ch in inner:
+            if ch.get("kind") == "CompoundStmt":
+                self.walk_stmt(ch, fn)
+
+
+def comments_for(full, rel):
+    """Comment map via the fallback lexer (the AST dump drops them)."""
+    from .cpp_lexer import lex
+    with open(full, "r", encoding="utf-8", errors="replace") as fh:
+        _toks, comments = lex(fh.read())
+    return comments
+
+
+def parse_ast_json(ast, rel, full):
+    walker = Walker(rel, full)
+    walker.walk(ast)
+    walker.ir.comments = comments_for(full, rel)
+    return walker.ir
+
+
+def parse_file(full, rel, repo, cache_dir=None):
+    """FileIR for @p full via clang, or None when the file has no
+    compile-db entry (headers: the driver falls back)."""
+    ast = cached_dump(full, rel, repo, cache_dir)
+    if ast is None:
+        return None
+    return parse_ast_json(ast, rel, full)

@@ -1,0 +1,59 @@
+// Source mirrored by clang_ast_fixture.json: a hand-written
+// `clang++ -ast-dump=json` document that exercises the walker's
+// delta-encoded locations, parentDeclContextId method attribution,
+// switch condition typing, the __range1 protocol, and coroutine
+// detection -- without needing clang++ in the container.
+namespace fx
+{
+
+enum class Kind
+{
+    A,
+    B,
+    NumKinds,
+};
+
+struct Counter
+{
+    unsigned long v = 0;
+    unsigned long items[4] = {};
+    void bump();
+    int pick(Kind k);
+    unsigned long spin();
+    void co();
+};
+
+void
+Counter::bump()
+{
+    v += 1;
+}
+
+int
+Counter::pick(Kind k)
+{
+    switch (k) {
+    case Kind::A:
+        return 1;
+    default:
+        return 0;
+    }
+}
+
+unsigned long
+Counter::spin()
+{
+    unsigned long sum = 0;
+    for (auto &x : items) {
+        sum += x;
+    }
+    return sum;
+}
+
+void
+Counter::co()
+{
+    // body modeled as `co_await ...;` in the dump
+}
+
+} // namespace fx

@@ -1,0 +1,13 @@
+#include "../src/core/runner.hh"
+
+#include <cstdio>
+
+int
+main()
+{
+    fx::core::RunResult res;
+    std::printf("good      %lu\n", (unsigned long)res.good);
+    std::printf("committed %lu\n",
+                (unsigned long)res.stats.committed);
+    return 0;
+}

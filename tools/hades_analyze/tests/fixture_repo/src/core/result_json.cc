@@ -1,0 +1,22 @@
+#include "runner.hh"
+
+namespace fx::core
+{
+
+static std::uint64_t
+emit(std::uint64_t v)
+{
+    return v;
+}
+
+std::uint64_t
+runResultJson(const RunResult &res)
+{
+    std::uint64_t out = 0;
+    out += emit(res.good);
+    out += emit(res.jsonOnly);
+    out += emit(res.stats.committed);
+    return out;
+}
+
+} // namespace fx::core

@@ -1,0 +1,27 @@
+// Telemetry-conservation (A4) fixture: counters that do and do not
+// reach the JSON emitter and the CLI summary.
+#pragma once
+
+#include <cstdint>
+
+namespace fx::core
+{
+
+struct EngineStats
+{
+    std::uint64_t committed = 0;   // reaches both sinks: clean
+    std::uint64_t droppedStat = 0; // EXPECT: telemetry -- neither sink
+};
+
+struct RunResult
+{
+    EngineStats stats;
+    std::uint64_t good = 0;     // reaches both sinks: clean
+    std::uint64_t jsonOnly = 0; // EXPECT: telemetry -- JSON but no CLI
+    std::uint64_t lost = 0;     // EXPECT: telemetry -- neither sink
+    std::uint64_t waived = 0; // hades-analyze: telemetry-ok (fixture: intentionally unreported)
+};
+
+std::uint64_t runResultJson(const RunResult &res);
+
+} // namespace fx::core

@@ -1,0 +1,16 @@
+// Verb-totality (A2) fixture enum. NumTypes is a count sentinel and
+// must never be required as a case.
+#pragma once
+
+namespace fx::net
+{
+
+enum class MsgType
+{
+    Prepare,
+    Ack,
+    RdmaWrite,
+    NumTypes,
+};
+
+} // namespace fx::net

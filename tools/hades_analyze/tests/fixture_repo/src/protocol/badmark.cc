@@ -1,0 +1,20 @@
+// Suppression-hygiene fixtures: a marker with no justification and a
+// marker naming a rule that does not exist each become findings.
+namespace fx::protocol
+{
+
+// hades-analyze: lane-escape-ok -- EXPECT: suppression
+int
+unjustified()
+{
+    return 1;
+}
+
+// hades-analyze: nosuch-ok (this rule does not exist) EXPECT: suppression
+int
+unknownRule()
+{
+    return 2;
+}
+
+} // namespace fx::protocol

@@ -1,0 +1,36 @@
+#include "epoch.hh"
+
+namespace fx::protocol
+{
+
+void
+Applier::unfenced(std::uint64_t k)
+{
+    refuseIfThreaded();
+    j_.pendingApplies[k] = 1; // EXPECT: epoch-fence
+}
+
+void
+Applier::fenced(std::uint64_t k, std::uint64_t epoch)
+{
+    refuseIfThreaded();
+    if (epoch_ == epoch)
+        j_.pendingApplies[k] = 1;
+}
+
+void
+Applier::waived(std::uint64_t k)
+{
+    refuseIfThreaded();
+    // hades-analyze: epoch-fence-ok (fixture: fenced by construction)
+    j_.decisionLog[k] = 1;
+}
+
+void
+RecoveryManager::apply(std::uint64_t k)
+{
+    refuseIfThreaded();
+    j_.pendingApplies.erase(k);
+}
+
+} // namespace fx::protocol

@@ -1,0 +1,41 @@
+// Epoch-fence (A3) fixture: view-changed journals and their writers.
+// Every method gates with refuseIfThreaded() so the A1 pass stays
+// quiet and the per-rule assertions do not overlap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace fx::protocol
+{
+
+struct Journal
+{
+    std::map<std::uint64_t, std::uint64_t> pendingApplies;
+    std::map<std::uint64_t, std::uint64_t> decisionLog;
+};
+
+class Applier
+{
+  public:
+    void unfenced(std::uint64_t k);  // expect: epoch-fence finding
+    void fenced(std::uint64_t k, std::uint64_t epoch); // guarded: clean
+    void waived(std::uint64_t k);    // justified marker: clean
+
+  private:
+    void refuseIfThreaded() const;
+    Journal j_;
+    std::uint64_t epoch_ = 0;
+};
+
+class RecoveryManager
+{
+  public:
+    void apply(std::uint64_t k);     // owner class: exempt
+
+  private:
+    void refuseIfThreaded() const;
+    Journal j_;
+};
+
+} // namespace fx::protocol
