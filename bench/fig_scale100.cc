@@ -9,19 +9,25 @@
  *     HADES, swept through the ordinary (model-parallel) sweep and
  *     reported in the JSON snapshot (CI's BENCH_scale.json).
  *
- *  2. Executor speed: wall-clock of the *same* all-local TPC-C run at
- *     --shards 1/2/4/8, timed back-to-back on an otherwise idle
- *     process. The acceptance target is >= 3x at 8 shards on an
- *     unloaded machine; every point is checked bit-identical to the
- *     serial oracle before its timing is believed.
+ *  2. Executor speed: wall-clock of the same run at --shards 1/2/4/8,
+ *     timed back-to-back on an otherwise idle process, for two
+ *     thread-certified families -- all-local TPC-C (no messaging) and
+ *     uniform YCSB-B (the PR 8 threaded messaging path, where every
+ *     commit crosses lanes through the window mailboxes). The
+ *     acceptance target is >= 3x at 8 shards on an unloaded machine;
+ *     every point is checked bit-identical to the serial oracle
+ *     before its timing is believed.
  *
  * --smoke shrinks both parts to a seconds-scale run (the bench_smoke
- * ctest lane and the CI perf snapshot both use it).
+ * ctest lane and the CI perf snapshot both use it). --threaded-json
+ * PATH writes the part-2 timings as a `hades-bench-threaded-v1`
+ * snapshot (CI's BENCH_threaded.json).
  */
 
 #include <chrono>
 
 #include "bench_util.hh"
+#include "core/result_hash.hh"
 
 namespace hades::bench
 {
@@ -46,22 +52,80 @@ scaleSpec(const core::MixEntry &entry, bool smoke)
     return spec;
 }
 
-/** The executor-speedup spec: all-local TPC-C qualifies for the
- *  threaded executor, so shard counts translate into worker threads
- *  over disjoint node lanes. Lock-mode fallback is effectively
- *  disabled: at C=50 the home-warehouse contention trips the
- *  48-squash livelock escape, and lock mode's global ordering forces
- *  a deterministic serial re-run -- which would silently turn this
- *  into a measurement of the non-threaded executor. Optimistic
- *  retries converge fine here; only the retry count grows. */
-core::RunSpec
-speedupSpec(bool smoke)
+/** The two part-2 families: compute-bound all-local TPC-C, and
+ *  messaging-bound uniform YCSB-B where every remote access and
+ *  commit crosses lanes through the window-barrier mailboxes.
+ *  smokeCores picks the smoke cluster width per family: work-per-
+ *  window is what worker threads amortize the barrier against, and
+ *  for the messaging family it scales with the number of concurrently
+ *  active contexts (the 2-core model-scale smoke shape is too narrow
+ *  to show the executor off; the local family peaks there). */
+struct SpeedupFamily
 {
-    auto spec = scaleSpec(
-        {workload::AppKind::Tpcc, kvs::StoreKind::HashTable}, smoke);
-    spec.cluster.forcedLocalFraction = 1.0;
+    const char *label;
+    workload::AppKind app;
+    double localFraction; //!< -1 = uniform placement
+    std::uint32_t smokeCores;
+};
+
+constexpr SpeedupFamily kSpeedupFamilies[] = {
+    {"tpcc-local", workload::AppKind::Tpcc, 1.0, 2},
+    {"ycsb-b-uniform", workload::AppKind::YcsbB, -1.0, 8},
+};
+
+/** One executor-speedup family: a thread-certified spec whose shard
+ *  counts translate into worker threads over disjoint node lanes.
+ *  Lock-mode fallback is effectively disabled: at C=50 the contention
+ *  can trip the 48-squash livelock escape, and lock mode's global
+ *  ordering forces a deterministic serial re-run -- which would
+ *  silently turn this into a measurement of the non-threaded
+ *  executor. Optimistic retries converge fine here; only the retry
+ *  count grows. */
+core::RunSpec
+speedupSpec(const SpeedupFamily &family, bool smoke)
+{
+    auto spec =
+        scaleSpec({family.app, kvs::StoreKind::HashTable}, smoke);
+    spec.cluster.forcedLocalFraction = family.localFraction;
     spec.cluster.tuning.maxSquashesBeforeLockMode = 1'000'000;
+    if (smoke)
+        spec.cluster.coresPerNode = family.smokeCores;
     return spec;
+}
+
+/** One timed point of a speedup family. */
+struct SpeedupPoint
+{
+    std::uint32_t shards = 1;
+    double wallS = 0;
+    double speedup = 1.0;
+    bool threaded = false;
+    std::uint64_t shardWindows = 0;
+};
+
+/** Append the `hades-bench-threaded-v1` JSON for one family. */
+void
+threadedJsonFamily(std::string &out, const SpeedupFamily &family,
+                   const std::vector<SpeedupPoint> &points, bool first)
+{
+    char buf[256];
+    out += first ? "{" : ",{";
+    std::snprintf(buf, sizeof(buf), "\"workload\":\"%s\",\"points\":[",
+                  family.label);
+    out += buf;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"shards\":%u,\"wall_s\":%.6f,\"speedup\":%.4f,"
+            "\"threaded\":%s,\"shard_windows\":%llu,"
+            "\"bit_identical\":true}",
+            i ? "," : "", p.shards, p.wallS, p.speedup,
+            p.threaded ? "true" : "false",
+            static_cast<unsigned long long>(p.shardWindows));
+        out += buf;
+    }
+    out += "]}";
 }
 
 std::string
@@ -74,9 +138,9 @@ keyFor(const core::MixEntry &entry, std::uint32_t shards)
 void
 registerRuns(Sweep &sweep, bool smoke)
 {
-    // Model-scale rows (uniform placement, so the deterministic
-    // sharded executor carries them): serial oracle plus 8 lanes,
-    // which the sweep cross-checks below.
+    // Model-scale rows (uniform placement; fault-free and unaudited,
+    // so the 8-lane points run on worker threads): serial oracle plus
+    // 8 lanes, which the sweep cross-checks below.
     const std::vector<core::MixEntry> entries = {
         {workload::AppKind::Tpcc, kvs::StoreKind::HashTable},
         {workload::AppKind::YcsbA, kvs::StoreKind::HashTable},
@@ -114,6 +178,21 @@ main(int argc, char **argv)
 
     Sweep &sweep = Sweep::instance();
     sweep.parseArgs(&argc, argv);
+    // Strip the binary-specific flag before google-benchmark sees it.
+    std::string threaded_json;
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == "--threaded-json" &&
+                i + 1 < argc) {
+                threaded_json = argv[++i];
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+        argv[argc] = nullptr;
+    }
     benchmark::Initialize(&argc, argv);
     const bool smoke = sweep.smoke();
     registerRuns(sweep, smoke);
@@ -155,34 +234,67 @@ main(int argc, char **argv)
 
     // --- Part 2: executor wall-clock speedup ------------------------------
     // Timed back-to-back with runOne (not the sweep) so each point has
-    // the machine to itself. The serial oracle runs first; every
-    // sharded point is verified bit-identical before its time counts.
-    std::printf("\n%-8s %12s %10s %12s %10s\n", "shards", "wall s",
-                "speedup", "windows", "threaded");
-    double serial_s = 0;
-    core::RunResult oracle;
-    for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
-        auto spec = speedupSpec(smoke);
-        spec.shards = shards;
-        const auto t0 = Clock::now();
-        const auto res = core::runOne(spec);
-        const double secs =
-            std::chrono::duration<double>(Clock::now() - t0).count();
-        if (shards == 1) {
-            serial_s = secs;
-            oracle = res;
-        } else if (!sameRun(oracle, res)) {
-            std::fprintf(stderr,
-                         "FATAL: shards=%u diverged from the serial "
-                         "oracle\n",
-                         shards);
-            return 1;
+    // the machine to itself. Per family the serial oracle runs first;
+    // every sharded point is verified bit-identical (full result
+    // digest) before its time counts -- the divergence gate exits
+    // nonzero, so a CI snapshot only ever records sound timings.
+    std::string snapshot =
+        "{\"schema\":\"hades-bench-threaded-v1\",\"smoke\":";
+    snapshot += smoke ? "true" : "false";
+    snapshot += ",\"workloads\":[";
+    bool first_family = true;
+    for (const auto &family : kSpeedupFamilies) {
+        std::printf("\n[%s]\n%-8s %12s %10s %12s %10s\n", family.label,
+                    "shards", "wall s", "speedup", "windows",
+                    "threaded");
+        double serial_s = 0;
+        std::uint64_t oracle_digest = 0;
+        std::vector<SpeedupPoint> points;
+        for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+            auto spec = speedupSpec(family, smoke);
+            spec.shards = shards;
+            const auto t0 = Clock::now();
+            const auto res = core::runOne(spec);
+            const double secs =
+                std::chrono::duration<double>(Clock::now() - t0)
+                    .count();
+            const auto digest = core::hashResult(res);
+            if (shards == 1) {
+                serial_s = secs;
+                oracle_digest = digest;
+            } else if (digest != oracle_digest) {
+                std::fprintf(stderr,
+                             "FATAL: %s shards=%u diverged from the "
+                             "serial oracle\n",
+                             family.label, shards);
+                return 1;
+            } else if (!res.shardsThreaded) {
+                std::fprintf(stderr,
+                             "FATAL: %s shards=%u fell off the "
+                             "threaded executor (serialRerun=%d)\n",
+                             family.label, shards,
+                             res.serialRerun ? 1 : 0);
+                return 1;
+            }
+            SpeedupPoint p;
+            p.shards = shards;
+            p.wallS = secs;
+            p.speedup = serial_s / secs;
+            p.threaded = res.shardsThreaded;
+            p.shardWindows = res.shardWindows;
+            points.push_back(p);
+            std::printf("%-8u %12.2f %9.2fx %12llu %10s\n", shards,
+                        secs, p.speedup,
+                        static_cast<unsigned long long>(
+                            res.shardWindows),
+                        res.shardsThreaded ? "yes" : "no");
         }
-        std::printf("%-8u %12.2f %9.2fx %12llu %10s\n", shards, secs,
-                    serial_s / secs,
-                    static_cast<unsigned long long>(res.shardWindows),
-                    res.shardsThreaded ? "yes" : "no");
+        threadedJsonFamily(snapshot, family, points, first_family);
+        first_family = false;
     }
+    snapshot += "]}\n";
+    if (!threaded_json.empty())
+        core::writeJsonFile(threaded_json, snapshot);
 
     sweep.finish("fig_scale100");
     benchmark::Shutdown();

@@ -115,6 +115,23 @@ Auditor::checkFilterCovers(const bloom::AddressFilter &bf,
 }
 
 void
+Auditor::checkFilterCovers(const bloom::AddressFilter &bf,
+                           const std::set<Addr> &exact,
+                           const char *site)
+{
+    for (Addr line : exact) {
+        report_.filterProbesChecked += 1;
+        if (!bf.mayContain(line)) {
+            violation(ViolationKind::BloomFalseNegative,
+                      std::string("filter at ") + site + ": " +
+                          fmt("line %llx inserted but mayContain is "
+                              "false",
+                              line, 0, 0));
+        }
+    }
+}
+
+void
 Auditor::noteFindTags(std::uint64_t engine_id,
                       const std::vector<Addr> &found,
                       const std::unordered_set<Addr> &exact,

@@ -29,6 +29,7 @@
 #define HADES_AUDIT_AUDITOR_HH_
 
 #include <cstdint>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -85,6 +86,10 @@ class Auditor
     /** Every line of @p exact must hit in @p bf (no false negative). */
     void checkFilterCovers(const bloom::AddressFilter &bf,
                            const std::unordered_set<Addr> &exact,
+                           const char *site);
+    /** Same check for the NIC's ordered shadow sets. */
+    void checkFilterCovers(const bloom::AddressFilter &bf,
+                           const std::set<Addr> &exact,
                            const char *site);
 
     /**

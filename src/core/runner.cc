@@ -83,12 +83,17 @@ driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
 
 /**
  * True when @p spec qualifies for threaded sharded execution: every
- * model event must stay on its node's lane. Forced-full-locality OLTP
- * mixes access only node-local records (and the OLTP generators emit
- * pure data requests -- no cross-node index traversals), and none of
- * the cross-node subsystems (faults, recovery, replication) or the
- * process-global auditor may be active. Everything else still shards
- * deterministically on one thread.
+ * model event must stay on its node's lane. The messaging path itself
+ * is now lane-safe -- per-lane NIC port state, window-delayed
+ * cross-lane delivery through the per-(src,dst) mailboxes -- so
+ * cross-node workloads (YCSB, Smallbank, mixes) qualify too. What
+ * still decertifies a spec is any subsystem that acts across nodes
+ * outside the message fabric: fault injection (drops/resend timers
+ * inspect coordinator flags from remote lanes), recovery and
+ * replication (cluster-global scans), the process-global auditor, and
+ * the partial-locality re-pick loop (placement probes outside the
+ * generator's own node). Everything else still shards
+ * deterministically on one thread when asked to.
  */
 bool
 certifiedForThreads(const RunSpec &spec)
@@ -96,20 +101,14 @@ certifiedForThreads(const RunSpec &spec)
     if (spec.cluster.faults.enabled || spec.cluster.recovery.enabled ||
         spec.replication.enabled() || spec.audit)
         return false;
-    if (spec.cluster.forcedLocalFraction < 1.0)
+    // Uniform placement (fraction unset) and forced-full-local both
+    // emit lane-pure record picks; fractional locality's re-pick
+    // sweep is conservatively left to the serial executors.
+    if (spec.cluster.forcedLocalFraction >= 0.0 &&
+        spec.cluster.forcedLocalFraction < 1.0)
         return false;
     if (spec.cluster.sharding.forceDeterministic)
         return false;
-    // Only apps whose fully-local runs are message-free qualify. YCSB
-    // is out (remote KV index reads), and so is Smallbank: its
-    // send-payment pairs accounts across nodes even when record picks
-    // are forced local. This list is advisory -- Network refuses
-    // cross-node traffic under the threaded executor and bails to the
-    // deterministic one -- but a wrong entry here wastes a partial run.
-    for (const auto &m : spec.mix)
-        if (m.app != workload::AppKind::Tpcc &&
-            m.app != workload::AppKind::Tatp)
-            return false;
     return true;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/log.hh"
+#include "core/result_hash.hh"
 #include "core/result_json.hh"
 #include "core/sweep.hh"
 
@@ -12,6 +13,68 @@ namespace hades::fuzz
 {
 
 using protocol::EngineKind;
+
+namespace
+{
+
+constexpr EngineKind kEngines[] = {EngineKind::Baseline,
+                                   EngineKind::Hades,
+                                   EngineKind::HadesHybrid};
+
+/**
+ * The threadedMessaging gene's scenario: per engine, the fault-free
+ * uniform-messaging spec on worker threads against the same spec on
+ * the serial oracle. The family is unaudited (audit decertifies the
+ * threads), so the failure signal is differential: a digest mismatch
+ * means the threaded executor computed a different run.
+ */
+FuzzVerdict
+runThreadedDifferential(const Genome &g, const FuzzRunOptions &opt)
+{
+    std::vector<core::RunSpec> specs;
+    for (EngineKind k : kEngines) {
+        core::RunSpec threaded = threadedSpecFor(g, k, opt.smoke);
+        core::RunSpec serial = threaded;
+        serial.shards = 1;
+        specs.push_back(serial);
+        specs.push_back(threaded);
+    }
+
+    core::SweepOptions sweep;
+    sweep.jobs = std::max(1u, opt.jobs);
+    auto outcomes = core::runMany(specs, sweep);
+
+    std::vector<const core::RunOutcome *> byIndex(specs.size(), nullptr);
+    for (const auto &o : outcomes)
+        byIndex[o.index] = &o;
+
+    FuzzVerdict v;
+    for (std::size_t e = 0; e < std::size(kEngines); ++e) {
+        const char *engine = protocol::engineKindName(kEngines[e]);
+        const auto *serial = byIndex[2 * e];
+        const auto *threaded = byIndex[2 * e + 1];
+        if (!serial->ok || !threaded->ok) {
+            v.failed = true;
+            v.engine = engine;
+            v.error = !serial->ok ? serial->error : threaded->error;
+            return v;
+        }
+        const auto want = core::hashResult(serial->result);
+        const auto got = core::hashResult(threaded->result);
+        if (got != want) {
+            v.failed = true;
+            v.engine = engine;
+            v.error = "threaded_divergence serial=" +
+                      std::to_string(want) + " threaded=" +
+                      std::to_string(got) + " shards=" +
+                      std::to_string(specs[2 * e + 1].shards);
+            return v;
+        }
+    }
+    return v;
+}
+
+} // namespace
 
 FuzzVerdict
 runGenome(const Genome &g, const FuzzRunOptions &opt)
@@ -23,8 +86,7 @@ runGenome(const Genome &g, const FuzzRunOptions &opt)
     setPanicThrows(true);
 
     std::vector<core::RunSpec> specs;
-    for (EngineKind k : {EngineKind::Baseline, EngineKind::Hades,
-                         EngineKind::HadesHybrid})
+    for (EngineKind k : kEngines)
         specs.push_back(specFor(g, k, opt.smoke));
 
     core::SweepOptions sweep;
@@ -50,6 +112,8 @@ runGenome(const Genome &g, const FuzzRunOptions &opt)
             break;
         }
     }
+    if (!v.failed && g.threadedMessaging)
+        v = runThreadedDifferential(g, opt);
     return v;
 }
 
@@ -66,11 +130,24 @@ shrinkGenome(const Genome &g, const FuzzRunOptions &opt,
         return runGenome(candidate, opt).failed;
     };
 
-    // Executor first: a failure that survives at shards = 1 replays on
-    // the plain serial kernel, the simplest possible repro. (Sharding
-    // is bit-identical by contract, so this only "fails" to shrink
-    // when the bug itself lives in the sharded executor -- exactly the
-    // case where keeping the shard count in the artifact matters.)
+    // The threaded-messaging gene first: dropping it removes the whole
+    // worker-thread differential from the scenario, so a failure that
+    // survives lives in the audited fault family and replays without
+    // threads at all. When the collapse fails, the bug needs the
+    // threaded executor -- exactly what the artifact must record.
+    if (best.threadedMessaging) {
+        Genome candidate = best;
+        candidate.threadedMessaging = false;
+        if (stillFails(candidate))
+            best = candidate;
+    }
+
+    // Executor dimension next: a failure that survives at shards = 1
+    // replays on the plain serial kernel, the simplest possible repro.
+    // (Sharding is bit-identical by contract, so this only "fails" to
+    // shrink when the bug itself lives in the sharded executor --
+    // exactly the case where keeping the shard count in the artifact
+    // matters.)
     if (best.shards > 1) {
         Genome candidate = best;
         candidate.shards = 1;

@@ -113,6 +113,9 @@ randomGenome(std::uint64_t seed, const GenomeLimits &lim)
         e.count = 1 + std::uint32_t(rng.below(kMaxDropFirst));
         g.events.push_back(e);
     }
+    // Drawn last so the gene never perturbs the fields above for a
+    // given seed (legacy repro artifacts stay meaningful).
+    g.threadedMessaging = rng.below(4) == 0;
     return g;
 }
 
@@ -205,8 +208,12 @@ applyEvents(const Genome &g, ClusterConfig &cc)
     cc.recovery.testSkipImageResync = g.bugHook;
 }
 
+namespace
+{
+
+/** The cluster shape and workload shared by both scenario families. */
 core::RunSpec
-specFor(const Genome &g, protocol::EngineKind engine, bool smoke)
+baseSpecFor(const Genome &g, protocol::EngineKind engine, bool smoke)
 {
     core::RunSpec spec;
     ClusterConfig &cc = spec.cluster;
@@ -214,6 +221,22 @@ specFor(const Genome &g, protocol::EngineKind engine, bool smoke)
     cc.coresPerNode = 2;
     cc.slotsPerCore = 2;
     cc.seed = 42 ^ (g.seed * 0x9e3779b97f4a7c15ULL);
+    spec.engine = engine;
+    spec.mix = {{workload::AppKind::Smallbank, kvs::StoreKind::HashTable}};
+    spec.txnsPerContext =
+        smoke ? std::min<std::uint64_t>(g.txnsPerContext, 3)
+              : g.txnsPerContext;
+    spec.scaleKeys = 2000;
+    return spec;
+}
+
+} // namespace
+
+core::RunSpec
+specFor(const Genome &g, protocol::EngineKind engine, bool smoke)
+{
+    core::RunSpec spec = baseSpecFor(g, engine, smoke);
+    ClusterConfig &cc = spec.cluster;
     cc.faults.seed = 0x0ddfa117 ^ g.seed;
     // Fast-recovery tuning so smoke genomes finish quickly; the
     // reliablePost budget keeps runs finite even if a genome manages
@@ -225,15 +248,24 @@ specFor(const Genome &g, protocol::EngineKind engine, bool smoke)
     cc.tuning.leaseInterval = us(10);
     cc.tuning.leaseTimeout = us(25);
     applyEvents(g, cc);
-    spec.engine = engine;
-    spec.mix = {{workload::AppKind::Smallbank, kvs::StoreKind::HashTable}};
-    spec.txnsPerContext =
-        smoke ? std::min<std::uint64_t>(g.txnsPerContext, 3)
-              : g.txnsPerContext;
-    spec.scaleKeys = 2000;
     spec.replication.degree = 2;
     spec.audit = true;
     spec.shards = std::max<std::uint32_t>(g.shards, 1);
+    return spec;
+}
+
+core::RunSpec
+threadedSpecFor(const Genome &g, protocol::EngineKind engine, bool smoke)
+{
+    core::RunSpec spec = baseSpecFor(g, engine, smoke);
+    // The fault events are deliberately not decoded: worker threads
+    // only run fault-free, and keeping the spec thread-certifiable is
+    // the point of the gene. Lock-mode stays out of reach so the
+    // optimistic threaded path is what actually gets fuzzed (the
+    // runtime lock-mode rerun has its own coverage in the test suite).
+    spec.cluster.tuning.maxSquashesBeforeLockMode = 10000;
+    spec.audit = false;
+    spec.shards = std::max<std::uint32_t>(g.shards, 2);
     return spec;
 }
 
@@ -310,6 +342,7 @@ genomeJson(const Genome &g, const std::string &note)
     jsonU64(out, "txns_per_context", g.txnsPerContext);
     jsonU64(out, "shards", g.shards);
     jsonB(out, "bug_hook", g.bugHook);
+    jsonB(out, "threaded_messaging", g.threadedMessaging);
     out += ",\"events\":[";
     for (std::size_t i = 0; i < g.events.size(); ++i) {
         const FuzzEvent &e = g.events[i];
@@ -599,6 +632,8 @@ parseGenomeJson(const std::string &text, Genome &out, std::string &err)
             out.shards = std::uint32_t(u);
         } else if (key == "bug_hook") {
             ok = sc.parseBool(out.bugHook);
+        } else if (key == "threaded_messaging") {
+            ok = sc.parseBool(out.threadedMessaging);
         } else if (key == "events") {
             ok = sc.consume('[');
             if (ok && !sc.consume(']')) {

@@ -78,6 +78,15 @@ struct Genome
     /** TEST-ONLY: decode sets RecoveryConfig::testSkipImageResync so a
      *  crash leaves divergent backups behind (see config.hh). */
     bool bugHook = false;
+    /** Threaded-messaging gene: in addition to the audited fault
+     *  scenario, the campaign replays the genome's cluster shape as a
+     *  fault-free, unaudited uniform-messaging run on worker threads
+     *  (>= 2 lanes) and diffs it against the serial oracle -- fuzzing
+     *  the PR 8 thread-certified executor family. The shrinker tries
+     *  collapsing this gene before touching the event list, so repro
+     *  artifacts keep it only when the failure lives in the threaded
+     *  executor itself. */
+    bool threadedMessaging = false;
     std::vector<FuzzEvent> events;
 
     bool operator==(const Genome &) const = default;
@@ -108,6 +117,15 @@ void applyEvents(const Genome &g, ClusterConfig &cc);
  *  runs for one engine. Pure function of (genome, engine, smoke). */
 core::RunSpec specFor(const Genome &g, protocol::EngineKind engine,
                       bool smoke);
+
+/** Build the fault-free, unaudited uniform-messaging RunSpec the
+ *  threadedMessaging gene adds: the genome's cluster shape on
+ *  max(shards, 2) worker-threaded lanes, thread-certifiable by
+ *  construction (no faults, no recovery, no replication, no audit).
+ *  The serial oracle for the differential is the same spec at
+ *  shards = 1. Pure function of (genome, engine, smoke). */
+core::RunSpec threadedSpecFor(const Genome &g,
+                              protocol::EngineKind engine, bool smoke);
 
 /** Serialize as a `hades-fuzz-repro-v1` JSON object (one line).
  *  @p note is an optional human-readable annotation (e.g. the failure

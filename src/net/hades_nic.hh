@@ -30,20 +30,54 @@
 namespace hades::net
 {
 
-/** Module 4a entry: the BF pair of one remote transaction at this node. */
-// hades-analyze: lane-escape-ok (installed at a node only by remote transactions; threaded-certified specs are local-only per certifiedForThreads)
+/** Module 4a entry: the BF pair of one remote transaction at this
+ *  node, plus the exact shadow sets behind the filters. The shadow
+ *  sets are the transaction's authoritative remote footprint at this
+ *  home: inserts happen in the remote-access handler on the home's own
+ *  lane, and every probe (commit L-R scans, Intend-to-commit covers
+ *  checks, audit exactness checks) reads them on that same lane, so
+ *  the footprint never crosses a lane boundary. */
+// hades-analyze: lane-escape-ok (home-NIC state: installed, probed, and cleared only by events delivered to the owning node's lane through the window-barrier mailboxes)
 struct RemoteTxFilters
 {
     bloom::BloomFilter readBf;
     bloom::BloomFilter writeBf;
+    /** Exact lines behind readBf / writeBf (ordered: conflict scans
+     *  iterate these and their order reaches squash decisions). */
+    std::set<Addr> readLines;
+    std::set<Addr> writeLines;
 
     RemoteTxFilters(const BloomParams &rd, const BloomParams &wr)
         : readBf(rd.bits, rd.numHashes), writeBf(wr.bits, wr.numHashes)
     {}
+
+    void
+    insertRead(Addr line)
+    {
+        readBf.insert(line);
+        readLines.insert(line);
+    }
+
+    void
+    insertWrite(Addr line)
+    {
+        writeBf.insert(line);
+        writeLines.insert(line);
+    }
+
+    bool readsContain(Addr line) const
+    {
+        return readLines.contains(line);
+    }
+
+    bool writesContain(Addr line) const
+    {
+        return writeLines.contains(line);
+    }
 };
 
 /** Module 4b: per-local-transaction remote-write bookkeeping. */
-// hades-analyze: lane-escape-ok (per-local-txn NIC bookkeeping reached via the owning node's nic.localState(id), always on that node's own lane)
+// hades-analyze: lane-escape-ok (per-local-txn NIC bookkeeping reached via the owning node's nic.localState(id), always on that node's own lane -- remote handlers never touch Module 4b)
 struct LocalTxRemoteState
 {
     /** Upper structure: remote node -> address ranges written there. */
@@ -61,7 +95,7 @@ struct LocalTxRemoteState
 };
 
 /** The HADES hardware state of one node's NIC. */
-// hades-analyze: lane-escape-ok (per-node NIC state; local_ is touched on the owning lane, and remote_ installs require remote transactions, which decertify threaded runs)
+// hades-analyze: lane-escape-ok (per-node NIC state confined to the owning lane: local_ is touched by the owning node's own transactions, and remote_ installs/probes/clears run inside message handlers delivered to this node's lane at a window barrier)
 class HadesNicState
 {
   public:

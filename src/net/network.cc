@@ -35,7 +35,8 @@ msgTypeName(MsgType t)
 }
 
 Network::Network(sim::Kernel &kernel, const ClusterConfig &cfg)
-    : kernel_(kernel), cfg_(cfg), dead_(cfg.numNodes, 0)
+    : kernel_(kernel), cfg_(cfg), statsByNode_(cfg.numNodes),
+      dead_(cfg.numNodes, 0)
 {
     for (std::uint32_t n = 0; n < cfg.numNodes; ++n)
         txPort_.push_back(std::make_unique<sim::ComputeResource>(kernel));
@@ -76,10 +77,11 @@ Network::oneWay(std::uint32_t bytes) const
 }
 
 void
-Network::account(MsgType t, std::uint32_t bytes)
+Network::account(NodeId node, MsgType t, std::uint32_t bytes)
 {
-    msgCount_[static_cast<std::size_t>(t)] += 1;
-    totalBytes_ += bytes + cfg_.messageHeaderBytes;
+    NodeStats &st = statsByNode_[node];
+    st.msgCount[static_cast<std::size_t>(t)] += 1;
+    st.bytes += bytes + cfg_.messageHeaderBytes;
 }
 
 sim::Task
@@ -88,31 +90,44 @@ Network::roundTrip(MsgType type, NodeId src, NodeId dst,
                    RemoteWork at_dst)
 {
     always_assert(src != dst, "round trip to self");
-    refuseIfThreaded();
+    if (type == MsgType::Lease || type == MsgType::ViewChange)
+        refuseIfThreaded(); // recovery control plane stays serial
+    assertLaneLocalSend(src);
     if (fault_) {
         co_await faultyRoundTrip(type, src, dst, req_bytes, resp_bytes,
                                  std::move(at_dst));
         co_return;
     }
-    account(type, req_bytes);
+    account(src, type, req_bytes);
 
     // Outbound serialization occupies the source TX port.
     co_await txPort_[src]->occupy(serialize(req_bytes +
                                             cfg_.messageHeaderBytes));
-    // Propagation + destination NIC pipeline.
-    co_await sim::Delay{kernel_, cfg_.netRoundTrip / 2 +
-                                     cfg_.nicProcessing};
-    // NIC-offloaded work at the destination.
-    Tick work = at_dst ? at_dst() : 0;
-    if (work > 0)
-        co_await sim::Delay{kernel_, work};
 
-    // Response path.
-    account(type, resp_bytes);
-    co_await txPort_[dst]->occupy(serialize(resp_bytes +
-                                            cfg_.messageHeaderBytes));
-    co_await sim::Delay{kernel_, cfg_.netRoundTrip / 2 +
-                                     cfg_.nicProcessing};
+    // Propagation + destination NIC pipeline, delivered on the
+    // *destination's* lane: the NIC-offloaded handler and the response
+    // port occupancy touch dst-owned state, so they must execute in
+    // dst's node context. The one-way latency is at least the
+    // conservative lookahead, so under worker threads this send always
+    // lands at or beyond the next window barrier.
+    const Tick half = cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
+    sim::Completion done;
+    kernel_.scheduleAs(dst, half, [this, &done, &at_dst, type, src, dst,
+                                   resp_bytes, half] {
+        // NIC-offloaded work at the destination.
+        Tick work = at_dst ? at_dst() : 0;
+        kernel_.schedule(work, [this, &done, type, src, dst, resp_bytes,
+                                half] {
+            // Response path (counted and serialized at dst, received
+            // back on the requester's lane).
+            account(dst, type, resp_bytes);
+            Tick depart = txPort_[dst]->reserve(
+                serialize(resp_bytes + cfg_.messageHeaderBytes));
+            kernel_.scheduleAtAs(depart + half, src,
+                                 [this, &done] { done.fire(kernel_); });
+        });
+    });
+    co_await done.wait();
 }
 
 sim::Task
@@ -120,6 +135,10 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
                          std::uint32_t req_bytes,
                          std::uint32_t resp_bytes, RemoteWork at_dst)
 {
+    // The retransmission machinery below shares one RtState between
+    // delivery events racing on both endpoints' lanes, so fault-
+    // injected traffic is a genuinely serial path.
+    refuseIfThreaded();
     // RDMA RC semantics under loss: the requester NIC retransmits after
     // a capped exponential timeout until the response arrives. Delivered
     // request copies (duplicates included) each run the destination
@@ -171,7 +190,7 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
                                 half] {
             if (!st->active)
                 return;
-            account(type, resp_bytes);
+            account(dst, type, resp_bytes);
             Tick depart = txPort_[dst]->reserve(
                 serialize(resp_bytes + cfg_.messageHeaderBytes));
             FaultDecision fd = fault_->judge(type, dst, src);
@@ -207,8 +226,9 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
         if (dead_[dst])
             co_return; // the guard deactivates pending deliveries
         if (attempt > 0)
-            retransmits_[static_cast<std::size_t>(type)] += 1;
-        account(type, req_bytes);
+            statsByNode_[src]
+                .retransmits[static_cast<std::size_t>(type)] += 1;
+        account(src, type, req_bytes);
         co_await txPort_[src]->occupy(serialize(req_bytes +
                                                 cfg_.messageHeaderBytes));
         if (st->respArrived)
@@ -248,8 +268,10 @@ Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
               std::function<void()> at_dst)
 {
     always_assert(src != dst, "post to self");
-    refuseIfThreaded();
-    account(type, bytes);
+    if (fault_ || type == MsgType::Lease || type == MsgType::ViewChange)
+        refuseIfThreaded(); // see refuseIfThreaded(): serial paths only
+    assertLaneLocalSend(src);
+    account(src, type, bytes);
     Tick depart =
         txPort_[src]->reserve(serialize(bytes + cfg_.messageHeaderBytes));
     Tick arrive = depart + cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
@@ -303,11 +325,54 @@ Network::stallNode(NodeId node, Tick duration)
 }
 
 std::uint64_t
+Network::messageCount(MsgType t) const
+{
+    std::uint64_t n = 0;
+    for (const NodeStats &st : statsByNode_)
+        n += st.msgCount[static_cast<std::size_t>(t)];
+    return n;
+}
+
+std::uint64_t
 Network::totalMessages() const
 {
     std::uint64_t n = 0;
-    for (auto c : msgCount_)
-        n += c;
+    for (const NodeStats &st : statsByNode_)
+        for (auto c : st.msgCount)
+            n += c;
+    return n;
+}
+
+std::uint64_t
+Network::totalBytes() const
+{
+    std::uint64_t n = 0;
+    for (const NodeStats &st : statsByNode_)
+        n += st.bytes;
+    return n;
+}
+
+std::uint64_t
+Network::nodeMessages(NodeId n) const
+{
+    std::uint64_t c = 0;
+    for (auto m : statsByNode_[n].msgCount)
+        c += m;
+    return c;
+}
+
+std::uint64_t
+Network::nodeBytes(NodeId n) const
+{
+    return statsByNode_[n].bytes;
+}
+
+std::uint64_t
+Network::retransmits(MsgType t) const
+{
+    std::uint64_t n = 0;
+    for (const NodeStats &st : statsByNode_)
+        n += st.retransmits[static_cast<std::size_t>(t)];
     return n;
 }
 
@@ -315,8 +380,9 @@ std::uint64_t
 Network::totalRetransmits() const
 {
     std::uint64_t n = 0;
-    for (auto c : retransmits_)
-        n += c;
+    for (const NodeStats &st : statsByNode_)
+        for (auto c : st.retransmits)
+            n += c;
     return n;
 }
 

@@ -23,6 +23,7 @@
 #ifndef HADES_NET_NETWORK_HH_
 #define HADES_NET_NETWORK_HH_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -175,18 +176,22 @@ class Network
     std::uint64_t corruptDrops() const { return corruptDrops_; }
 
     // --- statistics ---------------------------------------------------------
-    std::uint64_t messageCount(MsgType t) const
-    {
-        return msgCount_[static_cast<std::size_t>(t)];
-    }
+    /** Counters are kept per node (each node's lane increments only its
+     *  own slot, so threaded messaging runs never share a statistics
+     *  cache line); the getters sum over the fixed node order. */
+    std::uint64_t messageCount(MsgType t) const;
     std::uint64_t totalMessages() const;
-    std::uint64_t totalBytes() const { return totalBytes_; }
+    std::uint64_t totalBytes() const;
+
+    /** One node's share of the transmission statistics (the request
+     *  legs it sent plus the response legs it served). Only that
+     *  node's lane ever writes the slot, so per-node telemetry is a
+     *  lane-isolation witness for the tests. */
+    std::uint64_t nodeMessages(NodeId n) const;
+    std::uint64_t nodeBytes(NodeId n) const;
 
     /** NIC-level retransmitted round-trip request copies, per verb. */
-    std::uint64_t retransmits(MsgType t) const
-    {
-        return retransmits_[static_cast<std::size_t>(t)];
-    }
+    std::uint64_t retransmits(MsgType t) const;
     std::uint64_t totalRetransmits() const;
 
     const ClusterConfig &config() const { return cfg_; }
@@ -194,7 +199,10 @@ class Network
 
   private:
     Tick serialize(std::uint32_t bytes) const;
-    void account(MsgType t, std::uint32_t bytes);
+    /** Count one transmission against @p node's statistics slot. Must
+     *  be called on @p node's lane (the sender counts the request leg,
+     *  the responder counts the response leg). */
+    void account(NodeId node, MsgType t, std::uint32_t bytes);
 
     /** True (and counted) if a copy stamped @p sent_epoch must be
      *  fenced at delivery time. */
@@ -218,13 +226,19 @@ class Network
 
     /**
      * The hard gate behind the runner's threaded-executor
-     * certification: cross-node traffic under worker threads would
-     * read the remote NIC's port state from this lane's thread, so any
-     * message in a threaded run aborts the attempt and re-runs the
-     * spec on the deterministic sharded executor (which handles every
-     * model path bit-identically). Only reachable when the static
-     * certification in runner.cc admits a spec that turns out to send
-     * messages; the run is redone, never silently wrong.
+     * certification. Fault-free messaging is lane-safe (every verb
+     * delivers through the kernel's window-barrier mailboxes and runs
+     * its handler on the destination's own lane), so plain round trips
+     * and posts no longer refuse. The genuinely serial paths still do:
+     * fault-injected traffic (the RC retransmission loop shares timer /
+     * delivery state across copies racing on both endpoints' lanes) and
+     * the recovery control plane (Lease / ViewChange, whose view-change
+     * handler walks every node's state). Hitting this aborts the
+     * attempt and re-runs the spec on the deterministic sharded
+     * executor (which handles every model path bit-identically) --
+     * only reachable when the static certification in runner.cc admits
+     * a spec that turns out to use a serial path; the run is redone,
+     * never silently wrong.
      */
     void
     refuseIfThreaded()
@@ -235,15 +249,38 @@ class Network
         }
     }
 
+    /** Every send must originate on the sender's own lane (the source
+     *  TX port and the source statistics slot are lane-owned state).
+     *  Checked only while worker threads are live; the serial modes
+     *  are correct for any caller context. */
+    void
+    assertLaneLocalSend(NodeId src) const
+    {
+        if (kernel_.threadedActive()) [[unlikely]] {
+            always_assert(
+                sim::Kernel::laneOf(kernel_.currentNode(),
+                                    kernel_.shards()) ==
+                    sim::Kernel::laneOf(src, kernel_.shards()),
+                "network send from a foreign lane");
+        }
+    }
+
     sim::Kernel &kernel_;
     const ClusterConfig &cfg_;
     FaultInjector *fault_ = nullptr;
     std::vector<std::unique_ptr<sim::ComputeResource>> txPort_;
-    std::uint64_t msgCount_[static_cast<std::size_t>(MsgType::NumTypes)] =
-        {};
-    std::uint64_t retransmits_[static_cast<std::size_t>(
-        MsgType::NumTypes)] = {};
-    std::uint64_t totalBytes_ = 0;
+    /** One node's share of the message statistics; see account(). */
+    struct NodeStats
+    {
+        std::array<std::uint64_t,
+                   static_cast<std::size_t>(MsgType::NumTypes)>
+            msgCount{};
+        std::array<std::uint64_t,
+                   static_cast<std::size_t>(MsgType::NumTypes)>
+            retransmits{};
+        std::uint64_t bytes = 0;
+    };
+    std::vector<NodeStats> statsByNode_;
     std::vector<char> dead_;
     bool anyDead_ = false;
     std::uint64_t epoch_ = 0;

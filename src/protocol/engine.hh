@@ -60,7 +60,7 @@ engineKindName(EngineKind k)
  * when the pending set empties, mirroring CountdownLatch's fault-free
  * event sequence.
  */
-// hades-analyze: lane-escape-ok (fan-out tracker for remote round trips; threaded-certified specs are local-only, so reply() never runs under the threaded executor)
+// hades-analyze: lane-escape-ok (coordinator-lane state: remote handlers never touch the tracker directly, they post the reply back to the coordinator, whose delivery handler calls reply() on the coordinator's own lane)
 struct Fanout
 {
     /** Ordered: resend paths iterate the survivors, and that order
@@ -344,6 +344,54 @@ class TxnEngine
         }
     }
 
+    /**
+     * Squash transaction @p victim on behalf of node @p from (whose
+     * lane the caller is executing on), staying lane-correct: a victim
+     * coordinated on @p from is squashed directly (its control block
+     * is lane-local), while a victim coordinated elsewhere is squashed
+     * by a Squash round trip whose handler runs on the victim
+     * coordinator's own lane -- the response carries the outcome back,
+     * because the caller must distinguish Delivered from Uncommittable
+     * (an uncommittable victim forces the *caller* to back off before
+     * its own serialization point, or two conflicting transactions
+     * would both commit). The round trip does real accounting, so every
+     * cross-node squash shows up in the Squash message counters.
+     */
+    sim::Task
+    squashVictim(NodeId from, std::uint64_t victim,
+                 txn::SquashReason why, SquashOutcome &out)
+    {
+        const NodeId vnode = System::txnNode(victim);
+        if (vnode >= sys_.config.numNodes || vnode == from) {
+            out = sys_.routerFor(victim).squash(sys_.kernel, victim,
+                                                why);
+            co_return;
+        }
+        if (faultsOn()) {
+            // Serial executors only (fault specs never certify for
+            // threads): act on the victim's control block at the
+            // instant the conflict is detected -- a dropped or delayed
+            // Squash could otherwise cross with the victim's own
+            // commit completion and let two mutually-conflicting
+            // transactions both commit (the model note in hades.hh).
+            // The wire message is still charged for accounting.
+            out = sys_.routerFor(victim).squash(sys_.kernel, victim,
+                                                why);
+            // hades-analyze: verb-reliability-ok (accounting-only message: the squash already took effect instantaneously above, so a lost delivery changes nothing)
+            sys_.network.post(net::MsgType::Squash, from, vnode, 16,
+                              [] {});
+            co_return;
+        }
+        SquashOutcome res = SquashOutcome::NotFound;
+        co_await sys_.network.roundTrip(
+            net::MsgType::Squash, from, vnode, 16, 16, [&]() -> Tick {
+                res = sys_.routerFor(victim).squash(sys_.kernel, victim,
+                                                    why);
+                return sys_.cycles(20);
+            });
+        out = res;
+    }
+
     /** Per-line streaming cost after the first line of a bulk access. */
     static constexpr std::int64_t kStreamCycles = 4;
 
@@ -365,7 +413,7 @@ class TxnEngine
 
   private:
     /** In-flight reliablePost state, owned by the kernel closures. */
-    // hades-analyze: lane-escape-ok (reliable-send slots serve remote and replication paths; faults and replication decertify threaded runs in certifiedForThreads)
+    // hades-analyze: lane-escape-ok (constructed only when faults are on -- fault-free reliablePost degenerates to a plain post -- and fault-injected traffic is hard-gated by Network::refuseIfThreaded)
     struct ReliableSend
     {
         net::MsgType type{};

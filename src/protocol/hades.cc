@@ -61,21 +61,6 @@ HadesEngine::probeFilter(const bloom::AddressFilter &bf, Addr line,
     return hit;
 }
 
-bool
-HadesEngine::squashOrSelfSquash(std::uint64_t victim,
-                                const AttemptPtr &fallback_self,
-                                txn::SquashReason why)
-{
-    auto outcome = sys_.routerFor(victim).squash(sys_.kernel, victim, why);
-    if (outcome == SquashOutcome::Uncommittable) {
-        // The victim is past its serialization point; the only safe
-        // resolution is to squash ourselves.
-        sys_.routerFor(fallback_self->id).squash(sys_.kernel, fallback_self->id, why);
-        return false;
-    }
-    return true;
-}
-
 sim::Task
 HadesEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
 {
@@ -202,7 +187,8 @@ HadesEngine::localAccess(ExecCtx ctx, AttemptPtr at, AddrRange range,
 
 sim::Task
 HadesEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
-                          AddrRange range, bool is_write)
+                          std::uint64_t record, AddrRange range,
+                          bool is_write)
 {
     auto &kernel = sys_.kernel;
     auto &core = coreOf(ctx);
@@ -254,6 +240,15 @@ HadesEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
     // buffered locally and their addresses travel with Intend-to-commit.
     if (!fetch_lines.empty()) {
         co_await core.occupy(cycles(sys_.config.costs.rdmaPostCycles));
+        // The response of a read fetch carries the record's committed
+        // value back; at_dst captures it (with its ground-truth
+        // version) into the caller's frame, and the caller installs it
+        // into the attempt's read cache below. Both the filter inserts
+        // and the ground-truth lookup run at the home node -- under
+        // worker threads that is the home's own lane, the only lane
+        // allowed to touch the home's NIC filters and data bucket.
+        std::int64_t fetched_val = 0;
+        std::uint64_t fetched_ver = 0;
         for (;;) {
             bool blocked = false;
             co_await sys_.network.roundTrip(
@@ -270,13 +265,14 @@ HadesEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
                     }
                     auto &filters = ynode.nic.remoteFilters(at->id);
                     for (Addr line : filter_lines) {
-                        if (is_write) {
-                            filters.writeBf.insert(line);
-                            at->ctrl.remoteWriteLines[home].insert(line);
-                        } else {
-                            filters.readBf.insert(line);
-                            at->ctrl.remoteReadLines[home].insert(line);
-                        }
+                        if (is_write)
+                            filters.insertWrite(line);
+                        else
+                            filters.insertRead(line);
+                    }
+                    if (!is_write) {
+                        fetched_val = sys_.data.read(record);
+                        fetched_ver = sys_.data.version(record);
                     }
                     Tick t = sys_.cycles(
                         std::int64_t(sys_.config.crcHashCycles) *
@@ -290,6 +286,8 @@ HadesEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
             co_await sim::Delay{kernel, ns(300)};
             checkSquash(at);
         }
+        if (!is_write)
+            at->remoteReadCache[record] = {fetched_val, fetched_ver};
     }
 
     // The fetched lines now live in the local caches.
@@ -351,33 +349,39 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
     at->localDirLocked = true;
 
     // --- Step 2: local data vs. remote transactions -------------------------
+    // Snapshot the victims before squashing any: squashing a remote
+    // victim awaits a network round trip, and the NIC's remote-filter
+    // map mutates while this frame is suspended (new filters install,
+    // cleanup messages erase entries), so iterating it across awaits
+    // would be invalid. The filters' exact shadow sets double as the
+    // probe ground truth -- both live at this node, on this lane.
+    std::vector<std::uint64_t> victims;
     for (Addr line : local_write_lines) {
         for (const auto &[k, filters] : node.nic.remote()) {
             if (k == id)
                 continue;
-            AttemptControl *kc = sys_.routerFor(k).find(k);
-            if (!kc)
-                continue; // stale filters, cleanup message in flight
-            bool truth_rd = kc->remoteReadsContain(ctx.node, line);
-            bool truth_wr = kc->remoteWritesContain(ctx.node, line);
-            bool hit = probeFilter(filters.readBf, line, truth_rd) ||
-                       probeFilter(filters.writeBf, line, truth_wr);
-            if (!hit)
-                continue;
-            // Charge the squash notification to the victim's node.
-            NodeId victim_node = NodeId((k >> 32) & 0xfff);
-            if (victim_node != ctx.node) {
-                // Timing/accounting only: the squash takes effect via
-                // squashOrSelfSquash below, not via this message.
-                // hades-analyze: verb-reliability-ok (lossless copy models NIC wire cost; squash applied synchronously)
-                sys_.network.post(MsgType::Squash, ctx.node,
-                                  victim_node, 16, [] {});
-            }
-            if (!squashOrSelfSquash(k, at,
-                                    SquashReason::LazyConflict)) {
-                checkSquash(at); // throws: we squashed ourselves
-            }
+            bool hit = probeFilter(filters.readBf, line,
+                                   filters.readsContain(line)) ||
+                       probeFilter(filters.writeBf, line,
+                                   filters.writesContain(line));
+            if (hit)
+                victims.push_back(k);
         }
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    for (std::uint64_t k : victims) {
+        auto outcome = SquashOutcome::NotFound;
+        co_await squashVictim(ctx.node, k, SquashReason::LazyConflict,
+                              outcome);
+        if (outcome == SquashOutcome::Uncommittable) {
+            // The victim is past its serialization point; the only
+            // safe resolution is to squash ourselves.
+            sys_.routerFor(id).squash(sys_.kernel, id,
+                                      SquashReason::LazyConflict);
+        }
+        checkSquash(at); // throws if we squashed ourselves above
     }
     co_await core.occupy(
         cycles(2 * std::int64_t(local_write_lines.size()) + 10));
@@ -404,7 +408,7 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
             MsgType::IntendToCommit, ctx.node, y,
             std::uint32_t(8 * itc_lines.size() + 16),
             [this, y, at, itc_lines] {
-                handleIntendToCommit(y, at, itc_lines);
+                spawnIntendToCommit(y, at, itc_lines);
             });
     }
     // --- Section V-A: replica updates ride the two-phase commit -----------
@@ -587,91 +591,121 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
     at->localDirLocked = false;
 }
 
-void
+sim::DetachedTask
+HadesEngine::spawnIntendToCommit(NodeId y, AttemptPtr at,
+                                 std::vector<Addr> write_lines)
+{
+    try {
+        co_await handleIntendToCommit(y, at, std::move(write_lines));
+    } catch (const sim::NodeDead &) {
+        // Fail-stop unwind of the remote handler; recovery tears the
+        // dead node's state down, nothing to finish here.
+    } catch (const sim::SerialRerunNeeded &) {
+        // The rerun flag is already set; the run is being abandoned.
+    }
+}
+
+sim::Task
 HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
-                              std::vector<Addr> write_lines, int tries)
+                                  std::vector<Addr> write_lines)
 {
     auto &kernel = sys_.kernel;
     auto &ynode = sys_.node(y);
     const std::uint64_t id = at->id;
 
-    // The committer may have been squashed while the message was in
-    // flight; in that case its cleanup messages take care of state.
-    if (at->finished || at->ctrl.squashRequested)
-        return;
+    // Serial executors only: with faults on, a duplicated or resent
+    // delivery can arrive after the committer finished or was squashed
+    // (its cleanup messages take care of the state here). Fault-free
+    // there is exactly one delivery and it precedes any cleanup on
+    // this (src,dst) channel, so the coordinator-side flags need not
+    // -- and, under worker threads, must not -- be read on y's lane.
+    if (faultsOn() && (at->finished || at->ctrl.squashRequested))
+        co_return;
 
-    // Idempotency guard (duplicated or timeout-resent delivery): if
-    // this node's directory is already partially locked for the
-    // committer -- or the committer is already past its serialization
-    // point -- re-acquiring would corrupt the Locking Buffer bank.
-    // Just confirm with another Ack; the committer dedupes by node.
-    if (ynode.lockBank.held(id) || at->ctrl.uncommittable) {
-        kernel.schedule(sys_.cycles(20),
-                        [this, at, y] { postCommitAck(at, y); });
-        return;
+    // Idempotency guard (duplicated or timeout-resent delivery, both
+    // faults-only): if this node's directory is already partially
+    // locked for the committer -- or the committer is already past its
+    // serialization point -- re-acquiring would corrupt the Locking
+    // Buffer bank. Just confirm with another Ack; the committer
+    // dedupes by node. The held() probe is y-local and so runs
+    // unconditionally.
+    if (ynode.lockBank.held(id) ||
+        (faultsOn() && at->ctrl.uncommittable)) {
+        co_await sim::Delay{kernel, sys_.cycles(20)};
+        postCommitAck(at, y);
+        co_return;
     }
 
     // Step 1 (remote): partially lock y's directory for the committer.
-    auto &filters = ynode.nic.remoteFilters(id);
-    if (sys_.audit) {
-        auto rit = at->ctrl.remoteReadLines.find(y);
-        if (rit != at->ctrl.remoteReadLines.end())
-            sys_.audit->checkFilterCovers(filters.readBf, rit->second,
+    for (int tries = 0;; ++tries) {
+        // Re-fetched each round: the map cell can be erased (and the
+        // reference invalidated) by a cleanup delivery while this
+        // frame sleeps between retries.
+        auto &filters = ynode.nic.remoteFilters(id);
+        if (sys_.audit) {
+            sys_.audit->checkFilterCovers(filters.readBf,
+                                          filters.readLines,
                                           "hades-nic-read-bf");
-        auto wit = at->ctrl.remoteWriteLines.find(y);
-        if (wit != at->ctrl.remoteWriteLines.end())
-            sys_.audit->checkFilterCovers(filters.writeBf, wit->second,
+            sys_.audit->checkFilterCovers(filters.writeBf,
+                                          filters.writeLines,
                                           "hades-nic-write-bf");
-    }
-    bloom::BloomFilter write_filter = filters.writeBf;
-    for (Addr line : write_lines)
-        write_filter.insert(line); // cover fully-written lines too
-    auto acq = ynode.lockBank.tryAcquire(id, filters.readBf,
-                                         write_filter, write_lines);
-    if (acq == bloom::AcquireResult::Conflict) {
-        sys_.routerFor(id).squash(kernel, id, SquashReason::LockFailure);
-        return;
-    }
-    if (acq == bloom::AcquireResult::NoBuffer) {
-        // Bank exhausted: retry briefly, then squash the committer.
-        // The bound matters: committers hold their local buffers while
-        // waiting here, so unbounded retries could form a distributed
-        // waits-for cycle between exhausted banks.
-        if (tries >= 64) {
-            sys_.routerFor(id).squash(kernel, id, SquashReason::LockFailure);
-            return;
         }
-        kernel.schedule(ns(200), [this, y, at, write_lines, tries] {
-            handleIntendToCommit(y, at, write_lines, tries + 1);
-        });
-        return;
+        bloom::BloomFilter write_filter = filters.writeBf;
+        for (Addr line : write_lines)
+            write_filter.insert(line); // cover fully-written lines too
+        auto acq = ynode.lockBank.tryAcquire(id, filters.readBf,
+                                             write_filter, write_lines);
+        if (acq == bloom::AcquireResult::Acquired)
+            break;
+        if (acq == bloom::AcquireResult::Conflict ||
+            /* NoBuffer, out of retries: */ tries >= 64) {
+            // Squash the committer. The retry bound matters:
+            // committers hold their local buffers while waiting here,
+            // so unbounded retries could form a distributed waits-for
+            // cycle between exhausted banks.
+            auto outcome = SquashOutcome::NotFound;
+            co_await squashVictim(y, id, SquashReason::LockFailure,
+                                  outcome);
+            co_return;
+        }
+        co_await sim::Delay{kernel, ns(200)};
+        // The committer may have been squashed while we slept; its
+        // cleanup delivery then already dropped our filters and lock
+        // here, and re-acquiring would leak a Locking Buffer entry
+        // forever. The filters' presence is the y-local liveness
+        // signal (the first delivery materialized them above).
+        if (!ynode.nic.hasRemoteFilters(id))
+            co_return;
+        // A concurrently-delivered duplicate (faults-only) may have
+        // acquired for the committer while we slept: fall back to the
+        // idempotent re-ack instead of double-registering.
+        if (ynode.lockBank.held(id)) {
+            postCommitAck(at, y);
+            co_return;
+        }
     }
     if (sys_.audit)
         sys_.audit->noteLockAcquire(id);
 
     // Step 2 (remote): conflicts on y's data with any transaction.
-    bool self_squashed = false;
+    // Snapshot the victims before squashing any (remote squashes await
+    // round trips; y's NIC filter map and y's local-transaction
+    // registry both mutate while this frame is suspended). Probe truth
+    // comes from y-owned state only: the filters' exact shadow sets
+    // for remote transactions, the control blocks of y-homed ones.
+    std::vector<std::uint64_t> victims;
     for (Addr line : write_lines) {
         // Other remote transactions with filters at y.
         for (const auto &[k, kf] : ynode.nic.remote()) {
             if (k == id)
                 continue;
-            AttemptControl *kc = sys_.routerFor(k).find(k);
-            if (!kc)
-                continue; // stale filters, cleanup message in flight
-            bool hit =
-                probeFilter(kf.readBf, line,
-                            kc->remoteReadsContain(y, line)) ||
-                probeFilter(kf.writeBf, line,
-                            kc->remoteWritesContain(y, line));
-            if (hit && !squashOrSelfSquash(
-                           k, at, SquashReason::LazyConflict)) {
-                self_squashed = true;
-                break;
-            }
+            bool hit = probeFilter(kf.readBf, line,
+                                   kf.readsContain(line)) ||
+                       probeFilter(kf.writeBf, line,
+                                   kf.writesContain(line));
+            if (hit)
+                victims.push_back(k);
         }
-        if (self_squashed)
-            break;
         // Local transactions running at y.
         for (auto &[oid, other] : localTxns_[y]) {
             if (oid == id)
@@ -681,23 +715,38 @@ HadesEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
             bool hit =
                 probeFilter(other->localReadBf, line, truth_rd) ||
                 probeFilter(other->localWriteBf, line, truth_wr);
-            if (hit && !squashOrSelfSquash(
-                           oid, at, SquashReason::LazyConflict)) {
-                self_squashed = true;
-                break;
-            }
+            if (hit)
+                victims.push_back(oid);
         }
-        if (self_squashed)
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    bool self_squashed = false;
+    for (std::uint64_t k : victims) {
+        auto outcome = SquashOutcome::NotFound;
+        co_await squashVictim(y, k, SquashReason::LazyConflict,
+                              outcome);
+        if (outcome == SquashOutcome::Uncommittable) {
+            // The victim is past its serialization point; the
+            // conservative ordering rule squashes the committer
+            // instead.
+            self_squashed = true;
             break;
+        }
     }
     if (self_squashed) {
+        auto outcome = SquashOutcome::NotFound;
+        co_await squashVictim(y, id, SquashReason::LazyConflict,
+                              outcome);
         ynode.lockBank.release(id);
-        return;
+        co_return;
     }
 
     // Step 3 (remote): send the Ack after the NIC processing time.
     Tick work = sys_.cycles(20 + 2 * std::int64_t(write_lines.size()));
-    kernel.schedule(work, [this, at, y] { postCommitAck(at, y); });
+    co_await sim::Delay{kernel, work};
+    postCommitAck(at, y);
 }
 
 void
@@ -740,14 +789,14 @@ HadesEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
                 MsgType::IntendToCommit, ctx.node, y,
                 std::uint32_t(8 * itc_lines.size() + 16),
                 [this, y, at, itc_lines] {
-                    handleIntendToCommit(y, at, itc_lines);
+                    spawnIntendToCommit(y, at, itc_lines);
                 });
         }
         armCommitResend(ctx, at, round + 1);
     });
 }
 
-void
+sim::Task
 HadesEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
 {
     auto &node = sys_.node(ctx.node);
@@ -761,16 +810,32 @@ HadesEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
     at->localDirLocked = false;
     node.nic.clearLocalState(id);
 
-    // Tell every involved remote node to drop our filters/locks. The
-    // cleanup must survive message loss (a leaked Locking Buffer entry
-    // blocks the bank forever), so it rides the reliable channel; both
+    // Tell every involved remote node to drop our filters/locks, each
+    // handler running on its node's own lane. Fault-free the teardown
+    // is awaited round trips: the next attempt epoch must not start
+    // until every remote node has processed the cleanup, or a stale
+    // Intend-to-commit retry could lock for this (dead) epoch after
+    // its successor already began (the audit's lock-epoch monotonicity
+    // invariant). With faults on, cleanup instead rides the reliable
+    // channel fire-and-forget -- a lost message must not stall the
+    // retry loop forever, and the serial-only coordinator-flag guards
+    // in handleIntendToCommit cover the stale-retry window; both
     // handler operations are idempotent under replay.
     for (NodeId y : at->nodesInvolved) {
-        reliablePost(MsgType::Squash, ctx.node, y, 16,
-                     [this, y, id] {
-                         sys_.node(y).lockBank.release(id);
-                         sys_.node(y).nic.clearRemoteFilters(id);
-                     });
+        if (!faultsOn()) {
+            co_await sys_.network.roundTrip(
+                MsgType::Squash, ctx.node, y, 16, 16, [&]() -> Tick {
+                    sys_.node(y).lockBank.release(id);
+                    sys_.node(y).nic.clearRemoteFilters(id);
+                    return sys_.cycles(20);
+                });
+        } else {
+            reliablePost(MsgType::Squash, ctx.node, y, 16,
+                         [this, y, id] {
+                             sys_.node(y).lockBank.release(id);
+                             sys_.node(y).nic.clearRemoteFilters(id);
+                         });
+        }
     }
 
     // Abort message to replica nodes: drop staged images (V-A).
@@ -812,6 +877,7 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     Tick exec_end = exec_start;
 
     bool ok = false;
+    bool aborted = false;
     try {
         std::vector<std::int64_t> read_vals;
         co_await core.occupy(cycles(prog.setupCycles));
@@ -835,7 +901,7 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             } else if (home == ctx.node) {
                 co_await localAccess(ctx, at, range, req.isWrite);
             } else {
-                co_await remoteAccess(ctx, at, home, range,
+                co_await remoteAccess(ctx, at, home, req.record, range,
                                       req.isWrite);
             }
             checkSquash(at);
@@ -856,6 +922,22 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                     // Read-your-own-write: served from the write
                     // buffer, invisible to the history audit.
                     read_vals.push_back(wit->second.second);
+                } else if (home != ctx.node) {
+                    // Remote record: the value (and its ground-truth
+                    // version) traveled back with the RDMA fetch;
+                    // reading sys_.data here would touch another
+                    // home's bucket from this lane. A conflicting
+                    // commit between fetch and use squashes us via
+                    // the NIC read filter, so a committed attempt
+                    // never observes a stale cached value.
+                    auto cit = at->remoteReadCache.find(req.record);
+                    always_assert(cit != at->remoteReadCache.end(),
+                                  "remote read missed the fetch cache");
+                    read_vals.push_back(cit->second.first);
+                    if (sys_.audit) {
+                        sys_.audit->noteRead(at->auditId, req.record,
+                                             cit->second.second);
+                    }
                 } else {
                     read_vals.push_back(sys_.data.read(req.record));
                     if (sys_.audit) {
@@ -884,11 +966,13 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         if (!at->ctrl.resolvedByRecovery) {
             st().addSquash(at->ctrl.squashRequested ? at->ctrl.reason
                                                       : sq.reason);
-            cleanupAborted(ctx, at);
+            aborted = true; // awaited cleanup below (no co_await here)
             if (sys_.audit)
                 sys_.audit->noteAbort(at->auditId);
         }
     }
+    if (aborted)
+        co_await cleanupAborted(ctx, at);
 
     at->finished = true;
     at->ctrl.finished = true;

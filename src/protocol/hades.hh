@@ -15,12 +15,17 @@
  * commits (the committer squashes the other).
  *
  * Model notes (documented deviations):
- *  - Squash notifications act on the victim's control block at the
- *    instant a conflict is detected (the wire message is still charged
- *    for traffic accounting). With in-flight squashes, the paper's
- *    protocol has a narrow window where two mutually-conflicting commits
- *    could cross; instantaneous delivery closes it. A committer that
- *    finds its victim already uncommittable squashes itself instead.
+ *  - Fault-free, squash notifications are real round trips delivered on
+ *    the victim coordinator's lane (TxnEngine::squashVictim); the
+ *    paper's narrow window where two mutually-conflicting commits could
+ *    cross is closed by the outcome protocol -- a committer that finds
+ *    its victim already uncommittable squashes itself instead, and
+ *    abort cleanup is awaited before the next attempt epoch begins.
+ *    With fault injection enabled (serial executors only) squashes act
+ *    on the victim's control block at the instant a conflict is
+ *    detected, as a dropped or delayed Squash could cross with the
+ *    victim's own commit completion; the wire message is still charged
+ *    for traffic accounting.
  *  - The Locking Buffer copy installed by a remote commit includes the
  *    Intend-to-commit address list in addition to RemoteWriteBF, so
  *    fully-written lines (which the paper deliberately keeps out of the
@@ -74,7 +79,7 @@ class HadesEngine : public TxnEngine
 
   private:
     /** Live hardware state of one attempt. */
-    // hades-analyze: lane-escape-ok (per-attempt state; cross-lane mutation paths -- acks, remote squashes -- require remote transactions, and certifiedForThreads admits only forcedLocalFraction==1.0 specs)
+    // hades-analyze: lane-escape-ok (coordinator-lane state: every mutable field is written either by the coordinator's own events or by ack/squash deliveries routed to the coordinator's lane through the window-barrier mailboxes; remote handlers read only immutable fields -- id, homeNode -- plus faultsOn()-gated flags that only matter on the serial executors)
     struct Attempt
     {
         Attempt(const ClusterConfig &cfg, std::uint64_t llc_sets)
@@ -103,6 +108,12 @@ class HadesEngine : public TxnEngine
         std::set<NodeId> replicaAckedBy;
         /** Intend-to-commit address list per node, kept for resends. */
         std::map<NodeId, std::vector<Addr>> itcLines;
+        /** Remote record values (and ground-truth versions) captured at
+         *  the home node when the RDMA fetch returns. Reads are served
+         *  from here, so the coordinator never touches another home's
+         *  ground-truth bucket (the store is lane-partitioned by home). */
+        std::map<std::uint64_t, std::pair<std::int64_t, std::uint64_t>>
+            remoteReadCache;
         bool localDirLocked = false;
         bool finished = false;
         std::uint64_t id = 0; //!< packed gid | epoch (WrTX ID value)
@@ -124,23 +135,38 @@ class HadesEngine : public TxnEngine
     sim::Task localAccess(ExecCtx ctx, AttemptPtr at, AddrRange range,
                           bool is_write);
 
-    /** Timed remote read/write (RDMA + NIC BF insertion at the home). */
+    /** Timed remote read/write (RDMA + NIC BF insertion at the home).
+     *  @p record identifies the fetched record so a read can cache its
+     *  value/version for the lane-local read path. */
     sim::Task remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
-                           AddrRange range, bool is_write);
+                           std::uint64_t record, AddrRange range,
+                           bool is_write);
 
     /** The commit sequence of Table II (both sides). */
     sim::Task commit(ExecCtx ctx, AttemptPtr at);
 
     /** Process an Intend-to-commit at remote node @p y (NIC offload).
-     *  @p tries counts NoBuffer retries: a bounded number of retries
-     *  breaks distributed waits-for cycles on exhausted banks (the
-     *  committer is squashed, releasing its own buffers). */
-    void handleIntendToCommit(NodeId y, AttemptPtr at,
-                              std::vector<Addr> write_lines,
-                              int tries = 0);
+     *  Runs as a coroutine on y's lane; every structure it touches --
+     *  y's Locking Buffer, y's NIC filters with their exact shadow
+     *  sets, y's local-transaction registry -- is owned by that lane.
+     *  NoBuffer retries are bounded: a capped number of rounds breaks
+     *  distributed waits-for cycles on exhausted banks (the committer
+     *  is squashed, releasing its own buffers). */
+    sim::Task handleIntendToCommit(NodeId y, AttemptPtr at,
+                                   std::vector<Addr> write_lines);
 
-    /** Undo all speculative state of a squashed/finished attempt. */
-    void cleanupAborted(ExecCtx ctx, AttemptPtr at);
+    /** Fire-and-forget wrapper: runs handleIntendToCommit as a
+     *  detached coroutine from the message-delivery event, absorbing
+     *  the unwind exceptions (NodeDead, SerialRerunNeeded) that have
+     *  no coordinator frame to land in here. */
+    sim::DetachedTask spawnIntendToCommit(NodeId y, AttemptPtr at,
+                                          std::vector<Addr> write_lines);
+
+    /** Undo all speculative state of a squashed/finished attempt.
+     *  Fault-free the remote teardown is awaited (round trips), so the
+     *  next attempt epoch starts only after every involved node has
+     *  dropped this one's filters and locks. */
+    sim::Task cleanupAborted(ExecCtx ctx, AttemptPtr at);
 
     /** Send one commit Ack from @p y back to the committer (idempotent
      *  at the receiver via Attempt::ackedBy). */
@@ -169,15 +195,6 @@ class HadesEngine : public TxnEngine
     /** Probe one BF and account the check + false positives. */
     bool probeFilter(const bloom::AddressFilter &bf, Addr line,
                      bool truth);
-
-    /**
-     * Squash transaction @p victim; if it is uncommittable, squash
-     * @p fallback_self instead (conservative ordering rule).
-     * @return false if the caller itself had to be squashed.
-     */
-    bool squashOrSelfSquash(std::uint64_t victim,
-                            const AttemptPtr &fallback_self,
-                            txn::SquashReason why);
 
     /** Registry of running local attempts, per node (Module 3 bank).
      *  Ordered: eager conflict scans iterate a node's registry and

@@ -46,19 +46,6 @@ HadesHybridEngine::probeFilter(const bloom::AddressFilter &bf, Addr line,
     return hit;
 }
 
-bool
-HadesHybridEngine::squashOrSelfSquash(std::uint64_t victim,
-                                      const AttemptPtr &fallback_self,
-                                      txn::SquashReason why)
-{
-    auto outcome = sys_.routerFor(victim).squash(sys_.kernel, victim, why);
-    if (outcome == SquashOutcome::Uncommittable) {
-        sys_.routerFor(fallback_self->id).squash(sys_.kernel, fallback_self->id, why);
-        return false;
-    }
-    return true;
-}
-
 std::vector<Addr>
 HadesHybridEngine::recordLines(std::uint64_t record) const
 {
@@ -198,7 +185,8 @@ HadesHybridEngine::localAccess(ExecCtx ctx, AttemptPtr at,
 
 sim::Task
 HadesHybridEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
-                                AddrRange range, bool is_write)
+                                std::uint64_t record, AddrRange range,
+                                bool is_write)
 {
     auto &kernel = sys_.kernel;
     auto &core = coreOf(ctx);
@@ -243,6 +231,14 @@ HadesHybridEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
 
     if (!fetch_lines.empty()) {
         co_await core.occupy(cycles(sys_.config.costs.rdmaPostCycles));
+        // As in HADES: the response of a read fetch carries the
+        // record's committed value back. at_dst captures it (with its
+        // ground-truth version) into this frame at the home node --
+        // the only lane allowed to touch the home's NIC filters and
+        // ground-truth bucket -- and the caller installs it into the
+        // attempt's read cache below.
+        std::int64_t fetched_val = 0;
+        std::uint64_t fetched_ver = 0;
         for (;;) {
             bool blocked = false;
             co_await sys_.network.roundTrip(
@@ -259,13 +255,14 @@ HadesHybridEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
                     }
                     auto &filters = ynode.nic.remoteFilters(at->id);
                     for (Addr line : filter_lines) {
-                        if (is_write) {
-                            filters.writeBf.insert(line);
-                            at->ctrl.remoteWriteLines[home].insert(line);
-                        } else {
-                            filters.readBf.insert(line);
-                            at->ctrl.remoteReadLines[home].insert(line);
-                        }
+                        if (is_write)
+                            filters.insertWrite(line);
+                        else
+                            filters.insertRead(line);
+                    }
+                    if (!is_write) {
+                        fetched_val = sys_.data.read(record);
+                        fetched_ver = sys_.data.version(record);
                     }
                     Tick t = sys_.cycles(
                         std::int64_t(sys_.config.crcHashCycles) *
@@ -279,6 +276,8 @@ HadesHybridEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
             co_await sim::Delay{kernel, ns(300)};
             checkSquash(at);
         }
+        if (!is_write)
+            at->remoteReadCache[record] = {fetched_val, fetched_ver};
     }
 
     for (Addr line : fetch_lines) {
@@ -356,32 +355,38 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
     at->localDirLocked = true;
 
     // --- L-R conflicts: LocalWriteBF vs the NIC's remote filters -------------
+    // Snapshot the victims before squashing any: squashing a remote
+    // victim awaits a network round trip, and the NIC's remote-filter
+    // map mutates while this frame is suspended. The filters' exact
+    // shadow sets double as the probe ground truth -- both live at
+    // this node, on this lane.
+    std::vector<std::uint64_t> victims;
     for (Addr line : local_write_lines) {
         for (const auto &[k, filters] : node.nic.remote()) {
             if (k == id)
                 continue;
-            AttemptControl *kc = sys_.routerFor(k).find(k);
-            if (!kc)
-                continue;
-            bool hit =
-                probeFilter(filters.readBf, line,
-                            kc->remoteReadsContain(ctx.node, line)) ||
-                probeFilter(filters.writeBf, line,
-                            kc->remoteWritesContain(ctx.node, line));
-            if (!hit)
-                continue;
-            NodeId victim_node = NodeId((k >> 32) & 0xfff);
-            if (victim_node != ctx.node)
-                // Timing/accounting only: the squash takes effect via
-                // squashOrSelfSquash below, not via this message.
-                // hades-analyze: verb-reliability-ok (lossless copy models NIC wire cost; squash applied synchronously)
-                sys_.network.post(MsgType::Squash, ctx.node,
-                                  victim_node, 16, [] {});
-            if (!squashOrSelfSquash(k, at,
-                                    SquashReason::LazyConflict)) {
-                checkSquash(at);
-            }
+            bool hit = probeFilter(filters.readBf, line,
+                                   filters.readsContain(line)) ||
+                       probeFilter(filters.writeBf, line,
+                                   filters.writesContain(line));
+            if (hit)
+                victims.push_back(k);
         }
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    for (std::uint64_t k : victims) {
+        auto outcome = SquashOutcome::NotFound;
+        co_await squashVictim(ctx.node, k, SquashReason::LazyConflict,
+                              outcome);
+        if (outcome == SquashOutcome::Uncommittable) {
+            // The victim is past its serialization point; the only
+            // safe resolution is to squash ourselves.
+            sys_.routerFor(id).squash(sys_.kernel, id,
+                                      SquashReason::LazyConflict);
+        }
+        checkSquash(at); // throws if we squashed ourselves above
     }
     co_await core.occupy(
         cycles(2 * std::int64_t(local_write_lines.size()) + 10));
@@ -408,7 +413,7 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
             MsgType::IntendToCommit, ctx.node, y,
             std::uint32_t(8 * itc_lines.size() + 16),
             [this, y, at, itc_lines] {
-                handleIntendToCommit(y, at, itc_lines);
+                spawnIntendToCommit(y, at, itc_lines);
             });
     }
     // --- Section V-A: replica updates ride the two-phase commit -----------
@@ -641,55 +646,90 @@ HadesHybridEngine::commit(ExecCtx ctx, AttemptPtr at)
     at->localDirLocked = false;
 }
 
-void
+sim::DetachedTask
+HadesHybridEngine::spawnIntendToCommit(NodeId y, AttemptPtr at,
+                                       std::vector<Addr> write_lines)
+{
+    try {
+        co_await handleIntendToCommit(y, at, std::move(write_lines));
+    } catch (const sim::NodeDead &) {
+        // Fail-stop unwind of the remote handler; recovery tears the
+        // dead node's state down, nothing to finish here.
+    } catch (const sim::SerialRerunNeeded &) {
+        // The rerun flag is already set; the run is being abandoned.
+    }
+}
+
+sim::Task
 HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
-                              std::vector<Addr> write_lines, int tries)
+                                        std::vector<Addr> write_lines)
 {
     auto &kernel = sys_.kernel;
     auto &ynode = sys_.node(y);
     const std::uint64_t id = at->id;
 
-    if (at->finished || at->ctrl.squashRequested)
-        return;
+    // Serial executors only: with faults on, a duplicated or resent
+    // delivery can arrive after the committer finished or was squashed
+    // (its cleanup messages take care of the state here). Fault-free
+    // there is exactly one delivery and it precedes any cleanup on
+    // this (src,dst) channel, so the coordinator-side flags need not
+    // -- and, under worker threads, must not -- be read on y's lane.
+    if (faultsOn() && (at->finished || at->ctrl.squashRequested))
+        co_return;
 
-    // Idempotency guard for duplicated/re-sent deliveries: the
-    // directory is already locked here (or the committer is already
-    // past its serialization point); just re-Ack.
-    if (ynode.lockBank.held(id) || at->ctrl.uncommittable) {
-        kernel.schedule(sys_.cycles(20),
-                        [this, at, y] { postCommitAck(at, y); });
-        return;
+    // Idempotency guard for duplicated/re-sent deliveries (both
+    // faults-only): the directory is already locked here, or the
+    // committer is already past its serialization point; just re-Ack.
+    // The held() probe is y-local and so runs unconditionally.
+    if (ynode.lockBank.held(id) ||
+        (faultsOn() && at->ctrl.uncommittable)) {
+        co_await sim::Delay{kernel, sys_.cycles(20)};
+        postCommitAck(at, y);
+        co_return;
     }
 
-    auto &filters = ynode.nic.remoteFilters(id);
-    if (sys_.audit) {
-        auto rit = at->ctrl.remoteReadLines.find(y);
-        if (rit != at->ctrl.remoteReadLines.end())
-            sys_.audit->checkFilterCovers(filters.readBf, rit->second,
+    for (int tries = 0;; ++tries) {
+        // Re-fetched each round: the map cell can be erased (and the
+        // reference invalidated) by a cleanup delivery while this
+        // frame sleeps between retries.
+        auto &filters = ynode.nic.remoteFilters(id);
+        if (sys_.audit) {
+            sys_.audit->checkFilterCovers(filters.readBf,
+                                          filters.readLines,
                                           "hybrid-nic-read-bf");
-        auto wit = at->ctrl.remoteWriteLines.find(y);
-        if (wit != at->ctrl.remoteWriteLines.end())
-            sys_.audit->checkFilterCovers(filters.writeBf, wit->second,
+            sys_.audit->checkFilterCovers(filters.writeBf,
+                                          filters.writeLines,
                                           "hybrid-nic-write-bf");
-    }
-    bloom::BloomFilter write_filter = filters.writeBf;
-    for (Addr line : write_lines)
-        write_filter.insert(line);
-    auto acq = ynode.lockBank.tryAcquire(id, filters.readBf,
-                                         write_filter, write_lines);
-    if (acq == bloom::AcquireResult::Conflict) {
-        sys_.routerFor(id).squash(kernel, id, SquashReason::LockFailure);
-        return;
-    }
-    if (acq == bloom::AcquireResult::NoBuffer) {
-        if (tries >= 64) {
-            sys_.routerFor(id).squash(kernel, id, SquashReason::LockFailure);
-            return;
         }
-        kernel.schedule(ns(200), [this, y, at, write_lines, tries] {
-            handleIntendToCommit(y, at, write_lines, tries + 1);
-        });
-        return;
+        bloom::BloomFilter write_filter = filters.writeBf;
+        for (Addr line : write_lines)
+            write_filter.insert(line);
+        auto acq = ynode.lockBank.tryAcquire(id, filters.readBf,
+                                             write_filter, write_lines);
+        if (acq == bloom::AcquireResult::Acquired)
+            break;
+        if (acq == bloom::AcquireResult::Conflict ||
+            /* NoBuffer, out of retries: */ tries >= 64) {
+            auto outcome = SquashOutcome::NotFound;
+            co_await squashVictim(y, id, SquashReason::LockFailure,
+                                  outcome);
+            co_return;
+        }
+        co_await sim::Delay{kernel, ns(200)};
+        // The committer may have been squashed while we slept; its
+        // cleanup delivery then already dropped our filters and lock
+        // here, and re-acquiring would leak a Locking Buffer entry
+        // forever. The filters' presence is the y-local liveness
+        // signal (the first delivery materialized them above).
+        if (!ynode.nic.hasRemoteFilters(id))
+            co_return;
+        // A concurrently-delivered duplicate (faults-only) may have
+        // acquired for the committer while we slept: fall back to the
+        // idempotent re-ack instead of double-registering.
+        if (ynode.lockBank.held(id)) {
+            postCommitAck(at, y);
+            co_return;
+        }
     }
     if (sys_.audit)
         sys_.audit->noteLockAcquire(id);
@@ -697,36 +737,50 @@ HadesHybridEngine::handleIntendToCommit(NodeId y, AttemptPtr at,
     // Conflicts with other *remote* transactions only: local HADES-H
     // transactions have no standing BFs; they self-detect during their
     // own Local Validation ("y will return an Ack to i without checking
-    // for conflicts with local transactions").
-    bool self_squashed = false;
+    // for conflicts with local transactions"). Snapshot the victims
+    // before squashing any (remote squashes await round trips; y's NIC
+    // filter map mutates while this frame is suspended). Probe truth
+    // comes from the filters' exact shadow sets, owned by y's lane.
+    std::vector<std::uint64_t> victims;
     for (Addr line : write_lines) {
         for (const auto &[k, kf] : ynode.nic.remote()) {
             if (k == id)
                 continue;
-            AttemptControl *kc = sys_.routerFor(k).find(k);
-            if (!kc)
-                continue;
-            bool hit =
-                probeFilter(kf.readBf, line,
-                            kc->remoteReadsContain(y, line)) ||
-                probeFilter(kf.writeBf, line,
-                            kc->remoteWritesContain(y, line));
-            if (hit && !squashOrSelfSquash(
-                           k, at, SquashReason::LazyConflict)) {
-                self_squashed = true;
-                break;
-            }
+            bool hit = probeFilter(kf.readBf, line,
+                                   kf.readsContain(line)) ||
+                       probeFilter(kf.writeBf, line,
+                                   kf.writesContain(line));
+            if (hit)
+                victims.push_back(k);
         }
-        if (self_squashed)
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    bool self_squashed = false;
+    for (std::uint64_t k : victims) {
+        auto outcome = SquashOutcome::NotFound;
+        co_await squashVictim(y, k, SquashReason::LazyConflict,
+                              outcome);
+        if (outcome == SquashOutcome::Uncommittable) {
+            // The victim is past its serialization point; the
+            // conservative ordering rule squashes the committer
+            // instead.
+            self_squashed = true;
             break;
+        }
     }
     if (self_squashed) {
+        auto outcome = SquashOutcome::NotFound;
+        co_await squashVictim(y, id, SquashReason::LazyConflict,
+                              outcome);
         ynode.lockBank.release(id);
-        return;
+        co_return;
     }
 
     Tick work = sys_.cycles(20 + 2 * std::int64_t(write_lines.size()));
-    kernel.schedule(work, [this, at, y] { postCommitAck(at, y); });
+    co_await sim::Delay{kernel, work};
+    postCommitAck(at, y);
 }
 
 void
@@ -767,14 +821,14 @@ HadesHybridEngine::armCommitResend(ExecCtx ctx, AttemptPtr at,
                 MsgType::IntendToCommit, ctx.node, y,
                 std::uint32_t(8 * itc_lines.size() + 16),
                 [this, y, at, itc_lines] {
-                    handleIntendToCommit(y, at, itc_lines);
+                    spawnIntendToCommit(y, at, itc_lines);
                 });
         }
         armCommitResend(ctx, at, round + 1);
     });
 }
 
-void
+sim::Task
 HadesHybridEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
 {
     auto &node = sys_.node(ctx.node);
@@ -800,14 +854,31 @@ HadesHybridEngine::cleanupAborted(ExecCtx ctx, AttemptPtr at)
         }
     }
 
-    // Reliable: a lost cleanup would leak a remote Locking Buffer entry
-    // and the NIC filters forever. Both operations are idempotent.
+    // Drop this attempt's filters/locks at every involved node, each
+    // handler on its node's own lane. Fault-free the teardown is
+    // awaited round trips: the next attempt epoch must not start until
+    // every remote node processed the cleanup, or a stale
+    // Intend-to-commit retry could lock for this (dead) epoch after
+    // its successor began (lock-epoch monotonicity). With faults on it
+    // rides the reliable channel fire-and-forget -- a lost message
+    // must not stall the retry loop, and the serial-only
+    // coordinator-flag guards in handleIntendToCommit cover the
+    // stale-retry window; both handler operations are idempotent.
     for (NodeId y : at->nodesInvolved) {
-        reliablePost(MsgType::Squash, ctx.node, y, 16,
-                     [this, y, id] {
-                         sys_.node(y).lockBank.release(id);
-                         sys_.node(y).nic.clearRemoteFilters(id);
-                     });
+        if (!faultsOn()) {
+            co_await sys_.network.roundTrip(
+                MsgType::Squash, ctx.node, y, 16, 16, [&]() -> Tick {
+                    sys_.node(y).lockBank.release(id);
+                    sys_.node(y).nic.clearRemoteFilters(id);
+                    return sys_.cycles(20);
+                });
+        } else {
+            reliablePost(MsgType::Squash, ctx.node, y, 16,
+                         [this, y, id] {
+                             sys_.node(y).lockBank.release(id);
+                             sys_.node(y).nic.clearRemoteFilters(id);
+                         });
+        }
     }
 }
 
@@ -837,6 +908,7 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
     Tick exec_end = exec_start;
 
     bool ok = false;
+    bool aborted = false;
     try {
         std::vector<std::int64_t> read_vals;
         co_await core.occupy(cycles(prog.setupCycles));
@@ -875,7 +947,7 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         ? req.sizeBytes
                         : layoutOf(req, layout_).payloadBytes();
                 AddrRange range{base + req.offsetBytes, size};
-                co_await remoteAccess(ctx, at, home, range,
+                co_await remoteAccess(ctx, at, home, req.record, range,
                                       req.isWrite);
                 if (req.isWrite) {
                     std::int64_t value =
@@ -891,12 +963,23 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         // Read-your-own-write: invisible to the audit.
                         read_vals.push_back(wit->second.second);
                     } else {
-                        read_vals.push_back(
-                            sys_.data.read(req.record));
+                        // The value (and its ground-truth version)
+                        // traveled back with the RDMA fetch; reading
+                        // sys_.data here would touch the remote home's
+                        // bucket from this lane. A conflicting commit
+                        // between fetch and use squashes us via the
+                        // NIC read filter, so a committed attempt
+                        // never observes a stale cached value.
+                        auto cit =
+                            at->remoteReadCache.find(req.record);
+                        always_assert(
+                            cit != at->remoteReadCache.end(),
+                            "remote read missed the fetch cache");
+                        read_vals.push_back(cit->second.first);
                         if (sys_.audit) {
-                            sys_.audit->noteRead(
-                                at->auditId, req.record,
-                                sys_.data.version(req.record));
+                            sys_.audit->noteRead(at->auditId,
+                                                 req.record,
+                                                 cit->second.second);
                         }
                     }
                 }
@@ -918,11 +1001,13 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
         if (!at->ctrl.resolvedByRecovery) {
             st().addSquash(at->ctrl.squashRequested ? at->ctrl.reason
                                                       : sq.reason);
-            cleanupAborted(ctx, at);
+            aborted = true; // awaited cleanup below (no co_await here)
             if (sys_.audit)
                 sys_.audit->noteAbort(at->auditId);
         }
     }
+    if (aborted)
+        co_await cleanupAborted(ctx, at);
 
     at->finished = true;
     at->ctrl.finished = true;

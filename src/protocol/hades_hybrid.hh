@@ -73,7 +73,7 @@ class HadesHybridEngine : public TxnEngine
         std::int64_t value;
     };
 
-    // hades-analyze: lane-escape-ok (per-attempt state; cross-lane mutation paths -- acks, remote squashes -- require remote transactions, and certifiedForThreads admits only forcedLocalFraction==1.0 specs)
+    // hades-analyze: lane-escape-ok (coordinator-lane state: every mutable field is written either by the coordinator's own events or by ack/squash deliveries routed to the coordinator's lane through the window-barrier mailboxes; remote handlers read only immutable fields -- id, homeNode -- plus faultsOn()-gated flags that only matter on the serial executors)
     struct Attempt
     {
         explicit Attempt(const ClusterConfig &cfg)
@@ -107,6 +107,12 @@ class HadesHybridEngine : public TxnEngine
         std::set<NodeId> replicaAckedBy;
         /** Intend-to-commit address list per node, kept for resends. */
         std::map<NodeId, std::vector<Addr>> itcLines;
+        /** Remote record values (and ground-truth versions) captured at
+         *  the home node when the RDMA fetch returns. Reads are served
+         *  from here, so the coordinator never touches another home's
+         *  ground-truth bucket (the store is lane-partitioned by home). */
+        std::map<std::uint64_t, std::pair<std::int64_t, std::uint64_t>>
+            remoteReadCache;
         bool localDirLocked = false;
         bool finished = false;
         std::uint64_t id = 0;
@@ -126,22 +132,38 @@ class HadesHybridEngine : public TxnEngine
                           const txn::Request &req,
                           std::vector<std::int64_t> &read_vals);
 
-    /** Hardware remote read/write (same behaviour as HADES). */
+    /** Hardware remote read/write (same behaviour as HADES).
+     *  @p record identifies the fetched record so a read can cache its
+     *  value/version for the lane-local read path. */
     sim::Task remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
-                           AddrRange range, bool is_write);
+                           std::uint64_t record, AddrRange range,
+                           bool is_write);
 
     /** Commit: NIC-built local BFs + HADES remote flow + Local
      *  Validation. */
     sim::Task commit(ExecCtx ctx, AttemptPtr at);
 
     /** Process an Intend-to-commit at remote node @p y (NIC offload).
-     *  @p tries counts NoBuffer retries: a bounded number of retries
-     *  breaks distributed waits-for cycles on exhausted banks. */
-    void handleIntendToCommit(NodeId y, AttemptPtr at,
-                              std::vector<Addr> write_lines,
-                              int tries = 0);
+     *  Runs as a coroutine on y's lane; everything it touches -- y's
+     *  Locking Buffer and y's NIC filters with their exact shadow sets
+     *  -- is owned by that lane. NoBuffer retries are bounded: a
+     *  capped number of rounds breaks distributed waits-for cycles on
+     *  exhausted banks. */
+    sim::Task handleIntendToCommit(NodeId y, AttemptPtr at,
+                                   std::vector<Addr> write_lines);
 
-    void cleanupAborted(ExecCtx ctx, AttemptPtr at);
+    /** Fire-and-forget wrapper: runs handleIntendToCommit as a
+     *  detached coroutine from the message-delivery event, absorbing
+     *  the unwind exceptions (NodeDead, SerialRerunNeeded) that have
+     *  no coordinator frame to land in here. */
+    sim::DetachedTask spawnIntendToCommit(NodeId y, AttemptPtr at,
+                                          std::vector<Addr> write_lines);
+
+    /** Undo all speculative state of a squashed/finished attempt.
+     *  Fault-free the remote teardown is awaited (round trips), so the
+     *  next attempt epoch starts only after every involved node has
+     *  dropped this one's filters and locks. */
+    sim::Task cleanupAborted(ExecCtx ctx, AttemptPtr at);
 
     /** Send one commit Ack from @p y back to the committer (idempotent
      *  at the receiver via Attempt::ackedBy). */
@@ -164,9 +186,6 @@ class HadesHybridEngine : public TxnEngine
 
     bool probeFilter(const bloom::AddressFilter &bf, Addr line,
                      bool truth);
-    bool squashOrSelfSquash(std::uint64_t victim,
-                            const AttemptPtr &fallback_self,
-                            txn::SquashReason why);
 
     /** All sw-layout cache lines of a record (header + payload). */
     std::vector<Addr> recordLines(std::uint64_t record) const;

@@ -50,11 +50,14 @@ struct ExecCtx
 /**
  * Control block of one in-flight transaction attempt, registered with
  * the SquashRouter so conflicts detected anywhere in the cluster can
- * squash it. Also carries the *exact* access footprint of the attempt,
- * which is the measurement oracle for Bloom-filter false positives
- * (hardware would not have it; Section VIII-C reports the rates).
+ * squash it. Also carries the *exact* local-access footprint of the
+ * attempt, the measurement oracle for Bloom-filter false positives
+ * (hardware would not have it; Section VIII-C reports the rates). The
+ * remote footprint lives with the Bloom filters it shadows, in the
+ * home node's NIC (net::RemoteTxFilters), so footprint probes are
+ * always lane-local.
  */
-// hades-analyze: lane-escape-ok (cross-lane squash delivery requires a remote conflict; certifiedForThreads admits only forcedLocalFraction==1.0 specs, so threaded squashes are lane-local)
+// hades-analyze: lane-escape-ok (owned by the coordinator's lane: all fields are written either by the coordinator's own events or by squash/ack deliveries routed to the coordinator's lane through the window-barrier mailboxes)
 struct AttemptControl
 {
     bool squashRequested = false;
@@ -85,26 +88,9 @@ struct AttemptControl
      *  double-count stats or re-touch protocol state. */
     bool resolvedByRecovery = false;
 
-    // Exact footprints (oracle for false-positive accounting).
+    // Exact local footprint (oracle for false-positive accounting).
     std::unordered_set<Addr> localReadLines;
     std::unordered_set<Addr> localWriteLines;
-    std::unordered_map<NodeId, std::unordered_set<Addr>> remoteReadLines;
-    std::unordered_map<NodeId, std::unordered_set<Addr>> remoteWriteLines;
-
-    bool
-    remoteReadsContain(NodeId n, Addr line) const
-    {
-        auto it = remoteReadLines.find(n);
-        return it != remoteReadLines.end() && it->second.contains(line);
-    }
-
-    bool
-    remoteWritesContain(NodeId n, Addr line) const
-    {
-        auto it = remoteWriteLines.find(n);
-        return it != remoteWriteLines.end() &&
-               it->second.contains(line);
-    }
 };
 
 /** Result of asking the router to squash a transaction. */
@@ -116,7 +102,7 @@ enum class SquashOutcome
 };
 
 /** Delivers squashes to registered attempts by packed GlobalTxId. */
-// hades-analyze: lane-escape-ok (per-node shard indexed by coordinator; with forcedLocalFraction==1.0 -- the only threaded-certified specs -- every squash resolves to the caller's own shard)
+// hades-analyze: lane-escape-ok (per-node shard indexed by coordinator; engines reach a foreign coordinator's shard only from message handlers already executing on that coordinator's lane -- see TxnEngine::squashVictim)
 class SquashRouter
 {
   public:

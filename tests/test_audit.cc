@@ -201,7 +201,8 @@ TEST(AuditorHooks, CleanRunThroughAllHooksPasses)
     bloom::BloomFilter bf;
     bf.insert(0x40);
     bf.insert(0x80);
-    a.checkFilterCovers(bf, {0x40, 0x80}, "test-covers");
+    a.checkFilterCovers(bf, std::unordered_set<Addr>{0x40, 0x80},
+                        "test-covers");
 
     a.noteLockAcquire(0x123 | (std::uint64_t(3) << 48));
     a.noteLockAcquire(0x123 | (std::uint64_t(4) << 48));
@@ -226,7 +227,8 @@ TEST(AuditorHooks, FilterCoverageGapCaught)
 {
     Auditor a;
     bloom::BloomFilter bf; // empty: contains nothing
-    a.checkFilterCovers(bf, {0x40}, "test-covers");
+    a.checkFilterCovers(bf, std::unordered_set<Addr>{0x40},
+                        "test-covers");
     auto report = a.finalize();
     EXPECT_TRUE(report.has(ViolationKind::BloomFalseNegative))
         << report.summary();

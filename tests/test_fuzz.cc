@@ -91,6 +91,32 @@ TEST(Genome_, ReproArtifactsRecordTheShardCount)
     EXPECT_EQ(legacy.shards, 1u);
 }
 
+TEST(Genome_, ReproArtifactsRecordTheThreadedMessagingGene)
+{
+    auto g = randomGenome(7);
+    g.threadedMessaging = true;
+    const auto json = genomeJson(g);
+    EXPECT_NE(json.find("\"threaded_messaging\":true"),
+              std::string::npos)
+        << "repro artifact dropped the threaded-messaging gene: "
+        << json;
+    Genome back;
+    std::string err;
+    ASSERT_TRUE(parseGenomeJson(json, back, err)) << err;
+    EXPECT_TRUE(back.threadedMessaging);
+
+    // Legacy artifacts (written before the gene existed) carry no
+    // "threaded_messaging" key and must replay without the threaded
+    // differential.
+    Genome legacy;
+    ASSERT_TRUE(parseGenomeJson(
+        R"({"schema":"hades-fuzz-repro-v1","seed":3,"nodes":5,)"
+        R"("txns_per_context":4,"bug_hook":false,"events":[]})",
+        legacy, err))
+        << err;
+    EXPECT_FALSE(legacy.threadedMessaging);
+}
+
 TEST(Genome_, JsonNoteAnnotationIsIgnoredByTheParser)
 {
     auto g = randomGenome(3);
@@ -167,6 +193,65 @@ TEST(Campaign, SmallSeedMatrixRunsClean)
             << "seed " << seed << " failed on " << v.engine << ": "
             << v.error;
     }
+}
+
+TEST(Campaign, ThreadedMessagingGeneRunsTheDifferentialClean)
+{
+    // Arm the gene on a few seeds: the fault-free uniform-messaging
+    // replay on worker threads must match the serial oracle, so a
+    // healthy tree runs these genomes clean. (A threaded-executor
+    // regression turns exactly this verdict into the repro artifact.)
+    FuzzRunOptions opt;
+    opt.smoke = true;
+    opt.jobs = 4;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto g = randomGenome(seed);
+        g.threadedMessaging = true;
+        const auto spec = threadedSpecFor(
+            g, protocol::EngineKind::Hades, true);
+        EXPECT_GE(spec.shards, 2u);
+        EXPECT_FALSE(spec.audit);
+        EXPECT_FALSE(spec.cluster.faults.enabled)
+            << "the gene's family must stay thread-certifiable";
+        auto v = runGenome(g, opt);
+        EXPECT_FALSE(v.failed)
+            << "seed " << seed << " threaded differential failed on "
+            << v.engine << ": " << v.error;
+    }
+}
+
+TEST(Campaign, ShrinkerCollapsesTheThreadedMessagingGeneFirst)
+{
+    // A genome whose failure lives in the audited fault family (the
+    // seeded skip-resync defect) but that also carries the threaded-
+    // messaging gene: the shrinker must collapse the gene before
+    // ddmin, leaving a repro that replays with no threads involved.
+    FuzzRunOptions opt;
+    opt.smoke = true;
+    opt.jobs = 4;
+    Genome failing;
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 4 && !found; ++seed) {
+        Genome g = randomGenome(seed);
+        g.bugHook = true;
+        g.threadedMessaging = true;
+        FuzzEvent crash;
+        crash.kind = EventKind::CrashForever;
+        crash.a = std::uint32_t(g.seed % g.nodes);
+        crash.at = us(20);
+        g.events.push_back(crash);
+        if (runGenome(g, opt).failed) {
+            failing = g;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found) << "the armed defect was never detected";
+    std::uint32_t runs_used = 0;
+    Genome shrunk = shrinkGenome(failing, opt, 64, runs_used);
+    EXPECT_FALSE(shrunk.threadedMessaging)
+        << "the gene was irrelevant to the failure and must collapse";
+    EXPECT_TRUE(runGenome(shrunk, opt).failed)
+        << "shrunken repro no longer reproduces";
 }
 
 TEST(Campaign, VerdictIsReproducible)

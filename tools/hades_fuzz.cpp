@@ -4,9 +4,13 @@
  *
  * Campaign mode generates `--seeds` genomes from `--seed-base`, decodes
  * each into an audited, recovery-enabled fault scenario, and runs it
- * across all three protocol engines. Any audit violation, invariant
- * failure, or end-of-run replica divergence stops the matrix, shrinks
- * the genome to a minimal repro (delta debugging over its fault
+ * across all three protocol engines. Genomes that draw the
+ * threaded-messaging gene additionally replay their cluster shape as a
+ * fault-free uniform-messaging run on worker threads and diff it
+ * against the serial oracle. Any audit violation, invariant failure,
+ * end-of-run replica divergence, or threaded-executor divergence stops
+ * the matrix, shrinks the genome to a minimal repro (the gene and the
+ * shard count collapse first, then delta debugging over the fault
  * events), and writes a replayable `hades-fuzz-repro-v1` JSON artifact.
  *
  *   hades_fuzz --seeds 64 --smoke --jobs 8 --out repro.json
