@@ -55,6 +55,19 @@ usage(const char *argv0)
         "                                    for [T1,T2) us\n"
         "  --recovery                        leases + view changes +\n"
         "                                    backup promotion\n"
+        "  --join N@T                        spare node N joins at T\n"
+        "                                    microseconds (implies\n"
+        "                                    --recovery; needs\n"
+        "                                    --replication and\n"
+        "                                    --initial-members)\n"
+        "  --drain N@T                       planned-drain node N at T\n"
+        "                                    microseconds (implies\n"
+        "                                    --recovery + replication)\n"
+        "  --initial-members M               nodes M..N-1 start as\n"
+        "                                    spares (join targets)\n"
+        "  --migrate-batch N                 records per migration\n"
+        "                                    batch (default 32)\n"
+        "  --migrate-interval-us T           batch throttle interval\n"
         "  --retry-base-us T --retry-cap-us T  retransmit/resend RTO\n"
         "  --max-commit-resends N            commit Ack-timeout budget\n"
         "  --max-reliable-resends N          reliable-channel budget\n"
@@ -264,7 +277,29 @@ main(int argc, char **argv)
             ev.forever = true;
             spec.cluster.faults.enabled = true;
             spec.cluster.faults.nodeEvents.push_back(ev);
-        } else if (opt == "--recovery")
+        } else if (opt == "--join" || opt == "--drain") {
+            std::string v = next();
+            auto at = v.find('@');
+            if (at == std::string::npos || at == 0 ||
+                at + 1 >= v.size())
+                usage(argv[0]);
+            MembershipConfig::NodeEventAt ev;
+            ev.node = NodeId(std::atoi(v.substr(0, at).c_str()));
+            ev.at = us(std::atoll(v.substr(at + 1).c_str()));
+            if (opt == "--join")
+                spec.cluster.membership.joins.push_back(ev);
+            else
+                spec.cluster.membership.drains.push_back(ev);
+        } else if (opt == "--initial-members")
+            spec.cluster.membership.initialMembers =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--migrate-batch")
+            spec.cluster.membership.migrateBatchRecords =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--migrate-interval-us")
+            spec.cluster.membership.migrateBatchInterval =
+                us(std::atoll(next().c_str()));
+        else if (opt == "--recovery")
             spec.cluster.recovery.enabled = true;
         else if (opt == "--retry-base-us")
             spec.cluster.tuning.retryTimeoutBase =
@@ -309,6 +344,19 @@ main(int argc, char **argv)
     if (spec.cluster.numNodes < 2 || spec.cluster.coresPerNode < 1 ||
         spec.cluster.slotsPerCore < 1)
         usage(argv[0]);
+    if (spec.cluster.membership.enabled()) {
+        // Membership rides the recovery substrate (epochs, fencing,
+        // squash resolution) and needs replication for image resync.
+        spec.cluster.recovery.enabled = true;
+        if (!spec.replication.enabled())
+            spec.replication.degree = 1;
+        for (const auto &j : spec.cluster.membership.joins)
+            if (j.node >= spec.cluster.numNodes)
+                usage(argv[0]);
+        for (const auto &d : spec.cluster.membership.drains)
+            if (d.node >= spec.cluster.numNodes)
+                usage(argv[0]);
+    }
     for (const auto &iso : isolates) {
         if (iso.node >= spec.cluster.numNodes)
             usage(argv[0]);
@@ -468,6 +516,17 @@ main(int argc, char **argv)
                     (unsigned long)res.staleLeaseGrants,
                     (unsigned long)res.divergentRecords,
                     (unsigned long)res.leaseProbes);
+    }
+    if (res.membershipEnabled) {
+        std::printf("membership    %s: %lu records migrated in %lu "
+                    "batches, %lu joins completed, %lu drain-step "
+                    "events, %lu stale-placement retries\n",
+                    res.membershipComplete ? "complete" : "ABORTED",
+                    (unsigned long)res.recordsMigrated,
+                    (unsigned long)res.migrationBatches,
+                    (unsigned long)res.joinsCompleted,
+                    (unsigned long)res.drainDurationEvents,
+                    (unsigned long)res.stalePlacementRetries);
     }
     if (res.audited)
         std::printf("audit         PASS: %lu commits + %lu aborts, "

@@ -145,7 +145,7 @@ struct FaultConfig
 {
     /** Must mirror net::MsgType::NumTypes (static_assert'd in
      *  src/fault/fault_plan.cc). */
-    static constexpr std::size_t kNumVerbs = 9;
+    static constexpr std::size_t kNumVerbs = 10;
 
     bool enabled = false;
     /** Mixed with ClusterConfig::seed to seed the fault RNG. */
@@ -347,6 +347,62 @@ struct RecoveryConfig
 };
 
 /**
+ * Elastic-membership knobs (src/recovery/membership.hh): CM-driven
+ * *voluntary* reconfiguration -- planned node joins and drains with
+ * live record migration -- layered on the same epoch/fencing machinery
+ * as crash recovery. Requires recovery.enabled and replication; the
+ * runner asserts both. Disabled by default: no MembershipManager is
+ * constructed and runs stay bit-identical to builds without the
+ * subsystem.
+ */
+struct MembershipConfig
+{
+    /** One scheduled join or drain. */
+    struct NodeEventAt
+    {
+        NodeId node = 0;
+        Tick at = 0;
+    };
+
+    /** Nodes [initialMembers, numNodes) start as spares: they own no
+     *  records, hold no replica-ring slots and issue no client load
+     *  until a scheduled join admits them. 0 means "all numNodes are
+     *  members at t = 0" (the only valid value without joins). */
+    std::uint32_t initialMembers = 0;
+    /** Scheduled joins: spare `node` is admitted at epoch-fenced
+     *  instant `at` and records re-balance toward it in the
+     *  background. */
+    std::vector<NodeEventAt> joins;
+    /** Scheduled planned drains: member `node` stops accepting new
+     *  home-node work at `at`, migrates its records and replica slots
+     *  to survivors, hands back its hardware footprint and leaves. */
+    std::vector<NodeEventAt> drains;
+
+    // --- migration throttle ---------------------------------------------
+    /** Records moved per migration batch (one epoch-fenced kernel
+     *  event per batch). */
+    std::uint32_t migrateBatchRecords = 32;
+    /** Pacing interval between consecutive migration batches, so
+     *  background migration yields to foreground traffic. */
+    Tick migrateBatchInterval = us(4);
+
+    bool
+    enabled() const
+    {
+        return initialMembers > 0 || !joins.empty() || !drains.empty();
+    }
+
+    /** Number of record-owning members at t = 0. */
+    std::uint32_t
+    initialOwners(std::uint32_t num_nodes) const
+    {
+        if (initialMembers == 0 || initialMembers > num_nodes)
+            return num_nodes;
+        return initialMembers;
+    }
+};
+
+/**
  * Sharded parallel-kernel knobs (src/sim/kernel.hh). The shard *count*
  * lives on core::RunSpec (it selects an executor, not a model
  * parameter); this struct tunes how the sharded executors behave.
@@ -423,6 +479,10 @@ struct ClusterConfig
 
     /** Crash recovery / reconfiguration (disabled by default). */
     RecoveryConfig recovery;
+
+    /** Elastic membership: planned joins/drains with live record
+     *  migration (disabled by default). */
+    MembershipConfig membership;
 
     /** Sharded parallel-kernel tuning (RunSpec::shards selects the
      *  executor; this only tunes it). */

@@ -119,6 +119,13 @@ hashResult(const RunResult &r)
     h.u64(r.quorumRefusals);
     h.u64(r.staleLeaseGrants);
     h.u64(r.divergentRecords);
+    h.u64(r.membershipEnabled ? 1 : 0);
+    h.u64(r.membershipComplete ? 1 : 0);
+    h.u64(r.recordsMigrated);
+    h.u64(r.migrationBatches);
+    h.u64(r.drainDurationEvents);
+    h.u64(r.joinsCompleted);
+    h.u64(r.stalePlacementRetries);
     h.u64(r.audited ? 1 : 0);
     h.u64(r.auditedCommits);
     h.u64(r.auditedAborts);

@@ -121,6 +121,33 @@ runSpecJson(const RunSpec &spec)
     field(out, "replication_degree", spec.replication.degree);
     fieldB(out, "faults_enabled", cc.faults.enabled);
     fieldB(out, "recovery_enabled", cc.recovery.enabled);
+    if (cc.membership.enabled()) {
+        field(out, "initial_members",
+              cc.membership.initialOwners(cc.numNodes));
+        field(out, "migrate_batch_records",
+              cc.membership.migrateBatchRecords);
+        fieldI(out, "migrate_batch_interval_ps",
+               cc.membership.migrateBatchInterval);
+        out += ",\"joins\":[";
+        for (std::size_t i = 0; i < cc.membership.joins.size(); ++i) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"node\":%u,\"at_ps\":%" PRId64 "}",
+                          i ? "," : "", cc.membership.joins[i].node,
+                          std::int64_t(cc.membership.joins[i].at));
+            out += buf;
+        }
+        out += "],\"drains\":[";
+        for (std::size_t i = 0; i < cc.membership.drains.size(); ++i) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"node\":%u,\"at_ps\":%" PRId64 "}",
+                          i ? "," : "", cc.membership.drains[i].node,
+                          std::int64_t(cc.membership.drains[i].at));
+            out += buf;
+        }
+        out += ']';
+    }
     fieldB(out, "audit", spec.audit);
     field(out, "shards", spec.shards);
     out += '}';
@@ -181,6 +208,13 @@ runResultJson(const RunResult &res)
     field(out, "quorum_refusals", res.quorumRefusals);
     field(out, "stale_lease_grants", res.staleLeaseGrants);
     field(out, "divergent_records", res.divergentRecords);
+    fieldB(out, "membership_enabled", res.membershipEnabled);
+    fieldB(out, "membership_complete", res.membershipComplete);
+    field(out, "records_migrated", res.recordsMigrated);
+    field(out, "migration_batches", res.migrationBatches);
+    field(out, "drain_duration_events", res.drainDurationEvents);
+    field(out, "joins_completed", res.joinsCompleted);
+    field(out, "stale_placement_retries", res.stalePlacementRetries);
     fieldB(out, "audited", res.audited);
     field(out, "audited_commits", res.auditedCommits);
     field(out, "audited_aborts", res.auditedAborts);

@@ -9,6 +9,7 @@
 #include "protocol/hades.hh"
 #include "protocol/hades_hybrid.hh"
 #include "protocol/system.hh"
+#include "recovery/membership.hh"
 #include "recovery/recovery_manager.hh"
 #include "sim/resource.hh"
 #include "sim/task.hh"
@@ -57,13 +58,21 @@ namespace
 sim::DetachedTask
 driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
              ExecCtx ctx, Rng rng, std::uint64_t txns,
-             recovery::RecoveryManager *recovery)
+             recovery::RecoveryManager *recovery,
+             recovery::MembershipManager *membership)
 {
     // Execute in this context's node context: under sharded execution
     // the transactions then run on the node's own lane (the prologue
     // up to here runs at t=0 before kernel.run(), single-threaded).
     co_await sim::HopTo{engine.system().kernel, ctx.node};
     for (std::uint64_t i = 0; i < txns; ++i) {
+        // Elastic membership: spares bring no client load of their
+        // own, and a draining node stops issuing between transactions
+        // ("stops accepting new home-node work") -- its in-flight
+        // transaction always completes or squash-retries, never hangs
+        // in doubt.
+        if (membership && !membership->issuesLoad(ctx.node))
+            break;
         txn::TxnProgram prog = gen.next(rng, ctx.node);
         try {
             co_await engine.run(ctx, prog);
@@ -79,6 +88,8 @@ driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
     }
     if (recovery)
         recovery->driverDone();
+    if (membership)
+        membership->driverDone();
 }
 
 /**
@@ -99,7 +110,8 @@ bool
 certifiedForThreads(const RunSpec &spec)
 {
     if (spec.cluster.faults.enabled || spec.cluster.recovery.enabled ||
-        spec.replication.enabled() || spec.audit)
+        spec.replication.enabled() || spec.audit ||
+        spec.cluster.membership.enabled())
         return false;
     // Uniform placement (fraction unset) and forced-full-local both
     // emit lane-pure record picks; fractional locality's re-pick
@@ -143,6 +155,13 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
     // count before the System exists.
     workload::WorkloadConfig wcfg;
     wcfg.numNodes = spec.cluster.numNodes;
+    if (spec.cluster.membership.enabled()) {
+        // Spare nodes own no records and bring no clients until their
+        // join: the generators shape locality (and the KV stores place
+        // their index partitions) over the initial members only.
+        wcfg.numNodes =
+            spec.cluster.membership.initialOwners(spec.cluster.numNodes);
+    }
     wcfg.forcedLocalFraction = spec.cluster.forcedLocalFraction;
     wcfg.scaleKeys = spec.scaleKeys;
 
@@ -229,6 +248,36 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
                                                             *engine);
     }
 
+    // Elastic membership (scheduled joins / planned drains with live
+    // record migration). Opt-in; requires the recovery substrate
+    // (epochs, fencing, squash resolution) and replication (ring
+    // transitions need an image-resync source of truth). Runs without
+    // a join/drain schedule never construct it.
+    std::unique_ptr<recovery::MembershipManager> memb;
+    if (spec.cluster.membership.enabled()) {
+        always_assert(spec.cluster.recovery.enabled,
+                      "membership requires recovery.enabled (epochs, "
+                      "fencing, squash resolution)");
+        always_assert(spec.replication.enabled(),
+                      "membership requires replication (image resync "
+                      "across ring transitions)");
+        const auto &mc = spec.cluster.membership;
+        std::uint32_t members = mc.initialOwners(spec.cluster.numNodes);
+        for (const auto &j : mc.joins) {
+            always_assert(j.node < spec.cluster.numNodes,
+                          "join schedules an out-of-range node");
+            members += 1;
+        }
+        for (const auto &d : mc.drains) {
+            always_assert(d.node < spec.cluster.numNodes,
+                          "drain schedules an out-of-range node");
+            always_assert(members > 1, "drain would empty the cluster");
+            members -= 1;
+        }
+        memb = std::make_unique<recovery::MembershipManager>(sys,
+                                                             *recov);
+    }
+
     // Launch one driver per hardware context. Cores are split into
     // contiguous blocks, one block per mix entry. Pre-size the event
     // queue for the steady state: a handful of in-flight events per
@@ -239,6 +288,8 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
                        64);
     if (recov)
         recov->start(std::uint64_t{cc.numNodes} * cc.contextsPerNode());
+    if (memb)
+        memb->start(std::uint64_t{cc.numNodes} * cc.contextsPerNode());
     for (NodeId n = 0; n < cc.numNodes; ++n) {
         for (CoreId c = 0; c < cc.coresPerNode; ++c) {
             std::size_t w = (std::size_t(c) * gens.size()) /
@@ -248,7 +299,8 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
                 Rng rng{cc.seed ^ (std::uint64_t(n) << 40) ^
                         (std::uint64_t(c) << 20) ^ s};
                 driveContext(*engine, *gens[w], ctx, rng,
-                             spec.txnsPerContext, recov.get());
+                             spec.txnsPerContext, recov.get(),
+                             memb.get());
             }
         }
     }
@@ -396,6 +448,17 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
                 sys.data, [&](std::uint64_t r) {
                     return sys.placement.homeOf(r);
                 });
+    }
+    if (memb) {
+        const auto &ms = memb->stats();
+        res.membershipEnabled = true;
+        res.membershipComplete = memb->complete();
+        res.recordsMigrated = ms.recordsMigrated;
+        res.migrationBatches = ms.migrationBatches;
+        res.drainDurationEvents = ms.drainDurationEvents;
+        res.joinsCompleted = ms.joinsCompleted;
+        res.stalePlacementRetries = st.squashes[std::size_t(
+            txn::SquashReason::StalePlacement)];
     }
     res.fencedStaleMessages = sys.network.fencedStaleMessages();
     res.netRetransmits = sys.network.totalRetransmits();

@@ -135,6 +135,17 @@ struct RunResult
      *  chaos fuzzer's primary durability predicate). */
     std::uint64_t divergentRecords = 0;
 
+    /** Elastic-membership outcome (src/recovery/membership.hh; all
+     *  zero unless ClusterConfig::membership schedules a join or a
+     *  planned drain). */
+    bool membershipEnabled = false;        //!< membership subsystem was on
+    bool membershipComplete = false;       //!< every join/drain finished
+    std::uint64_t recordsMigrated = 0;     //!< live ownership handoffs
+    std::uint64_t migrationBatches = 0;    //!< throttled handoff batches
+    std::uint64_t drainDurationEvents = 0; //!< drain-step events, start..leave
+    std::uint64_t joinsCompleted = 0;      //!< joins fully rebalanced
+    std::uint64_t stalePlacementRetries = 0; //!< squash-retries vs moved records
+
     /** Correctness-audit outcome (all zero when auditing is off). */
     bool audited = false;
     std::uint64_t auditedCommits = 0;  //!< committed txns audited

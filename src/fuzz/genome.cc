@@ -69,6 +69,10 @@ eventKindName(EventKind k)
         return "pause_node";
       case EventKind::CrashForever:
         return "crash_forever";
+      case EventKind::JoinNode:
+        return "join_node";
+      case EventKind::DrainNode:
+        return "drain_node";
       case EventKind::NumKinds:
         break;
     }
@@ -125,6 +129,17 @@ applyEvents(const Genome &g, ClusterConfig &cc)
     FaultConfig &f = cc.faults;
     const std::uint32_t nodes = cc.numNodes;
     std::vector<NodeId> victims;
+    // Membership genes decode canonically so the result is independent
+    // of event order and survives any ddmin subset: all JoinNode genes
+    // collapse to one join of node `nodes - 1` (held out as the spare)
+    // at the earliest clamped instant; all DrainNode genes collapse to
+    // one drain of node 1. Fixed victims keep every decode safe: with
+    // >= 4 nodes, at most two distinct crash victims and at most one
+    // drain, a live non-draining migration destination always exists
+    // (or arrives when the join admits), and node 0 -- the initial CM
+    // primary -- is never the drain victim.
+    bool join = false, drain = false;
+    Tick joinAt = kHorizon, drainAt = kHorizon;
     for (const FuzzEvent &e : g.events) {
         const std::size_t verb = e.verb % FaultConfig::kNumVerbs;
         switch (e.kind) {
@@ -199,9 +214,25 @@ applyEvents(const Genome &g, ClusterConfig &cc)
             f.nodeEvents.push_back(ev);
             break;
           }
+          case EventKind::JoinNode:
+            join = true;
+            joinAt = std::min(joinAt, clampAt(e.at));
+            break;
+          case EventKind::DrainNode:
+            drain = true;
+            drainAt = std::min(drainAt, clampAt(e.at));
+            break;
           case EventKind::NumKinds:
             break;
         }
+    }
+    if (nodes >= 4) { // below the fuzzer's node floor the genes are inert
+        if (join) {
+            cc.membership.initialMembers = nodes - 1;
+            cc.membership.joins.push_back({NodeId(nodes - 1), joinAt});
+        }
+        if (drain)
+            cc.membership.drains.push_back({NodeId(1), drainAt});
     }
     f.enabled = true;
     cc.recovery.enabled = true;

@@ -2,8 +2,9 @@
  * @file
  * Chaos-fuzzer genome: a compact, seeded description of one fault
  * scenario (drop/dup/delay/corrupt probabilities, NIC stalls, partition
- * windows, node pauses and permanent crashes) that decodes into a
- * FaultConfig and an audited, recovery-enabled RunSpec.
+ * windows, node pauses, permanent crashes, and elastic-membership
+ * joins/drains) that decodes into a FaultConfig / MembershipConfig and
+ * an audited, recovery-enabled RunSpec.
  *
  * Decoding applies every safety clamp (bounded windows, partitions
  * that always heal, at most two distinct permanent-crash victims) so
@@ -38,6 +39,10 @@ enum class EventKind : std::uint8_t
     Partition,    //!< link partition window (always heals)
     PauseNode,    //!< transient whole-node pause window
     CrashForever, //!< permanent fail-stop (recovery takes over)
+    JoinNode,     //!< elastic membership: hold the last node out as a
+                  //!< spare and admit it mid-run (live rebalance)
+    DrainNode,    //!< elastic membership: planned-drain a fixed member
+                  //!< mid-run (live record migration to survivors)
     NumKinds,
 };
 
@@ -109,7 +114,12 @@ Genome randomGenome(std::uint64_t seed, const GenomeLimits &lim = {});
  *  - every window bounded (partitions always heal, pauses end);
  *  - at most two distinct CrashForever victims (extra victims are
  *    ignored), so with 5+ nodes and replication degree 2 every record
- *    keeps a live copy and the CM group keeps a live member.
+ *    keeps a live copy and the CM group keeps a live member;
+ *  - membership genes decode canonically (any number of JoinNode
+ *    events schedule ONE join of the last node at the earliest
+ *    clamped instant; DrainNode likewise drains node 1), so the
+ *    decode stays order-independent and every event subset keeps a
+ *    live migration destination even with two crash victims.
  */
 void applyEvents(const Genome &g, ClusterConfig &cc);
 

@@ -13,6 +13,7 @@
 #ifndef HADES_MEM_ADDRESS_SPACE_HH_
 #define HADES_MEM_ADDRESS_SPACE_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -79,10 +80,17 @@ class Placement
      * @param record_bytes bytes each record occupies in memory (the
      *                     protocol config decides whether this includes
      *                     SW metadata)
+     * @param owner_nodes  nodes the static hash stripes records over
+     *                     (elastic membership: trailing spare nodes own
+     *                     nothing until a join migrates records to
+     *                     them). 0 means all num_nodes own records.
      */
     Placement(std::uint32_t num_nodes, std::uint64_t num_records,
-              std::uint32_t record_bytes)
-        : numRecords_(num_records), recordBytes_(roundUp(record_bytes))
+              std::uint32_t record_bytes, std::uint32_t owner_nodes = 0)
+        : numRecords_(num_records), recordBytes_(roundUp(record_bytes)),
+          owners_(owner_nodes == 0 || owner_nodes > num_nodes
+                      ? num_nodes
+                      : owner_nodes)
     {
         for (NodeId n = 0; n < num_nodes; ++n)
             heaps_.emplace_back(n);
@@ -129,7 +137,32 @@ class Placement
     {
         Addr a = heaps_[node].allocate(roundUp(bytes));
         registered_.emplace(rid, a);
+        registeredBytes_.emplace(rid, roundUp(bytes));
         return a;
+    }
+
+    /** Registered (auxiliary/index) record ids currently homed at
+     *  @p node, sorted. A planned drain migrates these too -- a node
+     *  that left the cluster must not keep serving index traversals. */
+    std::vector<std::uint64_t>
+    registeredHomedAt(NodeId node) const
+    {
+        std::vector<std::uint64_t> out;
+        for (const auto &kv : registered_) // det-lint: ordered-ok (sorted)
+            if (homeOf(kv.first) == node)
+                out.push_back(kv.first);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    /** Allocation size of a registered record (for rehome). */
+    std::uint32_t
+    registeredBytesOf(std::uint64_t rid) const
+    {
+        auto it = registeredBytes_.find(rid);
+        always_assert(it != registeredBytes_.end(),
+                      "unregistered auxiliary record");
+        return it->second;
     }
 
     /** Home node of record @p r: the re-homing overlay (crash
@@ -154,9 +187,12 @@ class Placement
     {
         if (r & kRegisteredBit)
             return static_cast<NodeId>((r >> 48) & 0xff);
-        return static_cast<NodeId>(mix64(r) %
-                                   std::uint64_t(heaps_.size()));
+        return static_cast<NodeId>(mix64(r) % std::uint64_t(owners_));
     }
+
+    /** Nodes the static hash stripes over (== numNodes unless elastic
+     *  membership started some nodes as spares). */
+    std::uint32_t ownerNodes() const { return owners_; }
 
     /** Base address of record @p r. */
     Addr
@@ -177,11 +213,12 @@ class Placement
     }
 
     /**
-     * Crash recovery: move record @p r to @p node, allocating fresh
-     * backing storage from the new home's heap (the dead node's memory
-     * is unreachable). All subsequent homeOf/addrOf lookups resolve to
-     * the new location; the static hash placement of every other
-     * record is untouched.
+     * Crash recovery / live migration: move record @p r to @p node,
+     * allocating fresh backing storage from the new home's heap (a
+     * dead node's memory is unreachable; a drained node's is handed
+     * back). All subsequent homeOf/addrOf lookups resolve to the new
+     * location; the static hash placement of every other record is
+     * untouched.
      */
     void
     rehome(std::uint64_t r, NodeId node, std::uint32_t bytes)
@@ -207,11 +244,13 @@ class Placement
 
     std::uint64_t numRecords_;
     std::uint32_t recordBytes_;
+    std::uint32_t owners_;
     std::vector<NodeHeap> heaps_;
     std::vector<Addr> recordBase_;
     std::vector<std::uint64_t> slotWithinNode_;
     std::vector<Addr> recordAddr_;
     std::unordered_map<std::uint64_t, Addr> registered_;
+    std::unordered_map<std::uint64_t, std::uint32_t> registeredBytes_;
     /** Crash-recovery overlay: records moved off a dead home. Lookups
      *  are point queries, so the unordered maps stay deterministic. */
     std::unordered_map<std::uint64_t, NodeId> rehomedHome_;

@@ -29,6 +29,8 @@ msgTypeName(MsgType t)
         return "Lease";
       case MsgType::ViewChange:
         return "ViewChange";
+      case MsgType::Migrate:
+        return "Migrate";
       default:
         return "?";
     }
@@ -55,7 +57,8 @@ Network::fenceStale(MsgType t, std::uint64_t sent_epoch)
 {
     if (sent_epoch >= epoch_)
         return false;
-    if (t == MsgType::Lease || t == MsgType::ViewChange)
+    if (t == MsgType::Lease || t == MsgType::ViewChange ||
+        t == MsgType::Migrate)
         return false;
     fencedStale_ += 1;
     return true;
@@ -90,8 +93,9 @@ Network::roundTrip(MsgType type, NodeId src, NodeId dst,
                    RemoteWork at_dst)
 {
     always_assert(src != dst, "round trip to self");
-    if (type == MsgType::Lease || type == MsgType::ViewChange)
-        refuseIfThreaded(); // recovery control plane stays serial
+    if (type == MsgType::Lease || type == MsgType::ViewChange ||
+        type == MsgType::Migrate)
+        refuseIfThreaded(); // recovery/membership control plane stays serial
     assertLaneLocalSend(src);
     if (fault_) {
         co_await faultyRoundTrip(type, src, dst, req_bytes, resp_bytes,
@@ -268,7 +272,8 @@ Network::post(MsgType type, NodeId src, NodeId dst, std::uint32_t bytes,
               std::function<void()> at_dst)
 {
     always_assert(src != dst, "post to self");
-    if (fault_ || type == MsgType::Lease || type == MsgType::ViewChange)
+    if (fault_ || type == MsgType::Lease ||
+        type == MsgType::ViewChange || type == MsgType::Migrate)
         refuseIfThreaded(); // see refuseIfThreaded(): serial paths only
     assertLaneLocalSend(src);
     account(src, type, bytes);

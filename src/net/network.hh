@@ -49,6 +49,7 @@ enum class MsgType : std::uint8_t
     Squash,
     Lease,      //!< configuration-manager lease renewal probe
     ViewChange, //!< epoch-numbered reconfiguration broadcast
+    Migrate,    //!< membership record-migration / image-stream transfer
     NumTypes,
 };
 
@@ -165,7 +166,8 @@ class Network
      * advanceEpoch() (called by the recovery manager at a view change)
      * fences all still-in-flight older-epoch copies: they are dropped
      * at delivery and counted, so delayed pre-crash messages cannot
-     * corrupt the new view. Lease/ViewChange control traffic is exempt.
+     * corrupt the new view. Lease/ViewChange/Migrate control traffic
+     * is exempt.
      */
     std::uint64_t epoch() const { return epoch_; }
     void advanceEpoch() { epoch_ += 1; }

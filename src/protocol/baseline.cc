@@ -245,6 +245,12 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             continue;
         }
 
+        // Membership: publish the footprint so a migration batch
+        // defers (and squash-retries) rather than moving a record this
+        // attempt resolved a home for.
+        if (ctrl && membershipOn())
+            ctrl->recordsTouched.insert(req.record);
+
         // Read-your-own-write short circuit.
         auto wit = std::find_if(write_set.begin(), write_set.end(),
                                 [&](const WriteEntry &w) {
@@ -816,6 +822,15 @@ BaselineEngine::attemptPessimistic(ExecCtx ctx,
     std::sort(records.begin(), records.end());
     records.erase(std::unique(records.begin(), records.end()),
                   records.end());
+
+    // Membership: pin the whole footprint up front -- the lock-all
+    // fallback cannot be squash-retried, so migration must defer every
+    // record it holds (or will hold) until this attempt finishes.
+    if (ctrl && membershipOn()) {
+        ctrl->pinned = true;
+        for (auto rec : records)
+            ctrl->recordsTouched.insert(rec);
+    }
 
     for (auto rec : records) {
         for (;;) {

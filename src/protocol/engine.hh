@@ -273,6 +273,12 @@ class TxnEngine
      *  only under this gate (fault-free runs stay untouched). */
     bool recoveryOn() const { return sys_.config.recovery.enabled; }
 
+    /** True when elastic membership (planned joins/drains with live
+     *  record migration) is configured; the engines record each
+     *  attempt's record footprint into AttemptControl only under this
+     *  gate, so membership-free runs stay bit-identical. */
+    bool membershipOn() const { return sys_.config.membership.enabled(); }
+
     /**
      * Protocol-level resend timeout for attempt @p attempt: capped
      * exponential in retryTimeoutBase..retryTimeoutCap plus up to 25%

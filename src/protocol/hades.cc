@@ -894,6 +894,12 @@ HadesEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                               : layoutOf(req, layout_).payloadBytes();
             AddrRange range{base + req.offsetBytes, size};
 
+            // Membership: publish the footprint so a migration batch
+            // defers (and squash-retries) rather than moving a record
+            // this attempt resolved a home for.
+            if (membershipOn() && !req.isIndex)
+                at->ctrl.recordsTouched.insert(req.record);
+
             if (req.isIndex && !req.isWrite) {
                 // Client-cached read-only index structures need no
                 // conflict tracking (see TxnEngine::indexRead).

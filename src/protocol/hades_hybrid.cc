@@ -919,6 +919,11 @@ HadesHybridEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             checkSquash(at);
 
             const NodeId home = sys_.placement.homeOf(req.record);
+            // Membership: publish the footprint so a migration batch
+            // defers (and squash-retries) rather than moving a record
+            // this attempt resolved a home for.
+            if (membershipOn() && !req.isIndex)
+                at->ctrl.recordsTouched.insert(req.record);
             if (req.isIndex && !req.isWrite) {
                 const txn::RecordLayout lay = layoutOf(req, layout_);
                 co_await indexRead(

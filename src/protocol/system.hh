@@ -88,6 +88,19 @@ struct AttemptControl
      *  double-count stats or re-touch protocol state. */
     bool resolvedByRecovery = false;
 
+    // ---- Elastic-membership bookkeeping (see src/recovery/). ----
+    /** Data records this attempt has accessed so far (filled only when
+     *  membership is enabled). The MembershipManager's batch handoff
+     *  consults it: a record with an in-flight attempt against it is
+     *  deferred (and the attempt squash-retried with StalePlacement)
+     *  rather than moved under the attempt's feet. Point queries only;
+     *  never iterated. */
+    std::unordered_set<std::uint64_t> recordsTouched;
+    /** Attempt cannot honor a squash request (the lock-all pessimistic
+     *  fallback's acquisition loop ignores squashes by design), so
+     *  migration must defer every record it pins until it finishes. */
+    bool pinned = false;
+
     // Exact local footprint (oracle for false-positive accounting).
     std::unordered_set<Addr> localReadLines;
     std::unordered_set<Addr> localWriteLines;
@@ -221,14 +234,22 @@ class System
         : config(cfg),
           clock(cfg.clock()),
           network(kernel, config),
-          placement(cfg.numNodes, num_records, record_bytes)
+          placement(cfg.numNodes, num_records, record_bytes,
+                    cfg.membership.initialOwners(cfg.numNodes))
     {
         for (NodeId n = 0; n < cfg.numNodes; ++n)
             nodes.push_back(
                 std::make_unique<NodeCtx>(n, config, kernel));
-        if (repl.enabled())
+        if (repl.enabled()) {
             replicas = std::make_unique<replica::ReplicaManager>(
                 repl, cfg.numNodes, cfg.seed ^ 0xface);
+            // Elastic membership: nodes beyond the initial member count
+            // start as spares -- outside the backup rings until their
+            // scheduled join admits them.
+            for (NodeId n = cfg.membership.initialOwners(cfg.numNodes);
+                 n < cfg.numNodes; ++n)
+                replicas->markAbsent(n);
+        }
         // One router and one RNG stream per node (plus a control
         // bucket): protocol state touched on a transaction's
         // coordinator node stays on that node's shard lane, and each

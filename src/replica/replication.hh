@@ -204,7 +204,7 @@ class ReplicaManager
     ReplicaManager(const ReplicationConfig &cfg, std::uint32_t num_nodes,
                    std::uint64_t seed = 0xfee1)
         : cfg_(cfg), numNodes_(num_nodes), rng_(seed),
-          stores_(num_nodes), dead_(num_nodes, 0)
+          stores_(num_nodes), dead_(num_nodes, 0), present_(num_nodes, 1)
     {}
 
     const ReplicationConfig &config() const { return cfg_; }
@@ -236,6 +236,16 @@ class ReplicaManager
             NodeId n = NodeId((start + i) % numNodes_);
             if (n == primary)
                 continue;
+            // Membership: a node not (or no longer) in the cluster is
+            // invisible to the ring -- skipped *without* consuming a
+            // slot, so the window slides past it. When every node is
+            // present (the default) this is a no-op and the rings are
+            // bit-identical to the pre-membership layout. A node
+            // entering or leaving the present set shifts ring windows,
+            // which is exactly why the MembershipManager runs its
+            // convergent image-resync sweep after every transition.
+            if (present_[n] == 0)
+                continue;
             slots += 1;
             if (dead_[n] == 0)
                 out.push_back(n);
@@ -256,6 +266,14 @@ class ReplicaManager
 
     bool nodeDead(NodeId node) const { return dead_[node] != 0; }
     std::uint32_t liveNodes() const { return liveNodes_; }
+
+    /** Elastic membership: admit @p node into the backup rings (join)
+     *  or remove it without the dead-slot tombstone (planned drain --
+     *  unlike a crash, the ring may re-close around the gap because
+     *  the MembershipManager resyncs images afterwards). */
+    void markPresent(NodeId node) { present_[node] = 1; }
+    void markAbsent(NodeId node) { present_[node] = 0; }
+    bool nodePresent(NodeId node) const { return present_[node] != 0; }
 
     /**
      * Commit sequence numbers. A coordinator draws one at its
@@ -349,6 +367,9 @@ class ReplicaManager
     Rng rng_;
     std::vector<ReplicaStore> stores_;
     std::vector<char> dead_;
+    /** Membership mask: spares start absent, drained nodes end absent.
+     *  All-ones (the default) reproduces the fixed-ring layout. */
+    std::vector<char> present_;
     std::uint32_t liveNodes_ = numNodes_;
     std::uint64_t commitSeq_ = 0;
     /** record -> commit seq of its last serialized write. Lookup only,

@@ -61,6 +61,7 @@ enum class SquashReason : std::uint8_t
     ReplicaTimeout,     //!< a replica update was lost / not acked
     CommitTimeout,      //!< commit-phase Acks never arrived (faults)
     NodeFailure,        //!< a participant crashed permanently (recovery)
+    StalePlacement,     //!< record migrated mid-attempt (membership)
     NumReasons,
 };
 
@@ -86,6 +87,8 @@ squashReasonName(SquashReason r)
         return "CommitTimeout";
       case SquashReason::NodeFailure:
         return "NodeFailure";
+      case SquashReason::StalePlacement:
+        return "StalePlacement";
       default:
         return "?";
     }

@@ -182,6 +182,50 @@ TEST(Genome_, DecodeClampsKeepEverySubsetSafe)
         << "at most two distinct permanent-crash victims may decode";
 }
 
+TEST(Genome_, MembershipGenesDecodeCanonically)
+{
+    // Any number of JoinNode / DrainNode genes, in any order, collapse
+    // to at most one join (of the held-out last node, at the earliest
+    // clamped instant) and one drain (of node 1) -- the property that
+    // keeps the decode order-independent and every ddmin subset valid.
+    Genome g;
+    g.nodes = 6;
+    FuzzEvent late;
+    late.kind = EventKind::JoinNode;
+    late.at = us(90);
+    g.events.push_back(late);
+    FuzzEvent early;
+    early.kind = EventKind::JoinNode;
+    early.at = us(30);
+    g.events.push_back(early);
+    FuzzEvent drain;
+    drain.kind = EventKind::DrainNode;
+    drain.a = 4; // victim field is ignored: the drain target is fixed
+    drain.at = us(50);
+    g.events.push_back(drain);
+
+    ClusterConfig cc;
+    cc.numNodes = g.nodes;
+    applyEvents(g, cc);
+    EXPECT_TRUE(cc.membership.enabled());
+    EXPECT_EQ(cc.membership.initialMembers, g.nodes - 1);
+    ASSERT_EQ(cc.membership.joins.size(), 1u);
+    EXPECT_EQ(cc.membership.joins[0].node, NodeId(g.nodes - 1));
+    EXPECT_EQ(cc.membership.joins[0].at, us(30));
+    ASSERT_EQ(cc.membership.drains.size(), 1u);
+    EXPECT_EQ(cc.membership.drains[0].node, NodeId(1));
+    EXPECT_EQ(cc.membership.drains[0].at, us(50));
+
+    // Below the fuzzer's node floor the genes are inert: no decode can
+    // schedule an out-of-range node or drain the cluster empty.
+    ClusterConfig tiny;
+    tiny.numNodes = 3;
+    Genome small = g;
+    small.nodes = 3;
+    applyEvents(small, tiny);
+    EXPECT_FALSE(tiny.membership.enabled());
+}
+
 TEST(Campaign, SmallSeedMatrixRunsClean)
 {
     FuzzRunOptions opt;
@@ -189,6 +233,32 @@ TEST(Campaign, SmallSeedMatrixRunsClean)
     opt.jobs = 4;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
         auto v = runGenome(randomGenome(seed), opt);
+        EXPECT_FALSE(v.failed)
+            << "seed " << seed << " failed on " << v.engine << ": "
+            << v.error;
+    }
+}
+
+TEST(Campaign, MembershipGenesRunTheAuditedMatrixClean)
+{
+    // Arm a join and a drain on top of random fault genomes: live
+    // migration under drops, duplicates, partitions and crashes must
+    // still leave zero divergent records on a healthy tree (aborted
+    // joins/drains are legitimate outcomes, divergence never is).
+    FuzzRunOptions opt;
+    opt.smoke = true;
+    opt.jobs = 4;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        auto g = randomGenome(seed);
+        FuzzEvent join;
+        join.kind = EventKind::JoinNode;
+        join.at = us(25);
+        g.events.push_back(join);
+        FuzzEvent drain;
+        drain.kind = EventKind::DrainNode;
+        drain.at = us(40);
+        g.events.push_back(drain);
+        auto v = runGenome(g, opt);
         EXPECT_FALSE(v.failed)
             << "seed " << seed << " failed on " << v.engine << ": "
             << v.error;

@@ -15,15 +15,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/result_hash.hh"
 #include "core/runner.hh"
 #include "core/sweep.hh"
-#include "result_hash.hh"
 
 namespace
 {
 
 using namespace hades;
-using hades::testing::hashResult;
+using hades::core::hashResult;
 
 /** The golden matrix: engines x workloads x faults x audit, sized to
  *  finish in seconds while still exercising every protocol path. */

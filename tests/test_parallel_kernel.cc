@@ -14,7 +14,7 @@
  * half of this file checks the window scheduler's own invariants on
  * synthetic event graphs; the second half runs the differential
  * matrices through the full simulator and compares FNV digests of the
- * complete result (tests/result_hash.hh).
+ * complete result (src/core/result_hash.hh).
  */
 
 #include <gtest/gtest.h>
@@ -25,16 +25,16 @@
 #include <utility>
 #include <vector>
 
+#include "core/result_hash.hh"
 #include "core/runner.hh"
 #include "net/network.hh"
-#include "result_hash.hh"
 #include "sim/kernel.hh"
 
 namespace
 {
 
 using namespace hades;
-using hades::testing::hashResult;
+using hades::core::hashResult;
 
 // ===========================================================================
 // Window-scheduler property tests (synthetic kernels, no model)
