@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Ablation: grey-failure mitigation (fail-slow fault model, SLO
+ * hedging, admission control with retry budgets).
+ *
+ * Two scenario families on YCSB-A, all replicated (degree 2) so every
+ * configuration pays the same durability cost and has a backup to
+ * hedge to:
+ *
+ *  - fail-slow: node 1's NIC runs 6x slow for the whole run. The
+ *    no-mitigation row shows the metastable collapse (every remote
+ *    round trip that touches the victim crawls); arming the SLO
+ *    tracker + hedged reads, and then admission control on top, must
+ *    claw committed throughput and tail latency back toward healthy.
+ *  - retry storm: a contended key range under heavy message drops
+ *    amplifies squash retries. The retry budget (paced, ratio-capped)
+ *    must keep goodput above 50% of the healthy baseline.
+ *
+ * The JSON report (hades-sweep-v1) of the pinned smoke spec is the CI
+ * perf snapshot BENCH_greyfail.json.
+ */
+
+#include "bench_util.hh"
+
+namespace hades::bench
+{
+namespace
+{
+
+enum class Mitigation
+{
+    None,
+    Hedge,         //!< SLO tracker + hedged remote reads
+    HedgeAndAdmit, //!< hedging + admission control + retry budget
+};
+
+struct Case
+{
+    const char *label;
+    bool grey;  //!< slow-NIC victim (vs healthy)
+    bool storm; //!< contended + lossy retry-storm family
+    Mitigation mitigation;
+};
+
+const Case kCases[] = {
+    {"healthy", false, false, Mitigation::None},
+    {"greyfail", true, false, Mitigation::None},
+    {"grey+hedge", true, false, Mitigation::Hedge},
+    {"grey+hedge+adm", true, false, Mitigation::HedgeAndAdmit},
+    {"storm", false, true, Mitigation::None},
+    {"storm+budget", false, true, Mitigation::HedgeAndAdmit},
+};
+
+core::RunSpec
+specFor(const Case &c)
+{
+    core::RunSpec spec;
+    spec.engine = protocol::EngineKind::Hades;
+    spec.mix = {core::MixEntry{workload::AppKind::YcsbA,
+                               kvs::StoreKind::HashTable}};
+    spec.txnsPerContext = 60;
+    spec.scaleKeys = 50'000;
+    spec.replication.degree = 2;
+    spec.cluster.tuning.retryTimeoutBase = us(4);
+    spec.cluster.tuning.retryTimeoutCap = us(32);
+    if (c.grey) {
+        FaultConfig::GreyEvent g;
+        g.kind = FaultConfig::GreyEvent::Kind::SlowNic;
+        g.node = NodeId(1);
+        g.factorPct = 600;
+        g.at = us(2);
+        g.until = us(1'000'000);
+        spec.cluster.faults.enabled = true;
+        spec.cluster.faults.greyEvents.push_back(g);
+    }
+    if (c.storm) {
+        // Contended keys + drops: squash retries amplify each other.
+        spec.scaleKeys = 400;
+        spec.cluster.faults.enabled = true;
+        spec.cluster.faults.dropAll(0.08);
+        spec.cluster.faults.seed = 7;
+    }
+    if (c.mitigation != Mitigation::None) {
+        spec.cluster.faults.enabled = true;
+        spec.cluster.slo.enabled = true;
+    }
+    if (c.mitigation == Mitigation::HedgeAndAdmit) {
+        spec.cluster.admission.enabled = true;
+        spec.cluster.admission.maxInFlight = 3;
+        spec.cluster.admission.retryBudgetPct = 25;
+    }
+    return spec;
+}
+
+void
+runCase(benchmark::State &state)
+{
+    const auto &c = kCases[state.range(0)];
+    reportRun(state, std::string("greyfail/") + c.label, specFor(c));
+}
+
+BENCHMARK(runCase)
+    ->DenseRange(0, int(std::size(kCases)) - 1, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+registerRuns(Sweep &sweep)
+{
+    for (const auto &c : kCases)
+        sweep.add(std::string("greyfail/") + c.label, specFor(c));
+}
+
+} // namespace
+} // namespace hades::bench
+
+int
+main(int argc, char **argv)
+{
+    using namespace hades;
+    using namespace hades::bench;
+
+    Sweep &sweep = Sweep::instance();
+    sweep.parseArgs(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    registerRuns(sweep);
+    sweep.runAll();
+    benchmark::RunSpecifiedBenchmarks();
+
+    printHeader("Ablation",
+                "grey-failure mitigation (HADES, YCSB-A, 2x repl; "
+                "slow-NIC victim and retry storm)");
+    std::printf("%-15s %12s %11s %11s %8s %8s %11s\n", "config",
+                "txn/s", "p95 lat", "hedges", "wins", "shed",
+                "vs healthy");
+    double healthy = 0;
+    for (const auto &c : kCases) {
+        const auto &res = Sweep::instance().get(
+            std::string("greyfail/") + c.label, specFor(c));
+        if (!c.grey && !c.storm)
+            healthy = res.throughputTps;
+        std::printf("%-15s %12.0f %9.1fus %11lu %8lu %8lu %10.2fx\n",
+                    c.label, res.throughputTps, res.p95LatencyUs,
+                    (unsigned long)res.hedgedSends,
+                    (unsigned long)res.hedgeWins,
+                    (unsigned long)res.shedTxns,
+                    res.throughputTps / healthy);
+    }
+    std::printf("\nacceptance: grey+hedge+adm must beat greyfail on "
+                "both txn/s and p95; storm+budget must hold >= 50%% "
+                "of healthy txn/s.\n");
+    sweep.finish("ablate_greyfail");
+    benchmark::Shutdown();
+    return 0;
+}

@@ -53,6 +53,32 @@ usage(const char *argv0)
         "  --partition-sym A-B@T1:T2         same, both directions\n"
         "  --isolate N@T1:T2                 cut node N from everyone\n"
         "                                    for [T1,T2) us\n"
+        "  --slow-nic N:xK@T1:T2             grey fault: traffic\n"
+        "                                    touching node N runs xK\n"
+        "                                    slower in [T1,T2) us\n"
+        "  --slow-link A-B:xK@T1:T2          inflate A->B latency xK\n"
+        "  --slow-link-sym A-B:xK@T1:T2      same, both directions\n"
+        "  --straggle-core N:xK@T1:T2        node N's cores lose a\n"
+        "                                    1-1/K duty cycle\n"
+        "  --slo                             latency-SLO tracker +\n"
+        "                                    hedged remote reads\n"
+        "                                    (implies faults)\n"
+        "  --no-hedge                        SLO tracker only, no\n"
+        "                                    hedged round trips\n"
+        "  --hedge-delay-pct P               hedge fires at P%% of the\n"
+        "                                    net RT (default 150)\n"
+        "  --quarantine                      CM drains sustained-\n"
+        "                                    degraded nodes (implies\n"
+        "                                    --slo --recovery and\n"
+        "                                    replication)\n"
+        "  --admission                       token-bucket admission\n"
+        "                                    control + retry budgets\n"
+        "  --admission-cap N                 bucket capacity\n"
+        "  --admission-refill N              tokens per refill tick\n"
+        "  --admission-depth N               in-flight shed bound\n"
+        "                                    (0 = tokens only)\n"
+        "  --retry-budget-pct P              retries granted per 100\n"
+        "                                    admitted txns\n"
         "  --recovery                        leases + view changes +\n"
         "                                    backup promotion\n"
         "  --join N@T                        spare node N joins at T\n"
@@ -168,6 +194,23 @@ parsePartition(const std::string &v, bool symmetric,
     return parseWindow(v.substr(sep + 1), w.at, w.until);
 }
 
+/** Parse the ":xK@T1:T2" tail shared by every grey-fault flag:
+ *  factor (xK, K possibly fractional -> integer percent) + window. */
+bool
+parseGreyTail(const std::string &v, std::size_t colon,
+              FaultConfig::GreyEvent &g)
+{
+    auto sep = v.find('@', colon);
+    if (sep == std::string::npos || colon + 2 >= sep ||
+        v[colon + 1] != 'x' || sep + 1 >= v.size())
+        return false;
+    double factor =
+        std::atof(v.substr(colon + 2, sep - colon - 2).c_str());
+    g.factorPct = std::uint32_t(factor * 100.0 + 0.5);
+    return g.factorPct > 100 &&
+           parseWindow(v.substr(sep + 1), g.at, g.until);
+}
+
 } // namespace
 
 int
@@ -261,7 +304,61 @@ main(int argc, char **argv)
             isolates.push_back(
                 {NodeId(std::atoi(v.substr(0, sep).c_str())), at,
                  until});
-        } else if (opt == "--fault-seed")
+        } else if (opt == "--slow-nic" || opt == "--straggle-core") {
+            std::string v = next();
+            auto colon = v.find(':');
+            FaultConfig::GreyEvent g;
+            g.kind = opt == "--slow-nic"
+                         ? FaultConfig::GreyEvent::Kind::SlowNic
+                         : FaultConfig::GreyEvent::Kind::StraggleCore;
+            if (colon == std::string::npos || colon == 0 ||
+                !parseGreyTail(v, colon, g))
+                usage(argv[0]);
+            g.node = NodeId(std::atoi(v.substr(0, colon).c_str()));
+            spec.cluster.faults.enabled = true;
+            spec.cluster.faults.greyEvents.push_back(g);
+        } else if (opt == "--slow-link" || opt == "--slow-link-sym") {
+            std::string v = next();
+            auto dash = v.find('-');
+            FaultConfig::GreyEvent g;
+            g.kind = FaultConfig::GreyEvent::Kind::SlowLink;
+            g.symmetric = opt == "--slow-link-sym";
+            auto colon =
+                dash == std::string::npos ? dash : v.find(':', dash);
+            if (dash == std::string::npos || dash == 0 ||
+                colon == std::string::npos || dash + 1 >= colon ||
+                !parseGreyTail(v, colon, g))
+                usage(argv[0]);
+            g.node = NodeId(std::atoi(v.substr(0, dash).c_str()));
+            g.dst = NodeId(
+                std::atoi(v.substr(dash + 1, colon - dash - 1).c_str()));
+            spec.cluster.faults.enabled = true;
+            spec.cluster.faults.greyEvents.push_back(g);
+        } else if (opt == "--slo")
+            spec.cluster.slo.enabled = true;
+        else if (opt == "--no-hedge")
+            spec.cluster.slo.hedgeReads = false;
+        else if (opt == "--hedge-delay-pct")
+            spec.cluster.slo.hedgeDelayPct =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--quarantine") {
+            spec.cluster.slo.enabled = true;
+            spec.cluster.slo.quarantine = true;
+        } else if (opt == "--admission")
+            spec.cluster.admission.enabled = true;
+        else if (opt == "--admission-cap")
+            spec.cluster.admission.bucketCap =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--admission-refill")
+            spec.cluster.admission.refillTokens =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--admission-depth")
+            spec.cluster.admission.maxInFlight =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--retry-budget-pct")
+            spec.cluster.admission.retryBudgetPct =
+                std::uint32_t(std::atoi(next().c_str()));
+        else if (opt == "--fault-seed")
             spec.cluster.faults.seed =
                 std::uint64_t(std::atoll(next().c_str()));
         else if (opt == "--crash-forever") {
@@ -356,6 +453,26 @@ main(int argc, char **argv)
         for (const auto &d : spec.cluster.membership.drains)
             if (d.node >= spec.cluster.numNodes)
                 usage(argv[0]);
+    }
+    if (spec.cluster.slo.enabled) {
+        // The SLO tracker samples RTTs off the faulty-NIC path, so it
+        // (and hedging) require the fault layer even with no faults
+        // configured.
+        spec.cluster.faults.enabled = true;
+        if (spec.cluster.slo.quarantine) {
+            // Quarantine drains a live node through the elastic-
+            // membership path: recovery substrate + replicas needed.
+            spec.cluster.recovery.enabled = true;
+            if (!spec.replication.enabled())
+                spec.replication.degree = 1;
+        }
+    }
+    for (const auto &g : spec.cluster.faults.greyEvents) {
+        if (g.node >= spec.cluster.numNodes)
+            usage(argv[0]);
+        if (g.kind == FaultConfig::GreyEvent::Kind::SlowLink &&
+            (g.dst >= spec.cluster.numNodes || g.dst == g.node))
+            usage(argv[0]);
     }
     for (const auto &iso : isolates) {
         if (iso.node >= spec.cluster.numNodes)
@@ -495,7 +612,30 @@ main(int argc, char **argv)
                     (unsigned long)res.timeoutResends,
                     (unsigned long)res.reliableResends,
                     (unsigned long)res.timeoutSquashes);
+        if (spec.cluster.faults.anyGrey())
+            std::printf("grey          %lu copies slowed, %lu "
+                        "straggler core reservations\n",
+                        (unsigned long)res.greyDelays,
+                        (unsigned long)res.stragglerReserves);
     }
+    if (spec.cluster.slo.enabled) {
+        std::printf("slo           %lu samples, %lu suspect + %lu "
+                    "degraded transitions\n",
+                    (unsigned long)res.sloSamples,
+                    (unsigned long)res.sloSuspectTransitions,
+                    (unsigned long)res.sloDegradedTransitions);
+        std::printf("hedging       %lu hedged sends, %lu hedge wins, "
+                    "%lu quarantines\n",
+                    (unsigned long)res.hedgedSends,
+                    (unsigned long)res.hedgeWins,
+                    (unsigned long)res.quarantines);
+    }
+    if (spec.cluster.admission.enabled)
+        std::printf("admission     %lu admitted, %lu shed, %lu retry-"
+                    "budget deferrals\n",
+                    (unsigned long)res.admittedTxns,
+                    (unsigned long)res.shedTxns,
+                    (unsigned long)res.retryBudgetDeferrals);
     if (res.recoveryEnabled) {
         std::printf("crash-recov   %lu view changes, %lu records "
                     "re-homed, %lu in-doubt committed + %lu aborted, "

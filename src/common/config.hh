@@ -279,6 +279,77 @@ struct FaultConfig
     void delayAll(double p) { delayProb.fill(p); }
     void corruptAll(double p) { corruptProb.fill(p); }
 
+    /**
+     * Grey (fail-slow) fault: nothing is lost, everything is *late*.
+     * A SlowNic event inflates the one-way wire latency of every copy
+     * into or out of `node` by `factorPct` percent; a SlowLink event
+     * inflates only the directed src->dst edge (plus the reverse when
+     * `symmetric`); a StraggleCore event steals cycles from every core
+     * of `node` (duty-cycle reservations), modeling thermal throttling
+     * or a noisy neighbor. Grey delays are a pure integer function of
+     * (src, dst, send instant) -- no RNG draw -- so enabling one never
+     * shifts the probabilistic fault sequence of unrelated messages,
+     * and runs stay bit-identical across shard counts.
+     */
+    struct GreyEvent
+    {
+        enum class Kind : std::uint8_t
+        {
+            SlowNic,      //!< all traffic touching `node`
+            SlowLink,     //!< directed edge node->dst only
+            StraggleCore, //!< cores of `node` run slow
+        };
+        Kind kind = Kind::SlowNic;
+        NodeId node = 0; //!< victim (SlowNic/StraggleCore), link source
+        NodeId dst = 0;  //!< link destination (SlowLink only)
+        /** Latency multiplier in percent; 100 = no slowdown, 300 = 3x.
+         *  Integer so the injected delay is exactly reproducible. */
+        std::uint32_t factorPct = 300;
+        Tick at = 0;
+        Tick until = 0;
+        bool symmetric = false; //!< SlowLink: both directions
+
+        bool
+        covers(Tick t) const
+        {
+            return t >= at && t < until && factorPct > 100;
+        }
+    };
+    std::vector<GreyEvent> greyEvents;
+
+    bool anyGrey() const { return !greyEvents.empty(); }
+
+    /**
+     * Extra one-way delay a message copy sent src->dst at @p t suffers
+     * from the active grey events, given the healthy one-way latency
+     * @p base. Overlapping events stack additively. Deterministic
+     * integer arithmetic only.
+     */
+    Tick
+    greyExtraDelay(NodeId src, NodeId dst, Tick t, Tick base) const
+    {
+        Tick extra = 0;
+        for (const auto &g : greyEvents) {
+            if (!g.covers(t))
+                continue;
+            bool hits = false;
+            switch (g.kind) {
+            case GreyEvent::Kind::SlowNic:
+                hits = g.node == src || g.node == dst;
+                break;
+            case GreyEvent::Kind::SlowLink:
+                hits = (g.node == src && g.dst == dst) ||
+                       (g.symmetric && g.node == dst && g.dst == src);
+                break;
+            case GreyEvent::Kind::StraggleCore:
+                break; // core events never touch the wire
+            }
+            if (hits)
+                extra += base * Tick(g.factorPct - 100) / 100;
+        }
+        return extra;
+    }
+
     bool
     anyNodeEventCovers(NodeId node, Tick t, bool crash_only) const
     {
@@ -403,6 +474,80 @@ struct MembershipConfig
 };
 
 /**
+ * Latency-SLO detection and hedged retries (src/net/slo_tracker.hh,
+ * grey-failure mitigation). When enabled, every completed fault-path
+ * round trip feeds a per-(observer, peer) EWMA of the observed RTT --
+ * deterministic fixed-point integer arithmetic, no wall clock -- and
+ * peers are classified healthy / suspect / degraded against integer
+ * multiples of the configured network round trip. Coordinators hedge
+ * remote read round trips to a live backup replica once the home is
+ * suspect (first response wins; the late copy is suppressed by the
+ * same idempotent-replay guard that absorbs duplicate deliveries).
+ * Requires faults.enabled (the tracker samples the faulty messaging
+ * path); disabled by default so fault-free runs construct no tracker
+ * and stay bit-identical.
+ */
+struct SloConfig
+{
+    bool enabled = false;
+    /** EWMA smoothing: alpha = 1 / 2^ewmaShift (fixed-point). */
+    std::uint32_t ewmaShift = 3;
+    /** Samples per peer before any classification fires. */
+    std::uint32_t warmupSamples = 8;
+    /** EWMA >= suspectPct% of the healthy RTT -> Suspect. */
+    std::uint32_t suspectPct = 250;
+    /** EWMA >= degradedPct% of the healthy RTT -> Degraded. */
+    std::uint32_t degradedPct = 500;
+    /** Consecutive over-degraded samples before a peer counts as
+     *  *sustained* degraded (the quarantine trigger). */
+    std::uint32_t sustainedSamples = 12;
+    /** Hedge remote reads to a backup replica when the home is at
+     *  least Suspect. */
+    bool hedgeReads = true;
+    /** Hedge copy fires this % of netRoundTrip after the primary. */
+    std::uint32_t hedgeDelayPct = 150;
+    /** CM-driven quarantine: a sustained-degraded node is drained via
+     *  the elastic-membership path (records migrate live, no
+     *  epoch-fenced kill). Requires recovery + replication. */
+    bool quarantine = false;
+};
+
+/**
+ * Admission control and retry budgets (src/protocol/admission.hh,
+ * overload protection). A per-node token bucket paces new-transaction
+ * admission; a queue-depth bound sheds work outright
+ * (txn::SquashReason::Shed) with bounded client re-admission backoff;
+ * and a per-node retry *budget* -- ratio-capped against admissions,
+ * not per-txn -- paces squash retries so a grey failure cannot
+ * amplify into a retry storm. All state is integer and refilled
+ * lazily from simulated time. Disabled by default: no controller is
+ * constructed and runs stay bit-identical.
+ */
+struct AdmissionConfig
+{
+    bool enabled = false;
+    /** Token-bucket capacity (tokens = admittable txns). */
+    std::uint32_t bucketCap = 16;
+    /** Tokens added per refillInterval (lazy integer refill). */
+    std::uint32_t refillTokens = 8;
+    Tick refillInterval = us(2);
+    /** In-flight transactions per node above which new admissions are
+     *  shed regardless of tokens. 0 disables the depth bound. */
+    std::uint32_t maxInFlight = 0;
+    /** Retries granted per 100 admitted transactions (the budget
+     *  ratio). Exhausted budget *paces* retries instead of failing
+     *  them: the retry waits retryPaceBase and re-asks, bounded by
+     *  maxRetryDeferrals so forward progress is never lost. */
+    std::uint32_t retryBudgetPct = 100;
+    std::uint32_t maxRetryDeferrals = 8;
+    Tick retryPaceBase = us(2);
+    /** Client re-admission backoff after a shed: base << min(tries,
+     *  shedBackoffCapShift), deterministic (no jitter draw). */
+    Tick shedBackoffBase = us(4);
+    std::uint32_t shedBackoffCapShift = 4;
+};
+
+/**
  * Sharded parallel-kernel knobs (src/sim/kernel.hh). The shard *count*
  * lives on core::RunSpec (it selects an executor, not a model
  * parameter); this struct tunes how the sharded executors behave.
@@ -483,6 +628,13 @@ struct ClusterConfig
     /** Elastic membership: planned joins/drains with live record
      *  migration (disabled by default). */
     MembershipConfig membership;
+
+    /** Latency-SLO tracking, hedged retries and degraded-node
+     *  quarantine (disabled by default). */
+    SloConfig slo;
+
+    /** Admission control and retry budgets (disabled by default). */
+    AdmissionConfig admission;
 
     /** Sharded parallel-kernel tuning (RunSpec::shards selects the
      *  executor; this only tunes it). */

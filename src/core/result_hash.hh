@@ -77,6 +77,7 @@ hashResult(const RunResult &r)
     h.u64(r.stats.netBytes);
     h.u64(r.stats.timeoutResends);
     h.u64(r.stats.reliableResends);
+    h.u64(r.stats.retryBudgetDeferrals);
     h.u64(static_cast<std::uint64_t>(r.simTime));
     h.d(r.throughputTps);
     h.d(r.meanLatencyUs);
@@ -119,6 +120,17 @@ hashResult(const RunResult &r)
     h.u64(r.quorumRefusals);
     h.u64(r.staleLeaseGrants);
     h.u64(r.divergentRecords);
+    h.u64(r.greyDelays);
+    h.u64(r.stragglerReserves);
+    h.u64(r.sloSamples);
+    h.u64(r.sloSuspectTransitions);
+    h.u64(r.sloDegradedTransitions);
+    h.u64(r.hedgedSends);
+    h.u64(r.hedgeWins);
+    h.u64(r.admittedTxns);
+    h.u64(r.shedTxns);
+    h.u64(r.retryBudgetDeferrals);
+    h.u64(r.quarantines);
     h.u64(r.membershipEnabled ? 1 : 0);
     h.u64(r.membershipComplete ? 1 : 0);
     h.u64(r.recordsMigrated);

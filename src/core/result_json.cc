@@ -121,6 +121,13 @@ runSpecJson(const RunSpec &spec)
     field(out, "replication_degree", spec.replication.degree);
     fieldB(out, "faults_enabled", cc.faults.enabled);
     fieldB(out, "recovery_enabled", cc.recovery.enabled);
+    field(out, "grey_events", cc.faults.greyEvents.size());
+    fieldB(out, "slo_enabled", cc.slo.enabled);
+    if (cc.slo.enabled) {
+        fieldB(out, "slo_hedge_reads", cc.slo.hedgeReads);
+        fieldB(out, "slo_quarantine", cc.slo.quarantine);
+    }
+    fieldB(out, "admission_enabled", cc.admission.enabled);
     if (cc.membership.enabled()) {
         field(out, "initial_members",
               cc.membership.initialOwners(cc.numNodes));
@@ -208,6 +215,17 @@ runResultJson(const RunResult &res)
     field(out, "quorum_refusals", res.quorumRefusals);
     field(out, "stale_lease_grants", res.staleLeaseGrants);
     field(out, "divergent_records", res.divergentRecords);
+    field(out, "grey_delays", res.greyDelays);
+    field(out, "straggler_reserves", res.stragglerReserves);
+    field(out, "slo_samples", res.sloSamples);
+    field(out, "slo_suspect_transitions", res.sloSuspectTransitions);
+    field(out, "slo_degraded_transitions", res.sloDegradedTransitions);
+    field(out, "hedged_sends", res.hedgedSends);
+    field(out, "hedge_wins", res.hedgeWins);
+    field(out, "admitted_txns", res.admittedTxns);
+    field(out, "shed_txns", res.shedTxns);
+    field(out, "retry_budget_deferrals", res.retryBudgetDeferrals);
+    field(out, "quarantines", res.quarantines);
     fieldB(out, "membership_enabled", res.membershipEnabled);
     fieldB(out, "membership_complete", res.membershipComplete);
     field(out, "records_migrated", res.recordsMigrated);
@@ -256,6 +274,7 @@ runResultJson(const RunResult &res)
     field(out, "net_bytes", st.netBytes);
     field(out, "timeout_resends", st.timeoutResends);
     field(out, "reliable_resends", st.reliableResends);
+    field(out, "retry_budget_deferrals", st.retryBudgetDeferrals);
     out += "}}";
     return out;
 }

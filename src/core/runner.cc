@@ -1,5 +1,6 @@
 #include "core/runner.hh"
 
+#include <algorithm>
 #include <numeric>
 
 #include "audit/auditor.hh"
@@ -65,6 +66,9 @@ driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
     // the transactions then run on the node's own lane (the prologue
     // up to here runs at t=0 before kernel.run(), single-threaded).
     co_await sim::HopTo{engine.system().kernel, ctx.node};
+    protocol::AdmissionController *adm =
+        engine.system().admission.get();
+    std::uint32_t shed_tries = 0;
     for (std::uint64_t i = 0; i < txns; ++i) {
         // Elastic membership: spares bring no client load of their
         // own, and a draining node stops issuing between transactions
@@ -73,18 +77,48 @@ driveContext(TxnEngine &engine, workload::WorkloadGenerator &gen,
         // in doubt.
         if (membership && !membership->issuesLoad(ctx.node))
             break;
+        // Admission control: the client asks before issuing; a refusal
+        // is a shed (recorded as SquashReason::Shed), and the client
+        // re-asks after a bounded deterministic backoff -- shed load is
+        // delayed, never lost.
+        if (adm) {
+            bool gone = false;
+            while (!adm->admit(ctx.node)) {
+                engine.noteShed(ctx.node);
+                co_await sim::Delay{engine.system().kernel,
+                                    adm->shedBackoff(shed_tries)};
+                shed_tries = std::min(
+                    shed_tries + 1,
+                    adm->config().shedBackoffCapShift);
+                if (engine.system().network.nodeDead(ctx.node) ||
+                    (membership &&
+                     !membership->issuesLoad(ctx.node))) {
+                    gone = true;
+                    break;
+                }
+            }
+            if (gone)
+                break;
+            shed_tries = 0;
+            adm->begin(ctx.node);
+        }
         txn::TxnProgram prog = gen.next(rng, ctx.node);
+        bool stop = false;
         try {
             co_await engine.run(ctx, prog);
         } catch (const sim::NodeDead &) {
-            break;
+            stop = true;
         } catch (const sim::SerialRerunNeeded &) {
             // The threaded executor cannot run the lock-mode fallback;
             // the kernel flag is already set and runOne() redoes the
             // whole spec deterministically. Just retire this driver so
             // the doomed run drains quickly.
-            break;
+            stop = true;
         }
+        if (adm)
+            adm->end(ctx.node);
+        if (stop)
+            break;
     }
     if (recovery)
         recovery->driverDone();
@@ -111,7 +145,8 @@ certifiedForThreads(const RunSpec &spec)
 {
     if (spec.cluster.faults.enabled || spec.cluster.recovery.enabled ||
         spec.replication.enabled() || spec.audit ||
-        spec.cluster.membership.enabled())
+        spec.cluster.membership.enabled() || spec.cluster.slo.enabled ||
+        spec.cluster.admission.enabled)
         return false;
     // Uniform placement (fraction unset) and forced-full-local both
     // emit lane-pure record picks; fractional locality's re-pick
@@ -150,6 +185,10 @@ RunResult
 runOneImpl(const RunSpec &spec, bool force_deterministic)
 {
     always_assert(!spec.mix.empty(), "run needs at least one workload");
+    if (spec.cluster.slo.enabled)
+        always_assert(spec.cluster.faults.enabled,
+                      "the SLO tracker observes the faulty messaging "
+                      "path; slo.enabled requires faults.enabled");
 
     // Build the generators first: the placement needs the total record
     // count before the System exists.
@@ -254,13 +293,15 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
     // transitions need an image-resync source of truth). Runs without
     // a join/drain schedule never construct it.
     std::unique_ptr<recovery::MembershipManager> memb;
-    if (spec.cluster.membership.enabled()) {
+    const bool quarantine_possible =
+        spec.cluster.slo.enabled && spec.cluster.slo.quarantine;
+    if (spec.cluster.membership.enabled() || quarantine_possible) {
         always_assert(spec.cluster.recovery.enabled,
-                      "membership requires recovery.enabled (epochs, "
-                      "fencing, squash resolution)");
+                      "membership/quarantine requires recovery.enabled "
+                      "(epochs, fencing, squash resolution)");
         always_assert(spec.replication.enabled(),
-                      "membership requires replication (image resync "
-                      "across ring transitions)");
+                      "membership/quarantine requires replication "
+                      "(image resync across ring transitions)");
         const auto &mc = spec.cluster.membership;
         std::uint32_t members = mc.initialOwners(spec.cluster.numNodes);
         for (const auto &j : mc.joins) {
@@ -276,6 +317,10 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
         }
         memb = std::make_unique<recovery::MembershipManager>(sys,
                                                              *recov);
+        // SLO-triggered quarantine: the CM drains a sustained-degraded
+        // node through this membership manager.
+        if (quarantine_possible)
+            recov->setMembership(memb.get());
     }
 
     // Launch one driver per hardware context. Cores are split into
@@ -419,12 +464,28 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
         res.faultNicStalls = fs.totalNicStalls();
         res.faultCrashDrops = fs.crashDrops;
         res.partitionDrops = fs.partitionDrops;
+        res.greyDelays = fs.greyDelays;
+        res.stragglerReserves = fs.stragglerReserves;
         // Healing is lazy (no kernel event), so count the windows whose
         // scheduled heal instant the run actually reached.
         res.partitionHeals =
             faults->partitionsHealedBy(sys.kernel.now());
     }
     res.corruptDrops = sys.network.corruptDrops();
+    if (sys.slo) {
+        const auto &ss = sys.slo->stats();
+        res.sloSamples = ss.samples;
+        res.sloSuspectTransitions = ss.suspectTransitions;
+        res.sloDegradedTransitions = ss.degradedTransitions;
+    }
+    res.hedgedSends = sys.network.hedgedSends();
+    res.hedgeWins = sys.network.hedgeWins();
+    if (sys.admission) {
+        const auto &as = sys.admission->stats();
+        res.admittedTxns = as.admittedTxns;
+        res.shedTxns = as.shedTxns;
+    }
+    res.retryBudgetDeferrals = st.retryBudgetDeferrals;
     if (recov) {
         const auto &rs = recov->stats();
         res.recoveryEnabled = true;
@@ -438,6 +499,7 @@ runOneImpl(const RunSpec &spec, bool force_deterministic)
         res.cmFailovers = rs.cmFailovers;
         res.quorumRefusals = rs.quorumRefusals;
         res.staleLeaseGrants = rs.staleLeaseGrants;
+        res.quarantines = rs.quarantines;
         // End-of-run durability check against ground truth: every live
         // backup of every record must hold the committed value. This
         // is the chaos fuzzer's primary predicate, and any crash /

@@ -135,6 +135,22 @@ struct RunResult
      *  chaos fuzzer's primary durability predicate). */
     std::uint64_t divergentRecords = 0;
 
+    /** Grey-failure / overload robustness outcome (src/net/slo_tracker,
+     *  src/protocol/admission.hh, FaultConfig::greyEvents; all zero
+     *  unless the SLO tracker, admission control, or a grey fault
+     *  window is configured). */
+    std::uint64_t greyDelays = 0;        //!< copies slowed by grey windows
+    std::uint64_t stragglerReserves = 0; //!< core duty-cycle slices stolen
+    std::uint64_t sloSamples = 0;        //!< RTTs the SLO tracker observed
+    std::uint64_t sloSuspectTransitions = 0;  //!< entries into Suspect
+    std::uint64_t sloDegradedTransitions = 0; //!< entries into Degraded
+    std::uint64_t hedgedSends = 0;       //!< hedge copies actually sent
+    std::uint64_t hedgeWins = 0;         //!< round trips the hedge won
+    std::uint64_t admittedTxns = 0;      //!< admissions granted
+    std::uint64_t shedTxns = 0;          //!< admissions shed (overload)
+    std::uint64_t retryBudgetDeferrals = 0; //!< budget-paced squash retries
+    std::uint64_t quarantines = 0;       //!< grey nodes drained by the CM
+
     /** Elastic-membership outcome (src/recovery/membership.hh; all
      *  zero unless ClusterConfig::membership schedules a join or a
      *  planned drain). */

@@ -94,6 +94,18 @@ FaultPlan::judge(net::MsgType t, NodeId src, NodeId dst)
             break;
         }
     }
+    // Grey (fail-slow) windows inflate the wire latency of matching
+    // copies by a pure integer function of (src, dst, send instant) --
+    // still no RNG draw, so the probabilistic sequence below is
+    // untouched whether or not grey events are configured.
+    if (!f_.greyEvents.empty()) {
+        const Tick slow = f_.greyExtraDelay(
+            src, dst, now, cfg_.netRoundTrip / 2 + cfg_.nicProcessing);
+        if (slow > 0) {
+            d.delay += slow;
+            stats_.greyDelays += 1;
+        }
+    }
 
     if (nth < f_.dropFirst[v]) {
         stats_.drops[v] += 1;
@@ -172,6 +184,32 @@ FaultPlan::scheduleNodeEvents(
                 for (auto *core : cores)
                     core->reserve(duration);
             });
+    }
+
+    // Core-straggler windows: steal a duty-cycle slice of every core
+    // of the victim node each period, so compute throughput drops by
+    // the configured factor without ever parking the node outright (a
+    // fail-slow node keeps answering -- late). All slice instants are
+    // fixed at schedule time: deterministic across shard counts.
+    for (const auto &g : f_.greyEvents) {
+        if (g.kind != FaultConfig::GreyEvent::Kind::StraggleCore ||
+            g.factorPct <= 100 || g.until <= g.at)
+            continue;
+        std::vector<sim::ComputeResource *> cores;
+        if (g.node < cores_by_node.size())
+            cores = cores_by_node[g.node];
+        const Tick period = us(1);
+        const Tick stolen =
+            period * Tick(g.factorPct - 100) / Tick(g.factorPct);
+        if (stolen == 0)
+            continue;
+        for (Tick t = g.at; t < g.until; t += period) {
+            kernel_.scheduleAt(t, [this, cores, stolen] {
+                for (auto *core : cores)
+                    core->reserve(stolen);
+                stats_.stragglerReserves += 1;
+            });
+        }
     }
 }
 

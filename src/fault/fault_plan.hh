@@ -70,6 +70,10 @@ struct FaultStats
     /** Copies dropped because their directed link was inside a
      *  partition window at the send instant. */
     std::uint64_t partitionDrops = 0;
+    /** Copies inflated by a grey (fail-slow) NIC or link window. */
+    std::uint64_t greyDelays = 0;
+    /** Core duty-cycle reservations fired by StraggleCore windows. */
+    std::uint64_t stragglerReserves = 0;
 
     std::uint64_t totalDrops() const;
     std::uint64_t totalDuplicates() const;

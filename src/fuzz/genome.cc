@@ -25,6 +25,10 @@ constexpr Tick kHorizon = us(150);
 constexpr Tick kMaxWindow = us(40);
 constexpr std::uint32_t kMaxCrashVictims = 2;
 constexpr std::uint32_t kMaxDropFirst = 4;
+// Grey-gene slowdown factor steps: count 1..4 -> x2..x5. Overlapping
+// events stack additively in greyExtraDelay, so the worst case stays
+// bounded by maxEvents * 4 * the healthy one-way latency.
+constexpr std::uint32_t kMaxGreyFactorSteps = 4;
 
 double
 clampProb(double p, double cap)
@@ -73,6 +77,12 @@ eventKindName(EventKind k)
         return "join_node";
       case EventKind::DrainNode:
         return "drain_node";
+      case EventKind::SlowNic:
+        return "slow_nic";
+      case EventKind::SlowLink:
+        return "slow_link";
+      case EventKind::ShedStorm:
+        return "shed_storm";
       case EventKind::NumKinds:
         break;
     }
@@ -221,6 +231,45 @@ applyEvents(const Genome &g, ClusterConfig &cc)
           case EventKind::DrainNode:
             drain = true;
             drainAt = std::min(drainAt, clampAt(e.at));
+            break;
+          case EventKind::SlowNic:
+          case EventKind::SlowLink: {
+            FaultConfig::GreyEvent ge;
+            const NodeId a = NodeId(e.a % nodes);
+            const NodeId b = NodeId(e.b % nodes);
+            if (e.kind == EventKind::SlowLink && a != b) {
+                ge.kind = FaultConfig::GreyEvent::Kind::SlowLink;
+                ge.node = a;
+                ge.dst = b;
+                ge.symmetric = e.symmetric;
+            } else {
+                // A degenerate self-link decodes as a NIC slowdown so
+                // the gene is never inert.
+                ge.kind = FaultConfig::GreyEvent::Kind::SlowNic;
+                ge.node = a;
+            }
+            ge.factorPct =
+                100 + 100 * std::clamp<std::uint32_t>(
+                                e.count, 1, kMaxGreyFactorSteps);
+            ge.at = clampAt(e.at);
+            ge.until = clampUntil(ge.at, e.until);
+            f.greyEvents.push_back(ge);
+            // Grey genes also arm the mitigation under test: the SLO
+            // tracker + hedged remote reads (the campaign spec always
+            // has replicas to hedge to).
+            cc.slo.enabled = true;
+            break;
+          }
+          case EventKind::ShedStorm:
+            // Idempotent flag decode: any number of ShedStorm genes
+            // arm the same tight overload-protection config, so every
+            // ddmin subset decodes the survivors identically.
+            cc.admission.enabled = true;
+            cc.admission.bucketCap = 4;
+            cc.admission.refillTokens = 2;
+            cc.admission.refillInterval = us(2);
+            cc.admission.maxInFlight = 3;
+            cc.admission.retryBudgetPct = 50;
             break;
           case EventKind::NumKinds:
             break;

@@ -43,6 +43,11 @@ enum class EventKind : std::uint8_t
                   //!< spare and admit it mid-run (live rebalance)
     DrainNode,    //!< elastic membership: planned-drain a fixed member
                   //!< mid-run (live record migration to survivors)
+    SlowNic,      //!< grey fault: slow every copy touching a node; arms
+                  //!< the SLO tracker + hedged reads (the mitigation)
+    SlowLink,     //!< grey fault: inflate one directed link's latency
+    ShedStorm,    //!< overload: tight admission control + retry budget
+                  //!< (idempotent flag decode)
     NumKinds,
 };
 
@@ -119,7 +124,13 @@ Genome randomGenome(std::uint64_t seed, const GenomeLimits &lim = {});
  *    events schedule ONE join of the last node at the earliest
  *    clamped instant; DrainNode likewise drains node 1), so the
  *    decode stays order-independent and every event subset keeps a
- *    live migration destination even with two crash victims.
+ *    live migration destination even with two crash victims;
+ *  - grey genes (SlowNic/SlowLink) decode to bounded-window
+ *    FaultConfig::GreyEvents with a clamped factor and arm the SLO
+ *    tracker + hedged reads; overlapping windows stack additively,
+ *    so the decode is order-independent without canonicalization;
+ *  - ShedStorm decodes as an idempotent flag: any number of genes
+ *    arm the same tight admission-control config.
  */
 void applyEvents(const Genome &g, ClusterConfig &cc);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "net/slo_tracker.hh"
 
 namespace hades::net
 {
@@ -135,9 +136,30 @@ Network::roundTrip(MsgType type, NodeId src, NodeId dst,
 }
 
 sim::Task
+Network::hedgedRoundTrip(MsgType type, NodeId src, NodeId dst,
+                         const HedgeSpec &hedge, std::uint32_t req_bytes,
+                         std::uint32_t resp_bytes, RemoteWork at_dst)
+{
+    always_assert(src != dst, "round trip to self");
+    always_assert(hedge.backup != dst && hedge.backup != src,
+                  "hedge backup must be a third node");
+    assertLaneLocalSend(src);
+    if (!fault_) {
+        // Hedging only exists to escape injected grey failures; the
+        // pristine fabric needs no second copy.
+        co_await roundTrip(type, src, dst, req_bytes, resp_bytes,
+                           std::move(at_dst));
+        co_return;
+    }
+    co_await faultyRoundTrip(type, src, dst, req_bytes, resp_bytes,
+                             std::move(at_dst), &hedge);
+}
+
+sim::Task
 Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
                          std::uint32_t req_bytes,
-                         std::uint32_t resp_bytes, RemoteWork at_dst)
+                         std::uint32_t resp_bytes, RemoteWork at_dst,
+                         const HedgeSpec *hedge)
 {
     // The retransmission machinery below shares one RtState between
     // delivery events racing on both endpoints' lanes, so fault-
@@ -153,11 +175,14 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
         bool active = true;       //!< round trip not yet completed
         bool respArrived = false;
         std::uint32_t gen = 0;    //!< current retransmission attempt
+        NodeId servedBy = 0;      //!< node whose response won
         sim::AutoResetEvent wake;
         RemoteWork work;
     };
     auto st = std::make_shared<RtState>();
     st->work = std::move(at_dst);
+    st->servedBy = dst;
+    const Tick start = kernel_.now();
 
     // The handler typically holds references into the caller's
     // coroutine frame, so it must never run after this round trip ends
@@ -183,29 +208,35 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
     // response (which is itself subject to faults and carries its own
     // epoch stamp). A corrupted copy dies at the destination NIC and
     // the requester's retransmission timer recovers it, exactly like a
-    // wire drop.
-    auto deliver = [this, st, type, src, dst, resp_bytes,
-                    half](std::uint64_t sent_epoch, bool corrupt) {
+    // wire drop. @p server is the node the copy was addressed to --
+    // the home for primary/retransmitted copies, the backup for a
+    // hedge copy -- and the response leg is judged on its own link, so
+    // a hedge genuinely escapes the slow endpoint.
+    auto deliver = [this, st, type, src, resp_bytes,
+                    half](NodeId server, std::uint64_t sent_epoch,
+                          bool corrupt) {
         if (!st->active || fenceStale(type, sent_epoch) ||
             crcReject(corrupt))
             return;
         Tick work = st->work ? st->work() : 0;
-        kernel_.schedule(work, [this, st, type, src, dst, resp_bytes,
+        kernel_.schedule(work, [this, st, type, src, server, resp_bytes,
                                 half] {
             if (!st->active)
                 return;
-            account(dst, type, resp_bytes);
-            Tick depart = txPort_[dst]->reserve(
+            account(server, type, resp_bytes);
+            Tick depart = txPort_[server]->reserve(
                 serialize(resp_bytes + cfg_.messageHeaderBytes));
-            FaultDecision fd = fault_->judge(type, dst, src);
+            FaultDecision fd = fault_->judge(type, server, src);
             if (fd.stall > 0)
-                txPort_[dst]->reserve(fd.stall);
+                txPort_[server]->reserve(fd.stall);
             const std::uint64_t resp_epoch = epoch_;
-            auto arrive = [this, st, type,
+            auto arrive = [this, st, type, server,
                            resp_epoch](bool resp_corrupt) {
                 if (!st->active || fenceStale(type, resp_epoch) ||
                     crcReject(resp_corrupt))
                     return;
+                if (!st->respArrived)
+                    st->servedBy = server;
                 st->respArrived = true;
                 st->wake.notify(kernel_);
             };
@@ -243,15 +274,55 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
         const std::uint64_t sent_epoch = epoch_;
         if (!fd.drop)
             kernel_.scheduleAs(dst, half + fd.delay,
-                               [deliver, sent_epoch,
+                               [deliver, dst, sent_epoch,
                                 corrupt = fd.corrupt] {
-                                   deliver(sent_epoch, corrupt);
+                                   deliver(dst, sent_epoch, corrupt);
                                });
         if (fd.duplicate)
             kernel_.scheduleAs(dst, half + fd.duplicateDelay,
-                               [deliver, sent_epoch] {
-                                   deliver(sent_epoch, false);
+                               [deliver, dst, sent_epoch] {
+                                   deliver(dst, sent_epoch, false);
                                });
+
+        // Arm the one-shot latency hedge after the first send: if the
+        // home stays silent past the hedge delay, one extra copy goes
+        // to the backup replica. The copy is judged on its own
+        // src->backup link (escaping the home's grey windows), runs
+        // the same idempotent handler, and races the home's response
+        // through the shared active guard -- first response wins.
+        if (hedge && attempt == 0) {
+            kernel_.schedule(
+                hedge->delay,
+                [this, st, deliver, type, src, backup = hedge->backup,
+                 req_bytes] {
+                    if (!st->active || st->respArrived ||
+                        dead_[backup] || dead_[src])
+                        return;
+                    hedgedSends_ += 1;
+                    account(src, type, req_bytes);
+                    txPort_[src]->reserve(serialize(
+                        req_bytes + cfg_.messageHeaderBytes));
+                    FaultDecision hd = fault_->judge(type, src, backup);
+                    if (hd.stall > 0)
+                        txPort_[src]->reserve(hd.stall);
+                    const std::uint64_t hedge_epoch = epoch_;
+                    const Tick hhalf =
+                        cfg_.netRoundTrip / 2 + cfg_.nicProcessing;
+                    if (!hd.drop)
+                        kernel_.scheduleAs(
+                            backup, hhalf + hd.delay,
+                            [deliver, backup, hedge_epoch,
+                             corrupt = hd.corrupt] {
+                                deliver(backup, hedge_epoch, corrupt);
+                            });
+                    if (hd.duplicate)
+                        kernel_.scheduleAs(
+                            backup, hhalf + hd.duplicateDelay,
+                            [deliver, backup, hedge_epoch] {
+                                deliver(backup, hedge_epoch, false);
+                            });
+                });
+        }
 
         // Wait for the response or the retransmission timeout,
         // whichever comes first.
@@ -265,6 +336,14 @@ Network::faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
             break;
         rto = std::min(rto * 2, cfg_.tuning.retryTimeoutCap);
     }
+
+    if (hedge && st->servedBy == hedge->backup)
+        hedgeWins_ += 1;
+    // Feed the latency-SLO tracker: the client-observed RTT of the
+    // whole exchange (retransmissions included), attributed to the
+    // node that served the winning response.
+    if (slo_)
+        slo_->observe(src, st->servedBy, kernel_.now() - start);
 }
 
 void

@@ -99,6 +99,22 @@ class FaultInjector
     }
 };
 
+class SloTracker;
+
+/**
+ * Hedge plan for one round trip: after @p delay without a response,
+ * send one additional request copy to @p backup (a live backup replica
+ * of the record), whose NIC serves the same handler and responds.
+ * First response wins; the loser is absorbed by the round trip's
+ * idempotent-replay guard exactly like a duplicate delivery.
+ */
+// hades-analyze: lane-escape-ok (stack-local out-parameter filled by the coordinator and consumed immediately by faultyRoundTrip; SLO-enabled specs never certify for threaded execution)
+struct HedgeSpec
+{
+    NodeId backup = 0;
+    Tick delay = 0;
+};
+
 /** The cluster interconnect. */
 class Network
 {
@@ -123,6 +139,23 @@ class Network
                         RemoteWork at_dst = nullptr);
 
     /**
+     * roundTrip() with a latency hedge (grey-failure mitigation; only
+     * meaningful while a fault injector is attached -- hedging rides
+     * the RC retransmission machinery). If the home @p dst has not
+     * responded @p hedge.delay after the first send, one extra copy
+     * goes to @p hedge.backup; whichever response lands first
+     * completes the call and the other is suppressed by the active
+     * guard. The handler runs for every delivered copy (idempotent by
+     * the protocol's own duplicate-delivery contract), so conflict
+     * tracking at the home is never bypassed.
+     */
+    sim::Task hedgedRoundTrip(MsgType type, NodeId src, NodeId dst,
+                              const HedgeSpec &hedge,
+                              std::uint32_t req_bytes,
+                              std::uint32_t resp_bytes,
+                              RemoteWork at_dst = nullptr);
+
+    /**
      * One-way message; @p at_dst runs on arrival. Returns immediately
      * (the sender does not wait).
      */
@@ -143,6 +176,20 @@ class Network
      */
     void setFaultInjector(FaultInjector *f) { fault_ = f; }
     FaultInjector *faultInjector() const { return fault_; }
+
+    /** Attach the latency-SLO tracker: every completed fault-path
+     *  round trip then reports its observed RTT, attributed to the
+     *  node that served the winning response. */
+    void setSloTracker(SloTracker *t) { slo_ = t; }
+    SloTracker *sloTracker() const { return slo_; }
+
+    /** Hedge copies actually sent / round trips the hedge won. */
+    std::uint64_t hedgedSends() const { return hedgedSends_; }
+    std::uint64_t hedgeWins() const { return hedgeWins_; }
+    /** Count a hedge copy issued outside hedgedRoundTrip (protocol
+     *  layers that hedge one-way batches charge it here). */
+    // hades-analyze: lane-escape-ok (hedging requires the SLO tracker, and SLO-enabled specs never certify for threaded execution -- see Runner::certifiedForThreads)
+    void noteHedgedSend() { hedgedSends_ += 1; }
 
     /** Stall @p node's TX port for @p duration (node pause/crash). */
     void stallNode(NodeId node, Tick duration);
@@ -220,11 +267,14 @@ class Network
         return corrupt;
     }
 
-    /** roundTrip() body used while a fault injector is attached. */
+    /** roundTrip() body used while a fault injector is attached.
+     *  @p hedge, when non-null, arms the one-shot backup copy of
+     *  hedgedRoundTrip(). */
     sim::Task faultyRoundTrip(MsgType type, NodeId src, NodeId dst,
                               std::uint32_t req_bytes,
                               std::uint32_t resp_bytes,
-                              RemoteWork at_dst);
+                              RemoteWork at_dst,
+                              const HedgeSpec *hedge = nullptr);
 
     /**
      * The hard gate behind the runner's threaded-executor
@@ -270,6 +320,7 @@ class Network
     sim::Kernel &kernel_;
     const ClusterConfig &cfg_;
     FaultInjector *fault_ = nullptr;
+    SloTracker *slo_ = nullptr;
     std::vector<std::unique_ptr<sim::ComputeResource>> txPort_;
     /** One node's share of the message statistics; see account(). */
     struct NodeStats
@@ -288,6 +339,8 @@ class Network
     std::uint64_t epoch_ = 0;
     std::uint64_t fencedStale_ = 0;
     std::uint64_t corruptDrops_ = 0;
+    std::uint64_t hedgedSends_ = 0;
+    std::uint64_t hedgeWins_ = 0;
 };
 
 } // namespace hades::net

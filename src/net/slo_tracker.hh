@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Latency-SLO tracker for grey-failure detection (SloConfig).
+ *
+ * Every completed fault-path round trip reports its observed RTT here,
+ * attributed to the node that actually served the response. The
+ * tracker keeps a per-(observer, peer) EWMA in fixed-point integer
+ * arithmetic -- Q8, alpha = 1 / 2^ewmaShift -- and classifies each
+ * peer against integer-percent multiples of the healthy network round
+ * trip: Healthy below suspectPct, Suspect at or above it, Degraded at
+ * or above degradedPct. A peer whose samples stay Degraded for
+ * sustainedSamples consecutive observations counts as *sustained*
+ * degraded, the trigger the CM's quarantine loop polls.
+ *
+ * Everything is simulated-time integers; there is no wall clock and no
+ * floating point, so classification is bit-reproducible across
+ * platforms and shard counts (the tracker is only fed from the faulty
+ * messaging path, which runs on the serial executors).
+ */
+
+#ifndef HADES_NET_SLO_TRACKER_HH_
+#define HADES_NET_SLO_TRACKER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace hades::net
+{
+
+/** SLO classification of a peer as seen by one observer. */
+enum class PeerHealth : std::uint8_t
+{
+    Healthy,
+    Suspect,  //!< EWMA >= suspectPct% of the healthy RTT
+    Degraded, //!< EWMA >= degradedPct% of the healthy RTT
+};
+
+/** Aggregate tracker telemetry (RunResult surfaces these). */
+// hades-analyze: lane-escape-ok (SLO-only telemetry; SLO-enabled specs never certify for threaded execution -- see Runner::certifiedForThreads)
+struct SloStats
+{
+    std::uint64_t samples = 0;             //!< RTTs observed
+    std::uint64_t suspectTransitions = 0;  //!< entries into Suspect
+    std::uint64_t degradedTransitions = 0; //!< entries into Degraded
+};
+
+class SloTracker
+{
+  public:
+    SloTracker(const SloConfig &cfg, std::uint32_t num_nodes,
+               Tick healthy_rtt)
+        : cfg_(cfg), numNodes_(num_nodes),
+          healthyRtt_(healthy_rtt > 0 ? healthy_rtt : 1),
+          peers_(std::size_t(num_nodes) * num_nodes)
+    {
+    }
+
+    /** One completed round trip: @p observer measured @p rtt against
+     *  the node that served the response, @p peer. */
+    void
+    observe(NodeId observer, NodeId peer, Tick rtt)
+    {
+        if (observer == peer || observer >= numNodes_ ||
+            peer >= numNodes_)
+            return;
+        auto &p = at(observer, peer);
+        stats_.samples += 1;
+        p.samples += 1;
+        // Fixed-point EWMA (Q8): ewma += (sample - ewma) >> shift.
+        const std::int64_t sample_q8 = std::int64_t(rtt) << 8;
+        if (p.samples == 1)
+            p.ewmaQ8 = sample_q8;
+        else
+            p.ewmaQ8 += (sample_q8 - p.ewmaQ8) >>
+                        std::int64_t(cfg_.ewmaShift);
+
+        PeerHealth next = PeerHealth::Healthy;
+        if (p.samples >= cfg_.warmupSamples) {
+            const std::int64_t pct =
+                p.ewmaQ8 * 100 /
+                (std::int64_t(healthyRtt_) << 8);
+            if (pct >= std::int64_t(cfg_.degradedPct))
+                next = PeerHealth::Degraded;
+            else if (pct >= std::int64_t(cfg_.suspectPct))
+                next = PeerHealth::Suspect;
+        }
+        if (next == PeerHealth::Degraded)
+            p.consecutiveDegraded += 1;
+        else
+            p.consecutiveDegraded = 0;
+        if (next != p.cls) {
+            if (next == PeerHealth::Suspect)
+                stats_.suspectTransitions += 1;
+            else if (next == PeerHealth::Degraded)
+                stats_.degradedTransitions += 1;
+            p.cls = next;
+        }
+    }
+
+    PeerHealth
+    classify(NodeId observer, NodeId peer) const
+    {
+        if (observer == peer || observer >= numNodes_ ||
+            peer >= numNodes_)
+            return PeerHealth::Healthy;
+        return at(observer, peer).cls;
+    }
+
+    /** Deadline inflation for @p observer's view of @p peer: the EWMA
+     *  RTT as an integer percent of healthy, floored at 100; 100 until
+     *  warmup. Engines stretch fixed ack deadlines by this factor so a
+     *  known-slow peer is treated as slow rather than dead -- the
+     *  false-timeout suppression half of fail-slow mitigation (hedging
+     *  being the other half). */
+    std::uint32_t
+    inflationPct(NodeId observer, NodeId peer) const
+    {
+        if (observer == peer || observer >= numNodes_ ||
+            peer >= numNodes_)
+            return 100;
+        const auto &p = at(observer, peer);
+        if (p.samples < cfg_.warmupSamples)
+            return 100;
+        const std::int64_t pct =
+            p.ewmaQ8 * 100 / (std::int64_t(healthyRtt_) << 8);
+        return pct > 100 ? std::uint32_t(pct) : 100;
+    }
+
+    /** Smallest peer id currently seen as sustained degraded
+     *  (consecutiveDegraded >= sustainedSamples) by at least two
+     *  independent observers; false if none. One observer is never
+     *  enough: a node whose own NIC is fail-slow observes *everyone*
+     *  as degraded, so a single verdict is as likely to incriminate
+     *  the observer as the observed -- cross-observer agreement is
+     *  what separates "X is slow" from "X thinks the world is slow".
+     *  (A two-node cluster has no second witness, so one suffices
+     *  there.) Scan order is fixed, so the pick is deterministic. */
+    bool
+    sustainedDegraded(NodeId &victim) const
+    {
+        const std::uint32_t needed = numNodes_ > 2 ? 2 : 1;
+        for (NodeId peer = 0; peer < numNodes_; ++peer) {
+            std::uint32_t votes = 0;
+            for (NodeId obs = 0; obs < numNodes_; ++obs) {
+                if (obs == peer)
+                    continue;
+                if (at(obs, peer).consecutiveDegraded >=
+                    cfg_.sustainedSamples)
+                    votes += 1;
+            }
+            if (votes >= needed) {
+                victim = peer;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    const SloConfig &config() const { return cfg_; }
+    const SloStats &stats() const { return stats_; }
+
+  private:
+    // hades-analyze: lane-escape-ok (per-(observer, peer) control state fed only from the serial fault path; SLO-enabled specs never certify for threaded execution -- see Runner::certifiedForThreads)
+    struct PeerState
+    {
+        std::int64_t ewmaQ8 = 0; //!< Q8 fixed-point EWMA of the RTT
+        std::uint64_t samples = 0;
+        std::uint32_t consecutiveDegraded = 0;
+        PeerHealth cls = PeerHealth::Healthy;
+    };
+
+    PeerState &
+    at(NodeId observer, NodeId peer)
+    {
+        return peers_[std::size_t(observer) * numNodes_ + peer];
+    }
+    const PeerState &
+    at(NodeId observer, NodeId peer) const
+    {
+        return peers_[std::size_t(observer) * numNodes_ + peer];
+    }
+
+    SloConfig cfg_;
+    std::uint32_t numNodes_;
+    Tick healthyRtt_;
+    SloStats stats_;
+    std::vector<PeerState> peers_;
+};
+
+} // namespace hades::net
+
+#endif // HADES_NET_SLO_TRACKER_HH_

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Admission control and retry budgets (AdmissionConfig): overload
+ * protection that keeps a grey failure from amplifying into a
+ * metastable retry storm.
+ *
+ * Per node, three mechanisms compose:
+ *  - a token bucket paces *new* transaction admission (tokens refill
+ *    lazily from simulated time -- integer arithmetic, no kernel
+ *    events of its own);
+ *  - a queue-depth bound sheds admissions outright while too many
+ *    transactions are already in flight at the node
+ *    (txn::SquashReason::Shed; the client re-asks after a bounded
+ *    deterministic backoff, so shed work is delayed, never lost);
+ *  - a retry *budget*: squash retries are granted against a ratio of
+ *    admitted transactions (retryBudgetPct per 100 admits), and an
+ *    exhausted budget paces the retry -- the engine waits and re-asks
+ *    up to maxRetryDeferrals times, then proceeds regardless, so
+ *    forward progress survives pathological schedules.
+ *
+ * All state is integers updated from the node's own lane; the runner
+ * decertifies admission-controlled specs from the worker-threaded
+ * executor, so no synchronization is needed (same contract as the
+ * fault plan).
+ */
+
+#ifndef HADES_PROTOCOL_ADMISSION_HH_
+#define HADES_PROTOCOL_ADMISSION_HH_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "sim/kernel.hh"
+
+namespace hades::protocol
+{
+
+/** Controller telemetry (RunResult surfaces these). */
+// hades-analyze: lane-escape-ok (admission-only telemetry; admission-enabled specs never certify for threaded execution -- see Runner::certifiedForThreads)
+struct AdmissionStats
+{
+    std::uint64_t admittedTxns = 0;   //!< admissions granted
+    std::uint64_t shedTxns = 0;       //!< admissions shed (token/depth)
+    std::uint64_t retriesGranted = 0; //!< budget-charged retries
+};
+
+class AdmissionController
+{
+  public:
+    AdmissionController(const AdmissionConfig &cfg, sim::Kernel &kernel,
+                        std::uint32_t num_nodes)
+        : cfg_(cfg), kernel_(kernel), nodes_(num_nodes)
+    {
+        for (auto &n : nodes_)
+            n.tokens = cfg_.bucketCap;
+    }
+
+    /** Ask to admit one new transaction at @p node. A refusal is a
+     *  shed: the caller records SquashReason::Shed, backs off
+     *  (shedBackoff) and asks again. */
+    bool
+    admit(NodeId node)
+    {
+        auto &s = nodes_[node];
+        refill(s);
+        if ((cfg_.maxInFlight > 0 && s.inFlight >= cfg_.maxInFlight) ||
+            s.tokens == 0) {
+            stats_.shedTxns += 1;
+            return false;
+        }
+        s.tokens -= 1;
+        s.admitted += 1;
+        stats_.admittedTxns += 1;
+        return true;
+    }
+
+    /** In-flight depth tracking around one admitted transaction. */
+    void begin(NodeId node) { nodes_[node].inFlight += 1; }
+    void
+    end(NodeId node)
+    {
+        if (nodes_[node].inFlight > 0)
+            nodes_[node].inFlight -= 1;
+    }
+
+    /** True while @p node's retry budget (retryBudgetPct per 100
+     *  admitted txns) still covers another squash retry. */
+    bool
+    retryAllowed(NodeId node) const
+    {
+        const auto &s = nodes_[node];
+        const std::uint64_t budget =
+            s.admitted * cfg_.retryBudgetPct / 100;
+        return s.retries < budget;
+    }
+
+    /** Charge one retry against @p node's budget. */
+    void
+    noteRetry(NodeId node)
+    {
+        nodes_[node].retries += 1;
+        stats_.retriesGranted += 1;
+    }
+
+    /** Deterministic client re-admission backoff after the @p tries-th
+     *  consecutive shed: base doubling, capped. No jitter draw -- the
+     *  controller must not perturb any RNG stream. */
+    Tick
+    shedBackoff(std::uint32_t tries) const
+    {
+        const std::uint32_t shift =
+            std::min(tries, cfg_.shedBackoffCapShift);
+        return cfg_.shedBackoffBase << shift;
+    }
+
+    /** Pacing delay before re-asking for an exhausted retry budget. */
+    Tick
+    retryPace(std::uint32_t waits) const
+    {
+        const std::uint32_t shift = std::min(waits, 3u);
+        return cfg_.retryPaceBase << shift;
+    }
+
+    const AdmissionConfig &config() const { return cfg_; }
+    const AdmissionStats &stats() const { return stats_; }
+
+  private:
+    // hades-analyze: lane-escape-ok (per-node integer control state written from the node's own lane; admission-enabled specs never certify for threaded execution -- see Runner::certifiedForThreads)
+    struct NodeState
+    {
+        std::uint64_t tokens = 0;
+        Tick lastRefill = 0;
+        std::uint32_t inFlight = 0;
+        std::uint64_t admitted = 0;
+        std::uint64_t retries = 0;
+    };
+
+    /** Lazy token refill from simulated time (whole intervals only,
+     *  remainder carried by keeping lastRefill on the grid). */
+    void
+    refill(NodeState &s)
+    {
+        if (cfg_.refillInterval <= 0) {
+            s.tokens = cfg_.bucketCap;
+            return;
+        }
+        const Tick now = kernel_.now();
+        const Tick intervals = (now - s.lastRefill) / cfg_.refillInterval;
+        if (intervals > 0) {
+            s.tokens = std::min<std::uint64_t>(
+                cfg_.bucketCap,
+                s.tokens + std::uint64_t(intervals) * cfg_.refillTokens);
+            s.lastRefill += intervals * cfg_.refillInterval;
+        }
+    }
+
+    AdmissionConfig cfg_;
+    sim::Kernel &kernel_;
+    AdmissionStats stats_;
+    std::vector<NodeState> nodes_;
+};
+
+} // namespace hades::protocol
+
+#endif // HADES_PROTOCOL_ADMISSION_HH_

@@ -39,12 +39,14 @@ BaselineEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
                     ctx.node);
     std::uint32_t squash_count = 0;
     for (;;) {
+        throwIfNodeDead(ctx);
         st().attempts += 1;
         bool committed = false;
         co_await attempt(ctx, prog, committed);
         if (committed)
             break;
         squash_count += 1;
+        co_await retryGate(ctx);
         if (squash_count >= sys_.config.tuning.maxSquashesBeforeLockMode) {
             st().lockModeFallbacks += 1;
             co_await attemptPessimistic(ctx, prog);
@@ -203,18 +205,28 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             snap.gtVersion = sys_.data.version(record);
         } else {
             co_await core.occupy(cycles(costs.rdmaPostCycles));
-            co_await sys_.network.roundTrip(
-                MsgType::RdmaRead, ctx.node, home, 24,
-                record_lines * kCacheLineBytes, [&]() -> Tick {
-                    const auto m =
-                        sys_.node(home).versions.peek(record);
-                    snap.lockedByOther =
-                        m.lockOwner != 0 && m.lockOwner != self;
-                    snap.version = m.version;
-                    snap.value = sys_.data.read(record);
-                    snap.gtVersion = sys_.data.version(record);
-                    return nicAccessLines(home, base, record_lines);
-                });
+            // The snapshot is always taken against the home's version
+            // table (a hedge copy served by a backup is a wire
+            // duplicate; repeated peeks are side-effect free).
+            auto at_dst = [&]() -> Tick {
+                const auto m = sys_.node(home).versions.peek(record);
+                snap.lockedByOther =
+                    m.lockOwner != 0 && m.lockOwner != self;
+                snap.version = m.version;
+                snap.value = sys_.data.read(record);
+                snap.gtVersion = sys_.data.version(record);
+                return nicAccessLines(home, base, record_lines);
+            };
+            net::HedgeSpec hedge;
+            if (hedgeTarget(ctx, home, record, hedge)) {
+                co_await sys_.network.hedgedRoundTrip(
+                    MsgType::RdmaRead, ctx.node, home, hedge, 24,
+                    record_lines * kCacheLineBytes, at_dst);
+            } else {
+                co_await sys_.network.roundTrip(
+                    MsgType::RdmaRead, ctx.node, home, 24,
+                    record_lines * kCacheLineBytes, at_dst);
+            }
             co_await core.occupy(cycles(costs.rdmaPollCycles));
         }
     };
@@ -466,14 +478,19 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             auto fo = std::make_shared<Fanout>();
             for (const auto &[node, idx_list] : by_node)
                 fo->pending.insert(node);
-            auto post_batch = [this, rs, fo, self, ctx](
-                                  NodeId home,
-                                  const std::vector<std::size_t>
-                                      &idxs) {
+            // The version peeks always run against the home's table
+            // even when a hedge copy is served by a backup replica
+            // (@p server): peeks are side-effect free, the fanout
+            // absorbs duplicate replies per home, and the serial
+            // executor (faults on) makes the cross-lane read safe.
+            auto post_batch_to = [this, rs, fo, self, ctx](
+                                     NodeId home, NodeId server,
+                                     const std::vector<std::size_t>
+                                         &idxs) {
                 sys_.network.post(
-                    MsgType::RdmaRead, ctx.node, home,
+                    MsgType::RdmaRead, ctx.node, server,
                     std::uint32_t(8 * idxs.size()),
-                    [this, rs, fo, home, idxs, self, ctx] {
+                    [this, rs, fo, home, server, idxs, self, ctx] {
                         if (fo->closed)
                             return; // stale delivery of an old batch
                         auto &read_set = *rs;
@@ -481,7 +498,7 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         for (auto i : idxs) {
                             const auto &r = read_set[i];
                             nicAccessLines(
-                                home, sys_.placement.addrOf(r.record),
+                                server, sys_.placement.addrOf(r.record),
                                 1);
                             const auto m =
                                 sys_.node(home).versions.peek(
@@ -492,16 +509,43 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                                 ok = false;
                         }
                         sys_.network.post(
-                            MsgType::RdmaRead, home, ctx.node,
+                            MsgType::RdmaRead, server, ctx.node,
                             std::uint32_t(16 * idxs.size()),
                             [this, fo, home, ok] {
                                 fo->reply(sys_.kernel, home, ok);
                             });
                     });
             };
+            auto post_batch = [post_batch_to](
+                                  NodeId home,
+                                  const std::vector<std::size_t>
+                                      &idxs) {
+                post_batch_to(home, home, idxs);
+            };
             for (const auto &[node, idx_list] : by_node) {
                 co_await core.occupy(cycles(costs.rdmaPostCycles));
                 post_batch(node, idx_list);
+                // Validation hedge: when the home looks slow, race a
+                // duplicate batch against a backup replica after a
+                // short wait; whichever reply lands first settles the
+                // fanout slot (duplicates are absorbed).
+                net::HedgeSpec hedge;
+                if (!idx_list.empty() &&
+                    hedgeTarget(ctx, node,
+                                read_set[idx_list.front()].record,
+                                hedge)) {
+                    sys_.kernel.schedule(
+                        hedge.delay,
+                        [this, fo, post_batch_to, home = node,
+                         backup = hedge.backup, idxs = idx_list] {
+                            if (fo->closed ||
+                                fo->pending.count(home) == 0 ||
+                                sys_.network.nodeDead(backup))
+                                return;
+                            sys_.network.noteHedgedSend();
+                            post_batch_to(home, backup, idxs);
+                        });
+                }
             }
             co_await awaitFanout(fo, by_node, post_batch);
             std::uint64_t remote_reads = 0;
@@ -553,7 +597,16 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
             auto acked = std::make_shared<std::set<NodeId>>();
             auto timed_out = std::make_shared<bool>(false);
             auto c = ctrl; // keep-alive for the handlers below
-            auto ack = [this, pending, acked, c](NodeId b) {
+            // Replica acks feed the SLO tracker: hedge wins attribute
+            // read samples to the fast replica, so without these the
+            // tracker is blind to a slow backup and replicaDeadline
+            // never inflates.
+            const Tick sentAt = kernel.now();
+            const NodeId obs = ctx.node;
+            auto ack = [this, pending, acked, c, sentAt, obs](NodeId b) {
+                if (sys_.slo)
+                    sys_.slo->observe(obs, b,
+                                      sys_.kernel.now() - sentAt);
                 if (c->finished || *pending == 0)
                     return;
                 if (!acked->insert(b).second)
@@ -595,8 +648,9 @@ BaselineEngine::attempt(ExecCtx ctx, const txn::TxnProgram &prog,
                         });
                 }
             }
-            kernel.schedule(4 * sys_.config.netRoundTrip + 2 * persist +
-                                us(2),
+            kernel.schedule(replicaDeadline(ctx, plan,
+                                            4 * sys_.config.netRoundTrip +
+                                                2 * persist + us(2)),
                             [this, c, pending, timed_out] {
                                 if (*pending > 0) {
                                     *timed_out = true;

@@ -137,6 +137,17 @@ class TxnEngine
      */
     virtual void onNodeDead(NodeId node) { (void)node; }
 
+    /** Record one admission-control shed of a would-be transaction at
+     *  @p node (the driver calls this when admit() refuses; the
+     *  transaction never starts, so no attempt is charged). */
+    void
+    noteShed(NodeId node)
+    {
+        statsByNode_[node < sys_.config.numNodes ? node
+                                                 : sys_.config.numNodes]
+            .addSquash(txn::SquashReason::Shed);
+    }
+
   protected:
     /** Core compute resource of a context. */
     sim::ComputeResource &
@@ -276,8 +287,116 @@ class TxnEngine
     /** True when elastic membership (planned joins/drains with live
      *  record migration) is configured; the engines record each
      *  attempt's record footprint into AttemptControl only under this
-     *  gate, so membership-free runs stay bit-identical. */
-    bool membershipOn() const { return sys_.config.membership.enabled(); }
+     *  gate, so membership-free runs stay bit-identical. Quarantine
+     *  (SLO-triggered drains) reuses the migration machinery, so it
+     *  needs the same footprints even without scheduled joins/drains. */
+    bool
+    membershipOn() const
+    {
+        return sys_.config.membership.enabled() ||
+               (sys_.config.slo.enabled && sys_.config.slo.quarantine);
+    }
+
+    /**
+     * Hedging decision for a remote access of @p record homed at
+     * @p home, coordinated from @p ctx.node: fill @p out and return
+     * true when the SLO tracker classifies the home as Suspect (or
+     * worse) and a live backup replica exists to duplicate the request
+     * to. The hedge copy runs the same destination handler as the
+     * primary copy -- exactly a wire duplicate with an alternate path,
+     * which the protocol already absorbs (idempotent delivery) -- so
+     * home-side conflict tracking is never bypassed.
+     */
+    bool
+    hedgeTarget(const ExecCtx &ctx, NodeId home, std::uint64_t record,
+                net::HedgeSpec &out)
+    {
+        if (!sys_.slo || !sys_.slo->config().hedgeReads ||
+            !sys_.replicas || home == ctx.node)
+            return false;
+        if (sys_.slo->classify(ctx.node, home) ==
+            net::PeerHealth::Healthy)
+            return false;
+        for (NodeId b : sys_.replicas->backupsOf(record, home)) {
+            if (b == ctx.node || b == home ||
+                sys_.network.nodeDead(b))
+                continue;
+            out.backup = b;
+            out.delay = sys_.config.netRoundTrip *
+                        Tick(sys_.slo->config().hedgeDelayPct) / 100;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * SLO-adaptive replica-ack deadline: stretch @p base by the worst
+     * observed slowness across every peer the attempt's ack counter
+     * awaits -- the @p plan backups plus, for the HADES engines,
+     * @p also_awaited (the Intend-to-commit fan-out shares the same
+     * counter, so a slow ITC ack must not lose the race against an
+     * un-inflated deadline). A fail-slow peer then reads as slow
+     * instead of dead -- without this, a fixed deadline false-timeouts
+     * every commit touching the victim and the retry loop goes
+     * metastable (the hedged read path cannot help, since the replica
+     * set is fixed). Identity when the SLO tracker is off or still
+     * warming up.
+     */
+    template <class Plan>
+    Tick
+    replicaDeadline(const ExecCtx &ctx, const Plan &plan, Tick base,
+                    const std::set<NodeId> *also_awaited = nullptr) const
+    {
+        if (!sys_.slo)
+            return base;
+        std::uint32_t worst = 100;
+        for (const auto &kv : plan)
+            worst = std::max(worst,
+                             sys_.slo->inflationPct(ctx.node, kv.first));
+        if (also_awaited)
+            for (NodeId y : *also_awaited)
+                worst = std::max(worst,
+                                 sys_.slo->inflationPct(ctx.node, y));
+        return base * Tick(worst) / 100;
+    }
+
+    /**
+     * Fail-stop guard for retry loops: a context that slept through
+     * its own node's failure (retry backoff, admission deferral) must
+     * not open a fresh attempt. The view change resolves every
+     * in-flight transaction of the dead coordinator through the
+     * squash router, so an attempt begun *after* that resolution is
+     * adopted by nothing and would dangle in the audit forever.
+     */
+    void
+    throwIfNodeDead(const ExecCtx &ctx) const
+    {
+        if (faultsOn() && sys_.network.nodeDead(ctx.node))
+            throw sim::NodeDead{};
+    }
+
+    /**
+     * Admission-control retry gate, awaited after a squash before the
+     * retry backoff. An exhausted per-node retry budget *paces* the
+     * retry -- wait, re-ask, up to maxRetryDeferrals times -- then
+     * proceeds regardless: budgets shape load under a retry storm,
+     * they never strand a transaction.
+     */
+    sim::Task
+    retryGate(const ExecCtx &ctx)
+    {
+        AdmissionController *adm = sys_.admission.get();
+        if (!adm)
+            co_return;
+        std::uint32_t waits = 0;
+        while (!adm->retryAllowed(ctx.node) &&
+               waits < adm->config().maxRetryDeferrals) {
+            st().retryBudgetDeferrals += 1;
+            co_await sim::Delay{sys_.kernel, adm->retryPace(waits)};
+            waits += 1;
+        }
+        adm->noteRetry(ctx.node);
+    }
 
     /**
      * Protocol-level resend timeout for attempt @p attempt: capped

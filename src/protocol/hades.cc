@@ -69,6 +69,7 @@ HadesEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
                     ctx.node);
     std::uint32_t squash_count = 0;
     for (;;) {
+        throwIfNodeDead(ctx);
         st().attempts += 1;
         std::uint64_t epoch = (nextEpoch(ctx) & 0x3fff);
         std::uint64_t id = ctx.packed() | (epoch << kEpochShift);
@@ -77,6 +78,7 @@ HadesEngine::run(ExecCtx ctx, const txn::TxnProgram &prog)
         if (committed)
             break;
         squash_count += 1;
+        co_await retryGate(ctx);
         if (squash_count >= sys_.config.tuning.maxSquashesBeforeLockMode) {
             st().lockModeFallbacks += 1;
             co_await attemptPessimistic(ctx, prog);
@@ -251,36 +253,49 @@ HadesEngine::remoteAccess(ExecCtx ctx, AttemptPtr at, NodeId home,
         std::uint64_t fetched_ver = 0;
         for (;;) {
             bool blocked = false;
-            co_await sys_.network.roundTrip(
-                MsgType::RdmaRead, ctx.node, home, 24,
-                std::uint32_t(fetch_lines.size()) * kCacheLineBytes,
-                [&]() -> Tick {
-                    auto &ynode = sys_.node(home);
-                    for (Addr line : lines) {
-                        if (ynode.lockBank.accessBlocked(line, is_write,
-                                                         at->id)) {
-                            blocked = true;
-                            return sys_.cycles(20);
-                        }
+            // Filter inserts and the data read always act on the home
+            // node's state (a hedge copy served by a backup replica is
+            // a wire duplicate: the home's conflict tracking still sees
+            // every access, and duplicate inserts are idempotent).
+            auto at_dst = [&]() -> Tick {
+                auto &ynode = sys_.node(home);
+                for (Addr line : lines) {
+                    if (ynode.lockBank.accessBlocked(line, is_write,
+                                                     at->id)) {
+                        blocked = true;
+                        return sys_.cycles(20);
                     }
-                    auto &filters = ynode.nic.remoteFilters(at->id);
-                    for (Addr line : filter_lines) {
-                        if (is_write)
-                            filters.insertWrite(line);
-                        else
-                            filters.insertRead(line);
-                    }
-                    if (!is_write) {
-                        fetched_val = sys_.data.read(record);
-                        fetched_ver = sys_.data.version(record);
-                    }
-                    Tick t = sys_.cycles(
-                        std::int64_t(sys_.config.crcHashCycles) *
-                        std::int64_t(filter_lines.size()));
-                    for (Addr line : fetch_lines)
-                        t += ynode.memory.nicAccess(line).latency / 4;
-                    return t;
-                });
+                }
+                auto &filters = ynode.nic.remoteFilters(at->id);
+                for (Addr line : filter_lines) {
+                    if (is_write)
+                        filters.insertWrite(line);
+                    else
+                        filters.insertRead(line);
+                }
+                if (!is_write) {
+                    fetched_val = sys_.data.read(record);
+                    fetched_ver = sys_.data.version(record);
+                }
+                Tick t = sys_.cycles(
+                    std::int64_t(sys_.config.crcHashCycles) *
+                    std::int64_t(filter_lines.size()));
+                for (Addr line : fetch_lines)
+                    t += ynode.memory.nicAccess(line).latency / 4;
+                return t;
+            };
+            const std::uint32_t resp_bytes =
+                std::uint32_t(fetch_lines.size()) * kCacheLineBytes;
+            net::HedgeSpec hedge;
+            if (!is_write && hedgeTarget(ctx, home, record, hedge)) {
+                co_await sys_.network.hedgedRoundTrip(
+                    MsgType::RdmaRead, ctx.node, home, hedge, 24,
+                    resp_bytes, at_dst);
+            } else {
+                co_await sys_.network.roundTrip(
+                    MsgType::RdmaRead, ctx.node, home, 24, resp_bytes,
+                    at_dst);
+            }
             if (!blocked)
                 break;
             co_await sim::Delay{kernel, ns(300)};
@@ -424,7 +439,15 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
                 plan[b].emplace_back(rec, hv.second);
         at->acksPending += std::uint32_t(plan.size());
         const Tick persist = sys_.replicas->config().persistLatency();
-        auto ack = [this, at](NodeId b) {
+        // Replica acks are RTT observations too: without them the
+        // tracker is blind to a slow backup (hedge wins attribute the
+        // read samples to the fast replica) and replicaDeadline never
+        // inflates.
+        const Tick sentAt = sys_.kernel.now();
+        const NodeId obs = ctx.node;
+        auto ack = [this, at, sentAt, obs](NodeId b) {
+            if (sys_.slo)
+                sys_.slo->observe(obs, b, sys_.kernel.now() - sentAt);
             if (at->finished || at->ctrl.squashRequested)
                 return;
             if (!at->replicaAckedBy.insert(b).second)
@@ -469,8 +492,10 @@ HadesEngine::commit(ExecCtx ctx, AttemptPtr at)
             }
         }
         if (!plan.empty()) {
-            Tick deadline = 4 * sys_.config.netRoundTrip +
-                            2 * persist + us(2);
+            Tick deadline = replicaDeadline(
+                ctx, plan,
+                4 * sys_.config.netRoundTrip + 2 * persist + us(2),
+                &at->nodesInvolved);
             sys_.kernel.schedule(deadline, [this, at] {
                 if (!at->finished && !at->ctrl.uncommittable &&
                     at->acksPending > 0) {
@@ -1028,6 +1053,7 @@ HadesEngine::attemptPessimistic(ExecCtx ctx, const txn::TxnProgram &prog)
     tokenBusy_ = true;
     tokenOwner_ = ctx.node;
     for (;;) {
+        throwIfNodeDead(ctx);
         st().attempts += 1;
         std::uint64_t epoch = (nextEpoch(ctx) & 0x3fff);
         std::uint64_t id = ctx.packed() | (epoch << kEpochShift);

@@ -24,6 +24,8 @@
 #include "mem/hierarchy.hh"
 #include "net/hades_nic.hh"
 #include "net/network.hh"
+#include "net/slo_tracker.hh"
+#include "protocol/admission.hh"
 #include "replica/replication.hh"
 #include "sim/kernel.hh"
 #include "sim/resource.hh"
@@ -265,6 +267,19 @@ class System
         data.shard(cfg.numNodes, [this](std::uint64_t record) {
             return placement.staticHomeOf(record);
         });
+        if (cfg.slo.enabled) {
+            // Healthy reference RTT: one wire round trip plus the NIC
+            // processing at both endpoints (serialization and remote
+            // work push observed samples above it, which the percent
+            // thresholds absorb).
+            slo = std::make_unique<net::SloTracker>(
+                cfg.slo, cfg.numNodes,
+                cfg.netRoundTrip + 2 * cfg.nicProcessing);
+            network.setSloTracker(slo.get());
+        }
+        if (cfg.admission.enabled)
+            admission = std::make_unique<AdmissionController>(
+                cfg.admission, kernel, cfg.numNodes);
     }
 
     System(const System &) = delete;
@@ -320,6 +335,12 @@ class System
     std::vector<std::unique_ptr<NodeCtx>> nodes;
     /** Optional Section V-A fault-tolerance substrate. */
     std::unique_ptr<replica::ReplicaManager> replicas;
+    /** Latency-SLO grey-failure detector; null unless config.slo is
+     *  enabled. Fed by the faulty messaging path, read by engines
+     *  (hedging decisions) and the CM (quarantine trigger). */
+    std::unique_ptr<net::SloTracker> slo;
+    /** Admission control + retry budgets; null unless enabled. */
+    std::unique_ptr<AdmissionController> admission;
     /** Protocol event trace (off by default; tracer.enable()). */
     sim::Tracer tracer;
     /** Correctness auditor; null when auditing is off. Engines report

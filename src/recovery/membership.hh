@@ -122,6 +122,26 @@ class MembershipManager
      *  and drained nodes after their leave are not). */
     bool isMember(NodeId n) const { return member_[n] != 0; }
 
+    /**
+     * Dynamic (CM-requested) drain of @p node -- the grey-failure
+     * quarantine entry point. Exactly the scheduled-drain machinery,
+     * starting now: the node stops taking new home-node work and its
+     * records migrate live to healthy members; if it later fail-stops,
+     * the ordinary view change finishes whatever is left. False when
+     * the node cannot be drained (not a member, already draining, or
+     * dead -- then recovery owns it outright).
+     */
+    bool
+    requestDrain(NodeId node)
+    {
+        if (node >= sys_.config.numNodes || member_[node] == 0 ||
+            draining_[node] != 0 || sys_.network.nodeDead(node))
+            return false;
+        opsPending_ += 1;
+        drainLoop(node, 0);
+        return true;
+    }
+
     /** True once every scheduled join and drain ran to completion
      *  (false if a participant crash aborted one -- recovery then owns
      *  the cleanup and the run is judged by the divergence audit). */

@@ -6,6 +6,7 @@
 
 #include "common/log.hh"
 #include "net/network.hh"
+#include "recovery/membership.hh"
 #include "sim/resource.hh"
 
 namespace hades::recovery
@@ -18,7 +19,8 @@ RecoveryManager::RecoveryManager(protocol::System &sys,
     : sys_(sys), engine_(engine), cfg_(sys.config.recovery),
       tun_(sys.config.tuning),
       lastRenewal_(sys.config.numNodes, 0),
-      handled_(sys.config.numNodes, 0)
+      handled_(sys.config.numNodes, 0),
+      quarantined_(sys.config.numNodes, 0)
 {
     // Fixed-slot CM replica group: cmGroupSize consecutive node slots
     // starting at managerNode. Succession order is slot order.
@@ -42,6 +44,8 @@ RecoveryManager::start(std::uint64_t expected_drivers)
     for (std::size_t i = 1; i < cmGroup_.size(); ++i)
         standbyLoop(cmGroup_[i]);
     monitorLoop();
+    if (membership_ && sys_.slo && sys_.slo->config().quarantine)
+        quarantineLoop();
 }
 
 bool
@@ -187,6 +191,41 @@ RecoveryManager::monitorLoop()
                 }
                 viewChange(n);
             }
+        }
+    }
+}
+
+sim::DetachedTask
+RecoveryManager::quarantineLoop()
+{
+    // Grey-failure quarantine (the mild half of the decision table;
+    // the view change is the harsh half). A node the SLO tracker sees
+    // as *sustained* degraded is alive-but-slow: its data is intact
+    // and reachable, so the right response is a planned drain -- live
+    // migration of its records to healthy members -- not the
+    // epoch-fenced kill a fail-stop gets. If the node later dies
+    // anyway, monitorLoop's ordinary view change finishes the job.
+    // Same CM discipline as declaring a death: only the acting primary
+    // acts, and only with a live-majority quorum.
+    while (!finished()) {
+        co_await sim::Delay{sys_.kernel, tun_.leaseInterval};
+        if (finished())
+            break;
+        if (sys_.network.nodeDead(actingPrimary_))
+            continue;
+        NodeId victim = 0;
+        if (!sys_.slo->sustainedDegraded(victim))
+            continue;
+        if (victim == actingPrimary_ || quarantined_[victim] ||
+            handled_[victim] || sys_.network.nodeDead(victim))
+            continue;
+        if (!cmQuorum(sys_.kernel.now())) {
+            stats_.quorumRefusals += 1;
+            continue;
+        }
+        if (membership_->requestDrain(victim)) {
+            quarantined_[victim] = 1;
+            stats_.quarantines += 1;
         }
     }
 }

@@ -83,6 +83,8 @@
 namespace hades::recovery
 {
 
+class MembershipManager;
+
 /** Outcome counters of the recovery subsystem (RunResult surfaces
  *  them; all zero when no node dies). */
 struct RecoveryStats
@@ -98,6 +100,7 @@ struct RecoveryStats
     std::uint64_t cmFailovers = 0;      //!< CM primary successions
     std::uint64_t quorumRefusals = 0;   //!< epoch advances refused (minority)
     std::uint64_t staleLeaseGrants = 0; //!< grants discarded by CM-epoch fence
+    std::uint64_t quarantines = 0;      //!< grey nodes drained by the CM
 };
 
 /** Lease-based failure detector plus view-change executor. */
@@ -165,11 +168,22 @@ class RecoveryManager
 
     const RecoveryStats &stats() const { return stats_; }
 
+    /**
+     * Attach the membership manager, enabling SLO-triggered
+     * quarantine: a node the tracker reports as sustained degraded is
+     * *drained* (planned live migration of its records, reusing the
+     * elastic-membership machinery) instead of epoch-fenced killed --
+     * a fail-slow node is still alive, so its data is recoverable
+     * without a view change. Must be called before start().
+     */
+    void setMembership(MembershipManager *m) { membership_ = m; }
+
   private:
     sim::DetachedTask probeLoop(NodeId node, NodeId primary,
                                 std::uint32_t gen);
     sim::DetachedTask standbyLoop(NodeId self);
     sim::DetachedTask monitorLoop();
+    sim::DetachedTask quarantineLoop();
 
     /** Relaunch the per-node probe loops from the acting primary. */
     void startPrimaryLoops();
@@ -199,6 +213,8 @@ class RecoveryManager
     std::uint32_t primaryGen_ = 0; //!< bumped per failover; stale loops exit
     std::vector<Tick> lastRenewal_;
     std::vector<char> handled_; //!< view change already ran for node
+    std::vector<char> quarantined_; //!< drain already requested for node
+    MembershipManager *membership_ = nullptr;
     std::uint64_t driversLeft_ = 0;
     bool done_ = false;
 };

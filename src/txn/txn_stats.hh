@@ -62,6 +62,7 @@ enum class SquashReason : std::uint8_t
     CommitTimeout,      //!< commit-phase Acks never arrived (faults)
     NodeFailure,        //!< a participant crashed permanently (recovery)
     StalePlacement,     //!< record migrated mid-attempt (membership)
+    Shed,               //!< refused by admission control (overload)
     NumReasons,
 };
 
@@ -89,6 +90,8 @@ squashReasonName(SquashReason r)
         return "NodeFailure";
       case SquashReason::StalePlacement:
         return "StalePlacement";
+      case SquashReason::Shed:
+        return "Shed";
       default:
         return "?";
     }
@@ -141,6 +144,9 @@ struct EngineStats
     /** Reliable one-way resends (Validation/Squash/replica traffic)
      *  triggered by a missing delivery confirmation. */
     std::uint64_t reliableResends = 0;
+    /** Squash retries paced because the node's admission-control
+     *  retry budget was exhausted at the retry instant. */
+    std::uint64_t retryBudgetDeferrals = 0;
 
     std::uint64_t
     totalSquashes() const
@@ -192,6 +198,7 @@ struct EngineStats
         netBytes += o.netBytes;
         timeoutResends += o.timeoutResends;
         reliableResends += o.reliableResends;
+        retryBudgetDeferrals += o.retryBudgetDeferrals;
     }
 };
 

@@ -226,6 +226,115 @@ TEST(Genome_, MembershipGenesDecodeCanonically)
     EXPECT_FALSE(tiny.membership.enabled());
 }
 
+TEST(Genome_, GreyGenesDecodeBoundedAndArmTheSlo)
+{
+    // Hostile grey genome: a saturated factor, a never-ending window,
+    // and a degenerate self-link. Decode must clamp the factor and the
+    // window, fold the self-link into a NIC slowdown, and arm the SLO
+    // tracker (the mitigation under test).
+    Genome g;
+    g.nodes = 6;
+    FuzzEvent nic;
+    nic.kind = EventKind::SlowNic;
+    nic.a = 2;
+    nic.count = 1000; // factor steps, must clamp to x5
+    nic.at = us(10);
+    nic.until = kTickMax; // must clamp to a bounded window
+    g.events.push_back(nic);
+    FuzzEvent self;
+    self.kind = EventKind::SlowLink;
+    self.a = 3;
+    self.b = 3; // a == b decodes as a NIC slowdown, never inert
+    self.at = us(5);
+    self.until = us(20);
+    g.events.push_back(self);
+    FuzzEvent link;
+    link.kind = EventKind::SlowLink;
+    link.a = 0;
+    link.b = 4;
+    link.symmetric = true;
+    link.count = 2;
+    link.at = us(8);
+    link.until = us(30);
+    g.events.push_back(link);
+
+    ClusterConfig cc;
+    cc.numNodes = g.nodes;
+    applyEvents(g, cc);
+    EXPECT_TRUE(cc.slo.enabled)
+        << "grey genes must arm the SLO tracker";
+    ASSERT_EQ(cc.faults.greyEvents.size(), 3u);
+    for (const auto &ge : cc.faults.greyEvents) {
+        EXPECT_LE(ge.factorPct, 500u);
+        EXPECT_GT(ge.factorPct, 100u);
+        EXPECT_LT(ge.until, kTickMax)
+            << "fuzzer grey windows must always end";
+    }
+    EXPECT_EQ(cc.faults.greyEvents[0].kind,
+              FaultConfig::GreyEvent::Kind::SlowNic);
+    EXPECT_EQ(cc.faults.greyEvents[1].kind,
+              FaultConfig::GreyEvent::Kind::SlowNic)
+        << "a self-link must decode as a NIC slowdown";
+    EXPECT_EQ(cc.faults.greyEvents[2].kind,
+              FaultConfig::GreyEvent::Kind::SlowLink);
+    EXPECT_TRUE(cc.faults.greyEvents[2].symmetric);
+}
+
+TEST(Genome_, ShedStormDecodesIdempotently)
+{
+    // Any number of ShedStorm genes decode to the same admission
+    // config, so every ddmin subset that keeps at least one gene is
+    // the same scenario.
+    Genome one;
+    one.nodes = 5;
+    FuzzEvent shed;
+    shed.kind = EventKind::ShedStorm;
+    one.events.push_back(shed);
+    Genome three = one;
+    three.events.push_back(shed);
+    three.events.push_back(shed);
+
+    ClusterConfig a, b;
+    a.numNodes = b.numNodes = 5;
+    applyEvents(one, a);
+    applyEvents(three, b);
+    EXPECT_TRUE(a.admission.enabled);
+    EXPECT_EQ(a.admission.bucketCap, b.admission.bucketCap);
+    EXPECT_EQ(a.admission.refillTokens, b.admission.refillTokens);
+    EXPECT_EQ(a.admission.maxInFlight, b.admission.maxInFlight);
+    EXPECT_EQ(a.admission.retryBudgetPct, b.admission.retryBudgetPct);
+    EXPECT_FALSE(a.slo.enabled)
+        << "overload genes alone must not arm the SLO tracker";
+}
+
+TEST(Campaign, GreyAndShedGenesRunTheAuditedMatrixClean)
+{
+    // Arm a grey fault and a shed storm on top of random fault
+    // genomes: hedged reads, admission shedding and retry budgets
+    // under drops/dups/partitions must still audit clean with zero
+    // divergent records.
+    FuzzRunOptions opt;
+    opt.smoke = true;
+    opt.jobs = 4;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        auto g = randomGenome(seed);
+        FuzzEvent nic;
+        nic.kind = EventKind::SlowNic;
+        nic.a = std::uint32_t(seed % g.nodes);
+        nic.count = 3;
+        nic.at = us(10);
+        nic.until = us(60);
+        g.events.push_back(nic);
+        FuzzEvent shed;
+        shed.kind = EventKind::ShedStorm;
+        g.events.push_back(shed);
+        auto v = runGenome(g, opt);
+        EXPECT_FALSE(v.failed)
+            << "seed " << seed << " failed on " << v.engine << ": "
+            << v.error;
+    }
+}
+
 TEST(Campaign, SmallSeedMatrixRunsClean)
 {
     FuzzRunOptions opt;

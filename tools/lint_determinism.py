@@ -29,6 +29,17 @@ that historically break that contract:
       arbitrary; any ordering or decision keyed on it diverges from
       the serial oracle. Lane identity comes from laneOf(node), not
       from the thread.
+  R6  floating-point control-state accumulation: a float/double
+      declaration, or a compound assignment feeding a float literal,
+      whose identifier names smoothed control state (ewma / slo /
+      health / admission tokens / retry budget). Control decisions --
+      peer classification, hedging, shedding, quarantine -- must use
+      fixed-point integer arithmetic (the Q8 EWMA in
+      src/net/slo_tracker.hh) so a classification flips at the same
+      sample on every platform, compiler, and FP-contraction mode.
+      Derived *report* metrics (throughput, latency means) stay
+      double: they are outputs, they never feed back into the
+      simulation.
 
 Suppression: append `// det-lint: ordered-ok` (any `det-lint:` marker)
 to the flagged line or the line directly above it.
@@ -79,6 +90,22 @@ R4_RE = re.compile(
 R5_RE = re.compile(
     r"\bstd::this_thread::get_id\s*\(|\bpthread_self\s*\(|"
     r"(?<![\w:])gettid\s*\(|\bstd::thread::id\b"
+)
+
+# Identifiers that hold smoothed *control* state: anything the
+# simulation branches on (SLO classification, admission, budgets).
+R6_NAME = r"\w*(?:[Ee]wma|[Ss]lo[A-Z_]|SLO|[Hh]ealth[A-Z_]|" \
+          r"[Rr]etry[Bb]udget|[Aa]dmission)\w*"
+
+# A float/double declaration of control state...
+R6_DECL_RE = re.compile(
+    r"\b(?:float|double)\s+(?:\w+\s+)?%s\s*[;={]" % R6_NAME
+)
+
+# ...or accumulating into it with floating-point arithmetic.
+R6_ACC_RE = re.compile(
+    r"\b%s\s*(?:\+=|-=|\*=)\s*[^;]*(?:\d\.\d*\b|\bfloat\b|\bdouble\b)"
+    % R6_NAME
 )
 
 
@@ -154,6 +181,11 @@ def lint_file(path, rel, findings):
         if R5_RE.search(code):
             report("R5", "thread identity as data; lane identity "
                          "comes from laneOf(node), not the OS thread")
+        if R6_DECL_RE.search(code) or R6_ACC_RE.search(code):
+            report("R6", "floating-point accumulation in control "
+                         "state; smoothed SLO/admission state must be "
+                         "fixed-point (see the Q8 EWMA in "
+                         "src/net/slo_tracker.hh)")
         m = RANGED_FOR_RE.search(code)
         if m:
             target = m.group(1)
